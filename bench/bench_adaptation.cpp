@@ -1,0 +1,99 @@
+// bench_adaptation (experiments C5, F5) — how fast does a smart proxy react?
+//
+// Fig. 5's promise is that "the same smart proxy can activate different
+// components over time, trying to fulfill the application's requirements".
+// The reaction pipeline is: load crosses threshold -> monitor tick detects
+// it -> oneway notification -> (postponed) handling at the next invocation
+// -> trader query -> rebind. Its latency is therefore bounded by
+// (monitor period + client think time). This bench sweeps both and reports
+// measured spike-to-rebind latency, split into detection (spike->event) and
+// handling (event->rebind) components.
+#include <iomanip>
+#include <iostream>
+#include <optional>
+
+#include "core/infrastructure.h"
+#include "sim/workload.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr const char* kPredicate = R"(function(observer, value, monitor)
+  return value[1] > 50 and monitor:getAspectValue("increasing") == "yes"
+end)";
+
+struct Outcome {
+  double spike_time = 0;
+  std::optional<double> event_time;
+  std::optional<double> rebind_time;
+};
+
+Outcome run(double monitor_period, double think_time, int index) {
+  core::Infrastructure infra({.monitor_period = monitor_period,
+                              .name = "ad-" + std::to_string(index)});
+  trading::ServiceTypeDef type;
+  type.name = "Svc";
+  infra.trader().types().add(type);
+  for (const std::string name : {"a", "b"}) {
+    auto servant = orb::FunctionServant::make("Svc");
+    servant->on("op", [name](const ValueList&) { return Value(name); });
+    infra.deploy_server(name, "Svc", servant);
+  }
+
+  core::SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+  cfg.preference = "min LoadAvg";
+  auto proxy = infra.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", kPredicate);
+
+  Outcome outcome;
+  proxy->set_strategy("LoadIncrease", [&](core::SmartProxy& p) {
+    if (!outcome.event_time) outcome.event_time = infra.now();
+    const std::string before = p.current().str();
+    p.select();
+    if (!outcome.rebind_time && p.current().str() != before) {
+      outcome.rebind_time = infra.now();
+    }
+  });
+  proxy->select();
+
+  sim::ClosedLoopClient client(infra.timers(), [&] { proxy->invoke("op"); }, think_time);
+  client.start();
+  infra.run_for(300.0);  // warm-up on host "a"
+
+  outcome.spike_time = infra.now();
+  infra.host("a")->set_background_jobs(150.0);
+  infra.run_for(1200.0);
+  client.stop();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_adaptation (C5/F5): spike-to-rebind latency\n"
+            << "latency = detection (spike -> strategy activation) + handling\n"
+            << "(activation -> new binding); postponement ties handling to the\n"
+            << "client's invocation cadence.\n\n";
+  std::cout << "monitor-period(s)  think(s)  detect(s)  rebind-total(s)\n";
+  int index = 0;
+  for (const double period : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+    for (const double think : {2.0, 30.0}) {
+      const Outcome o = run(period, think, index++);
+      std::cout << std::setw(14) << period << std::setw(10) << think;
+      if (o.rebind_time) {
+        std::cout << std::setw(11) << std::fixed << std::setprecision(1)
+                  << *o.event_time - o.spike_time << std::setw(16)
+                  << *o.rebind_time - o.spike_time << '\n';
+      } else {
+        std::cout << "        (no rebind observed)\n";
+      }
+    }
+  }
+  std::cout << "\nshape check: detection grows with the monitor period (the load\n"
+            << "average needs time to cross 50, plus up to one period of sampling);\n"
+            << "total latency additionally pays up to one think-time (D1).\n";
+  return 0;
+}

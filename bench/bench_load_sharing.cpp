@@ -1,0 +1,269 @@
+// bench_load_sharing (experiment E1) — the paper's SV evaluation scenario.
+//
+// "Using the infrastructure proposed in this work, we developed a system
+// similar to the one described in [20], but allowing dynamic changes of
+// servers." The comparison the paper implies:
+//   * adaptive  — this paper: trader selection + monitors + Fig. 7 strategy,
+//   * static    — Badidi et al. [20]: trader selection once at bind time,
+//   * roundrobin/random — trader-ignorant spreaders (control).
+//
+// Scenario: 4 server hosts, 8 clients per policy (each policy in its own
+// fresh deployment), closed-loop requests costing 250 ms CPU each, plus two
+// roaming external load spikes. Reported per policy: mean/p95 response
+// time, time-averaged imbalance (stddev of host 1-min load averages), and
+// client migrations. A per-minute latency series for adaptive vs static
+// shows where the static system "may become unbalanced" (paper SV).
+#include <iomanip>
+#include <iostream>
+
+#include "core/baseline_proxy.h"
+#include "core/infrastructure.h"
+#include "sim/workload.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr int kHosts = 4;
+constexpr int kClients = 8;
+constexpr double kThink = 2.0;
+constexpr double kWorkPerCall = 0.25;
+constexpr double kRunMinutes = 50;
+
+constexpr const char* kInterest = R"(function(observer, value, monitor)
+  local incr = monitor:getAspectValue("increasing")
+  return value[1] > 50 and incr == "yes"
+end)";
+
+struct RunResult {
+  sim::Stats latency;
+  sim::Stats imbalance;
+  uint64_t migrations = 0;
+  std::vector<double> latency_per_minute;
+  std::map<std::string, uint64_t> requests_per_host;
+
+  /// Largest fraction of all requests landing on a single host (1/kHosts =
+  /// perfectly spread, 1.0 = everything on one server).
+  [[nodiscard]] double max_share() const {
+    uint64_t total = 0;
+    uint64_t peak = 0;
+    for (const auto& [host, n] : requests_per_host) {
+      total += n;
+      peak = std::max(peak, n);
+    }
+    return total == 0 ? 0.0 : static_cast<double>(peak) / static_cast<double>(total);
+  }
+};
+
+class Deployment {
+ public:
+  /// `external_spikes`: the paper's scenario (exogenous load roams across
+  /// hosts). When false, the only load is what the measured clients induce
+  /// (`work_per_call` CPU seconds per request) — the regime where
+  /// client-driven least-loaded selection is prone to herding.
+  explicit Deployment(const std::string& name, double work_per_call = kWorkPerCall,
+                      bool external_spikes = true)
+      : infra_({.simulated_time = true, .name = name}) {
+    trading::ServiceTypeDef type;
+    type.name = "Compute";
+    infra_.trader().types().add(type);
+    for (int i = 0; i < kHosts; ++i) {
+      const std::string host_name = "n" + std::to_string(i + 1);
+      auto host = infra_.make_host(host_name);
+      auto servant = orb::FunctionServant::make("Compute");
+      servant->on("work", [host, work_per_call](const ValueList&) {
+        host->record_work(work_per_call);
+        return Value(host->name());
+      });
+      infra_.deploy_server(host_name, "Compute", servant);
+    }
+    if (external_spikes) {
+      // Two roaming spikes, as in the examples.
+      sim::schedule_load_spike(*infra_.timers(), infra_.host("n1"), 300, 1500, 80);
+      sim::schedule_load_spike(*infra_.timers(), infra_.host("n2"), 1500, 2700, 80);
+    }
+  }
+
+  core::Infrastructure& infra() { return infra_; }
+
+  /// Runs the scenario; `invoke` issues one request and returns the serving
+  /// host's name.
+  RunResult run(const std::function<std::string()>& invoke,
+                const std::function<uint64_t()>& migrations) {
+    RunResult result;
+    sim::Stats minute_latency;
+    std::vector<std::unique_ptr<sim::ClosedLoopClient>> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.push_back(std::make_unique<sim::ClosedLoopClient>(
+          infra_.timers(),
+          [&] {
+            const std::string host = invoke();
+            ++result.requests_per_host[host];
+            const double latency = infra_.host(host)->response_time(kWorkPerCall);
+            result.latency.add(latency);
+            minute_latency.add(latency);
+          },
+          kThink));
+      clients.back()->start();
+    }
+    for (int minute = 0; minute < kRunMinutes; ++minute) {
+      infra_.run_for(60.0);
+      sim::Stats hosts;
+      for (int i = 0; i < kHosts; ++i) {
+        hosts.add(infra_.host("n" + std::to_string(i + 1))->loadavg()[0]);
+      }
+      result.imbalance.add(hosts.stddev());
+      result.latency_per_minute.push_back(minute_latency.mean());
+      minute_latency.clear();
+    }
+    for (auto& client : clients) client->stop();
+    result.migrations = migrations();
+    return result;
+  }
+
+ private:
+  core::Infrastructure infra_;
+};
+
+RunResult run_adaptive() {
+  Deployment deployment("ls-adaptive");
+  std::vector<core::SmartProxyPtr> proxies;
+  for (int c = 0; c < kClients; ++c) {
+    core::SmartProxyConfig cfg;
+    cfg.service_type = "Compute";
+    cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+    cfg.preference = "min LoadAvg";
+    auto proxy = deployment.infra().make_proxy(cfg);
+    proxy->add_interest("LoadIncrease", kInterest);
+    proxy->set_strategy("LoadIncrease", [](core::SmartProxy& p) { p.select(); });
+    proxies.push_back(std::move(proxy));
+  }
+  size_t turn = 0;
+  return deployment.run(
+      [&] { return proxies[turn++ % proxies.size()]->invoke("work").as_string(); },
+      [&] {
+        uint64_t total = 0;
+        for (const auto& p : proxies) total += p->rebinds() - 1;  // minus initial bind
+        return total;
+      });
+}
+
+RunResult run_static() {
+  Deployment deployment("ls-static");
+  std::vector<std::unique_ptr<core::StaticSelectionProxy>> proxies;
+  for (int c = 0; c < kClients; ++c) {
+    proxies.push_back(std::make_unique<core::StaticSelectionProxy>(
+        deployment.infra().make_orb("scli-" + std::to_string(c)),
+        deployment.infra().lookup_ref(), "Compute", "", "min LoadAvg"));
+  }
+  size_t turn = 0;
+  return deployment.run(
+      [&] { return proxies[turn++ % proxies.size()]->invoke("work").as_string(); },
+      [] { return 0; });
+}
+
+RunResult run_round_robin() {
+  Deployment deployment("ls-rr");
+  core::RoundRobinProxy proxy(deployment.infra().make_orb("rr-cli"),
+                              deployment.infra().lookup_ref(), "Compute");
+  return deployment.run([&] { return proxy.invoke("work").as_string(); }, [] { return 0; });
+}
+
+RunResult run_random() {
+  Deployment deployment("ls-rnd");
+  core::RandomProxy proxy(deployment.infra().make_orb("rnd-cli"),
+                          deployment.infra().lookup_ref(), "Compute");
+  return deployment.run([&] { return proxy.invoke("work").as_string(); }, [] { return 0; });
+}
+
+/// Scenario 2 (self-load): no external spikes; each request costs real CPU,
+/// so the clients' own placement decides the balance.
+RunResult run_selfload(const std::string& policy) {
+  const double kHeavyWork = 2.0;
+  Deployment deployment("ls2-" + policy, kHeavyWork, /*external_spikes=*/false);
+  if (policy == "adaptive") {
+    std::vector<core::SmartProxyPtr> proxies;
+    for (int c = 0; c < kClients; ++c) {
+      core::SmartProxyConfig cfg;
+      cfg.service_type = "Compute";
+      cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+      cfg.preference = "min LoadAvg";
+      auto proxy = deployment.infra().make_proxy(cfg);
+      proxy->add_interest("LoadIncrease", kInterest);
+      proxy->set_strategy("LoadIncrease", [](core::SmartProxy& p) { p.select(); });
+      proxies.push_back(std::move(proxy));
+    }
+    size_t turn = 0;
+    auto shared = std::make_shared<std::vector<core::SmartProxyPtr>>(std::move(proxies));
+    return deployment.run(
+        [shared, turn]() mutable {
+          return (*shared)[turn++ % shared->size()]->invoke("work").as_string();
+        },
+        [shared] {
+          uint64_t total = 0;
+          for (const auto& p : *shared) total += p->rebinds() - 1;
+          return total;
+        });
+  }
+  if (policy == "roundrobin") {
+    auto proxy = std::make_shared<core::RoundRobinProxy>(
+        deployment.infra().make_orb("rr2-cli"), deployment.infra().lookup_ref(), "Compute");
+    return deployment.run([proxy] { return proxy->invoke("work").as_string(); },
+                          [] { return 0; });
+  }
+  auto proxy = std::make_shared<core::StaticSelectionProxy>(
+      deployment.infra().make_orb("st2-cli"), deployment.infra().lookup_ref(), "Compute",
+      "", "min LoadAvg");
+  return deployment.run([proxy] { return proxy->invoke("work").as_string(); },
+                        [] { return 0; });
+}
+
+void print_row(const std::string& name, const RunResult& r) {
+  std::cout << std::left << std::setw(12) << name << std::right << std::fixed
+            << std::setprecision(2) << std::setw(10) << r.latency.mean() << std::setw(10)
+            << r.latency.percentile(95) << std::setw(10) << r.latency.percentile(99)
+            << std::setw(12) << r.imbalance.mean() << std::setw(11) << r.max_share()
+            << std::setw(12) << r.migrations << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_load_sharing (E1): " << kHosts << " servers, " << kClients
+            << " clients/policy, " << kRunMinutes << " min with two roaming load spikes\n\n";
+
+  const RunResult adaptive = run_adaptive();
+  const RunResult statics = run_static();
+  const RunResult rr = run_round_robin();
+  const RunResult rnd = run_random();
+
+  std::cout << "policy        mean-rt   p95-rt    p99-rt    imbalance   max-share  migrations\n";
+  print_row("adaptive", adaptive);
+  print_row("static[20]", statics);
+  print_row("roundrobin", rr);
+  print_row("random", rnd);
+
+  std::cout << "\nper-minute mean response time (s):\nmin   adaptive  static[20]\n";
+  for (size_t m = 0; m < adaptive.latency_per_minute.size(); m += 2) {
+    std::cout << std::setw(3) << m + 1 << std::setw(10) << std::fixed
+              << std::setprecision(2) << adaptive.latency_per_minute[m] << std::setw(11)
+              << statics.latency_per_minute[m] << '\n';
+  }
+
+  std::cout << "\nshape check (paper SV): static selection binds the initially-best\n"
+            << "server and rides every spike on it (latency tracks the spike); the\n"
+            << "adaptive proxies migrate within ~a monitor period and keep both\n"
+            << "mean latency and host-load imbalance low. Round-robin/random spread\n"
+            << "requests but cannot avoid the spiked host at all.\n";
+
+  std::cout << "\nscenario 2 — self-induced load (no external spikes, 2 s CPU/request):\n";
+  std::cout << "policy        mean-rt   p95-rt    p99-rt    imbalance   max-share  migrations\n";
+  print_row("adaptive", run_selfload("adaptive"));
+  print_row("static[20]", run_selfload("static"));
+  print_row("roundrobin", run_selfload("roundrobin"));
+  std::cout << "\nshape check: when the clients themselves are the load, the paper's\n"
+            << "least-loaded strategy herds (every proxy picks the same 'best' host\n"
+            << "until its monitor catches up), so round-robin matches or beats it on\n"
+            << "spread — a measured limitation, faithful to the paper's design.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// bench_monitoring (experiments C1, D2) — event-driven vs polling monitoring.
+//
+// Paper claim (SIII): "The transfer of event detection to monitors allows a
+// reduction in the number of interactions between these objects and their
+// observers; this is particularly interesting in environments that use
+// remote monitors."
+//
+// Scenario: a host idles for 30 minutes, then ramps to high load for 30
+// minutes (one genuine LoadIncrease episode). An observer needs to detect
+// "load-average[1] > 50 while increasing".
+//   * event-driven: ship the predicate to the monitor; interactions =
+//     notifications received (+1 attach call).
+//   * polling: call getvalue()/getAspectValue() every period and test
+//     client-side; interactions = 2 remote calls per poll.
+// Both run at several monitoring periods; the table reports interactions
+// and detection latency (time from the signal first satisfying the
+// predicate to the observer learning about it).
+#include <iomanip>
+#include <iostream>
+#include <optional>
+
+#include "core/infrastructure.h"
+#include "monitor/monitor_client.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr double kRunSeconds = 3600;
+constexpr double kSpikeStart = 1800;
+constexpr double kSpikeJobs = 100;
+
+constexpr const char* kPredicate = R"(function(observer, value, monitor)
+  local incr = monitor:getAspectValue("increasing")
+  return value[1] > 50 and incr == "yes"
+end)";
+
+struct Result {
+  uint64_t interactions = 0;
+  std::optional<double> detection_time;
+  uint64_t notifications = 0;
+};
+
+/// When does the ground-truth signal first satisfy the predicate?
+double ground_truth_crossing(double period) {
+  core::Infrastructure infra({.name = "gt-" + std::to_string(static_cast<int>(period))});
+  auto host = infra.make_host("h");
+  infra.timers()->schedule_after(kSpikeStart,
+                                 [host] { host->set_background_jobs(kSpikeJobs); });
+  double crossing = -1;
+  infra.timers()->schedule_every(1.0, [&] {
+    const auto load = host->loadavg();
+    if (crossing < 0 && load[0] > 50 && load[0] > load[1]) crossing = infra.now();
+  });
+  infra.run_for(kRunSeconds);
+  return crossing;
+}
+
+Result run_event_driven(double period, bool edge_triggered) {
+  core::Infrastructure infra({.monitor_period = period,
+                              .name = std::string(edge_triggered ? "ee-" : "ed-") +
+                                      std::to_string(static_cast<int>(period))});
+  auto host = infra.make_host("h");
+  auto agent = infra.make_agent("h");
+  auto mon = agent->create_load_monitor(host);
+  infra.timers()->schedule_after(kSpikeStart,
+                                 [host] { host->set_background_jobs(kSpikeJobs); });
+
+  Result result;
+  auto client_orb = infra.make_orb("observer-host");
+  auto observer = std::make_shared<monitor::CallbackObserver>([&](const std::string&) {
+    ++result.notifications;
+    if (!result.detection_time) result.detection_time = infra.now();
+  });
+  const ObjectRef obs_ref = client_orb->register_servant(observer);
+  client_orb->invoke(agent->monitor_ref(*mon), "attachEventObserver",
+                     {Value(obs_ref), Value("LoadIncrease"), Value(kPredicate),
+                      Value(edge_triggered)});
+  result.interactions = 1;  // the attach call
+
+  infra.run_for(kRunSeconds);
+  result.interactions += result.notifications;
+  return result;
+}
+
+Result run_polling(double period) {
+  core::Infrastructure infra(
+      {.monitor_period = period, .name = "pl-" + std::to_string(static_cast<int>(period))});
+  auto host = infra.make_host("h");
+  auto agent = infra.make_agent("h");
+  auto mon = agent->create_load_monitor(host);
+  infra.timers()->schedule_after(kSpikeStart,
+                                 [host] { host->set_background_jobs(kSpikeJobs); });
+
+  Result result;
+  auto client_orb = infra.make_orb("poller-host");
+  monitor::MonitorClient client(client_orb, agent->monitor_ref(*mon));
+  infra.timers()->schedule_every(period, [&] {
+    const Value v = client.getvalue();                      // remote call 1
+    const Value incr = client.getAspectValue("increasing");  // remote call 2
+    result.interactions += 2;
+    if (!result.detection_time && v.is_table() && v.as_table()->geti(1).as_number() > 50 &&
+        incr.as_string() == "yes") {
+      result.detection_time = infra.now();
+    }
+  });
+  infra.run_for(kRunSeconds);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_monitoring (C1/D2): event-driven vs polling over one "
+            << kRunSeconds << "s run with a single load spike at t=" << kSpikeStart
+            << "s\n\n";
+  std::cout << "period(s)   mode          interactions  detect-latency(s)  notifications\n";
+  for (const double period : {5.0, 15.0, 30.0, 60.0}) {
+    const double truth = ground_truth_crossing(period);
+    const Result level = run_event_driven(period, /*edge=*/false);
+    const Result edge = run_event_driven(period, /*edge=*/true);
+    const Result pl = run_polling(period);
+    auto latency = [&](const Result& r) {
+      return r.detection_time ? *r.detection_time - truth : -1.0;
+    };
+    auto row = [&](const char* mode, const Result& r, uint64_t notes) {
+      std::cout << std::setw(8) << period << "    " << std::left << std::setw(13) << mode
+                << std::right << std::setw(12) << r.interactions << std::setw(18)
+                << std::fixed << std::setprecision(1) << latency(r) << std::setw(14)
+                << notes << '\n';
+    };
+    row("event-level", level, level.notifications);
+    row("event-edge", edge, edge.notifications);
+    row("polling", pl, 0);
+  }
+  std::cout << "\nshape check (paper SIII): level-triggered notifications are\n"
+            << "O(updates-while-true), edge-triggered are O(episodes) — one per\n"
+            << "load spike; polling interactions grow as run_time/period regardless\n"
+            << "of activity. Detection latency is bounded by the monitor period\n"
+            << "for all three.\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// bench_overhead (experiments C2, D5) — invocation-path costs.
+//
+// Paper claim (SIV/SVI): the smart proxy applies adaptation "in a way that
+// is transparent to the functional behavior of applications"; the
+// interpreted layer's overhead must be small relative to remote-call cost.
+//
+// The ladder measured here:
+//   native virtual call            (the floor)
+//   servant dispatch (no ORB)      DSI handler itself
+//   local ORB invoke               marshal + adapter + dispatch
+//   cross-ORB in-process invoke    two endpoints, full wire codec
+//   cross-ORB TCP invoke           real sockets on localhost
+//   SmartProxy invoke (bound)      interception + event check + forward
+//   InterceptedCaller invoke       interceptor-chain alternative (X1)
+//   SmartProxy invoke + 1 event    queue drain + native strategy (D5)
+//   SmartProxy invoke + script ev  queue drain + Luma strategy   (D5)
+#include <benchmark/benchmark.h>
+
+#include "core/infrastructure.h"
+#include "core/interceptor.h"
+
+using namespace adapt;
+
+namespace {
+
+/// Shared fixture: one infrastructure, one deployed echo server.
+struct Setup {
+  Setup() : infra({.simulated_time = true, .name = "ovh"}) {
+    infra.trader().types().add({.name = "Echo"});
+    auto servant = orb::FunctionServant::make("Echo");
+    servant->on("echo", [](const ValueList& args) {
+      return args.empty() ? Value() : args[0];
+    });
+    provider = infra.deploy_server("h1", "Echo", servant);
+    core::SmartProxyConfig cfg;
+    cfg.service_type = "Echo";
+    cfg.preference = "min LoadAvg";
+    proxy = infra.make_proxy(cfg);
+    proxy->select();
+    client_orb = infra.make_orb("bench-client");
+  }
+
+  static Setup& instance() {
+    static Setup s;
+    return s;
+  }
+
+  core::Infrastructure infra;
+  ObjectRef provider;
+  core::SmartProxyPtr proxy;
+  orb::OrbPtr client_orb;
+};
+
+struct EchoIface {
+  virtual ~EchoIface() = default;
+  virtual Value echo(const Value& v) = 0;
+};
+struct EchoImpl : EchoIface {
+  Value echo(const Value& v) override { return v; }
+};
+
+void BM_NativeVirtualCall(benchmark::State& state) {
+  EchoImpl impl;
+  EchoIface* iface = &impl;
+  const Value v(42.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iface->echo(v));
+  }
+}
+BENCHMARK(BM_NativeVirtualCall);
+
+void BM_ServantDispatch(benchmark::State& state) {
+  auto servant = orb::FunctionServant::make("Echo");
+  servant->on("echo", [](const ValueList& args) { return args.at(0); });
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(servant->dispatch("echo", args));
+  }
+}
+BENCHMARK(BM_ServantDispatch);
+
+void BM_LocalOrbInvoke(benchmark::State& state) {
+  auto& s = Setup::instance();
+  auto host_orb = s.infra.host_orb("h1");
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host_orb->invoke(s.provider, "echo", args));
+  }
+}
+BENCHMARK(BM_LocalOrbInvoke);
+
+void BM_CrossOrbInprocInvoke(benchmark::State& state) {
+  auto& s = Setup::instance();
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.client_orb->invoke(s.provider, "echo", args));
+  }
+}
+BENCHMARK(BM_CrossOrbInprocInvoke);
+
+void BM_CrossOrbTcpInvoke(benchmark::State& state) {
+  static auto server = [] {
+    auto orb = orb::Orb::create({.name = "ovh-tcp-server", .listen_tcp = true});
+    auto servant = orb::FunctionServant::make("Echo");
+    servant->on("echo", [](const ValueList& args) { return args.at(0); });
+    return std::make_pair(orb, orb->register_servant(servant));
+  }();
+  static auto client = orb::Orb::create({.name = "ovh-tcp-client"});
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->invoke(server.second, "echo", args));
+  }
+}
+BENCHMARK(BM_CrossOrbTcpInvoke);
+
+void BM_SmartProxyInvoke(benchmark::State& state) {
+  auto& s = Setup::instance();
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.proxy->invoke("echo", args));
+  }
+}
+BENCHMARK(BM_SmartProxyInvoke);
+
+void BM_InterceptorInvoke(benchmark::State& state) {
+  auto& s = Setup::instance();
+  static auto caller = [&] {
+    auto c = std::make_unique<core::InterceptedCaller>(s.client_orb);
+    c->add(std::make_shared<core::RebindInterceptor>(s.client_orb, s.infra.lookup_ref(),
+                                                     "Echo"));
+    return c;
+  }();
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caller->invoke(ObjectRef{}, "echo", args));
+  }
+}
+BENCHMARK(BM_InterceptorInvoke);
+
+void BM_SmartProxyInvokeWithNativeStrategy(benchmark::State& state) {
+  auto& s = Setup::instance();
+  s.proxy->set_strategy("Tick", [](core::SmartProxy&) {});
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    s.proxy->enqueue_event("Tick");
+    benchmark::DoNotOptimize(s.proxy->invoke("echo", args));
+  }
+  state.SetLabel("one queued event handled by a native strategy per call");
+}
+BENCHMARK(BM_SmartProxyInvokeWithNativeStrategy);
+
+void BM_SmartProxyInvokeWithScriptStrategy(benchmark::State& state) {
+  auto& s = Setup::instance();
+  s.proxy->set_strategy_code("Tock", "function(self) local x = 1 end");
+  const ValueList args{Value(42.0)};
+  for (auto _ : state) {
+    s.proxy->enqueue_event("Tock");
+    benchmark::DoNotOptimize(s.proxy->invoke("echo", args));
+  }
+  state.SetLabel("one queued event handled by a Luma strategy per call (D5)");
+}
+BENCHMARK(BM_SmartProxyInvokeWithScriptStrategy);
+
+void BM_MarshalRoundtrip(benchmark::State& state) {
+  // Pure codec cost for a typical offer-properties table.
+  auto t = Table::make();
+  t->set(Value("LoadAvg"), Value(12.5));
+  t->set(Value("LoadAvgIncreasing"), Value("no"));
+  t->set(Value("Host"), Value("node-7"));
+  t->set(Value("Monitor"), Value(ObjectRef{"inproc://h", "monitor/LoadAvg-1", "EventMonitor"}));
+  const Value v(t);
+  for (auto _ : state) {
+    ByteWriter w;
+    orb::encode_value(w, v);
+    ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(orb::decode_value(r));
+  }
+}
+BENCHMARK(BM_MarshalRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// bench_script (experiment C3) — interpreter performance.
+//
+// Paper claim (SVI): "The Lua interpreter is typically faster than other
+// common scripting languages, and has a small memory footprint. These two
+// characteristics reduce the overhead of embedding LuaCorba in many
+// components of the same application."
+//
+// We measure the Luma interpreter on the workloads the infrastructure
+// actually runs — event predicates, aspect evaluators, strategy bodies —
+// plus classic micro-kernels, and compare against native C++ equivalents so
+// the interpretation overhead ratio is visible.
+#include <benchmark/benchmark.h>
+
+#include "script/engine.h"
+
+using namespace adapt;
+using script::ScriptEngine;
+
+namespace {
+
+void BM_EvalArithmetic(benchmark::State& state) {
+  ScriptEngine eng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.eval1("return 2 * 3 + 4 * 5 - 6 / 2"));
+  }
+}
+BENCHMARK(BM_EvalArithmetic);
+
+void BM_CompileFunction(benchmark::State& state) {
+  ScriptEngine eng;
+  const std::string code = R"(function(observer, value, monitor)
+    local incr
+    incr = monitor:getAspectValue("increasing")
+    return value[1] > 50 and incr == "yes"
+  end)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.compile_function(code));
+  }
+  state.SetLabel("Fig.4 predicate source -> closure");
+}
+BENCHMARK(BM_CompileFunction);
+
+void BM_PredicateCall(benchmark::State& state) {
+  // The hot path of every monitor tick: one predicate invocation.
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(
+      "function(observer, value, monitor) return value[1] > 50 end");
+  const Value currval(Table::make_array({Value(80.0), Value(20.0), Value(5.0)}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {Value(), currval, Value()}));
+  }
+}
+BENCHMARK(BM_PredicateCall);
+
+void BM_AspectCall(benchmark::State& state) {
+  // The Fig. 3 "increasing" aspect body.
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(R"(function(self, currval, monitor)
+    if currval[1] > currval[2] then return "yes" else return "no" end
+  end)");
+  const Value self(Table::make());
+  const Value currval(Table::make_array({Value(1.0), Value(2.0), Value(3.0)}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {self, currval, Value()}));
+  }
+}
+BENCHMARK(BM_AspectCall);
+
+void BM_FibScript(benchmark::State& state) {
+  ScriptEngine eng;
+  eng.eval("function fib(n) if n < 2 then return n end return fib(n-1) + fib(n-2) end");
+  const Value fib = eng.get_global("fib");
+  const Value n(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fib, {n}));
+  }
+}
+BENCHMARK(BM_FibScript)->Arg(10)->Arg(15);
+
+void BM_FibNative(benchmark::State& state) {
+  // Native baseline for the interpretation-overhead ratio.
+  struct Fib {
+    static double run(double n) { return n < 2 ? n : run(n - 1) + run(n - 2); }
+  };
+  const double n = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fib::run(n));
+  }
+}
+BENCHMARK(BM_FibNative)->Arg(10)->Arg(15);
+
+void BM_TableInsertLookup(benchmark::State& state) {
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(R"(function(n)
+    local t = {}
+    for i = 1, n do t[i] = i * 2 end
+    local sum = 0
+    for i = 1, n do sum = sum + t[i] end
+    return sum
+  end)");
+  const Value n(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {n}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_TableInsertLookup)->Arg(100)->Arg(1000);
+
+void BM_StringConcat(benchmark::State& state) {
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(R"(function(n)
+    local s = ''
+    for i = 1, n do s = s .. 'x' end
+    return s
+  end)");
+  const Value n(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {n}));
+  }
+}
+BENCHMARK(BM_StringConcat)->Arg(64)->Arg(256);
+
+void BM_ClosureCreation(benchmark::State& state) {
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(R"(function()
+    local n = 0
+    return function() n = n + 1 return n end
+  end)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {}));
+  }
+}
+BENCHMARK(BM_ClosureCreation);
+
+void BM_NativeCallFromScript(benchmark::State& state) {
+  // Cost of the script -> C++ boundary (the Lua C API analog).
+  ScriptEngine eng;
+  eng.register_function("bump", [](const ValueList& args) -> ValueList {
+    return {Value(args.at(0).as_number() + 1)};
+  });
+  const Value fn = eng.compile_function("function(n) return bump(n) end");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {Value(1.0)}));
+  }
+}
+BENCHMARK(BM_NativeCallFromScript);
+
+void BM_PatternMatch(benchmark::State& state) {
+  // Parsing a /proc/loadavg line — typical agent-script string handling.
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(
+      "function(line) return string.match(line, '^(%S+) (%S+) (%S+)') end");
+  const Value line("0.42 1.50 2.75 1/123 4567");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call(fn, {line}));
+  }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_PatternGsub(benchmark::State& state) {
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(
+      "function(s) return (string.gsub(s, '%w+', function(w) return '<' .. w .. '>' end)) end");
+  const Value text("the quick brown fox jumps over the lazy dog");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {text}));
+  }
+}
+BENCHMARK(BM_PatternGsub);
+
+void BM_PatternGmatch(benchmark::State& state) {
+  ScriptEngine eng;
+  const Value fn = eng.compile_function(R"(function(s)
+    local n = 0
+    for w in string.gmatch(s, '%a+') do n = n + 1 end
+    return n
+  end)");
+  const Value text("alpha beta gamma delta epsilon zeta eta theta");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.call1(fn, {text}));
+  }
+}
+BENCHMARK(BM_PatternGmatch);
+
+void BM_EngineCreation(benchmark::State& state) {
+  // "Small memory footprint ... embedding in many components": engine
+  // startup must be cheap since every agent/proxy/monitor may own one.
+  for (auto _ : state) {
+    ScriptEngine eng;
+    benchmark::DoNotOptimize(&eng);
+  }
+}
+BENCHMARK(BM_EngineCreation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

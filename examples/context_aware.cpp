@@ -1,0 +1,117 @@
+// context_aware — the paper's SVI ongoing work (X2): using the adaptation
+// infrastructure for context-aware applications in the spirit of the Gaia
+// project: "adaptation strategies that consider not only quality of service
+// properties, but also other properties of the application's execution
+// environment, such as user location, user activity, and time of day."
+//
+// An "active space" offers display services in several rooms. Each display's
+// offer carries dynamic properties served by monitors: Room (static),
+// Brightness (time-of-day dependent) and Occupied. A user walks around; a
+// context monitor publishes their location. The follow-me display proxy
+// re-selects whenever a UserMoved event fires, preferring a free display in
+// the user's room — all with the same trader/monitor/smart-proxy machinery
+// as the load-sharing example.
+#include <iostream>
+
+#include "core/infrastructure.h"
+#include "monitor/bindings.h"
+
+using namespace adapt;
+
+int main() {
+  core::Infrastructure infra({.simulated_time = true, .name = "gaia"});
+
+  trading::ServiceTypeDef type;
+  type.name = "DisplayService";
+  type.properties = {{"Room", "string", trading::PropertyDef::Mode::Mandatory},
+                     {"Occupied", "boolean", trading::PropertyDef::Mode::Normal}};
+  infra.trader().types().add(type);
+
+  // Deploy one display per room; occupancy is a dynamic property.
+  std::map<std::string, std::shared_ptr<monitor::EventMonitor>> occupancy;
+  for (const std::string room : {"office", "lab", "lounge"}) {
+    infra.make_host(room);
+    auto agent = infra.make_agent(room);
+    auto servant = orb::FunctionServant::make("DisplayService");
+    servant->on("show", [room](const ValueList& args) {
+      return Value("[" + room + " display] " + args.at(0).as_string());
+    });
+    const ObjectRef provider = infra.host_orb(room)->register_servant(servant);
+
+    auto occ = agent->create_monitor("Occupied",
+        Value(NativeFunction::make("occ", [](const ValueList&) {
+          return ValueList{Value(false)};
+        })), 30.0);
+    occupancy[room] = occ;
+    trading::PropertyMap props;
+    props["Room"] = trading::OfferedProperty(Value(room));
+    props["Occupied"] = trading::OfferedProperty(
+        trading::DynamicProperty{agent->monitor_ref(*occ), Value()});
+    agent->export_offer("DisplayService", provider, props);
+  }
+
+  // The user's location is itself a monitored property on a context host.
+  infra.make_host("context");
+  auto context_agent = infra.make_agent("context");
+  auto location = context_agent->create_monitor("UserLocation",
+      Value(NativeFunction::make("loc", [](const ValueList&) {
+        return ValueList{Value("office")};
+      })), 10.0);
+
+  // Follow-me proxy: rebinds to a display in the user's current room.
+  core::SmartProxyConfig cfg;
+  cfg.service_type = "DisplayService";
+  cfg.constraint = "Room == 'office' and Occupied == FALSE";
+  cfg.preference = "first";
+  cfg.monitor_property = "";  // the display offers carry no load monitor
+  auto proxy = infra.make_proxy(cfg);
+
+  // The proxy observes the *location* monitor — adaptation driven by a
+  // context property rather than a QoS property.
+  proxy->engine()->set_global("user_room", Value("office"));
+  const ObjectRef loc_ref = context_agent->monitor_ref(*location);
+  infra.host_orb("context")->invoke(loc_ref, "attachEventObserver",
+      {Value(proxy->observer_ref()), Value("UserMoved"),
+       Value(R"(function(observer, value, monitor)
+         if value ~= last_seen_room then
+           last_seen_room = value
+           return true
+         end
+         return false
+       end)")});
+  proxy->set_strategy("UserMoved", [&](core::SmartProxy& p) {
+    const std::string room = monitor::MonitorClient(infra.host_orb("context"), loc_ref)
+                                 .getvalue()
+                                 .as_string();
+    p.select("Room == '" + room + "' and Occupied == FALSE");
+  });
+
+  auto show = [&](const std::string& text) {
+    std::cout << "t=" << infra.now() << "s  "
+              << proxy->invoke("show", {Value(text)}).as_string() << '\n';
+  };
+
+  infra.run_for(30.0);
+  show("meeting notes");  // office display
+
+  // The user walks to the lab.
+  location->set_update_function(Value(NativeFunction::make("loc", [](const ValueList&) {
+    return ValueList{Value("lab")};
+  })));
+  infra.run_for(30.0);
+  show("meeting notes");  // follows to the lab display
+
+  // Lab display becomes occupied; user walks to the lounge; office display
+  // meanwhile occupied too — the proxy lands on the lounge display.
+  occupancy["lab"]->set_update_function(Value(NativeFunction::make("occ",
+      [](const ValueList&) { return ValueList{Value(true)}; })));
+  location->set_update_function(Value(NativeFunction::make("loc", [](const ValueList&) {
+    return ValueList{Value("lounge")};
+  })));
+  infra.run_for(60.0);
+  show("meeting notes");  // lounge display
+
+  std::cout << "\nbindings (follow-me trail):\n";
+  for (const auto& ref : proxy->binding_history()) std::cout << "  " << ref << '\n';
+  return 0;
+}

@@ -1,0 +1,105 @@
+// image_viewer — the QuO example application of the paper's SV: "the client
+// requests images from the server and displays them on the screen. ...
+// Because the reconfiguration facilities are transparent to the
+// applications' functional behavior, we could use the same adaptation code
+// we used in the HelloWorld application."
+//
+// Two image servers generate deterministic synthetic frames (the stand-in
+// for the QuO distribution's Bette Davis photographs — see DESIGN.md).
+// Producing a frame costs CPU proportional to its resolution, so a hammered
+// server's load average climbs. The client pulls frames through a smart
+// proxy with the *identical* LoadIncrease strategy used by quickstart /
+// load_sharing — demonstrating adaptation code reuse across applications —
+// plus one extra, application-specific trick: when every server is busy, it
+// downgrades the requested resolution instead of stalling.
+#include <iomanip>
+#include <iostream>
+
+#include "core/infrastructure.h"
+#include "sim/image_store.h"
+#include "sim/workload.h"
+
+using namespace adapt;
+
+int main() {
+  core::Infrastructure infra({.simulated_time = true, .name = "imageapp"});
+
+  trading::ServiceTypeDef type;
+  type.name = "ImageService";
+  type.properties = {{"LoadAvg", "number", trading::PropertyDef::Mode::Normal},
+                     {"Host", "string", trading::PropertyDef::Mode::Normal}};
+  infra.trader().types().add(type);
+
+  for (const std::string name : {"gallery-1", "gallery-2"}) {
+    auto host = infra.make_host(name);
+    auto servant = orb::FunctionServant::make("ImageService");
+    servant->on("getImage", [host](const ValueList& args) {
+      const auto index = static_cast<uint32_t>(args.at(0).as_int());
+      const auto width = static_cast<uint32_t>(args.at(1).as_int());
+      const auto height = static_cast<uint32_t>(args.at(2).as_int());
+      host->record_work(sim::image_work_seconds(width, height));
+      return Value(sim::make_image(index, width, height));
+    });
+    infra.deploy_server(name, "ImageService", servant);
+  }
+
+  // Same adaptation code as the HelloWorld app (paper's reuse claim) ...
+  core::SmartProxyConfig cfg;
+  cfg.service_type = "ImageService";
+  cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+  cfg.preference = "min LoadAvg";
+  auto proxy = infra.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", R"(function(observer, value, monitor)
+    return value[1] > 50 and monitor:getAspectValue("increasing") == "yes"
+  end)");
+  proxy->set_strategy("LoadIncrease", [](core::SmartProxy& p) { p.select(); });
+  // ... plus an app-specific QoS knob: degrade resolution under pressure.
+  proxy->set_strategy_code("AllBusy", "function(self) degrade = true end");
+
+  uint32_t width = 1280;
+  uint32_t height = 960;
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+  std::string current_source;
+
+  auto viewer = sim::ClosedLoopClient(
+      infra.timers(),
+      [&] {
+        const Value img = proxy->invoke(
+            "getImage", {Value(static_cast<double>(frames)), Value(static_cast<double>(width)),
+                         Value(static_cast<double>(height))});
+        const auto info = sim::parse_image(img.as_string());
+        ++frames;
+        bytes += info.payload_bytes;
+        current_source = proxy->current().str();
+        // Degrade/restore logic driven by the strategy flag.
+        if (proxy->engine()->get_global("degrade").truthy()) {
+          width = 640;
+          height = 480;
+          proxy->engine()->set_global("degrade", Value());
+        }
+      },
+      5.0);
+  viewer.start();
+
+  std::cout << "t(min)  gallery-1  gallery-2  frames  resolution  source\n";
+  for (int minute = 1; minute <= 20; ++minute) {
+    if (minute == 5) infra.host("gallery-1")->set_background_jobs(100);
+    if (minute == 12) {
+      // Overload both galleries: no server satisfies the constraint any
+      // more; fallback keeps frames flowing and AllBusy degrades quality.
+      infra.host("gallery-2")->set_background_jobs(100);
+      proxy->enqueue_event("AllBusy");
+    }
+    infra.run_for(60.0);
+    std::cout << std::setw(5) << minute << "  " << std::setw(9) << std::fixed
+              << std::setprecision(1) << infra.host("gallery-1")->loadavg()[0]
+              << std::setw(11) << infra.host("gallery-2")->loadavg()[0] << std::setw(8)
+              << frames << "  " << width << 'x' << height << "    " << current_source
+              << '\n';
+  }
+  viewer.stop();
+  std::cout << "\ndelivered " << frames << " frames, " << bytes / 1024
+            << " KiB total; proxy rebinds: " << proxy->rebinds() << '\n';
+  return 0;
+}

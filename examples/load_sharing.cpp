@@ -1,0 +1,125 @@
+// load_sharing — the paper's SV programming example, end to end.
+//
+// "The example deals with load sharing among several servers that offer the
+// same functional interface ... Sharing the load among servers is the
+// responsibility of clients: They dynamically locate the least loaded
+// servers, and address their requests to them."
+//
+// Four stateless servers on four hosts; service agents export offers with
+// dynamic LoadAvg / LoadAvgIncreasing properties (Fig. 3 monitor); several
+// clients drive load-sharing smart proxies whose adaptation strategy is the
+// Fig. 7 Luma code, shipped as text at run time. External load spikes roam
+// across the hosts; the table printed each minute shows clients migrating
+// and the load staying shared.
+#include <iomanip>
+#include <iostream>
+
+#include "core/infrastructure.h"
+#include "sim/workload.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr const char* kInterest = R"(function(observer, value, monitor)
+  local incr
+  incr = monitor:getAspectValue("increasing")
+  return value[1] > 50 and incr == "yes"
+end)";
+
+// Fig. 7, verbatim apart from comments.
+constexpr const char* kStrategyScript = R"(
+  smartproxy._strategies = {
+    LoadIncrease = function(self)
+      self._loadavg = self._loadavgmon:getvalue()
+      local query
+      query = "LoadAvg < 50 and LoadAvgIncreasing == 'no' "
+      if not self:_select(query) then
+        self._loadavgmon:attachEventObserver(
+          self._observer,
+          "LoadIncrease",
+          [[function(observer, value, monitor)
+            local incr
+            incr = monitor:getAspectValue("increasing")
+            return value[1] > 70 and incr == "yes"
+          end]])
+      end
+    end
+  }
+)";
+
+}  // namespace
+
+int main() {
+  core::Infrastructure infra({.simulated_time = true, .name = "loadshare"});
+  const std::vector<std::string> hosts = {"n1", "n2", "n3", "n4"};
+
+  trading::ServiceTypeDef type;
+  type.name = "Compute";
+  type.properties = {{"LoadAvg", "number", trading::PropertyDef::Mode::Normal},
+                     {"Host", "string", trading::PropertyDef::Mode::Normal}};
+  infra.trader().types().add(type);
+
+  // Servers record real CPU work on their host per request.
+  for (const auto& name : hosts) {
+    auto host = infra.make_host(name);
+    auto servant = orb::FunctionServant::make("Compute");
+    servant->on("work", [host](const ValueList&) {
+      host->record_work(0.25);  // each request costs 250 ms of CPU
+      return Value(host->name());
+    });
+    infra.deploy_server(name, "Compute", servant);
+  }
+
+  // Six clients with Fig. 7 strategies, each issuing a request every 2 s.
+  std::vector<core::SmartProxyPtr> proxies;
+  std::vector<std::unique_ptr<sim::ClosedLoopClient>> clients;
+  std::map<std::string, int> landed;
+  for (int i = 0; i < 6; ++i) {
+    core::SmartProxyConfig cfg;
+    cfg.service_type = "Compute";
+    cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+    cfg.preference = "min LoadAvg";
+    auto proxy = infra.make_proxy(cfg);
+    proxy->add_interest("LoadIncrease", kInterest);
+    proxy->eval_strategy_script(kStrategyScript);
+    clients.push_back(std::make_unique<sim::ClosedLoopClient>(
+        infra.timers(),
+        [proxy, &landed] { landed[proxy->invoke("work").as_string()]++; }, 2.0));
+    clients.back()->start();
+    proxies.push_back(std::move(proxy));
+  }
+
+  // External load roams: a spike on n1 at minute 5, then n2 at minute 20.
+  sim::schedule_load_spike(*infra.timers(), infra.host("n1"), 300, 1200, 90);
+  sim::schedule_load_spike(*infra.timers(), infra.host("n2"), 1200, 2100, 90);
+
+  std::cout << "t(min)";
+  for (const auto& name : hosts) std::cout << std::setw(9) << name;
+  std::cout << "   client requests per server this minute\n";
+
+  std::map<std::string, int> last_landed;
+  for (int minute = 1; minute <= 40; ++minute) {
+    infra.run_for(60.0);
+    std::cout << std::setw(5) << minute << ' ';
+    for (const auto& name : hosts) {
+      std::cout << std::setw(9) << std::fixed << std::setprecision(1)
+                << infra.host(name)->loadavg()[0];
+    }
+    std::cout << "   ";
+    for (const auto& name : hosts) {
+      const int delta = landed[name] - last_landed[name];
+      std::cout << name << ":" << std::setw(3) << delta << "  ";
+      last_landed[name] = landed[name];
+    }
+    std::cout << '\n';
+  }
+
+  for (auto& client : clients) client->stop();
+  std::cout << "\nper-proxy rebinds:";
+  for (const auto& proxy : proxies) std::cout << ' ' << proxy->rebinds();
+  std::cout << "\ntotal requests per server:";
+  for (const auto& name : hosts) std::cout << "  " << name << "=" << landed[name];
+  std::cout << '\n';
+  return 0;
+}

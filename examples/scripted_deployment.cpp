@@ -1,0 +1,82 @@
+// scripted_deployment — the paper's SII rapid-prototyping story: a complete
+// auto-adaptive deployment described and exercised from a single Luma
+// script. The *servers themselves* are implemented in the interpreted
+// language (tables of functions served through the DSI adapter), new
+// service types are introduced at run time, and the adaptation strategy is
+// plain script — "we can load and test new design alternatives for an
+// application in a quick and simple way."
+#include <iostream>
+
+#include "core/script_bindings.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr const char* kDeploymentScript = R"LUMA(
+-- declare the service type at the trader
+infra.add_type("KvStore")
+
+-- a key-value server implemented entirely in Luma; one instance per host
+function make_kv_server()
+  local store = {}
+  local server = {}
+  function server:put(key, value) store[key] = value return true end
+  function server:get(key) return store[key] end
+  function server:size()
+    local n = 0
+    for k, v in pairs(store) do n = n + 1 end
+    return n
+  end
+  return server
+end
+
+hosts = {}
+for i, name in ipairs({"kv-east", "kv-west"}) do
+  hosts[name] = infra.make_host(name)
+  infra.deploy(name, "KvStore", make_kv_server(), 0.05)
+end
+
+-- a client proxy with the usual load-aware policy and Fig. 7-style strategy
+proxy = infra.make_proxy{
+  type = "KvStore",
+  constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'",
+  preference = "min LoadAvg",
+}
+proxy:add_interest("LoadIncrease", [[function(observer, value, monitor)
+  return value[1] > 50 and monitor:getAspectValue("increasing") == "yes"
+end]])
+proxy:set_strategy("LoadIncrease", [[function(self)
+  self:_select("LoadAvg < 50 and LoadAvgIncreasing == 'no'")
+end]])
+
+-- drive it: write some data, spike the bound host, keep working
+proxy:invoke("put", "greeting", "hello from Luma")
+print("t=" .. infra.now() .. "s  server: " .. tostring(proxy:current()))
+print("get ->", proxy:invoke("get", "greeting"))
+
+first_server = proxy:current()
+hosts["kv-east"]:set_jobs(120)   -- overload the first host
+infra.run_for(600)
+
+proxy:invoke("put", "after-spike", "still writing")
+print("t=" .. infra.now() .. "s  server: " .. tostring(proxy:current()))
+print("rebinds:", proxy:rebinds())
+assert(proxy:current() ~= first_server, "proxy should have migrated")
+
+-- note: the stores are independent (stateless-service assumption of the
+-- paper's SV example does not hold for KvStore) — the new server has only
+-- the keys written after migration:
+print("size on new server:", proxy:invoke("size"))
+)LUMA";
+
+}  // namespace
+
+int main() {
+  core::Infrastructure infra({.simulated_time = true, .name = "scripted"});
+  script::ScriptEngine engine(infra.clock());
+  core::install_infrastructure_bindings(engine, infra);
+  engine.eval(kDeploymentScript, "deployment-script");
+  std::cout << "scripted deployment ran to completion.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Bounds-checked binary readers/writers used by the ORB wire format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.h"
+
+namespace adapt {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view s);
+  void raw(const void* data, size_t n);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+
+  /// Overwrites 4 bytes at `pos` (for back-patching frame lengths).
+  void patch_u32(size_t pos, uint32_t v);
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian decoder; throws SerializationError on
+/// truncated input.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const Bytes& b) : ByteReader(b.data(), b.size()) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+ private:
+  void need(size_t n) const {
+    if (size_ - pos_ < n) throw SerializationError("truncated message");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace adapt

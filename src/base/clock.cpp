@@ -1,0 +1,44 @@
+#include "base/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace adapt {
+
+namespace {
+double steady_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+RealClock::RealClock() : origin_(steady_seconds()) {}
+
+double RealClock::now() const { return steady_seconds() - origin_; }
+
+void RealClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double SimClock::now() const {
+  std::scoped_lock lock(mu_);
+  return t_;
+}
+
+void SimClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::unique_lock lock(mu_);
+  const double deadline = t_ + seconds;
+  cv_.wait(lock, [&] { return t_ >= deadline; });
+}
+
+void SimClock::set(double t) {
+  {
+    std::scoped_lock lock(mu_);
+    if (t > t_) t_ = t;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace adapt

@@ -1,0 +1,62 @@
+// Clock abstraction: every time-dependent component (monitors, load models,
+// workload generators) takes a Clock so experiments can run on virtual time
+// (SimClock) deterministically and orders of magnitude faster than wall time,
+// while deployments use RealClock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace adapt {
+
+/// Monotonic clock measured in seconds since an arbitrary origin.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  [[nodiscard]] virtual double now() const = 0;
+  /// Blocks the calling thread for `seconds` of *this clock's* time.
+  virtual void sleep_for(double seconds) = 0;
+  /// True for SimClock; lets schedulers choose a driving strategy.
+  [[nodiscard]] virtual bool is_virtual() const = 0;
+};
+
+using ClockPtr = std::shared_ptr<Clock>;
+
+/// Wall-clock time (std::chrono::steady_clock).
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  [[nodiscard]] double now() const override;
+  void sleep_for(double seconds) override;
+  [[nodiscard]] bool is_virtual() const override { return false; }
+
+ private:
+  double origin_;
+};
+
+/// Virtual clock advanced explicitly by the experiment driver (usually via
+/// TimerService::run_for). Threads blocked in sleep_for wake when the clock
+/// passes their deadline.
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override;
+  void sleep_for(double seconds) override;
+  [[nodiscard]] bool is_virtual() const override { return true; }
+
+  /// Moves virtual time forward (never backward) and wakes sleepers.
+  void set(double t);
+  void advance(double dt) { set(now() + dt); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  double t_ = 0.0;
+};
+
+}  // namespace adapt

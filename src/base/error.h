@@ -1,0 +1,32 @@
+// Error hierarchy shared by every adapt library.
+//
+// All recoverable failures are reported as exceptions rooted at
+// adapt::Error (per C++ Core Guidelines E.2/E.14: throw by value, catch by
+// reference, use purpose-designed user types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adapt {
+
+/// Root of every exception thrown by the adapt libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A value had the wrong dynamic type for the requested operation.
+class TypeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Malformed bytes or an unserializable value was encountered while
+/// marshalling/unmarshalling.
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace adapt

@@ -1,0 +1,35 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace adapt {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_out_mu;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& msg) {
+  if (level < g_level.load()) return;
+  std::scoped_lock lock(g_out_mu);
+  std::cerr << "[adapt " << tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace adapt

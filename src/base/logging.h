@@ -1,0 +1,60 @@
+// Minimal leveled logger. Off by default above Warn so tests and benches
+// stay quiet; examples turn Info on.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adapt {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `msg` to stderr with a level tag if `level` >= the global level.
+void log(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// log_info("offer ", id, " exported") style variadic logging.
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::Debug) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log(LogLevel::Debug, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::Info) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log(LogLevel::Info, os.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() > LogLevel::Warn) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log(LogLevel::Warn, os.str());
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() > LogLevel::Error) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log(LogLevel::Error, os.str());
+}
+
+}  // namespace adapt

@@ -1,0 +1,41 @@
+#include "base/object_ref.h"
+
+#include "base/error.h"
+
+namespace adapt {
+
+std::string ObjectRef::str() const {
+  std::string out = endpoint;
+  out += '!';
+  out += object_id;
+  out += '#';
+  out += interface;
+  return out;
+}
+
+ObjectRef ObjectRef::parse(std::string_view text) {
+  // Format: <scheme>://<address>!<object_id>#<interface>
+  // '!' separates endpoint from object id because both may contain '/'.
+  const auto scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    throw Error("ObjectRef::parse: missing scheme in '" + std::string(text) + "'");
+  }
+  const auto bang = text.find('!', scheme_end + 3);
+  if (bang == std::string_view::npos) {
+    throw Error("ObjectRef::parse: missing object id in '" + std::string(text) + "'");
+  }
+  const auto hash = text.rfind('#');
+  if (hash == std::string_view::npos || hash < bang) {
+    throw Error("ObjectRef::parse: missing interface part in '" + std::string(text) + "'");
+  }
+  ObjectRef ref;
+  ref.endpoint = std::string(text.substr(0, bang));
+  ref.object_id = std::string(text.substr(bang + 1, hash - bang - 1));
+  ref.interface = std::string(text.substr(hash + 1));
+  if (ref.object_id.empty()) {
+    throw Error("ObjectRef::parse: empty object id in '" + std::string(text) + "'");
+  }
+  return ref;
+}
+
+}  // namespace adapt

@@ -1,0 +1,41 @@
+// ObjectRef: the stringifiable remote-object reference (CORBA IOR analog).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adapt {
+
+/// A reference to an object managed by some ORB instance.
+///
+/// `endpoint` names the transport address of the owning ORB
+/// ("inproc://<name>" or "tcp://<host>:<port>"), `object_id` names the
+/// servant within that ORB's object adapter, and `interface` optionally
+/// names the interface-repository type the object claims to implement.
+///
+/// Like a CORBA IOR, an ObjectRef can be stringified (`str()`) and later
+/// re-parsed (`parse()`), so references can be passed through the trading
+/// service, stored in configuration, or shipped inside request arguments.
+/// Both endpoints and object ids may contain '/', so the stringified form
+/// separates the parts with '!': "<endpoint>!<object_id>#<interface>".
+struct ObjectRef {
+  std::string endpoint;
+  std::string object_id;
+  std::string interface;
+
+  /// True when this reference does not designate any object.
+  [[nodiscard]] bool empty() const { return endpoint.empty() && object_id.empty(); }
+
+  /// Stringified form: "<endpoint>!<object_id>#<interface>".
+  [[nodiscard]] std::string str() const;
+
+  /// Parses a stringified reference. Throws adapt::Error on malformed input.
+  static ObjectRef parse(std::string_view text);
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) {
+    return a.endpoint == b.endpoint && a.object_id == b.object_id;
+  }
+  friend bool operator!=(const ObjectRef& a, const ObjectRef& b) { return !(a == b); }
+};
+
+}  // namespace adapt

@@ -1,0 +1,124 @@
+#include "base/timer_service.h"
+
+#include <chrono>
+#include <vector>
+
+namespace adapt {
+
+TimerService::TimerService(ClockPtr clock) : clock_(std::move(clock)) {
+  if (!clock_->is_virtual()) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+TimerService::~TimerService() {
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+TimerService::TaskId TimerService::schedule_every(double period, TaskFn fn) {
+  if (period <= 0) period = 1e-9;
+  TaskId id;
+  {
+    std::scoped_lock lock(mu_);
+    id = next_id_++;
+    queue_.emplace(clock_->now() + period, Task{id, period, std::move(fn)});
+  }
+  cv_.notify_all();
+  return id;
+}
+
+TimerService::TaskId TimerService::schedule_after(double delay, TaskFn fn) {
+  if (delay < 0) delay = 0;
+  TaskId id;
+  {
+    std::scoped_lock lock(mu_);
+    id = next_id_++;
+    queue_.emplace(clock_->now() + delay, Task{id, 0.0, std::move(fn)});
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void TimerService::cancel(TaskId id) {
+  std::scoped_lock lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.id == id) {
+      queue_.erase(it);
+      return;
+    }
+  }
+  cancelled_.insert(id);
+}
+
+size_t TimerService::pending_tasks() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+bool TimerService::pop_due(double horizon, Task& out, double& due) {
+  std::scoped_lock lock(mu_);
+  if (queue_.empty()) return false;
+  const auto it = queue_.begin();
+  if (it->first > horizon) return false;
+  due = it->first;
+  out = std::move(it->second);
+  queue_.erase(it);
+  return true;
+}
+
+void TimerService::reschedule(Task task, double due) {
+  bool was_cancelled;
+  {
+    std::scoped_lock lock(mu_);
+    was_cancelled = cancelled_.erase(task.id) != 0;
+    if (!was_cancelled) queue_.emplace(due, std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void TimerService::run_for(double dt) { run_until(clock_->now() + dt); }
+
+void TimerService::run_until(double t) {
+  auto* sim = dynamic_cast<SimClock*>(clock_.get());
+  if (sim == nullptr) {
+    throw Error("TimerService::run_until requires a SimClock");
+  }
+  Task task;
+  double due = 0;
+  while (pop_due(t, task, due)) {
+    sim->set(due);
+    // Run outside the lock (CP.22: never call unknown code holding a lock).
+    task.fn();
+    if (task.period > 0) reschedule(std::move(task), due + task.period);
+  }
+  sim->set(t);
+}
+
+void TimerService::dispatcher_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const double due = queue_.begin()->first;
+    const double now = clock_->now();
+    if (due > now) {
+      cv_.wait_for(lock, std::chrono::duration<double>(due - now));
+      continue;
+    }
+    Task task = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    lock.unlock();
+    task.fn();
+    if (task.period > 0) reschedule(std::move(task), due + task.period);
+    lock.lock();
+  }
+}
+
+}  // namespace adapt

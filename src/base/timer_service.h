@@ -1,0 +1,74 @@
+// TimerService: periodic/one-shot task scheduling over a Clock.
+//
+// Monitors register their update ticks here (paper SIII: "an internal timing
+// mechanism supports the generation of notifications"). With a RealClock the
+// service runs a background dispatcher thread; with a SimClock the experiment
+// driver pumps time forward with run_for()/run_until(), which fires every due
+// task deterministically, in timestamp order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "base/clock.h"
+#include "base/error.h"
+
+namespace adapt {
+
+class TimerService {
+ public:
+  using TaskId = uint64_t;
+  using TaskFn = std::function<void()>;
+
+  /// For real clocks the dispatcher thread starts immediately; for SimClock
+  /// the service is passive and driven by run_for()/run_until().
+  explicit TimerService(ClockPtr clock);
+  ~TimerService();
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Schedules `fn` every `period` seconds (first firing after one period).
+  TaskId schedule_every(double period, TaskFn fn);
+  /// Schedules `fn` once, `delay` seconds from now.
+  TaskId schedule_after(double delay, TaskFn fn);
+  /// Cancels a task. Safe to call from inside a task, including itself.
+  void cancel(TaskId id);
+
+  /// SimClock only: advances virtual time by `dt`, firing due tasks in
+  /// timestamp order on the calling thread. Tasks scheduled by tasks are
+  /// honored within the same run when they fall inside the window.
+  void run_for(double dt);
+  void run_until(double t);
+
+  [[nodiscard]] const ClockPtr& clock() const { return clock_; }
+  [[nodiscard]] size_t pending_tasks() const;
+
+ private:
+  struct Task {
+    TaskId id;
+    double period;  // 0 for one-shot
+    TaskFn fn;
+  };
+
+  void dispatcher_loop();
+  /// Pops the next task due at or before `horizon`; returns false if none.
+  bool pop_due(double horizon, Task& out, double& due);
+  void reschedule(Task task, double due);
+
+  ClockPtr clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multimap<double, Task> queue_;  // due-time -> task
+  std::set<TaskId> cancelled_;         // cancelled while mid-flight (running)
+  TaskId next_id_ = 1;
+  bool stopping_ = false;
+  std::thread dispatcher_;  // only for real clocks
+};
+
+}  // namespace adapt

@@ -1,0 +1,98 @@
+#include "core/baseline_proxy.h"
+
+#include "base/logging.h"
+
+namespace adapt::core {
+
+namespace {
+
+std::vector<trading::OfferInfo> run_query(const orb::OrbPtr& orb, const ObjectRef& lookup,
+                                          const std::string& type,
+                                          const std::string& constraint,
+                                          const std::string& preference) {
+  std::vector<trading::OfferInfo> out;
+  const Value reply = orb->invoke(lookup, "query",
+                                  {Value(type), Value(constraint), Value(preference)});
+  if (!reply.is_table()) return out;
+  const Table& t = *reply.as_table();
+  for (int64_t i = 1; i <= t.length(); ++i) {
+    out.push_back(trading::Trader::offer_info_from_value(t.geti(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+StaticSelectionProxy::StaticSelectionProxy(orb::OrbPtr orb, ObjectRef lookup,
+                                           std::string service_type, std::string constraint,
+                                           std::string preference)
+    : orb_(std::move(orb)),
+      lookup_(std::move(lookup)),
+      service_type_(std::move(service_type)),
+      constraint_(std::move(constraint)),
+      preference_(std::move(preference)) {}
+
+bool StaticSelectionProxy::select() {
+  if (selected_) return bound();
+  selected_ = true;
+  const auto offers = run_query(orb_, lookup_, service_type_, constraint_, preference_);
+  if (offers.empty()) return false;
+  current_ = offers.front().provider;
+  log_debug("static proxy[", service_type_, "]: bound permanently to ", current_.str());
+  return true;
+}
+
+Value StaticSelectionProxy::invoke(const std::string& operation, const ValueList& args) {
+  if (!bound() && !select()) {
+    throw Error("static proxy: no component available for '" + service_type_ + "'");
+  }
+  return orb_->invoke(current_, operation, args);
+}
+
+RoundRobinProxy::RoundRobinProxy(orb::OrbPtr orb, ObjectRef lookup, std::string service_type)
+    : orb_(std::move(orb)), lookup_(std::move(lookup)), service_type_(std::move(service_type)) {
+  refresh();
+}
+
+void RoundRobinProxy::refresh() {
+  providers_.clear();
+  for (const auto& offer : run_query(orb_, lookup_, service_type_, "", "")) {
+    providers_.push_back(offer.provider);
+  }
+}
+
+Value RoundRobinProxy::invoke(const std::string& operation, const ValueList& args) {
+  if (providers_.empty()) refresh();
+  if (providers_.empty()) {
+    throw Error("round-robin proxy: no providers for '" + service_type_ + "'");
+  }
+  const ObjectRef& target = providers_[next_++ % providers_.size()];
+  return orb_->invoke(target, operation, args);
+}
+
+RandomProxy::RandomProxy(orb::OrbPtr orb, ObjectRef lookup, std::string service_type,
+                         uint32_t seed)
+    : orb_(std::move(orb)),
+      lookup_(std::move(lookup)),
+      service_type_(std::move(service_type)),
+      rng_(seed) {
+  refresh();
+}
+
+void RandomProxy::refresh() {
+  providers_.clear();
+  for (const auto& offer : run_query(orb_, lookup_, service_type_, "", "")) {
+    providers_.push_back(offer.provider);
+  }
+}
+
+Value RandomProxy::invoke(const std::string& operation, const ValueList& args) {
+  if (providers_.empty()) refresh();
+  if (providers_.empty()) {
+    throw Error("random proxy: no providers for '" + service_type_ + "'");
+  }
+  std::uniform_int_distribution<size_t> pick(0, providers_.size() - 1);
+  return orb_->invoke(providers_[pick(rng_)], operation, args);
+}
+
+}  // namespace adapt::core

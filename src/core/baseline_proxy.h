@@ -1,0 +1,84 @@
+// Baseline client-side selection policies the paper compares against.
+//
+//  * StaticSelectionProxy — the trader-based load-sharing design of Badidi
+//    et al. [20] as characterized in the paper SV: the client selects the
+//    best server through the trader ONCE at bind time and "the system does
+//    not allow it to change servers. Thus, if the client-server interactions
+//    are long, the system may become unbalanced."
+//  * RoundRobinProxy / RandomProxy — trader-ignorant spreaders, the usual
+//    strawmen for load-sharing studies.
+//
+// All three share the SmartProxy invocation surface (invoke/current/bound)
+// so the load-sharing benchmark can swap policies freely.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "orb/orb.h"
+#include "trading/trader.h"
+
+namespace adapt::core {
+
+/// Selects once via the trader (constraint + preference) and never rebinds.
+class StaticSelectionProxy {
+ public:
+  StaticSelectionProxy(orb::OrbPtr orb, ObjectRef lookup, std::string service_type,
+                       std::string constraint = "", std::string preference = "");
+
+  /// Performs the one-time selection; returns false when nothing matched.
+  bool select();
+  [[nodiscard]] bool bound() const { return !current_.empty(); }
+  [[nodiscard]] const ObjectRef& current() const { return current_; }
+
+  /// Forwards to the selected server. Never reselects — failures propagate.
+  Value invoke(const std::string& operation, const ValueList& args = {});
+
+ private:
+  orb::OrbPtr orb_;
+  ObjectRef lookup_;
+  std::string service_type_;
+  std::string constraint_;
+  std::string preference_;
+  ObjectRef current_;
+  bool selected_ = false;
+};
+
+/// Rotates across all offers of the type, one query at construction.
+class RoundRobinProxy {
+ public:
+  RoundRobinProxy(orb::OrbPtr orb, ObjectRef lookup, std::string service_type);
+
+  /// (Re)fetches the provider list from the trader.
+  void refresh();
+  Value invoke(const std::string& operation, const ValueList& args = {});
+  [[nodiscard]] size_t provider_count() const { return providers_.size(); }
+
+ private:
+  orb::OrbPtr orb_;
+  ObjectRef lookup_;
+  std::string service_type_;
+  std::vector<ObjectRef> providers_;
+  size_t next_ = 0;
+};
+
+/// Picks a uniformly random provider per call.
+class RandomProxy {
+ public:
+  RandomProxy(orb::OrbPtr orb, ObjectRef lookup, std::string service_type,
+              uint32_t seed = 2024);
+
+  void refresh();
+  Value invoke(const std::string& operation, const ValueList& args = {});
+  [[nodiscard]] size_t provider_count() const { return providers_.size(); }
+
+ private:
+  orb::OrbPtr orb_;
+  ObjectRef lookup_;
+  std::string service_type_;
+  std::vector<ObjectRef> providers_;
+  std::mt19937 rng_;
+};
+
+}  // namespace adapt::core

@@ -1,0 +1,171 @@
+#include "core/script_bindings.h"
+
+namespace adapt::core {
+
+namespace {
+
+/// Servant decorator: records CPU work on a host per dispatched request, so
+/// Luma-implemented servers influence the load model like native ones.
+class RecordingServant : public orb::Servant {
+ public:
+  RecordingServant(orb::ServantPtr inner, sim::HostPtr host, double work_per_call)
+      : inner_(std::move(inner)), host_(std::move(host)), work_(work_per_call) {}
+
+  Value dispatch(const std::string& operation, const ValueList& args) override {
+    if (work_ > 0) host_->record_work(work_);
+    return inner_->dispatch(operation, args);
+  }
+  [[nodiscard]] std::string interface_name() const override {
+    return inner_->interface_name();
+  }
+
+ private:
+  orb::ServantPtr inner_;
+  sim::HostPtr host_;
+  double work_;
+};
+
+Value make_host_wrapper(const sim::HostPtr& host) {
+  auto t = Table::make();
+  t->set(Value("name"), Value(host->name()));
+  std::weak_ptr<sim::Host> weak = host;
+  auto need = [weak]() {
+    auto h = weak.lock();
+    if (!h) throw Error("host is gone");
+    return h;
+  };
+  t->set(Value("set_jobs"), Value(NativeFunction::make("host.set_jobs",
+      [need](const ValueList& a) -> ValueList {
+        need()->set_background_jobs(a.at(1).as_number());
+        return {};
+      })));
+  t->set(Value("add_jobs"), Value(NativeFunction::make("host.add_jobs",
+      [need](const ValueList& a) -> ValueList {
+        need()->add_background_jobs(a.at(1).as_number());
+        return {};
+      })));
+  t->set(Value("loadavg"), Value(NativeFunction::make("host.loadavg",
+      [need](const ValueList&) -> ValueList { return {need()->loadavg_value()}; })));
+  return Value(std::move(t));
+}
+
+Value make_proxy_wrapper(const SmartProxyPtr& proxy) {
+  auto t = Table::make();
+  auto method = [&](const char* name, std::function<ValueList(const ValueList&)> fn) {
+    t->set(Value(name), Value(NativeFunction::make(std::string("proxy.") + name,
+                                                   std::move(fn))));
+  };
+  method("invoke", [proxy](const ValueList& a) -> ValueList {
+    ValueList args(a.begin() + 2, a.end());
+    return {proxy->invoke(a.at(1).as_string(), args)};
+  });
+  method("select", [proxy](const ValueList& a) -> ValueList {
+    if (a.size() > 1 && a[1].is_string()) return {Value(proxy->select(a[1].as_string()))};
+    return {Value(proxy->select())};
+  });
+  method("add_interest", [proxy](const ValueList& a) -> ValueList {
+    proxy->add_interest(a.at(1).as_string(), a.at(2).as_string());
+    return {};
+  });
+  method("set_strategy", [proxy](const ValueList& a) -> ValueList {
+    proxy->set_strategy_code(a.at(1).as_string(), a.at(2).as_string());
+    return {};
+  });
+  method("current", [proxy](const ValueList&) -> ValueList {
+    const ObjectRef ref = proxy->current();
+    return {ref.empty() ? Value() : Value(ref.str())};
+  });
+  method("rebinds", [proxy](const ValueList&) -> ValueList {
+    return {Value(static_cast<double>(proxy->rebinds()))};
+  });
+  method("pending_events", [proxy](const ValueList&) -> ValueList {
+    return {Value(static_cast<double>(proxy->pending_events()))};
+  });
+  return Value(std::move(t));
+}
+
+}  // namespace
+
+void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructure& infra) {
+  Infrastructure* inf = &infra;
+  script::ScriptEngine* eng = &engine;
+  auto t = Table::make();
+
+  t->set(Value("add_type"), Value(NativeFunction::make("infra.add_type",
+      [inf](const ValueList& a) -> ValueList {
+        trading::ServiceTypeDef type;
+        type.name = a.at(0).as_string();
+        inf->trader().types().add(std::move(type));
+        return {};
+      })));
+
+  t->set(Value("make_host"), Value(NativeFunction::make("infra.make_host",
+      [inf](const ValueList& a) -> ValueList {
+        return {make_host_wrapper(inf->make_host(a.at(0).as_string()))};
+      })));
+
+  t->set(Value("host"), Value(NativeFunction::make("infra.host",
+      [inf](const ValueList& a) -> ValueList {
+        return {make_host_wrapper(inf->host(a.at(0).as_string()))};
+      })));
+
+  t->set(Value("deploy"), Value(NativeFunction::make("infra.deploy",
+      [inf, eng](const ValueList& a) -> ValueList {
+        const std::string host_name = a.at(0).as_string();
+        const std::string type = a.at(1).as_string();
+        const Value methods = a.at(2);
+        if (!methods.is_table()) {
+          throw Error("infra.deploy: methods must be a table of functions");
+        }
+        const double work = a.size() > 3 && a[3].is_number() ? a[3].as_number() : 0.0;
+        // A server implemented in the interpreted language (SII claim 2):
+        // the methods table becomes a DSI servant.
+        auto shared_engine =
+            std::shared_ptr<script::ScriptEngine>(eng, [](script::ScriptEngine*) {});
+        auto script_servant =
+            std::make_shared<orb::ScriptServant>(shared_engine, methods, type);
+        sim::HostPtr host;
+        try {
+          host = inf->host(host_name);
+        } catch (const Error&) {
+          host = inf->make_host(host_name);
+        }
+        const ObjectRef ref = inf->deploy_server(
+            host_name, type,
+            std::make_shared<RecordingServant>(script_servant, host, work));
+        return {Value(ref.str())};
+      })));
+
+  t->set(Value("make_proxy"), Value(NativeFunction::make("infra.make_proxy",
+      [inf](const ValueList& a) -> ValueList {
+        const Table& spec = *a.at(0).as_table();
+        SmartProxyConfig cfg;
+        cfg.service_type = spec.get(Value("type")).as_string();
+        if (const Value c = spec.get(Value("constraint")); c.is_string()) {
+          cfg.constraint = c.as_string();
+        }
+        if (const Value p = spec.get(Value("preference")); p.is_string()) {
+          cfg.preference = p.as_string();
+        }
+        if (const Value m = spec.get(Value("monitor_property")); m.is_string()) {
+          cfg.monitor_property = m.as_string();
+        }
+        if (const Value pe = spec.get(Value("postpone_events")); pe.is_bool()) {
+          cfg.postpone_events = pe.as_bool();
+        }
+        return {make_proxy_wrapper(inf->make_proxy(std::move(cfg)))};
+      })));
+
+  t->set(Value("run_for"), Value(NativeFunction::make("infra.run_for",
+      [inf](const ValueList& a) -> ValueList {
+        inf->run_for(a.at(0).as_number());
+        return {};
+      })));
+
+  t->set(Value("now"), Value(NativeFunction::make("infra.now",
+      [inf](const ValueList&) -> ValueList { return {Value(inf->now())}; })));
+
+  engine.set_global("infra", Value(std::move(t)));
+}
+
+}  // namespace adapt::core

@@ -1,0 +1,39 @@
+// Luma bindings for the whole infrastructure — the paper's SII promises
+// made concrete: "(1) the identification of new service types and the
+// integration of their instances into a dynamically assembled application,
+// (2) the dynamic implementation of new CORBA servers using the interpreted
+// language, and (3) the extension and adaptation of the available services
+// also using the interpreted language" — plus the rapid-prototyping story:
+// a complete deployment (hosts, Luma servers, agents, monitors, proxies,
+// workload) can be described and exercised from a single script.
+#pragma once
+
+#include "core/infrastructure.h"
+#include "script/engine.h"
+
+namespace adapt::core {
+
+/// Installs the global `infra` table into `engine`:
+///
+///   infra.add_type(name)                   -- declare a trader service type
+///   infra.make_host(name) -> host          -- create a simulated host
+///   infra.host(name) -> host               -- fetch an existing one:
+///       host.name
+///       host:set_jobs(n) / host:add_jobs(n)
+///       host:loadavg()   -- {l1, l5, l15}
+///   infra.deploy(host_name, type, methods [, work_per_call]) -> ref string
+///       -- `methods` is a Luma table of functions: a server implemented in
+///       -- the interpreted language, served through the DSI adapter. Agent,
+///       -- LoadAvg monitor and offer (with dynamic properties) included.
+///       -- Each call records `work_per_call` CPU seconds on the host.
+///   infra.make_proxy{type=..., constraint=..., preference=...} -> proxy
+///       proxy:invoke(op, ...)   proxy:select([constraint])
+///       proxy:add_interest(event, predicate_code)
+///       proxy:set_strategy(event, strategy_code)
+///       proxy:current()         proxy:rebinds()
+///   infra.run_for(seconds)      infra.now()
+///
+/// `infra` must outlive the engine's use of these globals.
+void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructure& infra);
+
+}  // namespace adapt::core

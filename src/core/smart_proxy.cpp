@@ -1,0 +1,572 @@
+#include "core/smart_proxy.h"
+
+#include <atomic>
+
+#include "base/logging.h"
+
+namespace adapt::core {
+
+namespace {
+std::atomic<uint64_t> g_proxy_counter{1};
+}  // namespace
+
+SmartProxyPtr SmartProxy::create(orb::OrbPtr orb, ObjectRef lookup, SmartProxyConfig config,
+                                 std::shared_ptr<script::ScriptEngine> engine) {
+  auto proxy = std::shared_ptr<SmartProxy>(
+      new SmartProxy(std::move(orb), std::move(lookup), std::move(config), std::move(engine)));
+  proxy->init();
+  return proxy;
+}
+
+SmartProxy::SmartProxy(orb::OrbPtr orb, ObjectRef lookup, SmartProxyConfig config,
+                       std::shared_ptr<script::ScriptEngine> engine)
+    : orb_(std::move(orb)),
+      lookup_(std::move(lookup)),
+      config_(std::move(config)),
+      engine_(engine ? std::move(engine) : std::make_shared<script::ScriptEngine>()) {
+  if (!orb_) throw Error("SmartProxy requires an ORB");
+  if (lookup_.empty()) throw Error("SmartProxy requires a trader Lookup reference");
+  if (config_.service_type.empty()) throw Error("SmartProxy requires a service type");
+}
+
+SmartProxy::~SmartProxy() {
+  try {
+    detach_registrations();
+  } catch (const Error&) {
+    // best effort: the monitor may already be gone
+  }
+  if (!observer_ref_.empty()) orb_->unregister_servant(observer_ref_.object_id);
+}
+
+void SmartProxy::init() {
+  // The observer servant through which monitors notify this proxy (the
+  // built-in createEventObserver of SIV-A).
+  std::weak_ptr<SmartProxy> weak = weak_from_this();
+  const bool postpone = config_.postpone_events;
+  observer_ = std::make_shared<monitor::CallbackObserver>([weak, postpone](const std::string& evid) {
+    auto self = weak.lock();
+    if (!self) return;
+    self->enqueue_event(evid);
+    if (!postpone) self->handle_pending_events();
+  });
+  observer_ref_ = orb_->register_servant(
+      observer_, "smartproxy-observer-" + std::to_string(g_proxy_counter++));
+
+  // Script-facing self table.
+  auto self = Table::make();
+  self->set(Value("_strategies"), Value(Table::make()));
+  self->set(Value("_observer"), Value(observer_ref_));
+  self->set(Value("_service_type"), Value(config_.service_type));
+  self->set(Value("_select"), Value(NativeFunction::make("smartproxy._select",
+      [weak](const ValueList& a) -> ValueList {
+        auto proxy = weak.lock();
+        if (!proxy) throw Error("_select: proxy is gone");
+        const std::string query = a.size() > 1 && a[1].is_string() ? a[1].as_string() : "";
+        return {Value(proxy->select(query))};
+      })));
+  self->set(Value("select"), Value(NativeFunction::make("smartproxy.select",
+      [weak](const ValueList&) -> ValueList {
+        auto proxy = weak.lock();
+        if (!proxy) throw Error("select: proxy is gone");
+        return {Value(proxy->select())};
+      })));
+  self->set(Value("invoke"), Value(NativeFunction::make("smartproxy.invoke",
+      [weak](const ValueList& a) -> ValueList {
+        auto proxy = weak.lock();
+        if (!proxy) throw Error("invoke: proxy is gone");
+        ValueList args(a.begin() + 2, a.end());
+        return {proxy->invoke(a.at(1).as_string(), args)};
+      })));
+  self->set(Value("current"), Value(NativeFunction::make("smartproxy.current",
+      [weak](const ValueList&) -> ValueList {
+        auto proxy = weak.lock();
+        if (!proxy) throw Error("current: proxy is gone");
+        const ObjectRef ref = proxy->current();
+        return {ref.empty() ? Value() : Value(ref)};
+      })));
+  self_ = Value(std::move(self));
+}
+
+// ---- strategies -----------------------------------------------------------
+
+void SmartProxy::add_interest(const std::string& event_id, const std::string& predicate_code) {
+  {
+    std::scoped_lock lock(mu_);
+    interests_.push_back(Interest{event_id, predicate_code, ""});
+  }
+  // When already bound, attach the new interest immediately.
+  attach_registrations();
+}
+
+void SmartProxy::set_strategy(const std::string& event_id, NativeStrategy strategy) {
+  std::scoped_lock lock(mu_);
+  native_strategies_[event_id] = std::move(strategy);
+}
+
+void SmartProxy::set_strategy_code(const std::string& event_id, const std::string& code) {
+  const Value fn = engine_->compile_function(code, "strategy:" + event_id);
+  std::scoped_lock engine_lock(engine_->mutex());
+  self_.as_table()->get(Value("_strategies")).as_table()->set(Value(event_id), fn);
+}
+
+void SmartProxy::eval_strategy_script(const std::string& chunk) {
+  std::scoped_lock engine_lock(engine_->mutex());
+  engine_->set_global("smartproxy", self_);
+  engine_->eval(chunk, "strategy-script");
+}
+
+// ---- selection -----------------------------------------------------------
+
+bool SmartProxy::select() {
+  if (select(config_.constraint)) return true;
+  if (config_.fallback_to_sorted && !config_.constraint.empty()) {
+    // Paper SV: "If no offer suits the imposed restriction, the smart proxy
+    // issues an alternative query, where it specifies only offer sorting".
+    log_debug("smartproxy[", config_.service_type, "]: falling back to sorted query");
+    return select("");
+  }
+  return false;
+}
+
+std::vector<trading::OfferInfo> SmartProxy::query_offers(const std::string& constraint,
+                                                         const std::string& preference) {
+  std::vector<trading::OfferInfo> offers;
+  try {
+    const Value reply = orb_->invoke(
+        lookup_, "query",
+        {Value(config_.service_type), Value(constraint), Value(preference), Value(),
+         trading::Trader::policies_to_value(config_.policies)});
+    if (reply.is_table()) {
+      const Table& t = *reply.as_table();
+      for (int64_t i = 1; i <= t.length(); ++i) {
+        offers.push_back(trading::Trader::offer_info_from_value(t.geti(i)));
+      }
+    }
+  } catch (const Error& e) {
+    log_warn("smartproxy[", config_.service_type, "]: trader query failed: ", e.what());
+  }
+  return offers;
+}
+
+bool SmartProxy::select(const std::string& constraint) {
+  std::vector<trading::OfferInfo> offers = query_offers(constraint, config_.preference);
+
+  // Prefer offers that are not the provider that just failed.
+  ObjectRef failed;
+  {
+    std::scoped_lock lock(mu_);
+    failed = last_failed_;
+  }
+  const trading::OfferInfo* chosen = nullptr;
+  for (const auto& offer : offers) {
+    if (failed.empty() || !(offer.provider == failed)) {
+      chosen = &offer;
+      break;
+    }
+  }
+  if (chosen == nullptr && !offers.empty()) chosen = &offers.front();
+  if (chosen == nullptr) return false;
+  bind(*chosen);
+  return true;
+}
+
+void SmartProxy::bind(const trading::OfferInfo& offer) {
+  detach_registrations();
+  bool changed = false;
+  {
+    std::scoped_lock lock(mu_);
+    changed = !(offer.provider == current_);
+    offer_ = offer;
+    current_ = offer.provider;
+    current_monitor_ref_ = ObjectRef{};
+    if (!config_.monitor_property.empty()) {
+      const auto it = offer.properties.find(config_.monitor_property);
+      if (it != offer.properties.end() && it->second.is_object()) {
+        current_monitor_ref_ = it->second.as_object();
+      }
+    }
+    if (changed) {
+      history_.push_back(offer.provider.str());
+      ++rebinds_;
+      if (!(current_ == last_failed_)) last_failed_ = ObjectRef{};
+    }
+  }
+  attach_registrations();
+
+  // Refresh the monitor wrapper visible to strategy code (self._loadavgmon).
+  if (!config_.monitor_field.empty()) {
+    ObjectRef mon_ref;
+    {
+      std::scoped_lock lock(mu_);
+      mon_ref = current_monitor_ref_;
+    }
+    std::scoped_lock engine_lock(engine_->mutex());
+    self_.as_table()->set(Value(config_.monitor_field),
+                          mon_ref.empty()
+                              ? Value()
+                              : monitor::make_remote_monitor_wrapper(orb_, mon_ref));
+  }
+  if (changed) {
+    log_info("smartproxy[", config_.service_type, "]: bound to ", offer.provider.str());
+  }
+}
+
+void SmartProxy::detach_registrations() {
+  ObjectRef mon_ref;
+  std::vector<std::pair<size_t, std::string>> to_detach;
+  {
+    std::scoped_lock lock(mu_);
+    mon_ref = current_monitor_ref_;
+    for (size_t i = 0; i < interests_.size(); ++i) {
+      if (!interests_[i].registration_id.empty()) {
+        to_detach.emplace_back(i, interests_[i].registration_id);
+        interests_[i].registration_id.clear();
+      }
+    }
+  }
+  if (mon_ref.empty()) return;
+  for (const auto& [index, registration] : to_detach) {
+    try {
+      orb_->invoke(mon_ref, "detachEventObserver", {Value(registration)});
+    } catch (const Error& e) {
+      log_debug("smartproxy: detach from old monitor failed: ", e.what());
+    }
+  }
+}
+
+void SmartProxy::attach_registrations() {
+  ObjectRef mon_ref;
+  std::vector<std::pair<size_t, Interest>> to_attach;
+  {
+    std::scoped_lock lock(mu_);
+    mon_ref = current_monitor_ref_;
+    if (mon_ref.empty()) return;
+    for (size_t i = 0; i < interests_.size(); ++i) {
+      if (interests_[i].registration_id.empty()) to_attach.emplace_back(i, interests_[i]);
+    }
+  }
+  for (const auto& [index, interest] : to_attach) {
+    try {
+      const Value id = orb_->invoke(
+          mon_ref, "attachEventObserver",
+          {Value(observer_ref_), Value(interest.event_id), Value(interest.predicate_code)});
+      std::scoped_lock lock(mu_);
+      if (index < interests_.size()) interests_[index].registration_id = id.as_string();
+    } catch (const Error& e) {
+      log_warn("smartproxy[", config_.service_type, "]: attach '", interest.event_id,
+               "' failed: ", e.what());
+    }
+  }
+}
+
+bool SmartProxy::bound() const {
+  std::scoped_lock lock(mu_);
+  return !current_.empty();
+}
+
+ObjectRef SmartProxy::current() const {
+  std::scoped_lock lock(mu_);
+  return current_;
+}
+
+std::optional<trading::OfferInfo> SmartProxy::current_offer() const {
+  std::scoped_lock lock(mu_);
+  return offer_;
+}
+
+monitor::MonitorClient SmartProxy::current_monitor() const {
+  std::scoped_lock lock(mu_);
+  if (current_monitor_ref_.empty()) return {};
+  return monitor::MonitorClient(orb_, current_monitor_ref_);
+}
+
+std::vector<std::string> SmartProxy::binding_history() const {
+  std::scoped_lock lock(mu_);
+  return history_;
+}
+
+// ---- events -------------------------------------------------------------
+
+void SmartProxy::enqueue_event(const std::string& event_id) {
+  std::scoped_lock lock(mu_);
+  event_queue_.push_back(event_id);
+}
+
+size_t SmartProxy::pending_events() const {
+  std::scoped_lock lock(mu_);
+  return event_queue_.size();
+}
+
+void SmartProxy::handle_pending_events() {
+  {
+    std::scoped_lock lock(mu_);
+    if (handling_events_) return;  // re-entrant invoke inside a strategy
+    handling_events_ = true;
+  }
+  struct Reset {
+    SmartProxy& proxy;
+    ~Reset() {
+      std::scoped_lock lock(proxy.mu_);
+      proxy.handling_events_ = false;
+    }
+  } reset{*this};
+
+  for (;;) {
+    std::string event_id;
+    {
+      std::scoped_lock lock(mu_);
+      if (event_queue_.empty()) break;
+      event_id = std::move(event_queue_.front());
+      event_queue_.pop_front();
+    }
+    handle_event(event_id);
+  }
+}
+
+void SmartProxy::handle_event(const std::string& event_id) {
+  // Script strategies (the _strategies table) take precedence, so that
+  // run-time updates shipped as code override compiled-in behavior.
+  Value strategy;
+  {
+    std::scoped_lock engine_lock(engine_->mutex());
+    strategy = self_.as_table()->get(Value("_strategies")).as_table()->get(Value(event_id));
+  }
+  if (strategy.is_table()) {
+    // Declarative strategy (see header): interpret the table.
+    try {
+      const Table& spec = *strategy.as_table();
+      if (const Value set = spec.get(Value("set")); set.is_table()) {
+        std::scoped_lock engine_lock(engine_->mutex());
+        for (const auto& [key, val] : *set.as_table()) {
+          self_.as_table()->set(key.to_value(), val);
+        }
+      }
+      if (const Value reselect = spec.get(Value("reselect")); reselect.is_string()) {
+        const bool found = reselect.as_string().empty() ? select()
+                                                        : select(reselect.as_string());
+        if (!found) {
+          const Value relax = spec.get(Value("on_failure_attach"));
+          if (relax.is_table()) {
+            const std::string ev = relax.as_table()->get(Value("event")).as_string();
+            const std::string code =
+                relax.as_table()->get(Value("predicate")).as_string();
+            ObjectRef mon_ref;
+            {
+              std::scoped_lock lock(mu_);
+              mon_ref = current_monitor_ref_;
+            }
+            if (!mon_ref.empty()) {
+              orb_->invoke(mon_ref, "attachEventObserver",
+                           {Value(observer_ref_), Value(ev), Value(code)});
+            }
+          }
+        }
+      }
+    } catch (const Error& e) {
+      log_warn("smartproxy[", config_.service_type, "]: declarative strategy '", event_id,
+               "' failed: ", e.what());
+    }
+    std::scoped_lock lock(mu_);
+    ++events_handled_;
+    return;
+  }
+  if (strategy.is_function()) {
+    try {
+      engine_->call(strategy, {self_});
+    } catch (const Error& e) {
+      log_warn("smartproxy[", config_.service_type, "]: strategy '", event_id,
+               "' failed: ", e.what());
+    }
+    std::scoped_lock lock(mu_);
+    ++events_handled_;
+    return;
+  }
+  NativeStrategy native;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = native_strategies_.find(event_id);
+    if (it != native_strategies_.end()) native = it->second;
+  }
+  if (native) {
+    try {
+      native(*this);
+    } catch (const Error& e) {
+      log_warn("smartproxy[", config_.service_type, "]: strategy '", event_id,
+               "' failed: ", e.what());
+    }
+    std::scoped_lock lock(mu_);
+    ++events_handled_;
+    return;
+  }
+  log_debug("smartproxy[", config_.service_type, "]: no strategy for event '", event_id, "'");
+  std::scoped_lock lock(mu_);
+  ++events_handled_;
+}
+
+// ---- per-operation routing & method alternatives ------------------------
+
+void SmartProxy::route_operation(const std::string& operation, const std::string& constraint,
+                                 const std::string& preference) {
+  std::scoped_lock lock(mu_);
+  routes_[operation] =
+      OperationRoute{constraint, preference.empty() ? config_.preference : preference, {}};
+}
+
+void SmartProxy::clear_operation_routes() {
+  std::scoped_lock lock(mu_);
+  routes_.clear();
+}
+
+ObjectRef SmartProxy::route_target(const std::string& operation) const {
+  std::scoped_lock lock(mu_);
+  const auto it = routes_.find(operation);
+  return it == routes_.end() ? ObjectRef{} : it->second.target;
+}
+
+void SmartProxy::add_method_alternative(const std::string& operation,
+                                        const std::string& alternative) {
+  std::scoped_lock lock(mu_);
+  method_alternatives_[operation] = alternative;
+}
+
+ObjectRef SmartProxy::resolve_route(const std::string& operation, OperationRoute& route,
+                                    bool force_reselect) {
+  if (!force_reselect && !route.target.empty()) return route.target;
+  const ObjectRef avoid = route.target;
+  auto offers = query_offers(route.constraint, route.preference);
+  const trading::OfferInfo* chosen = nullptr;
+  for (const auto& offer : offers) {
+    if (!force_reselect || avoid.empty() || !(offer.provider == avoid)) {
+      chosen = &offer;
+      break;
+    }
+  }
+  if (chosen == nullptr && !offers.empty()) chosen = &offers.front();
+  if (chosen == nullptr) {
+    throw NoComponentAvailable("no component satisfies route for operation '" + operation +
+                               "' of '" + config_.service_type + "'");
+  }
+  route.target = chosen->provider;
+  return route.target;
+}
+
+// ---- invocation ------------------------------------------------------------
+
+Value SmartProxy::forward_to(const ObjectRef& target, const std::string& operation,
+                             const ValueList& args, int depth) {
+  try {
+    return orb_->invoke(target, operation, args);
+  } catch (const orb::BadOperation&) {
+    std::string alternative;
+    {
+      std::scoped_lock lock(mu_);
+      const auto it = method_alternatives_.find(operation);
+      if (it != method_alternatives_.end()) alternative = it->second;
+    }
+    if (alternative.empty() || depth >= 8) throw;
+    log_debug("smartproxy[", config_.service_type, "]: '", operation,
+              "' unavailable, trying alternative '", alternative, "'");
+    return forward_to(target, alternative, args, depth + 1);
+  }
+}
+
+Value SmartProxy::forward(const std::string& operation, const ValueList& args) {
+  ObjectRef target;
+  {
+    std::scoped_lock lock(mu_);
+    target = current_;
+  }
+  return forward_to(target, operation, args);
+}
+
+Value SmartProxy::invoke(const std::string& operation, const ValueList& args) {
+  handle_pending_events();
+
+  // Routed operations resolve their own component (SIV-A).
+  bool routed = false;
+  OperationRoute route;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = routes_.find(operation);
+    if (it != routes_.end()) {
+      routed = true;
+      route = it->second;
+    }
+  }
+  if (routed) {
+    {
+      std::scoped_lock lock(mu_);
+      ++invocations_;
+    }
+    ObjectRef target = resolve_route(operation, route, /*force_reselect=*/false);
+    auto store = [&] {
+      std::scoped_lock lock(mu_);
+      const auto it = routes_.find(operation);
+      if (it != routes_.end()) it->second.target = route.target;
+    };
+    try {
+      const Value result = forward_to(target, operation, args);
+      store();
+      return result;
+    } catch (const orb::TransportError&) {
+      if (!config_.auto_failover) throw;
+    } catch (const orb::ObjectNotFound&) {
+      if (!config_.auto_failover) throw;
+    }
+    target = resolve_route(operation, route, /*force_reselect=*/true);
+    const Value result = forward_to(target, operation, args);
+    store();
+    return result;
+  }
+
+  if (!bound() && !select()) {
+    throw NoComponentAvailable("no component available for service type '" +
+                               config_.service_type + "'");
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++invocations_;
+  }
+  try {
+    return forward(operation, args);
+  } catch (const orb::TransportError& e) {
+    if (!config_.auto_failover) throw;
+    log_warn("smartproxy[", config_.service_type, "]: component unreachable (", e.what(),
+             "), failing over");
+  } catch (const orb::ObjectNotFound& e) {
+    if (!config_.auto_failover) throw;
+    log_warn("smartproxy[", config_.service_type, "]: component gone (", e.what(),
+             "), failing over");
+  }
+  {
+    std::scoped_lock lock(mu_);
+    last_failed_ = current_;
+    current_ = ObjectRef{};
+    current_monitor_ref_ = ObjectRef{};
+    offer_.reset();
+  }
+  if (!select()) {
+    throw NoComponentAvailable("component failed and no replacement found for '" +
+                               config_.service_type + "'");
+  }
+  return forward(operation, args);
+}
+
+uint64_t SmartProxy::invocations() const {
+  std::scoped_lock lock(mu_);
+  return invocations_;
+}
+
+uint64_t SmartProxy::rebinds() const {
+  std::scoped_lock lock(mu_);
+  return rebinds_;
+}
+
+uint64_t SmartProxy::events_handled() const {
+  std::scoped_lock lock(mu_);
+  return events_handled_;
+}
+
+Value SmartProxy::script_self() { return self_; }
+
+}  // namespace adapt::core

@@ -1,0 +1,116 @@
+#include "monitor/bindings.h"
+
+#include <atomic>
+
+namespace adapt::monitor {
+
+namespace {
+
+std::atomic<uint64_t> g_monitor_counter{1};
+
+/// Extends a monitor's script wrapper with event operations and its ORB ref.
+/// The returned table owns a shared_ptr to the monitor via its closures.
+Value make_owning_wrapper(const std::shared_ptr<EventMonitor>& mon, const ObjectRef& ref) {
+  const Value base = mon->script_wrapper();
+  const TablePtr& t = base.as_table();
+  t->set(Value("attachEventObserver"),
+         Value(NativeFunction::make("monitor.attachEventObserver",
+             [mon](const ValueList& a) -> ValueList {
+               return {Value(mon->attachEventObserver(
+                   a.at(1).as_object(), a.at(2).as_string(), a.at(3).as_string()))};
+             })));
+  t->set(Value("detachEventObserver"),
+         Value(NativeFunction::make("monitor.detachEventObserver",
+             [mon](const ValueList& a) -> ValueList {
+               mon->detachEventObserver(a.at(1).as_string());
+               return {};
+             })));
+  t->set(Value("stop"), Value(NativeFunction::make("monitor.stop",
+             [mon](const ValueList&) -> ValueList {
+               mon->stop();
+               return {};
+             })));
+  t->set(Value("ref"), Value(ref.str()));
+  return base;
+}
+
+}  // namespace
+
+std::shared_ptr<EventMonitor> create_event_monitor(
+    const std::string& property_name, const std::shared_ptr<script::ScriptEngine>& engine,
+    const orb::OrbPtr& orb, const std::shared_ptr<TimerService>& timers,
+    Value update_fn, double period, ObjectRef* out_ref) {
+  auto mon = std::make_shared<EventMonitor>(property_name, engine, orb);
+  if (update_fn.is_function()) {
+    mon->set_update_function(std::move(update_fn));
+  } else if (update_fn.is_string()) {
+    mon->set_update_code(update_fn.as_string());
+  }
+  const ObjectRef ref = orb->register_servant(
+      mon, "monitor/" + property_name + "-" + std::to_string(g_monitor_counter++));
+  if (out_ref != nullptr) *out_ref = ref;
+  if (timers && period > 0) mon->start(timers, period);
+  // Populate an initial value so observers attached before the first period
+  // see something meaningful.
+  if (update_fn.is_function() || update_fn.is_string()) mon->update_now();
+  return mon;
+}
+
+void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
+                              const std::shared_ptr<TimerService>& timers) {
+  script::ScriptEngine* eng = &engine;
+  orb::OrbPtr orb_copy = orb;
+  std::shared_ptr<TimerService> timers_copy = timers;
+
+  // EventMonitor:new(name, updatefn, period) — method-call convention, so
+  // args[0] is the EventMonitor table itself.
+  auto event_ctor = NativeFunction::make(
+      "EventMonitor.new",
+      [eng, orb_copy, timers_copy](const ValueList& a) -> ValueList {
+        const std::string name = a.at(1).as_string();
+        const Value update_fn = a.size() > 2 ? a[2] : Value();
+        const double period = a.size() > 3 && a[3].is_number() ? a[3].as_number() : 0.0;
+        ObjectRef ref;
+        // The binding shares the calling engine so the update closure
+        // keeps its upvalues.
+        auto shared_engine =
+            std::shared_ptr<script::ScriptEngine>(eng, [](script::ScriptEngine*) {});
+        auto mon = create_event_monitor(name, shared_engine, orb_copy, timers_copy,
+                                        update_fn, period, &ref);
+        return {make_owning_wrapper(mon, ref)};
+      });
+
+  auto event_table = Table::make();
+  event_table->set(Value("new"), Value(event_ctor));
+  engine.set_global("EventMonitor", Value(std::move(event_table)));
+
+  // BasicMonitor:new(name [, updatefn [, period]]) — same shape, no events.
+  auto basic_ctor = NativeFunction::make(
+      "BasicMonitor.new",
+      [eng, orb_copy, timers_copy](const ValueList& a) -> ValueList {
+        const std::string name = a.at(1).as_string();
+        auto shared_engine =
+            std::shared_ptr<script::ScriptEngine>(eng, [](script::ScriptEngine*) {});
+        auto mon = std::make_shared<BasicMonitor>(name, shared_engine);
+        if (a.size() > 2 && a[2].is_function()) mon->set_update_function(a[2]);
+        const ObjectRef ref = orb_copy->register_servant(
+            mon, "monitor/" + name + "-" + std::to_string(g_monitor_counter++));
+        const double period = a.size() > 3 && a[3].is_number() ? a[3].as_number() : 0.0;
+        if (timers_copy && period > 0) mon->start(timers_copy, period);
+        if (a.size() > 2 && a[2].is_function()) mon->update_now();
+        const Value base = mon->script_wrapper();
+        base.as_table()->set(Value("ref"), Value(ref.str()));
+        base.as_table()->set(Value("stop"),
+            Value(NativeFunction::make("monitor.stop", [mon](const ValueList&) -> ValueList {
+              mon->stop();
+              return {};
+            })));
+        return {base};
+      });
+
+  auto basic_table = Table::make();
+  basic_table->set(Value("new"), Value(basic_ctor));
+  engine.set_global("BasicMonitor", Value(std::move(basic_table)));
+}
+
+}  // namespace adapt::monitor

@@ -1,0 +1,39 @@
+// Script bindings that let Luma code create and drive monitors — the
+// facility behind the paper's Fig. 3, where a service-agent script builds a
+// LoadAvg event monitor with `EventMonitor:new(name, updatefn, period)`.
+#pragma once
+
+#include <memory>
+
+#include "base/timer_service.h"
+#include "monitor/monitor.h"
+#include "orb/orb.h"
+#include "script/engine.h"
+
+namespace adapt::monitor {
+
+/// Installs `BasicMonitor` and `EventMonitor` globals into `engine`, each
+/// with a `new` method:
+///
+///   lmon = EventMonitor:new("LoadAvg",
+///     function() ... return {nj1, nj5, nj15} end,
+///     60)                      -- update period, seconds
+///
+/// The created monitor is registered as a servant with `orb` (so remote
+/// observers and the trader can reach it), scheduled on `timers`, and
+/// returned as a script table exposing getvalue/setvalue/defineAspect/
+/// definedAspects/getAspectValue/attachEventObserver/detachEventObserver/
+/// update plus `ref` (the stringified ObjectRef).
+///
+/// The returned table keeps the monitor alive; the monitor is additionally
+/// pinned by its servant registration until the ORB shuts down.
+void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
+                              const std::shared_ptr<TimerService>& timers);
+
+/// C++-side helper with the same behavior as `EventMonitor:new`.
+std::shared_ptr<EventMonitor> create_event_monitor(
+    const std::string& property_name, const std::shared_ptr<script::ScriptEngine>& engine,
+    const orb::OrbPtr& orb, const std::shared_ptr<TimerService>& timers,
+    Value update_fn, double period, ObjectRef* out_ref = nullptr);
+
+}  // namespace adapt::monitor

@@ -1,0 +1,86 @@
+#include "monitor/statistics.h"
+
+namespace adapt::monitor {
+
+namespace {
+
+/// Shared sample-extraction prologue: table-valued properties profile their
+/// first element; non-numbers yield nil (sample skipped).
+constexpr const char* kExtract = R"(
+    local x = currval
+    if type(x) == 'table' then x = x[1] end
+    if type(x) ~= 'number' then x = nil end
+)";
+
+std::string history_code(int window) {
+  return std::string(R"(function(self, currval, monitor))") + kExtract + R"(
+    self.ring = self.ring or {}
+    if x ~= nil then
+      table.insert(self.ring, x)
+      if #self.ring > )" + std::to_string(window) + R"( then
+        table.remove(self.ring, 1)
+      end
+    end
+    local out = {}
+    for i, v in ipairs(self.ring) do out[i] = v end
+    return out
+  end)";
+}
+
+}  // namespace
+
+void install_statistics_aspects(BasicMonitor& monitor, int window) {
+  if (window < 1) throw MonitorError("statistics window must be >= 1");
+  monitor.defineAspect("history", history_code(window));
+
+  // The remaining aspects read "history" through the monitor wrapper; they
+  // sort after it alphabetically, so they see the freshly updated ring.
+  monitor.defineAspect("max", R"(function(self, currval, monitor)
+    local h = monitor:getAspectValue('history')
+    if #h == 0 then return nil end
+    local m = h[1]
+    for i, v in ipairs(h) do if v > m then m = v end end
+    return m
+  end)");
+
+  monitor.defineAspect("min", R"(function(self, currval, monitor)
+    local h = monitor:getAspectValue('history')
+    if #h == 0 then return nil end
+    local m = h[1]
+    for i, v in ipairs(h) do if v < m then m = v end end
+    return m
+  end)");
+
+  monitor.defineAspect("mean", R"(function(self, currval, monitor)
+    local h = monitor:getAspectValue('history')
+    if #h == 0 then return nil end
+    local sum = 0
+    for i, v in ipairs(h) do sum = sum + v end
+    return sum / #h
+  end)");
+
+  monitor.defineAspect("stddev", R"(function(self, currval, monitor)
+    local h = monitor:getAspectValue('history')
+    if #h < 2 then return 0 end
+    local sum = 0
+    for i, v in ipairs(h) do sum = sum + v end
+    local mean = sum / #h
+    local sq = 0
+    for i, v in ipairs(h) do sq = sq + (v - mean) * (v - mean) end
+    return math.sqrt(sq / (#h - 1))
+  end)");
+
+  monitor.defineAspect("trend", std::string("function(self, currval, monitor)") + kExtract + R"(
+    if x == nil then return self.last_trend or 'flat' end
+    local t = 'flat'
+    if self.prev ~= nil then
+      if x > self.prev then t = 'up'
+      elseif x < self.prev then t = 'down' end
+    end
+    self.prev = x
+    self.last_trend = t
+    return t
+  end)");
+}
+
+}  // namespace adapt::monitor

@@ -1,0 +1,24 @@
+// Statistical profiling aspects (paper SIII: applications may be interested
+// "not only in the specific value of a property, but also in statistics or
+// profiling the evolution of some condition").
+//
+// install_statistics_aspects defines a family of aspects over a monitor's
+// history — deliberately written in Luma and installed through the public
+// defineAspect interface, exactly as a remote client could do: the
+// infrastructure extends itself with its own extension mechanism.
+#pragma once
+
+#include "monitor/monitor.h"
+
+namespace adapt::monitor {
+
+/// Installs profiling aspects on `monitor`:
+///   "history" — table of the last `window` observed values (1 = oldest),
+///   "mean", "min", "max", "stddev" — over that history,
+///   "trend" — "up" / "down" / "flat" comparing the newest sample to the
+///             previous one.
+/// Table-valued properties (e.g. the {1,5,15} loadavg) are profiled by
+/// their first element. Non-numeric samples are skipped.
+void install_statistics_aspects(BasicMonitor& monitor, int window = 16);
+
+}  // namespace adapt::monitor

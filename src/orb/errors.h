@@ -1,0 +1,45 @@
+// ORB error taxonomy (CORBA system-exception analog).
+#pragma once
+
+#include "base/error.h"
+
+namespace adapt::orb {
+
+/// Root of ORB-layer failures.
+class OrbError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Could not reach the remote ORB (connect/read/write failure). The standard
+/// failover trigger for smart proxies.
+class TransportError : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+/// The target ORB is up but no servant is registered under the object id.
+class ObjectNotFound : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+/// The remote servant raised an application error; carries its message.
+class RemoteError : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+/// The call exceeded the configured request timeout.
+class TimeoutError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// Call rejected by interface-repository validation (unknown operation).
+class BadOperation : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+}  // namespace adapt::orb

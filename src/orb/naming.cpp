@@ -1,0 +1,93 @@
+#include "orb/naming.h"
+
+namespace adapt::orb {
+
+NamingService::NamingService(OrbPtr orb, std::string object_id) : orb_(std::move(orb)) {
+  if (!orb_) throw OrbError("NamingService requires an ORB");
+  auto servant = FunctionServant::make("NamingService");
+  servant->on("bind", [this](const ValueList& a) -> Value {
+    bind(a.at(0).as_string(), a.at(1).as_object());
+    return {};
+  });
+  servant->on("rebind", [this](const ValueList& a) -> Value {
+    rebind(a.at(0).as_string(), a.at(1).as_object());
+    return {};
+  });
+  servant->on("resolve", [this](const ValueList& a) -> Value {
+    return Value(resolve(a.at(0).as_string()));
+  });
+  servant->on("unbind", [this](const ValueList& a) -> Value {
+    unbind(a.at(0).as_string());
+    return {};
+  });
+  servant->on("list", [this](const ValueList& a) -> Value {
+    auto t = Table::make();
+    const std::string prefix =
+        !a.empty() && a[0].is_string() ? a[0].as_string() : std::string();
+    for (const auto& name : list(prefix)) t->append(Value(name));
+    return Value(std::move(t));
+  });
+  ref_ = orb_->register_servant(std::move(servant), std::move(object_id));
+}
+
+NamingService::~NamingService() {
+  if (orb_) orb_->unregister_servant(ref_.object_id);
+}
+
+void NamingService::validate_name(const std::string& name) {
+  if (name.empty() || name.front() == '/' || name.back() == '/' ||
+      name.find("//") != std::string::npos) {
+    throw OrbError("invalid name: '" + name + "'");
+  }
+}
+
+void NamingService::bind(const std::string& name, const ObjectRef& ref) {
+  validate_name(name);
+  if (ref.empty()) throw OrbError("cannot bind an empty reference");
+  std::scoped_lock lock(mu_);
+  if (!bindings_.emplace(name, ref).second) {
+    throw NameAlreadyBound("name already bound: " + name);
+  }
+}
+
+void NamingService::rebind(const std::string& name, const ObjectRef& ref) {
+  validate_name(name);
+  if (ref.empty()) throw OrbError("cannot bind an empty reference");
+  std::scoped_lock lock(mu_);
+  bindings_[name] = ref;
+}
+
+ObjectRef NamingService::resolve(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) throw NameNotFound("name not found: " + name);
+  return it->second;
+}
+
+std::optional<ObjectRef> NamingService::try_resolve(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NamingService::unbind(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  if (bindings_.erase(name) == 0) throw NameNotFound("name not found: " + name);
+}
+
+std::vector<std::string> NamingService::list(const std::string& prefix) const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, ref] : bindings_) {
+    if (prefix.empty() || name.rfind(prefix, 0) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+size_t NamingService::size() const {
+  std::scoped_lock lock(mu_);
+  return bindings_.size();
+}
+
+}  // namespace adapt::orb

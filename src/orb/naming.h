@@ -1,0 +1,100 @@
+// Naming service (OMG CosNaming subset): hierarchical name -> ObjectRef
+// bindings. In CORBA deployments this is how applications bootstrap — e.g.
+// resolve "services/trader/lookup" instead of carrying stringified IORs.
+// The paper assumes the trader is reachable; this substrate supplies the
+// standard way to make it so.
+//
+// Names are '/'-separated paths ("services/trader/lookup"). Intermediate
+// contexts are plain path components (no separate context objects): this is
+// the flat-tree simplification most small deployments use.
+//
+// Exposed both as a C++ API and as an ORB servant ("NamingService"
+// interface: bind/rebind/resolve/unbind/list).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orb/orb.h"
+
+namespace adapt::orb {
+
+class NameAlreadyBound : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+class NameNotFound : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+class NamingService {
+ public:
+  /// Registers the naming servant with `orb` under the well-known id
+  /// "naming" (so its ref is <endpoint>!naming#NamingService).
+  explicit NamingService(OrbPtr orb, std::string object_id = "naming");
+  ~NamingService();
+  NamingService(const NamingService&) = delete;
+  NamingService& operator=(const NamingService&) = delete;
+
+  /// Binds `name` to `ref`; throws NameAlreadyBound when taken.
+  void bind(const std::string& name, const ObjectRef& ref);
+  /// Binds or replaces.
+  void rebind(const std::string& name, const ObjectRef& ref);
+  /// Resolves a name; throws NameNotFound.
+  [[nodiscard]] ObjectRef resolve(const std::string& name) const;
+  /// Resolves or returns nullopt.
+  [[nodiscard]] std::optional<ObjectRef> try_resolve(const std::string& name) const;
+  void unbind(const std::string& name);
+  /// Lists bindings under a prefix ("" = all), sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix = {}) const;
+  [[nodiscard]] size_t size() const;
+
+  [[nodiscard]] const ObjectRef& ref() const { return ref_; }
+
+ private:
+  static void validate_name(const std::string& name);
+
+  OrbPtr orb_;
+  ObjectRef ref_;
+  mutable std::mutex mu_;
+  std::map<std::string, ObjectRef> bindings_;
+};
+
+/// Client-side wrapper over a (possibly remote) naming servant.
+class NamingClient {
+ public:
+  NamingClient(OrbPtr orb, ObjectRef naming_ref)
+      : orb_(std::move(orb)), ref_(std::move(naming_ref)) {}
+
+  void bind(const std::string& name, const ObjectRef& ref) {
+    orb_->invoke(ref_, "bind", {Value(name), Value(ref)});
+  }
+  void rebind(const std::string& name, const ObjectRef& ref) {
+    orb_->invoke(ref_, "rebind", {Value(name), Value(ref)});
+  }
+  [[nodiscard]] ObjectRef resolve(const std::string& name) {
+    return orb_->invoke(ref_, "resolve", {Value(name)}).as_object();
+  }
+  void unbind(const std::string& name) { orb_->invoke(ref_, "unbind", {Value(name)}); }
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix = {}) {
+    std::vector<std::string> out;
+    const Value v = orb_->invoke(ref_, "list", {Value(prefix)});
+    if (v.is_table()) {
+      for (int64_t i = 1; i <= v.as_table()->length(); ++i) {
+        out.push_back(v.as_table()->geti(i).as_string());
+      }
+    }
+    return out;
+  }
+
+ private:
+  OrbPtr orb_;
+  ObjectRef ref_;
+};
+
+}  // namespace adapt::orb

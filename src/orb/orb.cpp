@@ -1,0 +1,304 @@
+#include "orb/orb.h"
+
+#include "base/logging.h"
+
+namespace adapt::orb {
+
+namespace {
+
+/// Process-wide registry of live ORBs, keyed by inproc endpoint. Lets many
+/// ORBs in one process (one per simulated host) reach each other without
+/// TCP while still marshalling through the wire format.
+class InprocRegistry {
+ public:
+  static InprocRegistry& instance() {
+    static InprocRegistry reg;
+    return reg;
+  }
+
+  void add(const std::string& endpoint, const std::weak_ptr<Orb>& orb) {
+    std::scoped_lock lock(mu_);
+    if (auto existing = map_[endpoint].lock()) {
+      throw Error("inproc endpoint already in use: " + endpoint);
+    }
+    map_[endpoint] = orb;
+  }
+
+  void remove(const std::string& endpoint) {
+    std::scoped_lock lock(mu_);
+    map_.erase(endpoint);
+  }
+
+  std::shared_ptr<Orb> find(const std::string& endpoint) {
+    std::scoped_lock lock(mu_);
+    const auto it = map_.find(endpoint);
+    return it == map_.end() ? nullptr : it->second.lock();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::weak_ptr<Orb>> map_;
+};
+
+std::atomic<uint64_t> g_orb_counter{1};
+
+/// Builds the error payload carried in failure replies.
+Value make_error_payload(const std::string& code, const std::string& message) {
+  auto t = Table::make();
+  t->set(Value("code"), Value(code));
+  t->set(Value("message"), Value(message));
+  return Value(std::move(t));
+}
+
+}  // namespace
+
+OrbPtr Orb::create(OrbConfig config) {
+  // Not make_shared: the constructor is private and the registry needs a
+  // shared_ptr before any call can arrive.
+  auto orb = std::shared_ptr<Orb>(new Orb(std::move(config)));
+  orb->start();
+  return orb;
+}
+
+Orb::Orb(OrbConfig config) : config_(std::move(config)) {
+  name_ = config_.name.empty() ? "orb-" + std::to_string(g_orb_counter++) : config_.name;
+  inproc_endpoint_ = "inproc://" + name_;
+  interfaces_ = config_.interfaces ? config_.interfaces
+                                   : std::make_shared<InterfaceRepository>();
+  pool_ = std::make_unique<TcpConnectionPool>(config_.request_timeout);
+}
+
+void Orb::start() {
+  InprocRegistry::instance().add(inproc_endpoint_, weak_from_this());
+  primary_endpoint_ = inproc_endpoint_;
+  if (config_.listen_tcp) {
+    try {
+      listener_ = std::make_unique<TcpListener>(
+          config_.listen_host, config_.listen_port,
+          [self = weak_from_this()](const Bytes& payload) -> std::optional<Bytes> {
+            if (auto orb = self.lock()) return orb->handle_payload(payload);
+            return std::nullopt;
+          });
+    } catch (...) {
+      InprocRegistry::instance().remove(inproc_endpoint_);
+      throw;
+    }
+    primary_endpoint_ = listener_->endpoint();
+  }
+  log_debug("orb ", name_, " up at ", primary_endpoint_);
+}
+
+Orb::~Orb() { shutdown(); }
+
+void Orb::shutdown() {
+  bool expected = false;
+  if (!shut_down_.compare_exchange_strong(expected, true)) return;
+  InprocRegistry::instance().remove(inproc_endpoint_);
+  if (listener_) listener_->stop();
+  pool_->clear();
+  log_debug("orb ", name_, " shut down");
+}
+
+// ---- object adapter -----------------------------------------------------
+
+ObjectRef Orb::register_servant(ServantPtr servant, std::string object_id) {
+  if (!servant) throw OrbError("register_servant: null servant");
+  if (object_id.empty()) object_id = "obj-" + std::to_string(next_object_id_++);
+  {
+    std::scoped_lock lock(servants_mu_);
+    if (servants_.count(object_id) != 0) {
+      throw OrbError("object id already registered: " + object_id);
+    }
+    servants_[object_id] = servant;
+  }
+  ObjectRef ref;
+  ref.endpoint = primary_endpoint_;
+  ref.object_id = std::move(object_id);
+  ref.interface = servant->interface_name();
+  return ref;
+}
+
+void Orb::unregister_servant(const std::string& object_id) {
+  std::scoped_lock lock(servants_mu_);
+  servants_.erase(object_id);
+}
+
+ServantPtr Orb::find_servant(const std::string& object_id) const {
+  std::scoped_lock lock(servants_mu_);
+  const auto it = servants_.find(object_id);
+  return it == servants_.end() ? nullptr : it->second;
+}
+
+size_t Orb::servant_count() const {
+  std::scoped_lock lock(servants_mu_);
+  return servants_.size();
+}
+
+ObjectRef Orb::make_ref(const std::string& object_id) const {
+  ObjectRef ref;
+  ref.endpoint = primary_endpoint_;
+  ref.object_id = object_id;
+  if (const ServantPtr s = find_servant(object_id)) ref.interface = s->interface_name();
+  return ref;
+}
+
+// ---- server side -----------------------------------------------------------
+
+ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
+  ++requests_served_;
+  ReplyMessage rep;
+  rep.request_id = req.request_id;
+  const ServantPtr servant = find_servant(req.object_id);
+  if (!servant) {
+    rep.status = ReplyStatus::SystemError;
+    rep.result = make_error_payload("object-not-found",
+                                    "no such object: " + req.object_id + " at " + name_);
+    return rep;
+  }
+  try {
+    if (req.operation == "_ping") {
+      rep.result = Value(true);
+    } else if (req.operation == "_interface") {
+      rep.result = Value(servant->interface_name());
+    } else {
+      rep.result = servant->dispatch(req.operation, req.args);
+    }
+    rep.status = ReplyStatus::Ok;
+  } catch (const BadOperation& e) {
+    rep.status = ReplyStatus::SystemError;
+    rep.result = make_error_payload("bad-operation", e.what());
+  } catch (const Error& e) {
+    rep.status = ReplyStatus::UserError;
+    rep.result = make_error_payload("error", e.what());
+  } catch (const std::exception& e) {
+    rep.status = ReplyStatus::UserError;
+    rep.result = make_error_payload("error", std::string("servant failure: ") + e.what());
+  }
+  return rep;
+}
+
+std::optional<Bytes> Orb::handle_payload(const Bytes& payload) {
+  const RequestMessage req = decode_request(payload);
+  const ReplyMessage rep = dispatch_request(req);
+  if (req.oneway) {
+    if (rep.status != ReplyStatus::Ok) {
+      log_debug("oneway ", req.operation, " failed: ", rep.result.str());
+    }
+    return std::nullopt;
+  }
+  return encode_reply(rep);
+}
+
+// ---- client side ------------------------------------------------------------
+
+void Orb::validate(const ObjectRef& ref, const std::string& operation) const {
+  if (!config_.validate_interfaces || ref.interface.empty()) return;
+  if (operation == "_ping" || operation == "_interface") return;
+  if (!interfaces_->has(ref.interface)) return;  // unknown type: dynamic call
+  if (!interfaces_->find_operation(ref.interface, operation)) {
+    throw BadOperation("interface '" + ref.interface + "' has no operation '" +
+                       operation + "'");
+  }
+}
+
+Value Orb::reply_to_result(const ReplyMessage& rep) {
+  if (rep.status == ReplyStatus::Ok) return rep.result;
+  std::string code = "error";
+  std::string message = rep.result.str();
+  if (rep.result.is_table()) {
+    const Value c = rep.result.as_table()->get(Value("code"));
+    const Value m = rep.result.as_table()->get(Value("message"));
+    if (c.is_string()) code = c.as_string();
+    if (m.is_string()) message = m.as_string();
+  }
+  if (code == "object-not-found") throw ObjectNotFound(message);
+  if (code == "bad-operation") throw BadOperation(message);
+  throw RemoteError(message);
+}
+
+Value Orb::invoke(const ObjectRef& ref, const std::string& operation,
+                  const ValueList& args) {
+  return invoke_impl(ref, operation, args, /*oneway=*/false);
+}
+
+void Orb::invoke_oneway(const ObjectRef& ref, const std::string& operation,
+                        const ValueList& args) {
+  try {
+    invoke_impl(ref, operation, args, /*oneway=*/true);
+  } catch (const Error& e) {
+    log_debug("oneway ", operation, " to ", ref.str(), " failed: ", e.what());
+  }
+}
+
+std::future<Value> Orb::invoke_async(const ObjectRef& ref, const std::string& operation,
+                                     const ValueList& args) {
+  auto self = shared_from_this();
+  return std::async(std::launch::async, [self, ref, operation, args] {
+    return self->invoke_impl(ref, operation, args, /*oneway=*/false);
+  });
+}
+
+bool Orb::ping(const ObjectRef& ref) {
+  try {
+    return invoke(ref, "_ping").truthy();
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
+                       const ValueList& args, bool oneway) {
+  if (ref.empty()) throw OrbError("invoke: empty object reference");
+  validate(ref, operation);
+
+  RequestMessage req;
+  req.request_id = next_request_id_++;
+  req.oneway = oneway;
+  req.object_id = ref.object_id;
+  req.operation = operation;
+  req.args = args;
+
+  // Local dispatch — our own endpoint, either name.
+  const bool is_self =
+      ref.endpoint == inproc_endpoint_ || ref.endpoint == primary_endpoint_;
+  std::shared_ptr<Orb> target;
+  if (is_self) {
+    target = shared_from_this();
+  } else if (ref.endpoint.rfind("inproc://", 0) == 0) {
+    target = InprocRegistry::instance().find(ref.endpoint);
+    if (!target) {
+      throw TransportError("inproc endpoint not reachable: " + ref.endpoint);
+    }
+  }
+
+  if (target) {
+    // In-process path: still round-trip through the wire codec so the call
+    // is bit-for-bit what a TCP peer would see.
+    const Bytes encoded = encode_request(req);
+    const RequestMessage decoded = decode_request(encoded);
+    const ReplyMessage rep = target->dispatch_request(decoded);
+    if (oneway) {
+      if (rep.status != ReplyStatus::Ok) {
+        throw RemoteError("oneway dispatch failed: " + rep.result.str());
+      }
+      return {};
+    }
+    const Bytes rep_bytes = encode_reply(rep);
+    return reply_to_result(decode_reply(rep_bytes));
+  }
+
+  // TCP path.
+  const Bytes encoded = encode_request(req);
+  if (oneway) {
+    pool_->send(ref.endpoint, encoded);
+    return {};
+  }
+  const Bytes reply_bytes = pool_->call(ref.endpoint, encoded);
+  const ReplyMessage rep = decode_reply(reply_bytes);
+  if (rep.request_id != req.request_id) {
+    throw TransportError("reply id mismatch (protocol error)");
+  }
+  return reply_to_result(rep);
+}
+
+}  // namespace adapt::orb

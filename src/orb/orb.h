@@ -1,0 +1,170 @@
+// The mini-ORB: object adapter + dynamic invocation + transports.
+//
+// Responsibilities (mirroring the CORBA pieces the paper builds on):
+//  * Object adapter: register/unregister servants, mint ObjectRefs.
+//  * DII: invoke(ref, operation, args) builds a request at run time — no
+//    stubs, no compiled types.
+//  * DSI: incoming requests are funneled to Servant::dispatch.
+//  * Transports: a TCP listener (optional) plus an in-process transport.
+//    Several ORBs in one process model several hosts; in-process calls still
+//    marshal through the full wire format so experiments exercise exactly
+//    the code path of a networked deployment.
+//  * Built-in operations on every object: "_ping" (liveness) and
+//    "_interface" (reflection: the servant's interface name).
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/value.h"
+#include "orb/errors.h"
+#include "orb/interface_repo.h"
+#include "orb/servant.h"
+#include "orb/tcp_transport.h"
+#include "orb/wire.h"
+
+namespace adapt::orb {
+
+struct OrbConfig {
+  /// In-process endpoint name; auto-generated when empty. The ORB is always
+  /// reachable as "inproc://<name>" within the process.
+  std::string name;
+
+  /// When true, also listen on TCP (host:port; port 0 = ephemeral).
+  bool listen_tcp = false;
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;
+
+  /// Client-side bound on connect/read/write per call, seconds.
+  double request_timeout = 10.0;
+
+  /// Validate operations against the interface repository when the target
+  /// reference carries a known interface name.
+  bool validate_interfaces = true;
+
+  /// Share an interface repository across ORBs; a fresh one when null.
+  std::shared_ptr<InterfaceRepository> interfaces;
+};
+
+class Orb : public std::enable_shared_from_this<Orb> {
+ public:
+  /// Creates and registers the ORB. Throws TransportError if the TCP
+  /// listener cannot bind or Error if the inproc name is taken.
+  static std::shared_ptr<Orb> create(OrbConfig config = {});
+  ~Orb();
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  /// Stops transports and unregisters from the in-process registry.
+  /// Idempotent.
+  void shutdown();
+
+  /// Primary endpoint: the TCP endpoint when listening, else inproc.
+  [[nodiscard]] const std::string& endpoint() const { return primary_endpoint_; }
+  [[nodiscard]] const std::string& inproc_endpoint() const { return inproc_endpoint_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // ---- object adapter -------------------------------------------------
+  /// Registers a servant; empty id mints "obj-<n>". Throws on duplicate id.
+  ObjectRef register_servant(ServantPtr servant, std::string object_id = "");
+  void unregister_servant(const std::string& object_id);
+  [[nodiscard]] ServantPtr find_servant(const std::string& object_id) const;
+  [[nodiscard]] size_t servant_count() const;
+  /// Builds a reference to a servant of this ORB.
+  [[nodiscard]] ObjectRef make_ref(const std::string& object_id) const;
+
+  // ---- dynamic invocation ------------------------------------------------
+  /// Synchronous request. Throws:
+  ///  * TransportError / TimeoutError — could not reach the target,
+  ///  * ObjectNotFound — target ORB has no such object,
+  ///  * BadOperation — interface validation failed or no such method,
+  ///  * RemoteError — the servant raised an application error.
+  Value invoke(const ObjectRef& ref, const std::string& operation,
+               const ValueList& args = {});
+
+  /// Best-effort oneway request: no reply, errors are swallowed (logged).
+  void invoke_oneway(const ObjectRef& ref, const std::string& operation,
+                     const ValueList& args = {});
+
+  /// Deferred-synchronous request (CORBA DII send_deferred analog): runs on
+  /// a background thread; the future yields the result or rethrows the
+  /// invocation error.
+  std::future<Value> invoke_async(const ObjectRef& ref, const std::string& operation,
+                                  const ValueList& args = {});
+
+  /// Liveness probe: true iff the object answers "_ping".
+  bool ping(const ObjectRef& ref);
+
+  [[nodiscard]] InterfaceRepository& interfaces() { return *interfaces_; }
+  [[nodiscard]] std::shared_ptr<InterfaceRepository> interfaces_ptr() { return interfaces_; }
+
+  /// Number of requests this ORB dispatched as a server (diagnostics).
+  [[nodiscard]] uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  explicit Orb(OrbConfig config);
+  void start();
+
+  Value invoke_impl(const ObjectRef& ref, const std::string& operation,
+                    const ValueList& args, bool oneway);
+  void validate(const ObjectRef& ref, const std::string& operation) const;
+
+  /// Server side: executes a decoded request against the local adapter.
+  ReplyMessage dispatch_request(const RequestMessage& req);
+  /// Raw server entry point used by both transports.
+  std::optional<Bytes> handle_payload(const Bytes& payload);
+
+  static Value reply_to_result(const ReplyMessage& rep);
+
+  OrbConfig config_;
+  std::string name_;
+  std::string inproc_endpoint_;
+  std::string primary_endpoint_;
+  std::shared_ptr<InterfaceRepository> interfaces_;
+
+  mutable std::mutex servants_mu_;
+  std::map<std::string, ServantPtr> servants_;
+  std::atomic<uint64_t> next_object_id_{1};
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<bool> shut_down_{false};
+
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<TcpConnectionPool> pool_;
+};
+
+using OrbPtr = std::shared_ptr<Orb>;
+
+/// Typed convenience wrapper around (orb, ref): obj.call("op", args...).
+class ObjectHandle {
+ public:
+  ObjectHandle() = default;
+  ObjectHandle(OrbPtr orb, ObjectRef ref) : orb_(std::move(orb)), ref_(std::move(ref)) {}
+
+  [[nodiscard]] bool valid() const { return orb_ != nullptr && !ref_.empty(); }
+  [[nodiscard]] const ObjectRef& ref() const { return ref_; }
+  [[nodiscard]] const OrbPtr& orb() const { return orb_; }
+
+  Value call(const std::string& operation, const ValueList& args = {}) const {
+    require();
+    return orb_->invoke(ref_, operation, args);
+  }
+  void call_oneway(const std::string& operation, const ValueList& args = {}) const {
+    require();
+    orb_->invoke_oneway(ref_, operation, args);
+  }
+  [[nodiscard]] bool ping() const { return valid() && orb_->ping(ref_); }
+
+ private:
+  void require() const {
+    if (!valid()) throw OrbError("ObjectHandle: empty handle");
+  }
+  OrbPtr orb_;
+  ObjectRef ref_;
+};
+
+}  // namespace adapt::orb

@@ -1,0 +1,47 @@
+#include "orb/servant.h"
+
+namespace adapt::orb {
+
+FunctionServant& FunctionServant::on(const std::string& operation, Handler handler) {
+  handlers_[operation] = std::move(handler);
+  return *this;
+}
+
+Value FunctionServant::dispatch(const std::string& operation, const ValueList& args) {
+  const auto it = handlers_.find(operation);
+  if (it == handlers_.end()) {
+    throw BadOperation("no such operation '" + operation + "' on interface '" +
+                       interface_ + "'");
+  }
+  return it->second(args);
+}
+
+ScriptServant::ScriptServant(std::shared_ptr<script::ScriptEngine> engine, Value object,
+                             std::string interface_name)
+    : engine_(std::move(engine)),
+      object_(std::move(object)),
+      interface_(std::move(interface_name)) {
+  if (!object_.is_table()) {
+    throw TypeError("ScriptServant requires a table object, got " +
+                    std::string(object_.type_name()));
+  }
+}
+
+Value ScriptServant::dispatch(const std::string& operation, const ValueList& args) {
+  std::scoped_lock lock(engine_->mutex());
+  // table_index (not raw get): methods may come from an __index prototype
+  // chain, the usual Lua class idiom.
+  const Value method =
+      engine_->interpreter().table_index(object_.as_table(), Value(operation));
+  if (!method.is_function()) {
+    throw BadOperation("script object has no method '" + operation + "'");
+  }
+  ValueList with_self;
+  with_self.reserve(args.size() + 1);
+  with_self.push_back(object_);
+  with_self.insert(with_self.end(), args.begin(), args.end());
+  ValueList results = engine_->call(method, with_self);
+  return results.empty() ? Value() : std::move(results.front());
+}
+
+}  // namespace adapt::orb

@@ -1,0 +1,86 @@
+// Servants: the server-side dispatch interface (CORBA DSI analog).
+//
+// Every object served by an ORB implements Servant::dispatch — the "dynamic
+// implementation routine" of the paper's SII: one entry point that receives
+// the operation name and unmarshalled arguments and returns the result.
+//
+// Two ready-made servants are provided:
+//  * FunctionServant — a C++ operation table, for native components.
+//  * ScriptServant   — wraps a Luma object (table); each operation dispatches
+//    to the table's method of the same name (the LuaCorba adapter of SII).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/value.h"
+#include "orb/errors.h"
+#include "script/engine.h"
+
+namespace adapt::orb {
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+  Servant() = default;
+  Servant(const Servant&) = delete;
+  Servant& operator=(const Servant&) = delete;
+
+  /// Handles one invocation. Thrown adapt::Errors are marshalled back to the
+  /// caller as RemoteError. Must be safe to call from multiple threads.
+  virtual Value dispatch(const std::string& operation, const ValueList& args) = 0;
+
+  /// Interface-repository type this servant claims to implement ("" = untyped).
+  [[nodiscard]] virtual std::string interface_name() const { return {}; }
+};
+
+using ServantPtr = std::shared_ptr<Servant>;
+
+/// Servant backed by a map of C++ handlers. Handlers run concurrently;
+/// guard shared state inside them.
+class FunctionServant : public Servant {
+ public:
+  using Handler = std::function<Value(const ValueList&)>;
+
+  explicit FunctionServant(std::string interface_name = {})
+      : interface_(std::move(interface_name)) {}
+
+  /// Registers (or replaces) the handler for `operation`. Returns *this for
+  /// chaining.
+  FunctionServant& on(const std::string& operation, Handler handler);
+
+  Value dispatch(const std::string& operation, const ValueList& args) override;
+  [[nodiscard]] std::string interface_name() const override { return interface_; }
+
+  static std::shared_ptr<FunctionServant> make(std::string interface_name = {}) {
+    return std::make_shared<FunctionServant>(std::move(interface_name));
+  }
+
+ private:
+  std::string interface_;
+  std::map<std::string, Handler> handlers_;  // written only during setup
+};
+
+/// Servant that forwards operations to a Luma object's methods, passing the
+/// object itself as `self`. Engine access is serialized by the engine lock.
+class ScriptServant : public Servant {
+ public:
+  /// `object` must be a table in `engine`; methods are its function-valued
+  /// string keys. The engine must outlive the servant.
+  ScriptServant(std::shared_ptr<script::ScriptEngine> engine, Value object,
+                std::string interface_name = {});
+
+  Value dispatch(const std::string& operation, const ValueList& args) override;
+  [[nodiscard]] std::string interface_name() const override { return interface_; }
+
+  [[nodiscard]] const Value& object() const { return object_; }
+
+ private:
+  std::shared_ptr<script::ScriptEngine> engine_;
+  Value object_;
+  std::string interface_;
+};
+
+}  // namespace adapt::orb

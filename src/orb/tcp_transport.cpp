@@ -1,0 +1,289 @@
+#include "orb/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace adapt::orb {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  const int err = errno;
+  if (err == EAGAIN || err == EWOULDBLOCK) {
+    throw TimeoutError(what + ": timed out");
+  }
+  throw TransportError(what + ": " + std::strerror(err));
+}
+
+void set_timeouts(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void write_all(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+}
+
+/// Reads exactly n bytes. Returns false on clean EOF at offset 0.
+bool read_all(int fd, uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, data + got, n - got, 0);
+    if (rc == 0) {
+      if (got == 0) return false;
+      throw TransportError("connection closed mid-frame");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpAddress TcpAddress::parse(const std::string& endpoint) {
+  const std::string prefix = "tcp://";
+  if (endpoint.rfind(prefix, 0) != 0) {
+    throw TransportError("not a tcp endpoint: " + endpoint);
+  }
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon < prefix.size()) {
+    throw TransportError("missing port in endpoint: " + endpoint);
+  }
+  TcpAddress addr;
+  addr.host = endpoint.substr(prefix.size(), colon - prefix.size());
+  const std::string port_text = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+    throw TransportError("bad port in endpoint: " + endpoint);
+  }
+  addr.port = static_cast<uint16_t>(port);
+  if (addr.host.empty()) throw TransportError("missing host in endpoint: " + endpoint);
+  return addr;
+}
+
+void write_frame(int fd, const Bytes& payload) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  write_all(fd, w.bytes().data(), w.size());
+}
+
+std::optional<Bytes> read_frame(int fd) {
+  uint8_t len_buf[4];
+  if (!read_all(fd, len_buf, 4)) return std::nullopt;
+  ByteReader lr(len_buf, 4);
+  const uint32_t len = lr.u32();
+  if (len > kMaxFrameSize) {
+    throw TransportError("frame too large: " + std::to_string(len));
+  }
+  Bytes payload(len);
+  if (len > 0 && !read_all(fd, payload.data(), len)) {
+    throw TransportError("connection closed mid-frame");
+  }
+  return payload;
+}
+
+// ---- TcpListener --------------------------------------------------------
+
+TcpListener::TcpListener(const std::string& host, uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw TransportError("bad listen host: " + host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string msg = std::string("bind ") + host + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError(msg);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string msg = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError(msg);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  endpoint_ = "tcp://" + host + ":" + std::to_string(port_);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Closing the listen socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::scoped_lock lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpListener::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_) return;
+      if (errno == EINTR) continue;
+      log_warn("accept failed: ", std::strerror(errno));
+      return;
+    }
+    set_nodelay(fd);
+    std::scoped_lock lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpListener::serve_connection(int fd) {
+  try {
+    for (;;) {
+      std::optional<Bytes> request = read_frame(fd);
+      if (!request) break;  // peer closed
+      std::optional<Bytes> reply = handler_(*request);
+      if (reply) write_frame(fd, *reply);
+    }
+  } catch (const Error& e) {
+    if (!stopping_) log_debug("connection error: ", e.what());
+  }
+  ::close(fd);
+}
+
+// ---- TcpConnectionPool ----------------------------------------------------
+
+TcpConnectionPool::TcpConnectionPool(double timeout_seconds) : timeout_(timeout_seconds) {}
+
+TcpConnectionPool::~TcpConnectionPool() { clear(); }
+
+void TcpConnectionPool::clear() {
+  std::scoped_lock lock(mu_);
+  for (auto& [endpoint, fds] : idle_) {
+    for (const int fd : fds) ::close(fd);
+  }
+  idle_.clear();
+}
+
+int TcpConnectionPool::dial(const TcpAddress& addr, double timeout) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_text = std::to_string(addr.port);
+  const int rc = ::getaddrinfo(addr.host.c_str(), port_text.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw TransportError("resolve " + addr.host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_timeouts(fd, timeout);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw TransportError("connect " + addr.host + ":" + port_text + ": " + last_error);
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+int TcpConnectionPool::checkout(const std::string& endpoint) {
+  {
+    std::scoped_lock lock(mu_);
+    auto& fds = idle_[endpoint];
+    if (!fds.empty()) {
+      const int fd = fds.back();
+      fds.pop_back();
+      return fd;
+    }
+  }
+  return dial(TcpAddress::parse(endpoint), timeout_);
+}
+
+void TcpConnectionPool::checkin(const std::string& endpoint, int fd) {
+  std::scoped_lock lock(mu_);
+  idle_[endpoint].push_back(fd);
+}
+
+Bytes TcpConnectionPool::call(const std::string& endpoint, const Bytes& request) {
+  const int fd = checkout(endpoint);
+  try {
+    write_frame(fd, request);
+    std::optional<Bytes> reply = read_frame(fd);
+    if (!reply) throw TransportError("connection closed before reply");
+    checkin(endpoint, fd);
+    return std::move(*reply);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+void TcpConnectionPool::send(const std::string& endpoint, const Bytes& request) {
+  const int fd = checkout(endpoint);
+  try {
+    write_frame(fd, request);
+    checkin(endpoint, fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace adapt::orb

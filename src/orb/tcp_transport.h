@@ -1,0 +1,103 @@
+// TCP transport: length-prefixed frames over POSIX sockets (GIOP/IIOP analog).
+//
+// Server side: TcpListener accepts connections and runs one handler thread
+// per connection (requests on a connection are processed in order, matching
+// the synchronous client).
+// Client side: TcpConnectionPool keeps idle connections per endpoint and
+// checks them out for the duration of one call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/bytes.h"
+#include "orb/errors.h"
+
+namespace adapt::orb {
+
+/// Parses "tcp://host:port"; throws TransportError on malformed endpoints.
+struct TcpAddress {
+  std::string host;
+  uint16_t port = 0;
+  static TcpAddress parse(const std::string& endpoint);
+};
+
+class TcpListener {
+ public:
+  /// Handler consumes a request payload and returns the reply payload, or
+  /// nullopt when no reply should be sent (oneway). Runs on connection
+  /// threads; must be thread-safe.
+  using Handler = std::function<std::optional<Bytes>(const Bytes&)>;
+
+  /// Binds and starts accepting. Port 0 picks an ephemeral port.
+  TcpListener(const std::string& host, uint16_t port, Handler handler);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+
+  /// Stops accepting, closes live connections and joins all threads.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string endpoint_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+class TcpConnectionPool {
+ public:
+  /// `timeout_seconds` bounds connect and per-call read/write.
+  explicit TcpConnectionPool(double timeout_seconds);
+  ~TcpConnectionPool();
+  TcpConnectionPool(const TcpConnectionPool&) = delete;
+  TcpConnectionPool& operator=(const TcpConnectionPool&) = delete;
+
+  /// Round-trip: sends one frame, waits for one reply frame.
+  Bytes call(const std::string& endpoint, const Bytes& request);
+
+  /// Fire-and-forget: sends one frame without waiting.
+  void send(const std::string& endpoint, const Bytes& request);
+
+  /// Closes all pooled connections.
+  void clear();
+
+ private:
+  int checkout(const std::string& endpoint);
+  void checkin(const std::string& endpoint, int fd);
+  static int dial(const TcpAddress& addr, double timeout);
+
+  double timeout_;
+  std::mutex mu_;
+  std::map<std::string, std::vector<int>> idle_;
+};
+
+/// Frame I/O shared by both sides: u32 length prefix + payload.
+void write_frame(int fd, const Bytes& payload);
+/// Reads one frame; returns nullopt on orderly peer close at a frame
+/// boundary; throws TransportError/TimeoutError otherwise.
+std::optional<Bytes> read_frame(int fd);
+
+/// Maximum accepted frame size (64 MiB) — guards against corrupt prefixes.
+inline constexpr uint32_t kMaxFrameSize = 64u << 20;
+
+}  // namespace adapt::orb

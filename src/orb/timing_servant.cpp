@@ -1,0 +1,15 @@
+#include "orb/timing_servant.h"
+
+namespace adapt::orb {
+
+CallablePtr TimingServant::make_monitor_source(const std::string& operation) {
+  std::weak_ptr<TimingServant> weak = weak_from_this();
+  return NativeFunction::make("response-time:" + (operation.empty() ? "*" : operation),
+                              [weak, operation](const ValueList&) -> ValueList {
+                                auto self = weak.lock();
+                                if (!self) throw OrbError("timed servant is gone");
+                                return {Value(self->stats(operation).mean_seconds())};
+                              });
+}
+
+}  // namespace adapt::orb

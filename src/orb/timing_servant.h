@@ -1,0 +1,97 @@
+// TimingServant: servant decorator measuring per-operation service times.
+//
+// The paper's first example of a monitored property (SIII) is "the response
+// time associated with an operation invocation over a server". This
+// decorator wraps any servant, times each dispatch on a Clock, and exposes
+// the measurements both to C++ and as a monitor update source — so a
+// ResponseTime dynamic property at the trader is one line of glue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "base/clock.h"
+#include "base/value.h"
+#include "orb/servant.h"
+
+namespace adapt::orb {
+
+class TimingServant : public Servant,
+                      public std::enable_shared_from_this<TimingServant> {
+ public:
+  struct OpStats {
+    uint64_t count = 0;
+    double total_seconds = 0;
+    double max_seconds = 0;
+
+    [[nodiscard]] double mean_seconds() const {
+      return count == 0 ? 0.0 : total_seconds / static_cast<double>(count);
+    }
+  };
+
+  TimingServant(ServantPtr inner, ClockPtr clock)
+      : inner_(std::move(inner)), clock_(std::move(clock)) {
+    if (!inner_) throw OrbError("TimingServant requires an inner servant");
+    if (!clock_) throw OrbError("TimingServant requires a clock");
+  }
+
+  Value dispatch(const std::string& operation, const ValueList& args) override {
+    const double start = clock_->now();
+    // Failed dispatches are timed too: errors are service time to clients.
+    try {
+      Value result = inner_->dispatch(operation, args);
+      record(operation, clock_->now() - start);
+      return result;
+    } catch (...) {
+      record(operation, clock_->now() - start);
+      throw;
+    }
+  }
+
+  [[nodiscard]] std::string interface_name() const override {
+    return inner_->interface_name();
+  }
+
+  /// Stats for one operation ("" = all operations combined).
+  [[nodiscard]] OpStats stats(const std::string& operation = {}) const {
+    std::scoped_lock lock(mu_);
+    if (operation.empty()) return combined_;
+    const auto it = per_op_.find(operation);
+    return it == per_op_.end() ? OpStats{} : it->second;
+  }
+
+  void reset() {
+    std::scoped_lock lock(mu_);
+    per_op_.clear();
+    combined_ = OpStats{};
+  }
+
+  /// Monitor update source: a native function returning the mean response
+  /// time (seconds) of `operation` ("" = all). Plug into
+  /// BasicMonitor::set_update_function — the paper's SIII response-time
+  /// monitor in one line. The servant must be held by shared_ptr (it always
+  /// is once registered with an ORB); the source holds a weak reference.
+  [[nodiscard]] CallablePtr make_monitor_source(const std::string& operation = {});
+
+ private:
+  void record(const std::string& operation, double seconds) {
+    std::scoped_lock lock(mu_);
+    auto bump = [seconds](OpStats& s) {
+      ++s.count;
+      s.total_seconds += seconds;
+      if (seconds > s.max_seconds) s.max_seconds = seconds;
+    };
+    bump(per_op_[operation]);
+    bump(combined_);
+  }
+
+  ServantPtr inner_;
+  ClockPtr clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, OpStats> per_op_;
+  OpStats combined_;
+};
+
+}  // namespace adapt::orb

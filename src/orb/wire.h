@@ -1,0 +1,56 @@
+// Wire format (CDR/GIOP analog): Value marshalling plus request/reply frames.
+//
+// Every value that crosses an ORB boundary goes through encode_value /
+// decode_value — including "local" calls between two ORBs in the same
+// process, so experiments exercise the same code path as a deployment.
+// Functions are not marshallable: per the paper's remote-evaluation model,
+// code travels as *source strings* and is compiled at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/bytes.h"
+#include "base/value.h"
+
+namespace adapt::orb {
+
+/// Marshals one value (nil/bool/number/string/table/objref).
+/// Throws SerializationError for functions or excessive nesting.
+void encode_value(ByteWriter& w, const Value& v);
+Value decode_value(ByteReader& r);
+
+/// Maximum table-nesting depth accepted by the codec (cycle guard).
+inline constexpr int kMaxValueDepth = 32;
+
+enum class MsgType : uint8_t { Request = 1, Reply = 2 };
+
+enum class ReplyStatus : uint8_t {
+  Ok = 0,
+  UserError = 1,    // servant raised an application error
+  SystemError = 2,  // object not found / dispatch failure
+};
+
+struct RequestMessage {
+  uint64_t request_id = 0;
+  bool oneway = false;
+  std::string object_id;
+  std::string operation;
+  ValueList args;
+};
+
+struct ReplyMessage {
+  uint64_t request_id = 0;
+  ReplyStatus status = ReplyStatus::Ok;
+  Value result;  // result value, or error-message string on failure
+};
+
+Bytes encode_request(const RequestMessage& req);
+Bytes encode_reply(const ReplyMessage& rep);
+
+/// Decodes a message payload (without the u32 frame-length prefix).
+MsgType peek_type(const Bytes& payload);
+RequestMessage decode_request(const Bytes& payload);
+ReplyMessage decode_reply(const Bytes& payload);
+
+}  // namespace adapt::orb

@@ -1,0 +1,106 @@
+// Abstract syntax tree for Luma.
+//
+// Ownership: statements and expressions are owned by their parent via
+// unique_ptr. Function bodies are owned by shared FunctionDef nodes so that
+// closures (ScriptFunction values) can outlive the chunk they were parsed
+// from — code strings shipped to a remote monitor are compiled once and the
+// resulting closures keep their definition alive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adapt::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod, Pow, Concat,
+  Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+};
+
+enum class UnOp { Neg, Not, Len };
+
+/// A function literal: parameter names plus body. Shared by the FunctionExpr
+/// node and every closure created from it.
+struct FunctionDef {
+  std::vector<std::string> params;
+  bool has_varargs = false;  // trailing `...` in the parameter list
+  Block body;
+  std::string name = "?";  // for diagnostics
+  int line = 0;
+};
+using FunctionDefPtr = std::shared_ptr<FunctionDef>;
+
+struct Expr {
+  enum class Kind {
+    Nil, True, False, Number, String, Name, Index, Call, Function, Table,
+    Binary, Unary, Vararg,
+  };
+
+  explicit Expr(Kind k, int ln) : kind(k), line(ln) {}
+  Kind kind;
+  int line;
+
+  // Number / String
+  double number = 0;
+  std::string text;  // string literal, name, or method name for calls
+
+  // Index: obj[key]
+  ExprPtr obj;
+  ExprPtr key;
+
+  // Call: fn(args) or obj:method(args) (method call when is_method).
+  ExprPtr fn;
+  std::vector<ExprPtr> args;
+  bool is_method = false;
+
+  // Function literal
+  FunctionDefPtr def;
+
+  // Table constructor: positional items and keyed items.
+  std::vector<ExprPtr> items;
+  std::vector<std::pair<ExprPtr, ExprPtr>> fields;  // key -> value
+
+  // Binary / Unary
+  BinOp bin_op = BinOp::Add;
+  UnOp un_op = UnOp::Neg;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Stmt {
+  enum class Kind {
+    Local, Assign, Call, If, While, Repeat, NumericFor, GenericFor,
+    Return, Break, Do,
+  };
+
+  explicit Stmt(Kind k, int ln) : kind(k), line(ln) {}
+  Kind kind;
+  int line;
+
+  // Local: names = exprs; Assign: targets = exprs.
+  std::vector<std::string> names;
+  std::vector<ExprPtr> targets;
+  std::vector<ExprPtr> exprs;
+
+  // Call statement
+  ExprPtr call;
+
+  // If: conds[i] guards blocks[i]; else_block may be empty.
+  std::vector<ExprPtr> conds;
+  std::vector<Block> blocks;
+  Block else_block;
+
+  // While/Repeat: conds[0] + blocks[0].
+  // NumericFor: names[0] = exprs[0], exprs[1][, exprs[2]]; body = blocks[0].
+  // GenericFor: names in exprs[0]; body = blocks[0].
+  // Do: body = blocks[0].
+};
+
+}  // namespace adapt::script

@@ -1,0 +1,86 @@
+#include "script/engine.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "script/parser.h"
+
+namespace adapt::script {
+
+ScriptEngine::ScriptEngine(ClockPtr clock)
+    : clock_(clock ? std::move(clock) : std::make_shared<RealClock>()),
+      globals_(Environment::make()),
+      interp_(globals_),
+      print_sink_([](const std::string& line) { std::cout << line << '\n'; }),
+      io_(std::make_unique<Io>()) {
+  install_stdlib(*this);
+}
+
+ScriptEngine::~ScriptEngine() = default;
+
+ValueList ScriptEngine::eval(std::string_view code, const std::string& chunk_name) {
+  std::scoped_lock lock(mu_);
+  ChunkPtr chunk = parse(code, chunk_name);
+  return interp_.exec_chunk(chunk);
+}
+
+Value ScriptEngine::eval1(std::string_view code, const std::string& chunk_name) {
+  ValueList vs = eval(code, chunk_name);
+  return vs.empty() ? Value() : vs.front();
+}
+
+Value ScriptEngine::load(std::string_view code, const std::string& chunk_name) {
+  std::scoped_lock lock(mu_);
+  ChunkPtr chunk = parse(code, chunk_name);
+  auto def = std::make_shared<FunctionDef>();
+  def->name = chunk_name;
+  def->body = std::move(chunk->body);
+  return Value(CallablePtr(std::make_shared<ScriptFunction>(std::move(def), globals_)));
+}
+
+Value ScriptEngine::compile_function(std::string_view code, const std::string& chunk_name) {
+  std::scoped_lock lock(mu_);
+  // A bare function literal is not a statement, so evaluate it as an
+  // expression: `return (<code>)`.
+  const std::string wrapped = "return (" + std::string(code) + "\n)";
+  Value v = eval1(wrapped, chunk_name);
+  if (!v.is_function()) {
+    throw ScriptError("compile_function: source did not produce a function: " +
+                      std::string(code.substr(0, 60)));
+  }
+  return v;
+}
+
+ValueList ScriptEngine::call(const Value& fn, const ValueList& args) {
+  std::scoped_lock lock(mu_);
+  return interp_.call(fn, args);
+}
+
+Value ScriptEngine::call1(const Value& fn, const ValueList& args) {
+  ValueList vs = call(fn, args);
+  return vs.empty() ? Value() : vs.front();
+}
+
+void ScriptEngine::set_global(const std::string& name, Value v) {
+  std::scoped_lock lock(mu_);
+  globals_->define(name, std::move(v));
+}
+
+Value ScriptEngine::get_global(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  return globals_->get(name);
+}
+
+void ScriptEngine::register_function(const std::string& name,
+                                     std::function<ValueList(const ValueList&)> fn) {
+  set_global(name, Value(NativeFunction::make(name, std::move(fn))));
+}
+
+void ScriptEngine::set_print_sink(std::function<void(const std::string&)> sink) {
+  std::scoped_lock lock(mu_);
+  print_sink_ = std::move(sink);
+}
+
+std::mt19937& ScriptEngine::rng() { return rng_; }
+
+}  // namespace adapt::script

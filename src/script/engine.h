@@ -1,0 +1,93 @@
+// ScriptEngine: the embedding API for Luma (the analog of the Lua C API as
+// used by LuaCorba/LuaMonitor in the paper).
+//
+// Each engine owns an isolated global environment with the standard library
+// installed. Engines are internally synchronized with a recursive mutex so a
+// monitor's timer thread and application threads can share one engine.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "base/clock.h"
+#include "base/value.h"
+#include "script/env.h"
+#include "script/interpreter.h"
+
+namespace adapt::script {
+
+class ScriptEngine {
+ public:
+  /// `clock` backs os.time/os.clock; defaults to a RealClock.
+  explicit ScriptEngine(ClockPtr clock = nullptr);
+  ~ScriptEngine();
+  ScriptEngine(const ScriptEngine&) = delete;
+  ScriptEngine& operator=(const ScriptEngine&) = delete;
+
+  /// Runs a chunk of source; returns its return values.
+  ValueList eval(std::string_view code, const std::string& chunk_name = "=eval");
+  /// Like eval but yields only the first return value (or nil).
+  Value eval1(std::string_view code, const std::string& chunk_name = "=eval");
+
+  /// Compiles `code` as a chunk and returns it as a zero-argument function
+  /// (Lua loadstring analog). Does not execute it.
+  Value load(std::string_view code, const std::string& chunk_name = "=load");
+
+  /// Compiles a source string that *denotes a function* — e.g. the
+  /// "function(self, currval, monitor) ... end" strings the paper ships to
+  /// monitors — and returns the resulting function value.
+  Value compile_function(std::string_view code, const std::string& chunk_name = "=fn");
+
+  /// Calls a function value with arguments.
+  ValueList call(const Value& fn, const ValueList& args = {});
+  Value call1(const Value& fn, const ValueList& args = {});
+
+  void set_global(const std::string& name, Value v);
+  [[nodiscard]] Value get_global(const std::string& name);
+
+  /// Registers a native function as a global.
+  void register_function(const std::string& name,
+                         std::function<ValueList(const ValueList&)> fn);
+
+  /// Redirects print() output (default: stdout). Used by tests.
+  void set_print_sink(std::function<void(const std::string&)> sink);
+
+  /// Deterministic RNG behind math.random; reseedable via math.randomseed.
+  std::mt19937& rng();
+
+  [[nodiscard]] const ClockPtr& clock() const { return clock_; }
+  Interpreter& interpreter() { return interp_; }
+
+  /// The engine lock; exposed so callers composing several calls can hold it
+  /// across a sequence (it is recursive).
+  std::recursive_mutex& mutex() { return mu_; }
+
+ private:
+  /// State for the Lua-4-style readfrom/read input functions (paper Fig. 3).
+  struct Io {
+    std::unique_ptr<std::ifstream> input;
+  };
+
+  ClockPtr clock_;
+  EnvPtr globals_;
+  Interpreter interp_;
+  std::recursive_mutex mu_;
+  std::mt19937 rng_{12345};
+  std::function<void(const std::string&)> print_sink_;
+  std::unique_ptr<Io> io_;
+
+  friend void install_stdlib(ScriptEngine& engine);
+};
+
+/// Installs the standard library (print, type, tostring, tonumber, pairs,
+/// ipairs, error, assert, pcall, string.*, math.*, table.*, os.*, and the
+/// readfrom/read file-input compatibility functions used by the paper's
+/// Fig. 3 listing) into the engine's globals.
+void install_stdlib(ScriptEngine& engine);
+
+}  // namespace adapt::script

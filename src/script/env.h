@@ -1,0 +1,63 @@
+// Lexical environments (scope chains) for the Luma interpreter.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/value.h"
+
+namespace adapt::script {
+
+class Environment;
+using EnvPtr = std::shared_ptr<Environment>;
+
+/// One lexical scope. Closures capture their defining environment by
+/// shared_ptr, so locals survive as upvalues after the scope exits.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  Environment() = default;
+  explicit Environment(EnvPtr parent) : parent_(std::move(parent)) {}
+
+  /// Introduces (or shadows) a local binding in this scope.
+  void define(const std::string& name, Value v) { vars_[name] = std::move(v); }
+
+  /// Reads a binding, walking the scope chain; nil when unbound (Lua
+  /// semantics: reading an undefined global yields nil).
+  [[nodiscard]] Value get(const std::string& name) const {
+    for (const Environment* e = this; e != nullptr; e = e->parent_.get()) {
+      if (const auto it = e->vars_.find(name); it != e->vars_.end()) return it->second;
+    }
+    return {};
+  }
+
+  /// Assigns to the nearest existing binding; if none exists anywhere in the
+  /// chain, creates a global (Lua semantics for unqualified assignment).
+  void assign(const std::string& name, Value v) {
+    for (Environment* e = this; e != nullptr; e = e->parent_.get()) {
+      if (const auto it = e->vars_.find(name); it != e->vars_.end()) {
+        it->second = std::move(v);
+        return;
+      }
+      if (e->parent_ == nullptr) {
+        e->vars_[name] = std::move(v);  // the root scope holds globals
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_local(const std::string& name) const {
+    return vars_.count(name) != 0;
+  }
+
+  static EnvPtr make() { return std::make_shared<Environment>(); }
+  static EnvPtr make_child(EnvPtr parent) {
+    return std::make_shared<Environment>(std::move(parent));
+  }
+
+ private:
+  std::unordered_map<std::string, Value> vars_;
+  EnvPtr parent_;
+};
+
+}  // namespace adapt::script

@@ -1,0 +1,29 @@
+// Script-layer error types.
+#pragma once
+
+#include <string>
+
+#include "base/error.h"
+
+namespace adapt::script {
+
+/// Syntax error while lexing/parsing Luma source.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& msg, int line)
+      : Error(msg + " (line " + std::to_string(line) + ")"), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Run-time error raised while executing Luma code (including `error()`).
+class ScriptError : public Error {
+ public:
+  explicit ScriptError(const std::string& msg) : Error(msg) {}
+  ScriptError(const std::string& msg, int line)
+      : Error(msg + " (line " + std::to_string(line) + ")") {}
+};
+
+}  // namespace adapt::script

@@ -1,0 +1,475 @@
+#include "script/interpreter.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace adapt::script {
+
+namespace {
+
+/// RAII recursion-depth guard.
+class DepthGuard {
+ public:
+  DepthGuard(int& depth, int line) : depth_(depth) {
+    if (++depth_ > Interpreter::kMaxDepth) {
+      --depth_;
+      throw ScriptError("stack overflow (too much recursion)", line);
+    }
+  }
+  ~DepthGuard() { --depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+
+Value first_or_nil(const ValueList& vs) { return vs.empty() ? Value() : vs.front(); }
+
+}  // namespace
+
+ValueList ScriptFunction::call(CallContext& ctx, const ValueList& args) {
+  return ctx.interp.call_script(*this, args);
+}
+
+ValueList Interpreter::exec_chunk(const ChunkPtr& chunk) {
+  EnvPtr env = Environment::make_child(globals_);
+  ValueList ret;
+  exec_block(chunk->body, env, ret);
+  return ret;
+}
+
+ValueList Interpreter::call(const Value& fn, const ValueList& args) {
+  if (!fn.is_function()) {
+    throw ScriptError("attempt to call a " + std::string(fn.type_name()) + " value");
+  }
+  return call(fn.as_function(), args);
+}
+
+ValueList Interpreter::call(const CallablePtr& fn, const ValueList& args) {
+  CallContext ctx{*this};
+  return fn->call(ctx, args);
+}
+
+ValueList Interpreter::call_script(const ScriptFunction& fn, const ValueList& args) {
+  DepthGuard guard(depth_, fn.def().line);
+  EnvPtr env = Environment::make_child(fn.closure());
+  const auto& params = fn.def().params;
+  for (size_t i = 0; i < params.size(); ++i) {
+    env->define(params[i], i < args.size() ? args[i] : Value());
+  }
+  if (fn.def().has_varargs) {
+    // Extra arguments become `...` (and the Lua-4 style `arg` table, with
+    // `arg.n` holding the count).
+    auto extras = Table::make();
+    for (size_t i = params.size(); i < args.size(); ++i) extras->append(args[i]);
+    extras->set(Value("n"), Value(static_cast<double>(extras->length())));
+    env->define("...", Value(extras));
+    env->define("arg", Value(extras));
+  }
+  ValueList ret;
+  exec_block(fn.def().body, env, ret);
+  return ret;
+}
+
+Interpreter::Flow Interpreter::exec_block(const Block& block, const EnvPtr& env,
+                                          ValueList& ret) {
+  for (const auto& stmt : block) {
+    const Flow f = exec_stmt(*stmt, env, ret);
+    if (f != Flow::Normal) return f;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::exec_stmt(const Stmt& s, const EnvPtr& env, ValueList& ret) {
+  switch (s.kind) {
+    case Stmt::Kind::Local: {
+      ValueList vals = eval_expr_list(s.exprs, env);
+      for (size_t i = 0; i < s.names.size(); ++i) {
+        env->define(s.names[i], i < vals.size() ? std::move(vals[i]) : Value());
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Assign: {
+      ValueList vals = eval_expr_list(s.exprs, env);
+      for (size_t i = 0; i < s.targets.size(); ++i) {
+        assign_to(*s.targets[i], i < vals.size() ? std::move(vals[i]) : Value(), env);
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Call: {
+      eval_call(*s.call, env);
+      return Flow::Normal;
+    }
+    case Stmt::Kind::If: {
+      for (size_t i = 0; i < s.conds.size(); ++i) {
+        if (eval(*s.conds[i], env).truthy()) {
+          EnvPtr inner = Environment::make_child(env);
+          return exec_block(s.blocks[i], inner, ret);
+        }
+      }
+      EnvPtr inner = Environment::make_child(env);
+      return exec_block(s.else_block, inner, ret);
+    }
+    case Stmt::Kind::While: {
+      while (eval(*s.conds[0], env).truthy()) {
+        EnvPtr inner = Environment::make_child(env);
+        const Flow f = exec_block(s.blocks[0], inner, ret);
+        if (f == Flow::Return) return f;
+        if (f == Flow::Break) break;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Repeat: {
+      for (;;) {
+        EnvPtr inner = Environment::make_child(env);
+        const Flow f = exec_block(s.blocks[0], inner, ret);
+        if (f == Flow::Return) return f;
+        if (f == Flow::Break) break;
+        // Lua scoping: the until-condition sees the body's locals.
+        if (eval(*s.conds[0], inner).truthy()) break;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::NumericFor: {
+      const double start = to_number(eval(*s.exprs[0], env), s.line, "'for' initial value");
+      const double stop = to_number(eval(*s.exprs[1], env), s.line, "'for' limit");
+      const double step = s.exprs.size() > 2
+                              ? to_number(eval(*s.exprs[2], env), s.line, "'for' step")
+                              : 1.0;
+      if (step == 0) throw ScriptError("'for' step is zero", s.line);
+      for (double i = start; step > 0 ? i <= stop : i >= stop; i += step) {
+        EnvPtr inner = Environment::make_child(env);
+        inner->define(s.names[0], Value(i));
+        const Flow f = exec_block(s.blocks[0], inner, ret);
+        if (f == Flow::Return) return f;
+        if (f == Flow::Break) break;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::GenericFor: {
+      // `for a, b in <expr> do ... end`: the expression must yield an
+      // iterator function; it is called repeatedly until its first result
+      // is nil (simplified Lua iterator protocol; see stdlib pairs/ipairs).
+      const Value iter = eval(*s.exprs[0], env);
+      if (!iter.is_function()) {
+        throw ScriptError("'for ... in' expects an iterator function, got " +
+                              std::string(iter.type_name()),
+                          s.line);
+      }
+      for (;;) {
+        ValueList vals = call(iter, {});
+        if (vals.empty() || vals.front().is_nil()) break;
+        EnvPtr inner = Environment::make_child(env);
+        for (size_t i = 0; i < s.names.size(); ++i) {
+          inner->define(s.names[i], i < vals.size() ? vals[i] : Value());
+        }
+        const Flow f = exec_block(s.blocks[0], inner, ret);
+        if (f == Flow::Return) return f;
+        if (f == Flow::Break) break;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Return:
+      ret = eval_expr_list(s.exprs, env);
+      return Flow::Return;
+    case Stmt::Kind::Break:
+      return Flow::Break;
+    case Stmt::Kind::Do: {
+      EnvPtr inner = Environment::make_child(env);
+      return exec_block(s.blocks[0], inner, ret);
+    }
+  }
+  throw ScriptError("internal: unknown statement kind", s.line);
+}
+
+ValueList Interpreter::eval_expr_list(const std::vector<ExprPtr>& list, const EnvPtr& env) {
+  ValueList out;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i + 1 == list.size()) {
+      ValueList last = eval_multi(*list[i], env);
+      out.insert(out.end(), std::make_move_iterator(last.begin()),
+                 std::make_move_iterator(last.end()));
+    } else {
+      out.push_back(eval(*list[i], env));
+    }
+  }
+  return out;
+}
+
+ValueList Interpreter::eval_multi(const Expr& e, const EnvPtr& env) {
+  if (e.kind == Expr::Kind::Call) return eval_call(e, env);
+  if (e.kind == Expr::Kind::Vararg) {
+    const Value extras = env->get("...");
+    if (!extras.is_table()) {
+      throw ScriptError("cannot use '...' outside a vararg function", e.line);
+    }
+    ValueList out;
+    const Table& t = *extras.as_table();
+    for (int64_t i = 1; i <= t.length(); ++i) out.push_back(t.geti(i));
+    return out;
+  }
+  return {eval(e, env)};
+}
+
+Value Interpreter::eval(const Expr& e, const EnvPtr& env) {
+  switch (e.kind) {
+    case Expr::Kind::Nil: return {};
+    case Expr::Kind::True: return Value(true);
+    case Expr::Kind::False: return Value(false);
+    case Expr::Kind::Number: return Value(e.number);
+    case Expr::Kind::String: return Value(e.text);
+    case Expr::Kind::Name: return env->get(e.text);
+    case Expr::Kind::Index: {
+      const Value obj = eval(*e.obj, env);
+      const Value key = eval(*e.key, env);
+      if (obj.is_table()) return table_index(obj.as_table(), key, e.line);
+      if (obj.is_string() && key.is_number()) {
+        // convenience: s[i] yields the i-th character (1-based)
+        const auto& s = obj.as_string();
+        const int64_t i = key.as_int();
+        if (i >= 1 && static_cast<size_t>(i) <= s.size()) {
+          return Value(std::string(1, s[static_cast<size_t>(i - 1)]));
+        }
+        return {};
+      }
+      throw ScriptError("attempt to index a " + std::string(obj.type_name()) + " value",
+                        e.line);
+    }
+    case Expr::Kind::Call:
+      return first_or_nil(eval_call(e, env));
+    case Expr::Kind::Vararg:
+      return first_or_nil(eval_multi(e, env));
+    case Expr::Kind::Function:
+      return Value(CallablePtr(std::make_shared<ScriptFunction>(e.def, env)));
+    case Expr::Kind::Table:
+      return eval_table(e, env);
+    case Expr::Kind::Binary:
+      return eval_binary(e, env);
+    case Expr::Kind::Unary:
+      return eval_unary(e, env);
+  }
+  throw ScriptError("internal: unknown expression kind", e.line);
+}
+
+ValueList Interpreter::eval_call(const Expr& e, const EnvPtr& env) {
+  DepthGuard guard(depth_, e.line);
+  Value fn;
+  ValueList args;
+  if (e.is_method) {
+    const Value self = eval(*e.fn, env);
+    if (!self.is_table()) {
+      throw ScriptError("attempt to call method '" + e.text + "' on a " +
+                            std::string(self.type_name()) + " value",
+                        e.line);
+    }
+    fn = table_index(self.as_table(), Value(e.text), e.line);
+    if (fn.is_nil()) {
+      throw ScriptError("method '" + e.text + "' is nil", e.line);
+    }
+    args.push_back(self);
+  } else {
+    fn = eval(*e.fn, env);
+  }
+  ValueList extra = eval_expr_list(e.args, env);
+  args.insert(args.end(), std::make_move_iterator(extra.begin()),
+              std::make_move_iterator(extra.end()));
+  if (!fn.is_function()) {
+    throw ScriptError("attempt to call a " + std::string(fn.type_name()) + " value",
+                      e.line);
+  }
+  try {
+    return call(fn.as_function(), args);
+  } catch (ParseError&) {
+    throw;
+  } catch (ScriptError&) {
+    throw;
+  } catch (const Error& err) {
+    // Surface native-layer failures as script errors with a call-site line.
+    throw ScriptError(err.what(), e.line);
+  }
+}
+
+Value Interpreter::eval_table(const Expr& e, const EnvPtr& env) {
+  auto t = Table::make();
+  int64_t index = 1;
+  for (size_t i = 0; i < e.items.size(); ++i) {
+    if (i + 1 == e.items.size()) {
+      // last positional item expands all its values
+      for (ValueList vals = eval_multi(*e.items[i], env); auto& v : vals) {
+        t->seti(index++, std::move(v));
+      }
+    } else {
+      t->seti(index++, eval(*e.items[i], env));
+    }
+  }
+  for (const auto& [key_expr, val_expr] : e.fields) {
+    const Value key = eval(*key_expr, env);
+    Value val = eval(*val_expr, env);
+    if (key.is_nil()) throw ScriptError("table key is nil", e.line);
+    t->set(key, std::move(val));
+  }
+  return Value(std::move(t));
+}
+
+double Interpreter::to_number(const Value& v, int line, const char* what) {
+  if (v.is_number()) return v.as_number();
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    char* end = nullptr;
+    const double n = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() && *end == '\0') return n;
+  }
+  throw ScriptError(std::string(what) + " must be a number, got " + v.type_name(), line);
+}
+
+std::string Interpreter::to_concat_string(const Value& v, int line) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return v.str();
+  throw ScriptError("attempt to concatenate a " + std::string(v.type_name()) + " value",
+                    line);
+}
+
+Value Interpreter::eval_binary(const Expr& e, const EnvPtr& env) {
+  // and/or short-circuit and yield operand values, as in Lua.
+  if (e.bin_op == BinOp::And) {
+    Value l = eval(*e.lhs, env);
+    return l.truthy() ? eval(*e.rhs, env) : l;
+  }
+  if (e.bin_op == BinOp::Or) {
+    Value l = eval(*e.lhs, env);
+    return l.truthy() ? l : eval(*e.rhs, env);
+  }
+
+  const Value l = eval(*e.lhs, env);
+  const Value r = eval(*e.rhs, env);
+  switch (e.bin_op) {
+    case BinOp::Add: return Value(to_number(l, e.line, "operand") + to_number(r, e.line, "operand"));
+    case BinOp::Sub: return Value(to_number(l, e.line, "operand") - to_number(r, e.line, "operand"));
+    case BinOp::Mul: return Value(to_number(l, e.line, "operand") * to_number(r, e.line, "operand"));
+    case BinOp::Div: return Value(to_number(l, e.line, "operand") / to_number(r, e.line, "operand"));
+    case BinOp::Mod: {
+      const double a = to_number(l, e.line, "operand");
+      const double b = to_number(r, e.line, "operand");
+      // Lua modulo: result has the sign of the divisor.
+      return Value(a - std::floor(a / b) * b);
+    }
+    case BinOp::Pow:
+      return Value(std::pow(to_number(l, e.line, "operand"), to_number(r, e.line, "operand")));
+    case BinOp::Concat:
+      return Value(to_concat_string(l, e.line) + to_concat_string(r, e.line));
+    case BinOp::Eq: return Value(l == r);
+    case BinOp::Ne: return Value(!(l == r));
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      int cmp;
+      if (l.is_number() && r.is_number()) {
+        const double a = l.as_number();
+        const double b = r.as_number();
+        cmp = a < b ? -1 : (a > b ? 1 : 0);
+      } else if (l.is_string() && r.is_string()) {
+        cmp = l.as_string().compare(r.as_string());
+      } else {
+        throw ScriptError("attempt to compare " + std::string(l.type_name()) + " with " +
+                              r.type_name(),
+                          e.line);
+      }
+      switch (e.bin_op) {
+        case BinOp::Lt: return Value(cmp < 0);
+        case BinOp::Le: return Value(cmp <= 0);
+        case BinOp::Gt: return Value(cmp > 0);
+        default: return Value(cmp >= 0);
+      }
+    }
+    default:
+      throw ScriptError("internal: unknown binary operator", e.line);
+  }
+}
+
+Value Interpreter::eval_unary(const Expr& e, const EnvPtr& env) {
+  const Value v = eval(*e.lhs, env);
+  switch (e.un_op) {
+    case UnOp::Neg: return Value(-to_number(v, e.line, "operand"));
+    case UnOp::Not: return Value(!v.truthy());
+    case UnOp::Len:
+      if (v.is_string()) return Value(static_cast<double>(v.as_string().size()));
+      if (v.is_table()) return Value(static_cast<double>(v.as_table()->length()));
+      throw ScriptError("attempt to get length of a " + std::string(v.type_name()) + " value",
+                        e.line);
+  }
+  throw ScriptError("internal: unknown unary operator", e.line);
+}
+
+Value Interpreter::table_index(const TablePtr& table, const Value& key, int line) {
+  TablePtr current = table;
+  for (int depth = 0; depth < 100; ++depth) {
+    Value raw = current->get(key);
+    if (!raw.is_nil()) return raw;
+    const TablePtr& mt = current->metatable();
+    if (!mt) return {};
+    const Value handler = mt->get(Value("__index"));
+    if (handler.is_nil()) return {};
+    if (handler.is_function()) {
+      ValueList results = call(handler.as_function(), {Value(current), key});
+      return results.empty() ? Value() : std::move(results.front());
+    }
+    if (handler.is_table()) {
+      current = handler.as_table();
+      continue;
+    }
+    throw ScriptError("__index must be a table or function", line);
+  }
+  throw ScriptError("'__index' chain too long; possible loop", line);
+}
+
+void Interpreter::table_newindex(const TablePtr& table, const Value& key, Value v, int line) {
+  TablePtr current = table;
+  for (int depth = 0; depth < 100; ++depth) {
+    if (!current->get(key).is_nil()) {
+      current->set(key, std::move(v));  // existing key: raw assignment
+      return;
+    }
+    const TablePtr& mt = current->metatable();
+    if (!mt) {
+      current->set(key, std::move(v));
+      return;
+    }
+    const Value handler = mt->get(Value("__newindex"));
+    if (handler.is_nil()) {
+      current->set(key, std::move(v));
+      return;
+    }
+    if (handler.is_function()) {
+      call(handler.as_function(), {Value(current), key, std::move(v)});
+      return;
+    }
+    if (handler.is_table()) {
+      current = handler.as_table();
+      continue;
+    }
+    throw ScriptError("__newindex must be a table or function", line);
+  }
+  throw ScriptError("'__newindex' chain too long; possible loop", line);
+}
+
+void Interpreter::assign_to(const Expr& target, Value v, const EnvPtr& env) {
+  if (target.kind == Expr::Kind::Name) {
+    env->assign(target.text, std::move(v));
+    return;
+  }
+  if (target.kind == Expr::Kind::Index) {
+    const Value obj = eval(*target.obj, env);
+    const Value key = eval(*target.key, env);
+    if (!obj.is_table()) {
+      throw ScriptError("attempt to index a " + std::string(obj.type_name()) + " value",
+                        target.line);
+    }
+    table_newindex(obj.as_table(), key, std::move(v), target.line);
+    return;
+  }
+  throw ScriptError("cannot assign to this expression", target.line);
+}
+
+}  // namespace adapt::script

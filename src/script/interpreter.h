@@ -1,0 +1,97 @@
+// Tree-walking evaluator for Luma.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/value.h"
+#include "script/ast.h"
+#include "script/env.h"
+#include "script/errors.h"
+#include "script/parser.h"
+
+namespace adapt::script {
+
+class Interpreter;
+
+/// Closure: a FunctionDef paired with its captured environment.
+class ScriptFunction : public Callable {
+ public:
+  ScriptFunction(FunctionDefPtr def, EnvPtr closure)
+      : def_(std::move(def)), closure_(std::move(closure)) {}
+
+  ValueList call(CallContext& ctx, const ValueList& args) override;
+  [[nodiscard]] std::string describe() const override {
+    return "function " + def_->name;
+  }
+  [[nodiscard]] const FunctionDef& def() const { return *def_; }
+  [[nodiscard]] const EnvPtr& closure() const { return closure_; }
+
+ private:
+  FunctionDefPtr def_;
+  EnvPtr closure_;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(EnvPtr globals) : globals_(std::move(globals)) {}
+
+  /// Runs a chunk in a fresh scope under the globals; returns the chunk's
+  /// return values.
+  ValueList exec_chunk(const ChunkPtr& chunk);
+
+  /// Invokes any callable (script closure or native function).
+  ValueList call(const Value& fn, const ValueList& args);
+  ValueList call(const CallablePtr& fn, const ValueList& args);
+
+  /// Runs a closure's body with bound parameters (used by ScriptFunction).
+  ValueList call_script(const ScriptFunction& fn, const ValueList& args);
+
+  [[nodiscard]] const EnvPtr& globals() const { return globals_; }
+
+  /// Guard against runaway recursion in user code.
+  static constexpr int kMaxDepth = 200;
+
+ private:
+  enum class Flow { Normal, Break, Return };
+
+  Flow exec_block(const Block& block, const EnvPtr& env, ValueList& ret);
+  Flow exec_stmt(const Stmt& s, const EnvPtr& env, ValueList& ret);
+
+  Value eval(const Expr& e, const EnvPtr& env);
+  /// Evaluates an expression in multi-value context (calls may return many).
+  ValueList eval_multi(const Expr& e, const EnvPtr& env);
+  /// Evaluates an expression list with Lua expansion rules: every expression
+  /// but the last is truncated to one value; the last expands fully.
+  ValueList eval_expr_list(const std::vector<ExprPtr>& list, const EnvPtr& env);
+
+  ValueList eval_call(const Expr& e, const EnvPtr& env);
+
+ public:
+  /// Table read honoring __index metamethods (table or function chains).
+  Value table_index(const TablePtr& table, const Value& key, int line = 0);
+  /// Table write honoring __newindex metamethods.
+  void table_newindex(const TablePtr& table, const Value& key, Value v, int line = 0);
+
+ private:
+  Value eval_binary(const Expr& e, const EnvPtr& env);
+  Value eval_unary(const Expr& e, const EnvPtr& env);
+  Value eval_table(const Expr& e, const EnvPtr& env);
+  void assign_to(const Expr& target, Value v, const EnvPtr& env);
+
+  static double to_number(const Value& v, int line, const char* what);
+  static std::string to_concat_string(const Value& v, int line);
+
+  EnvPtr globals_;
+  int depth_ = 0;
+};
+
+/// Execution context passed to Callable::call. Defined here (declared in
+/// base/value.h) so native functions can call back into the interpreter.
+}  // namespace adapt::script
+
+namespace adapt {
+struct CallContext {
+  script::Interpreter& interp;
+};
+}  // namespace adapt

@@ -1,0 +1,279 @@
+#include "script/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace adapt::script {
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>>& keywords() {
+  static const std::map<std::string, Tok, std::less<>> kw = {
+      {"and", Tok::And},       {"break", Tok::Break},   {"do", Tok::Do},
+      {"else", Tok::Else},     {"elseif", Tok::Elseif}, {"end", Tok::End},
+      {"false", Tok::False},   {"for", Tok::For},       {"function", Tok::Function},
+      {"if", Tok::If},         {"in", Tok::In},         {"local", Tok::Local},
+      {"nil", Tok::Nil},       {"not", Tok::Not},       {"or", Tok::Or},
+      {"repeat", Tok::Repeat}, {"return", Tok::Return}, {"then", Tok::Then},
+      {"true", Tok::True},     {"until", Tok::Until},   {"while", Tok::While},
+  };
+  return kw;
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "<eof>";
+    case Tok::Name: return "<name>";
+    case Tok::Number: return "<number>";
+    case Tok::String: return "<string>";
+    case Tok::And: return "and";
+    case Tok::Break: return "break";
+    case Tok::Do: return "do";
+    case Tok::Else: return "else";
+    case Tok::Elseif: return "elseif";
+    case Tok::End: return "end";
+    case Tok::False: return "false";
+    case Tok::For: return "for";
+    case Tok::Function: return "function";
+    case Tok::If: return "if";
+    case Tok::In: return "in";
+    case Tok::Local: return "local";
+    case Tok::Nil: return "nil";
+    case Tok::Not: return "not";
+    case Tok::Or: return "or";
+    case Tok::Repeat: return "repeat";
+    case Tok::Return: return "return";
+    case Tok::Then: return "then";
+    case Tok::True: return "true";
+    case Tok::Until: return "until";
+    case Tok::While: return "while";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Caret: return "^";
+    case Tok::Hash: return "#";
+    case Tok::Eq: return "==";
+    case Tok::Ne: return "~=";
+    case Tok::Le: return "<=";
+    case Tok::Ge: return ">=";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::Assign: return "=";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Comma: return ",";
+    case Tok::Dot: return ".";
+    case Tok::Concat: return "..";
+    case Tok::Ellipsis: return "...";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next_token();
+    const bool done = t.kind == Tok::Eof;
+    out.push_back(std::move(t));
+    if (done) return out;
+  }
+}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = peek();
+  if (c == '\n') ++line_;
+  if (pos_ < src_.size()) ++pos_;
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (peek() != c) return false;
+  advance();
+  return true;
+}
+
+void Lexer::fail(const std::string& msg) const { throw ParseError(msg, line_); }
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '-' && peek(1) == '-') {
+      advance();
+      advance();
+      if (peek() == '[' && peek(1) == '[') {
+        advance();
+        advance();
+        // block comment: scan to closing ]]
+        while (!(peek() == ']' && peek(1) == ']')) {
+          if (peek() == '\0') fail("unterminated block comment");
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        while (peek() != '\n' && peek() != '\0') advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::read_number() {
+  const int line = line_;
+  std::string text;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text += advance();
+    text += advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) text += advance();
+    if (text.size() == 2) fail("malformed hex number");
+    return Token{Tok::Number, text, static_cast<double>(std::strtoull(text.c_str() + 2, nullptr, 16)), line};
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  if (peek() == '.') {
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    text += advance();
+    if (peek() == '+' || peek() == '-') text += advance();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("malformed number exponent");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  return Token{Tok::Number, text, std::strtod(text.c_str(), nullptr), line};
+}
+
+Token Lexer::read_name_or_keyword() {
+  const int line = line_;
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') name += advance();
+  const auto& kw = keywords();
+  if (const auto it = kw.find(name); it != kw.end()) return Token{it->second, name, 0, line};
+  return Token{Tok::Name, std::move(name), 0, line};
+}
+
+Token Lexer::read_short_string(char quote) {
+  const int line = line_;
+  std::string out;
+  for (;;) {
+    const char c = peek();
+    if (c == '\0' || c == '\n') fail("unterminated string");
+    advance();
+    if (c == quote) break;
+    if (c == '\\') {
+      const char e = advance();
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'a': out += '\a'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'v': out += '\v'; break;
+        case '0': out += '\0'; break;
+        case '\\': out += '\\'; break;
+        case '"': out += '"'; break;
+        case '\'': out += '\''; break;
+        case '\n': out += '\n'; break;
+        default: fail(std::string("invalid escape sequence \\") + e);
+      }
+    } else {
+      out += c;
+    }
+  }
+  return Token{Tok::String, std::move(out), 0, line};
+}
+
+Token Lexer::read_long_string() {
+  // Called after the opening "[[". A leading newline right after the opener
+  // is skipped, as in Lua.
+  const int line = line_;
+  std::string out;
+  if (peek() == '\n') advance();
+  while (!(peek() == ']' && peek(1) == ']')) {
+    if (peek() == '\0') fail("unterminated long string");
+    out += advance();
+  }
+  advance();
+  advance();
+  return Token{Tok::String, std::move(out), 0, line};
+}
+
+Token Lexer::next_token() {
+  skip_whitespace_and_comments();
+  const int line = line_;
+  const char c = peek();
+  if (c == '\0') return Token{Tok::Eof, "", 0, line};
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    return read_number();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return read_name_or_keyword();
+  if (c == '"' || c == '\'') {
+    advance();
+    return read_short_string(c);
+  }
+  if (c == '[' && peek(1) == '[') {
+    advance();
+    advance();
+    return read_long_string();
+  }
+  advance();
+  auto simple = [&](Tok t) { return Token{t, std::string(1, c), 0, line}; };
+  switch (c) {
+    case '+': return simple(Tok::Plus);
+    case '-': return simple(Tok::Minus);
+    case '*': return simple(Tok::Star);
+    case '/': return simple(Tok::Slash);
+    case '%': return simple(Tok::Percent);
+    case '^': return simple(Tok::Caret);
+    case '#': return simple(Tok::Hash);
+    case '(': return simple(Tok::LParen);
+    case ')': return simple(Tok::RParen);
+    case '{': return simple(Tok::LBrace);
+    case '}': return simple(Tok::RBrace);
+    case '[': return simple(Tok::LBracket);
+    case ']': return simple(Tok::RBracket);
+    case ';': return simple(Tok::Semi);
+    case ':': return simple(Tok::Colon);
+    case ',': return simple(Tok::Comma);
+    case '=':
+      return match('=') ? Token{Tok::Eq, "==", 0, line} : simple(Tok::Assign);
+    case '~':
+      if (match('=')) return Token{Tok::Ne, "~=", 0, line};
+      fail("unexpected '~'");
+    case '<':
+      return match('=') ? Token{Tok::Le, "<=", 0, line} : simple(Tok::Lt);
+    case '>':
+      return match('=') ? Token{Tok::Ge, ">=", 0, line} : simple(Tok::Gt);
+    case '.':
+      if (match('.')) {
+        if (match('.')) return Token{Tok::Ellipsis, "...", 0, line};
+        return Token{Tok::Concat, "..", 0, line};
+      }
+      return simple(Tok::Dot);
+    default:
+      fail(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace adapt::script

@@ -1,0 +1,37 @@
+// Hand-written lexer for Luma source text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "script/errors.h"
+#include "script/token.h"
+
+namespace adapt::script {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenizes the whole input (ending with an Eof token).
+  std::vector<Token> tokenize();
+
+ private:
+  Token next_token();
+  Token read_number();
+  Token read_name_or_keyword();
+  Token read_short_string(char quote);
+  Token read_long_string();
+  void skip_whitespace_and_comments();
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char c);
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::string src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace adapt::script

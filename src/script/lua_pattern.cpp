@@ -1,0 +1,382 @@
+#include "script/lua_pattern.h"
+
+#include <cctype>
+#include <functional>
+
+namespace adapt::script {
+
+namespace {
+
+constexpr int kMaxCaptures = 32;
+constexpr int kMaxMatchDepth = 200;
+constexpr char kEsc = '%';
+
+/// Core matcher, a faithful port of the lstrlib recursive algorithm.
+class Matcher {
+ public:
+  Matcher(const std::string& src, const std::string& pat) : src_(src), pat_(pat) {}
+
+  /// Attempts a match of the whole pattern starting exactly at src offset
+  /// `s`; returns the end offset or npos.
+  size_t match_from(size_t s) {
+    level_ = 0;
+    depth_ = 0;
+    size_t p = 0;
+    if (!pat_.empty() && pat_[0] == '^') p = 1;  // anchor handled by caller loop
+    return match(s, p);
+  }
+
+  [[nodiscard]] bool anchored() const { return !pat_.empty() && pat_[0] == '^'; }
+
+  std::vector<PatternCapture> captures(size_t match_start, size_t match_end) const {
+    std::vector<PatternCapture> out;
+    if (level_ == 0) {
+      PatternCapture whole;
+      whole.text = src_.substr(match_start, match_end - match_start);
+      out.push_back(std::move(whole));
+      return out;
+    }
+    for (int i = 0; i < level_; ++i) {
+      PatternCapture cap;
+      if (caps_[i].len == kPosition) {
+        cap.is_position = true;
+        cap.position = caps_[i].init + 1;  // 1-based, Lua style
+      } else {
+        cap.text = src_.substr(caps_[i].init, static_cast<size_t>(caps_[i].len));
+      }
+      out.push_back(std::move(cap));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr long kUnclosed = -1;
+  static constexpr long kPosition = -2;
+
+  struct Cap {
+    size_t init = 0;
+    long len = kUnclosed;
+  };
+
+  [[noreturn]] static void fail(const std::string& msg) { throw PatternError(msg); }
+
+  static bool class_match(unsigned char c, unsigned char cl) {
+    bool res;
+    switch (std::tolower(cl)) {
+      case 'a': res = std::isalpha(c) != 0; break;
+      case 'c': res = std::iscntrl(c) != 0; break;
+      case 'd': res = std::isdigit(c) != 0; break;
+      case 'l': res = std::islower(c) != 0; break;
+      case 'p': res = std::ispunct(c) != 0; break;
+      case 's': res = std::isspace(c) != 0; break;
+      case 'u': res = std::isupper(c) != 0; break;
+      case 'w': res = std::isalnum(c) != 0; break;
+      case 'x': res = std::isxdigit(c) != 0; break;
+      default: return cl == c;  // escaped literal
+    }
+    return std::isupper(cl) ? !res : res;
+  }
+
+  /// Matches c against the set starting at p ('[' position); `ep` is the
+  /// index just past the closing ']'.
+  bool bracket_match(unsigned char c, size_t p, size_t ep) const {
+    bool invert = false;
+    ++p;  // skip '['
+    if (p < pat_.size() && pat_[p] == '^') {
+      invert = true;
+      ++p;
+    }
+    while (p < ep - 1) {
+      if (pat_[p] == kEsc && p + 1 < ep - 1 + 1) {
+        ++p;
+        if (class_match(c, static_cast<unsigned char>(pat_[p]))) return !invert;
+        ++p;
+      } else if (p + 2 < ep - 1 && pat_[p + 1] == '-') {
+        if (static_cast<unsigned char>(pat_[p]) <= c &&
+            c <= static_cast<unsigned char>(pat_[p + 2])) {
+          return !invert;
+        }
+        p += 3;
+      } else {
+        if (static_cast<unsigned char>(pat_[p]) == c) return !invert;
+        ++p;
+      }
+    }
+    return invert;
+  }
+
+  /// Index just past the current pattern item (single char, %x, or [set]).
+  size_t item_end(size_t p) const {
+    const char c = pat_[p];
+    if (c == kEsc) {
+      if (p + 1 >= pat_.size()) fail("malformed pattern (ends with '%')");
+      return p + 2;
+    }
+    if (c == '[') {
+      ++p;
+      if (p < pat_.size() && pat_[p] == '^') ++p;
+      // The first ']' is a literal member of the set.
+      do {
+        if (p >= pat_.size()) fail("malformed pattern (missing ']')");
+        if (pat_[p] == kEsc) ++p;
+        ++p;
+      } while (p >= pat_.size() || pat_[p] != ']');
+      return p + 1;
+    }
+    return p + 1;
+  }
+
+  bool single_match(size_t s, size_t p, size_t ep) const {
+    if (s >= src_.size()) return false;
+    const auto c = static_cast<unsigned char>(src_[s]);
+    switch (pat_[p]) {
+      case '.': return true;
+      case kEsc: return class_match(c, static_cast<unsigned char>(pat_[p + 1]));
+      case '[': return bracket_match(c, p, ep);
+      default: return static_cast<unsigned char>(pat_[p]) == c;
+    }
+  }
+
+  size_t max_expand(size_t s, size_t p, size_t ep) {
+    size_t i = 0;
+    while (single_match(s + i, p, ep)) ++i;
+    for (;;) {
+      const size_t r = match(s + i, ep + 1);
+      if (r != npos) return r;
+      if (i == 0) return npos;
+      --i;
+    }
+  }
+
+  size_t min_expand(size_t s, size_t p, size_t ep) {
+    for (;;) {
+      const size_t r = match(s, ep + 1);
+      if (r != npos) return r;
+      if (single_match(s, p, ep)) {
+        ++s;
+      } else {
+        return npos;
+      }
+    }
+  }
+
+  size_t start_capture(size_t s, size_t p, long what) {
+    if (level_ >= kMaxCaptures) fail("too many captures");
+    caps_[level_].init = s;
+    caps_[level_].len = what;
+    ++level_;
+    const size_t r = match(s, p);
+    if (r == npos) --level_;
+    return r;
+  }
+
+  size_t end_capture(size_t s, size_t p) {
+    int l = -1;
+    for (int i = level_ - 1; i >= 0; --i) {
+      if (caps_[i].len == kUnclosed) {
+        l = i;
+        break;
+      }
+    }
+    if (l < 0) fail("invalid pattern capture (unmatched ')')");
+    caps_[l].len = static_cast<long>(s - caps_[l].init);
+    const size_t r = match(s, p);
+    if (r == npos) caps_[l].len = kUnclosed;
+    return r;
+  }
+
+  size_t match_capture(size_t s, int index) {
+    if (index < 0 || index >= level_ || caps_[index].len == kUnclosed) {
+      fail("invalid capture index in pattern");
+    }
+    const auto len = static_cast<size_t>(caps_[index].len);
+    if (src_.size() - s >= len &&
+        src_.compare(s, len, src_, caps_[index].init, len) == 0) {
+      return s + len;
+    }
+    return npos;
+  }
+
+  size_t match(size_t s, size_t p) {
+    if (++depth_ > kMaxMatchDepth * 50) fail("pattern too complex");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    if (p >= pat_.size()) {
+      for (int i = 0; i < level_; ++i) {
+        if (caps_[i].len == kUnclosed) fail("unfinished capture in pattern");
+      }
+      return s;
+    }
+    switch (pat_[p]) {
+      case '(':
+        if (p + 1 < pat_.size() && pat_[p + 1] == ')') {
+          return start_capture(s, p + 2, kPosition);
+        }
+        return start_capture(s, p + 1, kUnclosed);
+      case ')':
+        return end_capture(s, p + 1);
+      case '$':
+        if (p + 1 == pat_.size()) return s == src_.size() ? s : npos;
+        break;  // '$' elsewhere is a literal
+      case kEsc:
+        if (p + 1 < pat_.size() && pat_[p + 1] >= '1' && pat_[p + 1] <= '9') {
+          const size_t r = match_capture(s, pat_[p + 1] - '1');
+          if (r == npos) return npos;
+          return match(r, p + 2);
+        }
+        break;
+      default:
+        break;
+    }
+    const size_t ep = item_end(p);
+    const char suffix = ep < pat_.size() ? pat_[ep] : '\0';
+    switch (suffix) {
+      case '?': {
+        if (single_match(s, p, ep)) {
+          const size_t r = match(s + 1, ep + 1);
+          if (r != npos) return r;
+        }
+        return match(s, ep + 1);
+      }
+      case '*':
+        return max_expand(s, p, ep);
+      case '+':
+        return single_match(s, p, ep) ? max_expand(s + 1, p, ep) : npos;
+      case '-':
+        return min_expand(s, p, ep);
+      default:
+        if (!single_match(s, p, ep)) return npos;
+        return match(s + 1, ep);
+    }
+  }
+
+  static constexpr size_t npos = std::string::npos;
+
+  const std::string& src_;
+  const std::string& pat_;
+  Cap caps_[kMaxCaptures];
+  int level_ = 0;
+  int depth_ = 0;
+
+ public:
+  static constexpr size_t kNoMatch = npos;
+};
+
+}  // namespace
+
+std::optional<PatternMatch> pattern_find(const std::string& s, const std::string& pattern,
+                                         size_t init) {
+  if (init > s.size()) return std::nullopt;
+  Matcher m(s, pattern);
+  size_t start = init;
+  do {
+    const size_t end = m.match_from(start);
+    if (end != Matcher::kNoMatch) {
+      PatternMatch result;
+      result.start = start;
+      result.end = end;
+      result.captures = m.captures(start, end);
+      return result;
+    }
+    ++start;
+  } while (start <= s.size() && !m.anchored());
+  return std::nullopt;
+}
+
+std::string pattern_gsub(const std::string& s, const std::string& pattern,
+                         const GsubCallback& replace, long max_n, int& count) {
+  count = 0;
+  std::string out;
+  size_t pos = 0;
+  while ((max_n < 0 || count < max_n) && pos <= s.size()) {
+    const auto m = pattern_find(s, pattern, pos);
+    if (!m) break;
+    out.append(s, pos, m->start - pos);
+    const auto replacement = replace(m->captures);
+    if (replacement) {
+      out += *replacement;
+    } else {
+      out.append(s, m->start, m->end - m->start);
+    }
+    ++count;
+    if (m->end == m->start) {  // empty match: copy one char and advance
+      if (m->end < s.size()) out += s[m->end];
+      pos = m->end + 1;
+    } else {
+      pos = m->end;
+    }
+  }
+  if (pos < s.size()) out.append(s, pos, std::string::npos);
+  return out;
+}
+
+std::string pattern_gsub(const std::string& s, const std::string& pattern,
+                         const std::string& replacement, long max_n, int& count) {
+  // Pre-scan the template once for errors independent of match count.
+  for (size_t i = 0; i < replacement.size(); ++i) {
+    if (replacement[i] == kEsc) {
+      if (i + 1 >= replacement.size()) {
+        throw PatternError("malformed gsub replacement (ends with '%')");
+      }
+      const char c = replacement[i + 1];
+      if (c != kEsc && !(c >= '0' && c <= '9')) {
+        throw PatternError("invalid use of '%' in gsub replacement");
+      }
+      ++i;
+    }
+  }
+  auto expand = [&](const std::vector<PatternCapture>& caps) -> std::optional<std::string> {
+    std::string out;
+    for (size_t i = 0; i < replacement.size(); ++i) {
+      const char c = replacement[i];
+      if (c != kEsc) {
+        out += c;
+        continue;
+      }
+      const char next = replacement[++i];
+      if (next == kEsc) {
+        out += kEsc;
+      } else if (next == '0') {
+        // whole match: captures always carry it when the pattern has no
+        // explicit captures; otherwise reconstruct is not possible here, so
+        // Lua semantics: %0 is the whole match — we pass it as a pseudo
+        // capture below.
+        out += caps.empty() ? "" : caps.back().text;  // patched by caller
+      } else {
+        const size_t index = static_cast<size_t>(next - '1');
+        if (index >= caps.size()) throw PatternError("invalid capture index in gsub");
+        const PatternCapture& cap = caps[index];
+        out += cap.is_position ? std::to_string(cap.position) : cap.text;
+      }
+    }
+    return out;
+  };
+  // Wrap: append the whole match as a trailing pseudo-capture for %0.
+  count = 0;
+  std::string out;
+  size_t pos = 0;
+  while ((max_n < 0 || count < max_n) && pos <= s.size()) {
+    const auto m = pattern_find(s, pattern, pos);
+    if (!m) break;
+    out.append(s, pos, m->start - pos);
+    std::vector<PatternCapture> caps = m->captures;
+    PatternCapture whole;
+    whole.text = s.substr(m->start, m->end - m->start);
+    caps.push_back(std::move(whole));
+    out += *expand(caps);
+    ++count;
+    if (m->end == m->start) {
+      if (m->end < s.size()) out += s[m->end];
+      pos = m->end + 1;
+    } else {
+      pos = m->end;
+    }
+  }
+  if (pos < s.size()) out.append(s, pos, std::string::npos);
+  return out;
+}
+
+}  // namespace adapt::script

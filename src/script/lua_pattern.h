@@ -1,0 +1,58 @@
+// Lua 5.x pattern matching (the lstrlib algorithm): character classes,
+// sets, quantifiers (* + - ?), anchors, captures and %1-%9 backreferences.
+// Backs string.find / string.match / string.gmatch / string.gsub.
+//
+// Supported: %a %c %d %l %p %s %u %w %x (and complements), '.', literal
+// escapes, [set] with ranges and ^ negation, '*' '+' '-' '?', '^' '$',
+// captures (including position captures '()').
+// Not supported (rare): %b balanced match, %f frontier pattern.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+
+namespace adapt::script {
+
+/// Raised for malformed patterns (unbalanced captures, dangling '%', ...).
+class PatternError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct PatternCapture {
+  std::string text;    // captured substring (or "" for position captures)
+  size_t position = 0; // 1-based position for position captures
+  bool is_position = false;
+};
+
+struct PatternMatch {
+  size_t start = 0;  // 0-based, inclusive
+  size_t end = 0;    // 0-based, exclusive
+  std::vector<PatternCapture> captures;
+};
+
+/// Finds the first match of `pattern` in `s` at or after byte offset `init`.
+std::optional<PatternMatch> pattern_find(const std::string& s, const std::string& pattern,
+                                         size_t init = 0);
+
+/// Replacement callback for gsub: receives the captures (or the whole match
+/// when the pattern has none) and returns the replacement text, or nullopt
+/// to keep the original match.
+using GsubCallback =
+    std::function<std::optional<std::string>(const std::vector<PatternCapture>&)>;
+
+/// gsub with a replacement template: %0 = whole match, %1-%9 = captures,
+/// %% = literal '%'. `max_n` < 0 means unlimited. Returns the new string and
+/// sets `count` to the number of substitutions.
+std::string pattern_gsub(const std::string& s, const std::string& pattern,
+                         const std::string& replacement, long max_n, int& count);
+
+/// gsub with a callback replacement.
+std::string pattern_gsub(const std::string& s, const std::string& pattern,
+                         const GsubCallback& replace, long max_n, int& count);
+
+}  // namespace adapt::script

@@ -1,0 +1,503 @@
+#include "script/parser.h"
+
+#include "script/lexer.h"
+
+namespace adapt::script {
+
+namespace {
+
+ExprPtr make_expr(Expr::Kind k, int line) { return std::make_unique<Expr>(k, line); }
+
+ExprPtr make_name(std::string name, int line) {
+  auto e = make_expr(Expr::Kind::Name, line);
+  e->text = std::move(name);
+  return e;
+}
+
+ExprPtr make_string(std::string s, int line) {
+  auto e = make_expr(Expr::Kind::String, line);
+  e->text = std::move(s);
+  return e;
+}
+
+ExprPtr make_index(ExprPtr obj, ExprPtr key, int line) {
+  auto e = make_expr(Expr::Kind::Index, line);
+  e->obj = std::move(obj);
+  e->key = std::move(key);
+  return e;
+}
+
+/// Binary operator precedence (higher binds tighter); -1 = not a binop.
+int bin_prec(Tok t) {
+  switch (t) {
+    case Tok::Or: return 1;
+    case Tok::And: return 2;
+    case Tok::Lt: case Tok::Gt: case Tok::Le: case Tok::Ge:
+    case Tok::Eq: case Tok::Ne: return 3;
+    case Tok::Concat: return 4;  // right-assoc
+    case Tok::Plus: case Tok::Minus: return 5;
+    case Tok::Star: case Tok::Slash: case Tok::Percent: return 6;
+    case Tok::Caret: return 8;  // right-assoc, binds tighter than unary
+    default: return -1;
+  }
+}
+
+bool right_assoc(Tok t) { return t == Tok::Concat || t == Tok::Caret; }
+
+BinOp to_binop(Tok t) {
+  switch (t) {
+    case Tok::Or: return BinOp::Or;
+    case Tok::And: return BinOp::And;
+    case Tok::Lt: return BinOp::Lt;
+    case Tok::Gt: return BinOp::Gt;
+    case Tok::Le: return BinOp::Le;
+    case Tok::Ge: return BinOp::Ge;
+    case Tok::Eq: return BinOp::Eq;
+    case Tok::Ne: return BinOp::Ne;
+    case Tok::Concat: return BinOp::Concat;
+    case Tok::Plus: return BinOp::Add;
+    case Tok::Minus: return BinOp::Sub;
+    case Tok::Star: return BinOp::Mul;
+    case Tok::Slash: return BinOp::Div;
+    case Tok::Percent: return BinOp::Mod;
+    case Tok::Caret: return BinOp::Pow;
+    default: throw Error("internal: not a binary operator");
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::string_view source, std::string chunk_name)
+    : tokens_(Lexer(source).tokenize()), chunk_name_(std::move(chunk_name)) {}
+
+const Token& Parser::peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok t) {
+  if (!check(t)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok t, const char* context) {
+  if (!check(t)) {
+    fail(std::string("expected '") + tok_name(t) + "' " + context + ", got '" +
+         tok_name(cur().kind) + "'");
+  }
+  return advance();
+}
+
+void Parser::fail(const std::string& msg) const {
+  throw ParseError(chunk_name_ + ": " + msg, cur().line);
+}
+
+Parser::DepthGuard::DepthGuard(Parser& parser) : parser_(parser) {
+  if (++parser_.depth_ > kMaxParseDepth) {
+    --parser_.depth_;
+    parser_.fail("expression or block nesting too deep");
+  }
+}
+
+Parser::DepthGuard::~DepthGuard() { --parser_.depth_; }
+
+ChunkPtr Parser::parse_chunk() {
+  auto chunk = std::make_shared<Chunk>();
+  chunk->name = chunk_name_;
+  chunk->body = parse_block();
+  if (!check(Tok::Eof)) fail("unexpected token after chunk");
+  return chunk;
+}
+
+bool Parser::block_ends() const {
+  switch (cur().kind) {
+    case Tok::Eof: case Tok::End: case Tok::Else: case Tok::Elseif: case Tok::Until:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Block Parser::parse_block() {
+  Block block;
+  while (!block_ends()) {
+    if (accept(Tok::Semi)) continue;
+    StmtPtr s = parse_statement();
+    const bool is_return = s->kind == Stmt::Kind::Return;
+    block.push_back(std::move(s));
+    if (is_return) break;  // return must end a block
+  }
+  return block;
+}
+
+StmtPtr Parser::parse_statement() {
+  DepthGuard guard(*this);
+  switch (cur().kind) {
+    case Tok::Local: return parse_local();
+    case Tok::If: return parse_if();
+    case Tok::While: return parse_while();
+    case Tok::Repeat: return parse_repeat();
+    case Tok::For: return parse_for();
+    case Tok::Function: return parse_function_decl();
+    case Tok::Return: return parse_return();
+    case Tok::Break: {
+      const int line = advance().line;
+      return std::make_unique<Stmt>(Stmt::Kind::Break, line);
+    }
+    case Tok::Do: {
+      const int line = advance().line;
+      auto s = std::make_unique<Stmt>(Stmt::Kind::Do, line);
+      s->blocks.push_back(parse_block());
+      expect(Tok::End, "to close 'do' block");
+      return s;
+    }
+    default:
+      return parse_expr_statement();
+  }
+}
+
+StmtPtr Parser::parse_local() {
+  const int line = expect(Tok::Local, "").line;
+  if (check(Tok::Function)) {
+    // local function f(...) ... end — the name is in scope inside the body.
+    advance();
+    const Token& name = expect(Tok::Name, "after 'local function'");
+    auto s = std::make_unique<Stmt>(Stmt::Kind::Local, line);
+    s->names.push_back(name.text);
+    auto fn = parse_function_literal(/*is_method=*/false);
+    fn->def->name = name.text;
+    s->exprs.push_back(std::move(fn));
+    return s;
+  }
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Local, line);
+  s->names.push_back(expect(Tok::Name, "in local declaration").text);
+  while (accept(Tok::Comma)) s->names.push_back(expect(Tok::Name, "in local declaration").text);
+  if (accept(Tok::Assign)) s->exprs = parse_expr_list();
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  const int line = expect(Tok::If, "").line;
+  auto s = std::make_unique<Stmt>(Stmt::Kind::If, line);
+  s->conds.push_back(parse_expr());
+  expect(Tok::Then, "after 'if' condition");
+  s->blocks.push_back(parse_block());
+  while (accept(Tok::Elseif)) {
+    s->conds.push_back(parse_expr());
+    expect(Tok::Then, "after 'elseif' condition");
+    s->blocks.push_back(parse_block());
+  }
+  if (accept(Tok::Else)) s->else_block = parse_block();
+  expect(Tok::End, "to close 'if'");
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  const int line = expect(Tok::While, "").line;
+  auto s = std::make_unique<Stmt>(Stmt::Kind::While, line);
+  s->conds.push_back(parse_expr());
+  expect(Tok::Do, "after 'while' condition");
+  s->blocks.push_back(parse_block());
+  expect(Tok::End, "to close 'while'");
+  return s;
+}
+
+StmtPtr Parser::parse_repeat() {
+  const int line = expect(Tok::Repeat, "").line;
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Repeat, line);
+  s->blocks.push_back(parse_block());
+  expect(Tok::Until, "to close 'repeat'");
+  s->conds.push_back(parse_expr());
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  const int line = expect(Tok::For, "").line;
+  std::vector<std::string> names;
+  names.push_back(expect(Tok::Name, "after 'for'").text);
+  if (check(Tok::Assign)) {
+    advance();
+    auto s = std::make_unique<Stmt>(Stmt::Kind::NumericFor, line);
+    s->names = std::move(names);
+    s->exprs.push_back(parse_expr());
+    expect(Tok::Comma, "in numeric for");
+    s->exprs.push_back(parse_expr());
+    if (accept(Tok::Comma)) s->exprs.push_back(parse_expr());
+    expect(Tok::Do, "after 'for' header");
+    s->blocks.push_back(parse_block());
+    expect(Tok::End, "to close 'for'");
+    return s;
+  }
+  while (accept(Tok::Comma)) names.push_back(expect(Tok::Name, "in for name list").text);
+  expect(Tok::In, "in generic for");
+  auto s = std::make_unique<Stmt>(Stmt::Kind::GenericFor, line);
+  s->names = std::move(names);
+  s->exprs.push_back(parse_expr());
+  expect(Tok::Do, "after 'for' header");
+  s->blocks.push_back(parse_block());
+  expect(Tok::End, "to close 'for'");
+  return s;
+}
+
+StmtPtr Parser::parse_function_decl() {
+  // function a.b.c(...) / function a:m(...) — sugar for assignment.
+  const int line = expect(Tok::Function, "").line;
+  const Token& first = expect(Tok::Name, "after 'function'");
+  ExprPtr target = make_name(first.text, first.line);
+  std::string fn_name = first.text;
+  bool is_method = false;
+  for (;;) {
+    if (accept(Tok::Dot)) {
+      const Token& part = expect(Tok::Name, "after '.'");
+      target = make_index(std::move(target), make_string(part.text, part.line), part.line);
+      fn_name += "." + part.text;
+    } else if (accept(Tok::Colon)) {
+      const Token& part = expect(Tok::Name, "after ':'");
+      target = make_index(std::move(target), make_string(part.text, part.line), part.line);
+      fn_name += ":" + part.text;
+      is_method = true;
+      break;
+    } else {
+      break;
+    }
+  }
+  auto fn = parse_function_literal(is_method);
+  fn->def->name = fn_name;
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Assign, line);
+  s->targets.push_back(std::move(target));
+  s->exprs.push_back(std::move(fn));
+  return s;
+}
+
+StmtPtr Parser::parse_return() {
+  const int line = expect(Tok::Return, "").line;
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Return, line);
+  if (!block_ends() && !check(Tok::Semi)) s->exprs = parse_expr_list();
+  accept(Tok::Semi);
+  return s;
+}
+
+StmtPtr Parser::parse_expr_statement() {
+  const int line = cur().line;
+  ExprPtr first = parse_postfix(parse_primary());
+  if (check(Tok::Assign) || check(Tok::Comma)) {
+    auto s = std::make_unique<Stmt>(Stmt::Kind::Assign, line);
+    s->targets.push_back(std::move(first));
+    while (accept(Tok::Comma)) s->targets.push_back(parse_postfix(parse_primary()));
+    expect(Tok::Assign, "in assignment");
+    s->exprs = parse_expr_list();
+    for (const auto& t : s->targets) {
+      if (t->kind != Expr::Kind::Name && t->kind != Expr::Kind::Index) {
+        fail("cannot assign to this expression");
+      }
+    }
+    return s;
+  }
+  if (first->kind != Expr::Kind::Call) fail("syntax error: expression is not a statement");
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Call, line);
+  s->call = std::move(first);
+  return s;
+}
+
+std::vector<ExprPtr> Parser::parse_expr_list() {
+  std::vector<ExprPtr> list;
+  list.push_back(parse_expr());
+  while (accept(Tok::Comma)) list.push_back(parse_expr());
+  return list;
+}
+
+ExprPtr Parser::parse_expr() {
+  DepthGuard guard(*this);
+  return parse_binary(0);
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    const Tok op = cur().kind;
+    const int prec = bin_prec(op);
+    if (prec < 0 || prec < min_prec) return lhs;
+    const int line = advance().line;
+    const int next_min = right_assoc(op) ? prec : prec + 1;
+    ExprPtr rhs = parse_binary(next_min);
+    auto e = make_expr(Expr::Kind::Binary, line);
+    e->bin_op = to_binop(op);
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  DepthGuard guard(*this);  // `not not ...` chains bypass parse_expr
+  const Tok t = cur().kind;
+  if (t == Tok::Not || t == Tok::Minus || t == Tok::Hash) {
+    const int line = advance().line;
+    auto e = make_expr(Expr::Kind::Unary, line);
+    e->un_op = t == Tok::Not ? UnOp::Not : (t == Tok::Minus ? UnOp::Neg : UnOp::Len);
+    e->lhs = parse_binary(7);  // unary binds tighter than all binops except ^
+    return e;
+  }
+  return parse_postfix(parse_primary());
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = cur();
+  switch (t.kind) {
+    case Tok::Nil: advance(); return make_expr(Expr::Kind::Nil, t.line);
+    case Tok::True: advance(); return make_expr(Expr::Kind::True, t.line);
+    case Tok::False: advance(); return make_expr(Expr::Kind::False, t.line);
+    case Tok::Number: {
+      advance();
+      auto e = make_expr(Expr::Kind::Number, t.line);
+      e->number = t.number;
+      return e;
+    }
+    case Tok::String: {
+      advance();
+      return make_string(t.text, t.line);
+    }
+    case Tok::Name: {
+      advance();
+      return make_name(t.text, t.line);
+    }
+    case Tok::Function:
+      advance();
+      return parse_function_literal(/*is_method=*/false);
+    case Tok::Ellipsis:
+      advance();
+      return make_expr(Expr::Kind::Vararg, t.line);
+    case Tok::LBrace:
+      return parse_table();
+    case Tok::LParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "to close '('");
+      return e;
+    }
+    default:
+      fail(std::string("unexpected token '") + tok_name(t.kind) + "' in expression");
+  }
+}
+
+ExprPtr Parser::parse_postfix(ExprPtr base) {
+  for (;;) {
+    const Token& t = cur();
+    switch (t.kind) {
+      case Tok::Dot: {
+        advance();
+        const Token& name = expect(Tok::Name, "after '.'");
+        base = make_index(std::move(base), make_string(name.text, name.line), name.line);
+        break;
+      }
+      case Tok::LBracket: {
+        advance();
+        ExprPtr key = parse_expr();
+        expect(Tok::RBracket, "to close '['");
+        base = make_index(std::move(base), std::move(key), t.line);
+        break;
+      }
+      case Tok::Colon: {
+        advance();
+        const Token& name = expect(Tok::Name, "after ':'");
+        auto e = make_expr(Expr::Kind::Call, name.line);
+        e->fn = std::move(base);
+        e->is_method = true;
+        e->text = name.text;
+        e->args = parse_call_args();
+        base = std::move(e);
+        break;
+      }
+      case Tok::LParen:
+      case Tok::String:
+      case Tok::LBrace: {
+        auto e = make_expr(Expr::Kind::Call, t.line);
+        e->fn = std::move(base);
+        e->args = parse_call_args();
+        base = std::move(e);
+        break;
+      }
+      default:
+        return base;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parse_call_args() {
+  std::vector<ExprPtr> args;
+  const Token& t = cur();
+  if (t.kind == Tok::String) {
+    advance();
+    args.push_back(make_string(t.text, t.line));
+    return args;
+  }
+  if (t.kind == Tok::LBrace) {
+    args.push_back(parse_table());
+    return args;
+  }
+  expect(Tok::LParen, "in call");
+  if (!check(Tok::RParen)) args = parse_expr_list();
+  expect(Tok::RParen, "to close call");
+  return args;
+}
+
+ExprPtr Parser::parse_table() {
+  const int line = expect(Tok::LBrace, "").line;
+  auto e = make_expr(Expr::Kind::Table, line);
+  while (!check(Tok::RBrace)) {
+    if (check(Tok::LBracket)) {
+      advance();
+      ExprPtr key = parse_expr();
+      expect(Tok::RBracket, "to close '[' in table key");
+      expect(Tok::Assign, "in table field");
+      e->fields.emplace_back(std::move(key), parse_expr());
+    } else if (check(Tok::Name) && peek().kind == Tok::Assign) {
+      const Token& name = advance();
+      advance();  // '='
+      e->fields.emplace_back(make_string(name.text, name.line), parse_expr());
+    } else {
+      e->items.push_back(parse_expr());
+    }
+    if (!accept(Tok::Comma) && !accept(Tok::Semi)) break;
+  }
+  expect(Tok::RBrace, "to close table constructor");
+  return e;
+}
+
+ExprPtr Parser::parse_function_literal(bool is_method) {
+  // 'function' has already been consumed (or implied by declaration sugar).
+  const int line = cur().line;
+  auto def = std::make_shared<FunctionDef>();
+  def->line = line;
+  if (is_method) def->params.push_back("self");
+  expect(Tok::LParen, "in function definition");
+  if (!check(Tok::RParen)) {
+    for (;;) {
+      if (accept(Tok::Ellipsis)) {
+        def->has_varargs = true;
+        break;  // `...` must be last
+      }
+      def->params.push_back(expect(Tok::Name, "in parameter list").text);
+      if (!accept(Tok::Comma)) break;
+    }
+  }
+  expect(Tok::RParen, "to close parameter list");
+  def->body = parse_block();
+  expect(Tok::End, "to close function body");
+  auto e = make_expr(Expr::Kind::Function, line);
+  e->def = std::move(def);
+  return e;
+}
+
+ChunkPtr parse(std::string_view source, std::string chunk_name) {
+  return Parser(source, std::move(chunk_name)).parse_chunk();
+}
+
+}  // namespace adapt::script

@@ -1,0 +1,86 @@
+// Recursive-descent parser producing a Luma AST.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "script/ast.h"
+#include "script/errors.h"
+#include "script/token.h"
+
+namespace adapt::script {
+
+/// A parsed chunk. Held by shared_ptr so closures created while executing
+/// the chunk keep the AST alive.
+struct Chunk {
+  Block body;
+  std::string name;
+};
+using ChunkPtr = std::shared_ptr<Chunk>;
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string chunk_name);
+
+  /// Parses a complete chunk (sequence of statements up to EOF).
+  ChunkPtr parse_chunk();
+
+ private:
+  // statements
+  Block parse_block();
+  StmtPtr parse_statement();
+  StmtPtr parse_local();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_repeat();
+  StmtPtr parse_for();
+  StmtPtr parse_function_decl();
+  StmtPtr parse_return();
+  StmtPtr parse_expr_statement();
+
+  // expressions
+  ExprPtr parse_expr();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix(ExprPtr base);
+  ExprPtr parse_primary();
+  ExprPtr parse_table();
+  ExprPtr parse_function_literal(bool is_method);
+  std::vector<ExprPtr> parse_call_args();
+  std::vector<ExprPtr> parse_expr_list();
+
+  // helpers
+  /// Recursion guard shared by expression/statement descent.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser);
+    ~DepthGuard();
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+  static constexpr int kMaxParseDepth = 200;
+
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] const Token& peek(size_t ahead = 1) const;
+  const Token& advance();
+  bool check(Tok t) const { return cur().kind == t; }
+  bool accept(Tok t);
+  const Token& expect(Tok t, const char* context);
+  [[nodiscard]] bool block_ends() const;
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string chunk_name_;
+};
+
+/// Convenience: parse `source`, throwing ParseError on bad syntax.
+ChunkPtr parse(std::string_view source, std::string chunk_name = "=chunk");
+
+}  // namespace adapt::script

@@ -1,0 +1,627 @@
+// Luma standard library. Installed per engine; all functions are pure
+// C++ natives over the shared Value model.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "script/engine.h"
+#include "script/errors.h"
+#include "script/lua_pattern.h"
+
+namespace adapt::script {
+
+namespace {
+
+Value arg(const ValueList& args, size_t i) { return i < args.size() ? args[i] : Value(); }
+
+double check_number(const ValueList& args, size_t i, const char* fname) {
+  const Value v = arg(args, i);
+  if (v.is_number()) return v.as_number();
+  if (v.is_string()) {
+    char* end = nullptr;
+    const double n = std::strtod(v.as_string().c_str(), &end);
+    if (end != v.as_string().c_str() && *end == '\0') return n;
+  }
+  throw ScriptError(std::string(fname) + ": bad argument #" + std::to_string(i + 1) +
+                    " (number expected, got " + v.type_name() + ")");
+}
+
+int64_t check_int(const ValueList& args, size_t i, const char* fname) {
+  return static_cast<int64_t>(check_number(args, i, fname));
+}
+
+std::string check_string(const ValueList& args, size_t i, const char* fname) {
+  const Value v = arg(args, i);
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return v.str();
+  throw ScriptError(std::string(fname) + ": bad argument #" + std::to_string(i + 1) +
+                    " (string expected, got " + v.type_name() + ")");
+}
+
+TablePtr check_table(const ValueList& args, size_t i, const char* fname) {
+  const Value v = arg(args, i);
+  if (v.is_table()) return v.as_table();
+  throw ScriptError(std::string(fname) + ": bad argument #" + std::to_string(i + 1) +
+                    " (table expected, got " + v.type_name() + ")");
+}
+
+Value tostring_value(const Value& v) { return Value(v.str()); }
+
+Value tonumber_value(const Value& v) {
+  if (v.is_number()) return v;
+  if (v.is_string()) {
+    const std::string& s = v.as_string();
+    char* end = nullptr;
+    const double n = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() && *end == '\0') return Value(n);
+  }
+  return {};
+}
+
+std::string format_impl(const ValueList& args) {
+  const std::string fmt = check_string(args, 0, "format");
+  std::string out;
+  size_t argi = 1;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out += fmt[i];
+      continue;
+    }
+    if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
+      out += '%';
+      ++i;
+      continue;
+    }
+    // collect the directive: %[flags][width][.precision]conv
+    std::string spec = "%";
+    ++i;
+    while (i < fmt.size() && (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
+                              fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ' ||
+                              fmt[i] == '#' || fmt[i] == '.' || fmt[i] == '0')) {
+      spec += fmt[i++];
+    }
+    if (i >= fmt.size()) throw ScriptError("format: incomplete directive");
+    const char conv = fmt[i];
+    char buf[256];
+    switch (conv) {
+      case 'd': case 'i': case 'x': case 'X': case 'o': case 'u': case 'c': {
+        spec += "ll";
+        spec += (conv == 'i' ? 'd' : conv);
+        const long long v = static_cast<long long>(check_number(args, argi++, "format"));
+        std::snprintf(buf, sizeof buf, spec.c_str(), v);
+        out += buf;
+        break;
+      }
+      case 'f': case 'F': case 'e': case 'E': case 'g': case 'G': {
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), check_number(args, argi++, "format"));
+        out += buf;
+        break;
+      }
+      case 's': {
+        spec += 's';
+        const std::string s = arg(args, argi++).str();
+        std::snprintf(buf, sizeof buf, spec.c_str(), s.c_str());
+        out += buf;
+        break;
+      }
+      case 'q': {
+        const std::string s = arg(args, argi++).str();
+        out += '"';
+        for (const char c : s) {
+          if (c == '"' || c == '\\') out += '\\';
+          if (c == '\n') {
+            out += "\\n";
+          } else {
+            out += c;
+          }
+        }
+        out += '"';
+        break;
+      }
+      default:
+        throw ScriptError(std::string("format: unsupported directive %") + conv);
+    }
+  }
+  return out;
+}
+
+void register_in(const TablePtr& t, const std::string& name,
+                 std::function<ValueList(const ValueList&)> fn) {
+  t->set(name, Value(NativeFunction::make(name, std::move(fn))));
+}
+
+void register_ctx_in(const TablePtr& t, const std::string& name, NativeFunction::Fn fn) {
+  t->set(name, Value(NativeFunction::make_ctx(name, std::move(fn))));
+}
+
+}  // namespace
+
+void install_stdlib(ScriptEngine& engine) {
+  ScriptEngine* eng = &engine;
+  const EnvPtr& g = engine.globals_;
+
+  auto def = [&](const std::string& name, std::function<ValueList(const ValueList&)> fn) {
+    g->define(name, Value(NativeFunction::make(name, std::move(fn))));
+  };
+  auto def_ctx = [&](const std::string& name, NativeFunction::Fn fn) {
+    g->define(name, Value(NativeFunction::make_ctx(name, std::move(fn))));
+  };
+
+  // ---- basic functions -------------------------------------------------
+  def("print", [eng](const ValueList& args) -> ValueList {
+    std::ostringstream os;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) os << '\t';
+      os << args[i].str();
+    }
+    eng->print_sink_(os.str());
+    return {};
+  });
+
+  def("type", [](const ValueList& args) -> ValueList {
+    return {Value(arg(args, 0).type_name())};
+  });
+
+  def("tostring", [](const ValueList& args) -> ValueList {
+    return {tostring_value(arg(args, 0))};
+  });
+
+  def("tonumber", [](const ValueList& args) -> ValueList {
+    return {tonumber_value(arg(args, 0))};
+  });
+
+  def("error", [](const ValueList& args) -> ValueList {
+    throw ScriptError(arg(args, 0).is_string() ? arg(args, 0).as_string()
+                                               : arg(args, 0).str());
+  });
+
+  def("assert", [](const ValueList& args) -> ValueList {
+    if (!arg(args, 0).truthy()) {
+      const Value msg = arg(args, 1);
+      throw ScriptError(msg.is_nil() ? "assertion failed!" : msg.str());
+    }
+    return args;
+  });
+
+  def_ctx("pcall", [](CallContext& ctx, const ValueList& args) -> ValueList {
+    if (args.empty() || !args[0].is_function()) {
+      return {Value(false), Value("pcall: first argument must be a function")};
+    }
+    try {
+      ValueList inner(args.begin() + 1, args.end());
+      ValueList results = ctx.interp.call(args[0], inner);
+      ValueList out{Value(true)};
+      out.insert(out.end(), std::make_move_iterator(results.begin()),
+                 std::make_move_iterator(results.end()));
+      return out;
+    } catch (const Error& err) {
+      return {Value(false), Value(std::string(err.what()))};
+    }
+  });
+
+  def("pairs", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "pairs");
+    // Iterate a snapshot of the keys so body mutation cannot invalidate us.
+    auto keys = std::make_shared<std::vector<Value>>();
+    for (const auto& [k, v] : *t) keys->push_back(k.to_value());
+    auto index = std::make_shared<size_t>(0);
+    auto iter = NativeFunction::make("pairs.iterator", [t, keys, index](const ValueList&) -> ValueList {
+      while (*index < keys->size()) {
+        const Value key = (*keys)[(*index)++];
+        Value val = t->get(key);
+        if (!val.is_nil()) return {key, std::move(val)};
+      }
+      return {Value()};
+    });
+    return {Value(iter)};
+  });
+
+  def("ipairs", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "ipairs");
+    auto index = std::make_shared<int64_t>(0);
+    auto iter = NativeFunction::make("ipairs.iterator", [t, index](const ValueList&) -> ValueList {
+      const int64_t i = ++*index;
+      Value v = t->geti(i);
+      if (v.is_nil()) return {Value()};
+      return {Value(i), std::move(v)};
+    });
+    return {Value(iter)};
+  });
+
+  def("setmetatable", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "setmetatable");
+    const Value mt = arg(args, 1);
+    if (mt.is_nil()) {
+      t->set_metatable(nullptr);
+    } else if (mt.is_table()) {
+      t->set_metatable(mt.as_table());
+    } else {
+      throw ScriptError("setmetatable: metatable must be a table or nil");
+    }
+    return {Value(t)};
+  });
+
+  def("getmetatable", [](const ValueList& args) -> ValueList {
+    const Value v = arg(args, 0);
+    if (!v.is_table() || !v.as_table()->metatable()) return {Value()};
+    return {Value(v.as_table()->metatable())};
+  });
+
+  def("rawget", [](const ValueList& args) -> ValueList {
+    return {check_table(args, 0, "rawget")->get(arg(args, 1))};
+  });
+
+  def("rawset", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "rawset");
+    t->set(arg(args, 1), arg(args, 2));
+    return {Value(t)};
+  });
+
+  def("rawequal", [](const ValueList& args) -> ValueList {
+    return {Value(arg(args, 0) == arg(args, 1))};
+  });
+
+  def("unpack", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "unpack");
+    ValueList out;
+    const int64_t n = t->length();
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t i = 1; i <= n; ++i) out.push_back(t->geti(i));
+    return out;
+  });
+
+  // ---- string library ----------------------------------------------------
+  auto string_lib = Table::make();
+  register_in(string_lib, "len", [](const ValueList& args) -> ValueList {
+    return {Value(static_cast<double>(check_string(args, 0, "len").size()))};
+  });
+  register_in(string_lib, "sub", [](const ValueList& args) -> ValueList {
+    const std::string s = check_string(args, 0, "sub");
+    const auto n = static_cast<int64_t>(s.size());
+    int64_t i = check_int(args, 1, "sub");
+    int64_t j = args.size() > 2 ? check_int(args, 2, "sub") : -1;
+    if (i < 0) i = std::max<int64_t>(n + i + 1, 1);
+    if (i < 1) i = 1;
+    if (j < 0) j = n + j + 1;
+    if (j > n) j = n;
+    if (i > j) return {Value(std::string())};
+    return {Value(s.substr(static_cast<size_t>(i - 1), static_cast<size_t>(j - i + 1)))};
+  });
+  register_in(string_lib, "upper", [](const ValueList& args) -> ValueList {
+    std::string s = check_string(args, 0, "upper");
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return {Value(std::move(s))};
+  });
+  register_in(string_lib, "lower", [](const ValueList& args) -> ValueList {
+    std::string s = check_string(args, 0, "lower");
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return {Value(std::move(s))};
+  });
+  register_in(string_lib, "rep", [](const ValueList& args) -> ValueList {
+    const std::string s = check_string(args, 0, "rep");
+    const int64_t n = check_int(args, 1, "rep");
+    std::string out;
+    for (int64_t i = 0; i < n; ++i) out += s;
+    return {Value(std::move(out))};
+  });
+  register_in(string_lib, "find", [](const ValueList& args) -> ValueList {
+    // Lua semantics: pattern search unless the 4th argument (plain) is true.
+    const std::string s = check_string(args, 0, "find");
+    const std::string needle = check_string(args, 1, "find");
+    int64_t init = args.size() > 2 && !arg(args, 2).is_nil() ? check_int(args, 2, "find") : 1;
+    if (init < 0) init = std::max<int64_t>(static_cast<int64_t>(s.size()) + init + 1, 1);
+    if (init < 1) init = 1;
+    if (static_cast<size_t>(init) > s.size() + 1) return {Value()};
+    const bool plain = args.size() > 3 && arg(args, 3).truthy();
+    if (plain) {
+      const auto pos = s.find(needle, static_cast<size_t>(init - 1));
+      if (pos == std::string::npos) return {Value()};
+      return {Value(static_cast<double>(pos + 1)),
+              Value(static_cast<double>(pos + needle.size()))};
+    }
+    const auto m = pattern_find(s, needle, static_cast<size_t>(init - 1));
+    if (!m) return {Value()};
+    ValueList out{Value(static_cast<double>(m->start + 1)),
+                  Value(static_cast<double>(m->end))};
+    // Captures follow the indices (only explicit ones).
+    if (!(m->captures.size() == 1 && !m->captures[0].is_position &&
+          m->captures[0].text == s.substr(m->start, m->end - m->start) &&
+          needle.find('(') == std::string::npos)) {
+      for (const auto& cap : m->captures) {
+        out.push_back(cap.is_position ? Value(static_cast<double>(cap.position))
+                                      : Value(cap.text));
+      }
+    }
+    return out;
+  });
+  register_in(string_lib, "match", [](const ValueList& args) -> ValueList {
+    const std::string s = check_string(args, 0, "match");
+    const std::string pattern = check_string(args, 1, "match");
+    int64_t init = args.size() > 2 ? check_int(args, 2, "match") : 1;
+    if (init < 0) init = std::max<int64_t>(static_cast<int64_t>(s.size()) + init + 1, 1);
+    if (init < 1) init = 1;
+    const auto m = pattern_find(s, pattern, static_cast<size_t>(init - 1));
+    if (!m) return {Value()};
+    ValueList out;
+    if (pattern.find('(') == std::string::npos) {
+      out.push_back(Value(s.substr(m->start, m->end - m->start)));
+    } else {
+      for (const auto& cap : m->captures) {
+        out.push_back(cap.is_position ? Value(static_cast<double>(cap.position))
+                                      : Value(cap.text));
+      }
+    }
+    return out;
+  });
+  register_in(string_lib, "gmatch", [](const ValueList& args) -> ValueList {
+    const auto s = std::make_shared<std::string>(check_string(args, 0, "gmatch"));
+    const auto pattern = std::make_shared<std::string>(check_string(args, 1, "gmatch"));
+    auto pos = std::make_shared<size_t>(0);
+    auto iter = NativeFunction::make("gmatch.iterator",
+        [s, pattern, pos](const ValueList&) -> ValueList {
+          if (*pos > s->size()) return {Value()};
+          const auto m = pattern_find(*s, *pattern, *pos);
+          if (!m) {
+            *pos = s->size() + 1;
+            return {Value()};
+          }
+          *pos = m->end == m->start ? m->end + 1 : m->end;
+          ValueList out;
+          if (pattern->find('(') == std::string::npos) {
+            out.push_back(Value(s->substr(m->start, m->end - m->start)));
+          } else {
+            for (const auto& cap : m->captures) {
+              out.push_back(cap.is_position ? Value(static_cast<double>(cap.position))
+                                            : Value(cap.text));
+            }
+          }
+          return out;
+        });
+    return {Value(iter)};
+  });
+  register_ctx_in(string_lib, "gsub", [](CallContext& ctx, const ValueList& args) -> ValueList {
+    const std::string s = check_string(args, 0, "gsub");
+    const std::string pattern = check_string(args, 1, "gsub");
+    const Value repl = arg(args, 2);
+    const long max_n = args.size() > 3 ? static_cast<long>(check_int(args, 3, "gsub")) : -1;
+    int count = 0;
+    std::string result;
+    if (repl.is_string() || repl.is_number()) {
+      result = pattern_gsub(s, pattern, repl.str(), max_n, count);
+    } else if (repl.is_function()) {
+      const bool has_captures = pattern.find('(') != std::string::npos;
+      result = pattern_gsub(
+          s, pattern,
+          [&](const std::vector<PatternCapture>& caps) -> std::optional<std::string> {
+            ValueList call_args;
+            if (!has_captures && !caps.empty()) {
+              call_args.push_back(Value(caps[0].text));
+            } else {
+              for (const auto& cap : caps) {
+                call_args.push_back(cap.is_position
+                                        ? Value(static_cast<double>(cap.position))
+                                        : Value(cap.text));
+              }
+            }
+            ValueList r = ctx.interp.call(repl, call_args);
+            if (r.empty() || r[0].is_nil() || (r[0].is_bool() && !r[0].as_bool())) {
+              return std::nullopt;  // keep original match
+            }
+            return r[0].str();
+          },
+          max_n, count);
+    } else {
+      throw ScriptError("gsub: replacement must be a string or function");
+    }
+    return {Value(std::move(result)), Value(static_cast<double>(count))};
+  });
+  register_in(string_lib, "format", [](const ValueList& args) -> ValueList {
+    return {Value(format_impl(args))};
+  });
+  register_in(string_lib, "byte", [](const ValueList& args) -> ValueList {
+    const std::string s = check_string(args, 0, "byte");
+    const int64_t i = args.size() > 1 ? check_int(args, 1, "byte") : 1;
+    if (i < 1 || static_cast<size_t>(i) > s.size()) return {Value()};
+    return {Value(static_cast<double>(static_cast<unsigned char>(s[static_cast<size_t>(i - 1)])))};
+  });
+  register_in(string_lib, "char", [](const ValueList& args) -> ValueList {
+    std::string out;
+    for (size_t i = 0; i < args.size(); ++i) {
+      out += static_cast<char>(check_int(args, i, "char"));
+    }
+    return {Value(std::move(out))};
+  });
+  g->define("string", Value(string_lib));
+  // Top-level aliases used in Lua-4-era code (the paper's vintage).
+  g->define("strlen", string_lib->get("len"));
+  g->define("strsub", string_lib->get("sub"));
+  g->define("strupper", string_lib->get("upper"));
+  g->define("strlower", string_lib->get("lower"));
+  g->define("strrep", string_lib->get("rep"));
+  g->define("strfind", string_lib->get("find"));
+  g->define("format", string_lib->get("format"));
+
+  // ---- math library --------------------------------------------------------
+  auto math_lib = Table::make();
+  auto def_math1 = [&](const std::string& name, double (*fn)(double)) {
+    register_in(math_lib, name, [fn, name](const ValueList& args) -> ValueList {
+      return {Value(fn(check_number(args, 0, name.c_str())))};
+    });
+  };
+  def_math1("floor", std::floor);
+  def_math1("ceil", std::ceil);
+  def_math1("abs", std::fabs);
+  def_math1("sqrt", std::sqrt);
+  def_math1("exp", std::exp);
+  def_math1("log", std::log);
+  def_math1("sin", std::sin);
+  def_math1("cos", std::cos);
+  register_in(math_lib, "pow", [](const ValueList& args) -> ValueList {
+    return {Value(std::pow(check_number(args, 0, "pow"), check_number(args, 1, "pow")))};
+  });
+  register_in(math_lib, "max", [](const ValueList& args) -> ValueList {
+    double m = check_number(args, 0, "max");
+    for (size_t i = 1; i < args.size(); ++i) m = std::max(m, check_number(args, i, "max"));
+    return {Value(m)};
+  });
+  register_in(math_lib, "min", [](const ValueList& args) -> ValueList {
+    double m = check_number(args, 0, "min");
+    for (size_t i = 1; i < args.size(); ++i) m = std::min(m, check_number(args, i, "min"));
+    return {Value(m)};
+  });
+  register_in(math_lib, "random", [eng](const ValueList& args) -> ValueList {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (args.empty()) return {Value(uniform(eng->rng()))};
+    if (args.size() == 1) {
+      const int64_t n = check_int(args, 0, "random");
+      std::uniform_int_distribution<int64_t> dist(1, n);
+      return {Value(static_cast<double>(dist(eng->rng())))};
+    }
+    const int64_t a = check_int(args, 0, "random");
+    const int64_t b = check_int(args, 1, "random");
+    std::uniform_int_distribution<int64_t> dist(a, b);
+    return {Value(static_cast<double>(dist(eng->rng())))};
+  });
+  register_in(math_lib, "randomseed", [eng](const ValueList& args) -> ValueList {
+    eng->rng().seed(static_cast<uint32_t>(check_number(args, 0, "randomseed")));
+    return {};
+  });
+  math_lib->set("huge", Value(std::numeric_limits<double>::infinity()));
+  math_lib->set("pi", Value(3.14159265358979323846));
+  g->define("math", Value(math_lib));
+  g->define("floor", math_lib->get("floor"));
+  g->define("abs", math_lib->get("abs"));
+  g->define("random", math_lib->get("random"));
+  g->define("randomseed", math_lib->get("randomseed"));
+
+  // ---- table library -------------------------------------------------------
+  auto table_lib = Table::make();
+  register_in(table_lib, "insert", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "insert");
+    if (args.size() >= 3) {
+      const int64_t pos = check_int(args, 1, "insert");
+      const int64_t n = t->length();
+      for (int64_t i = n; i >= pos; --i) t->seti(i + 1, t->geti(i));
+      t->seti(pos, arg(args, 2));
+    } else {
+      t->append(arg(args, 1));
+    }
+    return {};
+  });
+  register_in(table_lib, "remove", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "remove");
+    const int64_t n = t->length();
+    if (n == 0) return {Value()};
+    const int64_t pos = args.size() > 1 ? check_int(args, 1, "remove") : n;
+    Value removed = t->geti(pos);
+    for (int64_t i = pos; i < n; ++i) t->seti(i, t->geti(i + 1));
+    t->seti(n, Value());
+    return {removed};
+  });
+  register_in(table_lib, "concat", [](const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "concat");
+    const std::string sep = args.size() > 1 ? check_string(args, 1, "concat") : "";
+    std::string out;
+    const int64_t n = t->length();
+    for (int64_t i = 1; i <= n; ++i) {
+      if (i > 1) out += sep;
+      out += t->geti(i).str();
+    }
+    return {Value(std::move(out))};
+  });
+  register_in(table_lib, "getn", [](const ValueList& args) -> ValueList {
+    return {Value(static_cast<double>(check_table(args, 0, "getn")->length()))};
+  });
+  register_ctx_in(table_lib, "sort", [](CallContext& ctx, const ValueList& args) -> ValueList {
+    const TablePtr t = check_table(args, 0, "sort");
+    const Value cmp = arg(args, 1);
+    const int64_t n = t->length();
+    std::vector<Value> items;
+    items.reserve(static_cast<size_t>(n));
+    for (int64_t i = 1; i <= n; ++i) items.push_back(t->geti(i));
+    auto less = [&](const Value& a, const Value& b) {
+      if (cmp.is_function()) {
+        ValueList r = ctx.interp.call(cmp, {a, b});
+        return !r.empty() && r.front().truthy();
+      }
+      if (a.is_number() && b.is_number()) return a.as_number() < b.as_number();
+      if (a.is_string() && b.is_string()) return a.as_string() < b.as_string();
+      throw ScriptError("sort: cannot compare " + std::string(a.type_name()) + " with " +
+                        b.type_name());
+    };
+    std::stable_sort(items.begin(), items.end(), less);
+    for (int64_t i = 1; i <= n; ++i) t->seti(i, items[static_cast<size_t>(i - 1)]);
+    return {};
+  });
+  g->define("table", Value(table_lib));
+  g->define("tinsert", table_lib->get("insert"));
+  g->define("tremove", table_lib->get("remove"));
+  g->define("getn", table_lib->get("getn"));
+
+  // ---- os library -------------------------------------------------------
+  auto os_lib = Table::make();
+  register_in(os_lib, "time", [eng](const ValueList&) -> ValueList {
+    return {Value(eng->clock()->now())};
+  });
+  register_in(os_lib, "clock", [eng](const ValueList&) -> ValueList {
+    return {Value(eng->clock()->now())};
+  });
+  g->define("os", Value(os_lib));
+  g->define("clock", os_lib->get("clock"));
+
+  // ---- Lua-4 io compatibility (used by the paper's Fig. 3 listing) ----
+  // readfrom(path) opens path as the current input; readfrom() closes it;
+  // read("*n"|"*l"|"*a", ...) reads from the current input.
+  def("readfrom", [eng](const ValueList& args) -> ValueList {
+    if (args.empty() || arg(args, 0).is_nil()) {
+      eng->io_->input.reset();
+      return {Value(true)};
+    }
+    const std::string path = check_string(args, 0, "readfrom");
+    auto in = std::make_unique<std::ifstream>(path);
+    if (!in->is_open()) return {Value(), Value("cannot open " + path)};
+    eng->io_->input = std::move(in);
+    return {Value(true)};
+  });
+
+  def("read", [eng](const ValueList& args) -> ValueList {
+    auto& input = eng->io_->input;
+    if (!input) throw ScriptError("read: no input file (call readfrom first)");
+    ValueList out;
+    const size_t formats = args.empty() ? 1 : args.size();
+    for (size_t i = 0; i < formats; ++i) {
+      const std::string fmt = args.empty() ? "*l" : check_string(args, i, "read");
+      if (fmt == "*n") {
+        double n = 0;
+        if (*input >> n) {
+          out.push_back(Value(n));
+        } else {
+          out.push_back(Value());
+        }
+      } else if (fmt == "*a") {
+        std::ostringstream all;
+        all << input->rdbuf();
+        out.push_back(Value(all.str()));
+      } else {  // "*l" line
+        std::string line;
+        if (std::getline(*input, line)) {
+          out.push_back(Value(std::move(line)));
+        } else {
+          out.push_back(Value());
+        }
+      }
+    }
+    return out;
+  });
+}
+
+}  // namespace adapt::script

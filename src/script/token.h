@@ -1,0 +1,31 @@
+// Token definitions for the Luma lexer.
+#pragma once
+
+#include <string>
+
+namespace adapt::script {
+
+enum class Tok {
+  // literals / identifiers
+  Eof, Name, Number, String,
+  // keywords
+  And, Break, Do, Else, Elseif, End, False, For, Function, If, In, Local,
+  Nil, Not, Or, Repeat, Return, Then, True, Until, While,
+  // symbols
+  Plus, Minus, Star, Slash, Percent, Caret, Hash,
+  Eq, Ne, Le, Ge, Lt, Gt, Assign,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Colon, Comma, Dot, Concat, Ellipsis,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   // identifier name or string contents
+  double number = 0;  // numeric literal value
+  int line = 0;
+};
+
+/// Human-readable token name for diagnostics.
+const char* tok_name(Tok t);
+
+}  // namespace adapt::script

@@ -1,0 +1,64 @@
+#include "sim/image_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "base/error.h"
+
+namespace adapt::sim {
+
+std::string make_image(uint32_t index, uint32_t width, uint32_t height) {
+  char header[64];
+  std::snprintf(header, sizeof header, "IMG1 %u %u %u\n", index, width, height);
+  std::string out(header);
+  const size_t payload = static_cast<size_t>(width) * height;
+  out.reserve(out.size() + payload);
+  // xorshift-style deterministic bytes seeded by the image parameters.
+  uint64_t state = (static_cast<uint64_t>(index) << 32) ^ (width * 2654435761u) ^ height;
+  if (state == 0) state = 0x9E3779B97F4A7C15ull;
+  for (size_t i = 0; i < payload; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    out += static_cast<char>(state & 0xFF);
+  }
+  return out;
+}
+
+ImageInfo parse_image(const std::string& data) {
+  ImageInfo info;
+  unsigned index = 0;
+  unsigned width = 0;
+  unsigned height = 0;
+  int consumed = 0;
+  if (std::sscanf(data.c_str(), "IMG1 %u %u %u\n%n", &index, &width, &height, &consumed) != 3 ||
+      consumed <= 0) {
+    throw Error("parse_image: not an IMG1 payload");
+  }
+  info.index = index;
+  info.width = width;
+  info.height = height;
+  info.payload_bytes = data.size() - static_cast<size_t>(consumed);
+  if (info.payload_bytes != static_cast<size_t>(width) * height) {
+    throw Error("parse_image: truncated payload");
+  }
+  return info;
+}
+
+uint64_t image_checksum(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double image_work_seconds(uint32_t width, uint32_t height) {
+  // ~20 ms of CPU per megapixel-equivalent, floor of 1 ms.
+  const double pixels = static_cast<double>(width) * height;
+  return std::max(0.001, pixels / 1e6 * 0.02);
+}
+
+}  // namespace adapt::sim

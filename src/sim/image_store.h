@@ -1,0 +1,34 @@
+// Synthetic image store: the substitute for the QuO example's image server
+// (paper SV — "the client requests images from the server and displays
+// them"; the originals are photographs of Bette Davis). Images are
+// deterministic pseudo-random payloads with a small parseable header, so
+// tests can verify integrity end-to-end without shipping binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adapt::sim {
+
+struct ImageInfo {
+  uint32_t index = 0;
+  uint32_t width = 0;
+  uint32_t height = 0;
+  size_t payload_bytes = 0;
+};
+
+/// Generates image `index` at the given resolution. The returned string is
+/// "IMG1 <index> <width> <height>\n" followed by width*height deterministic
+/// payload bytes.
+std::string make_image(uint32_t index, uint32_t width, uint32_t height);
+
+/// Parses a header produced by make_image; throws adapt::Error on garbage.
+ImageInfo parse_image(const std::string& data);
+
+/// Deterministic checksum of an image (for end-to-end integrity checks).
+uint64_t image_checksum(const std::string& data);
+
+/// CPU cost model: seconds of work to produce/encode this image.
+double image_work_seconds(uint32_t width, uint32_t height);
+
+}  // namespace adapt::sim

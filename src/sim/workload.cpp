@@ -1,0 +1,114 @@
+#include "sim/workload.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace adapt::sim {
+
+void schedule_load_spike(TimerService& timers, const HostPtr& host, double start_time,
+                         double end_time, double jobs) {
+  const double now = timers.clock()->now();
+  std::weak_ptr<Host> weak = host;
+  timers.schedule_after(std::max(0.0, start_time - now), [weak, jobs] {
+    if (auto h = weak.lock()) h->add_background_jobs(jobs);
+  });
+  timers.schedule_after(std::max(0.0, end_time - now), [weak, jobs] {
+    if (auto h = weak.lock()) h->add_background_jobs(-jobs);
+  });
+}
+
+ClosedLoopClient::ClosedLoopClient(std::shared_ptr<TimerService> timers, Request request,
+                                   double think_time)
+    : timers_(std::move(timers)), request_(std::move(request)), think_time_(think_time) {
+  if (think_time_ <= 0) throw Error("ClosedLoopClient think_time must be positive");
+}
+
+ClosedLoopClient::~ClosedLoopClient() { stop(); }
+
+void ClosedLoopClient::start() {
+  if (task_ != 0) return;
+  task_ = timers_->schedule_every(think_time_, [this] {
+    ++issued_;
+    request_();
+  });
+}
+
+void ClosedLoopClient::stop() {
+  if (task_ == 0) return;
+  timers_->cancel(task_);
+  task_ = 0;
+}
+
+OpenLoopClient::OpenLoopClient(std::shared_ptr<TimerService> timers, Request request,
+                               double rate, uint32_t seed)
+    : timers_(std::move(timers)), request_(std::move(request)), rate_(rate), rng_(seed) {
+  if (rate_ <= 0) throw Error("OpenLoopClient rate must be positive");
+}
+
+OpenLoopClient::~OpenLoopClient() { stop(); }
+
+void OpenLoopClient::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void OpenLoopClient::stop() {
+  running_ = false;
+  if (task_ != 0) {
+    timers_->cancel(task_);
+    task_ = 0;
+  }
+}
+
+void OpenLoopClient::arm() {
+  std::exponential_distribution<double> gap(rate_);
+  task_ = timers_->schedule_after(gap(rng_), [this] {
+    if (!running_) return;
+    ++issued_;
+    request_();
+    arm();
+  });
+}
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double sq = 0;
+  for (const double x : samples_) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace adapt::sim

@@ -1,0 +1,90 @@
+// Workload building blocks for experiments: load spikes on hosts, closed- and
+// open-loop client request generators, and latency statistics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "base/timer_service.h"
+#include "sim/host.h"
+
+namespace adapt::sim {
+
+/// Schedules a burst of background jobs on `host` during [start, end).
+void schedule_load_spike(TimerService& timers, const HostPtr& host, double start_time,
+                         double end_time, double jobs);
+
+/// Closed-loop client: issues `request()` then waits `think_time` before the
+/// next call, forever (until stopped). Runs on the TimerService.
+class ClosedLoopClient {
+ public:
+  using Request = std::function<void()>;
+
+  ClosedLoopClient(std::shared_ptr<TimerService> timers, Request request,
+                   double think_time);
+  ~ClosedLoopClient();
+  ClosedLoopClient(const ClosedLoopClient&) = delete;
+  ClosedLoopClient& operator=(const ClosedLoopClient&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] uint64_t requests_issued() const { return issued_; }
+
+ private:
+  std::shared_ptr<TimerService> timers_;
+  Request request_;
+  double think_time_;
+  TimerService::TaskId task_ = 0;
+  uint64_t issued_ = 0;
+};
+
+/// Open-loop client: Poisson arrivals at `rate` requests/second.
+class OpenLoopClient {
+ public:
+  using Request = std::function<void()>;
+
+  OpenLoopClient(std::shared_ptr<TimerService> timers, Request request, double rate,
+                 uint32_t seed = 99);
+  ~OpenLoopClient();
+  OpenLoopClient(const OpenLoopClient&) = delete;
+  OpenLoopClient& operator=(const OpenLoopClient&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] uint64_t requests_issued() const { return issued_; }
+
+ private:
+  void arm();
+
+  std::shared_ptr<TimerService> timers_;
+  Request request_;
+  double rate_;
+  std::mt19937 rng_;
+  TimerService::TaskId task_ = 0;
+  bool running_ = false;
+  uint64_t issued_ = 0;
+};
+
+/// Streaming latency/number statistics for experiment reports.
+class Stats {
+ public:
+  void add(double x);
+  [[nodiscard]] size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  void clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace adapt::sim

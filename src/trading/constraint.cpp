@@ -1,0 +1,550 @@
+#include "trading/constraint.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace adapt::trading {
+
+namespace detail {
+
+enum class COp {
+  // leaves
+  Number, String, Bool, Property, Exist,
+  // boolean
+  Or, And, Not,
+  // relational
+  Eq, Ne, Lt, Le, Gt, Ge, Substr, In,
+  // arithmetic
+  Add, Sub, Mul, Div, Neg,
+};
+
+struct CNode {
+  COp op;
+  double number = 0;
+  std::string text;  // string literal or property name
+  CNodePtr lhs;
+  CNodePtr rhs;
+};
+
+namespace {
+
+// ---- lexer -----------------------------------------------------------
+
+struct CTok {
+  enum Kind { End, Num, Str, Ident, Op } kind = End;
+  std::string text;
+  double number = 0;
+};
+
+class CLexer {
+ public:
+  explicit CLexer(std::string_view text) : text_(text) { next(); }
+
+  const CTok& cur() const { return cur_; }
+
+  void next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ >= text_.size()) {
+      cur_ = CTok{CTok::End, "", 0};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      const std::string num(text_.substr(start, pos_ - start));
+      cur_ = CTok{CTok::Num, num, std::strtod(num.c_str(), nullptr)};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      cur_ = CTok{CTok::Ident, std::string(text_.substr(start, pos_ - start)), 0};
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '\'') s += text_[pos_++];
+      if (pos_ >= text_.size()) throw IllegalConstraint("unterminated string literal");
+      ++pos_;
+      cur_ = CTok{CTok::Str, std::move(s), 0};
+      return;
+    }
+    // operators
+    auto two = [&](char a, char b) {
+      return c == a && pos_ + 1 < text_.size() && text_[pos_ + 1] == b;
+    };
+    if (two('=', '=') || two('!', '=') || two('<', '=') || two('>', '=')) {
+      cur_ = CTok{CTok::Op, std::string(text_.substr(pos_, 2)), 0};
+      pos_ += 2;
+      return;
+    }
+    if (std::string("<>+-*/()~").find(c) != std::string::npos) {
+      cur_ = CTok{CTok::Op, std::string(1, c), 0};
+      ++pos_;
+      return;
+    }
+    throw IllegalConstraint(std::string("unexpected character '") + c + "' in constraint");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  CTok cur_;
+};
+
+// ---- parser ------------------------------------------------------------
+
+CNodePtr make_node(COp op) {
+  auto n = std::make_unique<CNode>();
+  n->op = op;
+  return n;
+}
+
+class CParser {
+ public:
+  explicit CParser(std::string_view text) : lex_(text) {}
+
+  CNodePtr parse() {
+    CNodePtr e = parse_or();
+    if (lex_.cur().kind != CTok::End) {
+      throw IllegalConstraint("trailing input after constraint: '" + lex_.cur().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  void enter() {
+    if (++depth_ > 200) throw IllegalConstraint("constraint nesting too deep");
+  }
+
+  bool accept_op(const std::string& op) {
+    if (lex_.cur().kind == CTok::Op && lex_.cur().text == op) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_keyword(const std::string& kw) {
+    if (lex_.cur().kind == CTok::Ident && lex_.cur().text == kw) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  CNodePtr parse_or() {
+    CNodePtr lhs = parse_and();
+    while (accept_keyword("or")) {
+      auto n = make_node(COp::Or);
+      n->lhs = std::move(lhs);
+      n->rhs = parse_and();
+      lhs = std::move(n);
+    }
+    return lhs;
+  }
+
+  CNodePtr parse_and() {
+    CNodePtr lhs = parse_not();
+    while (accept_keyword("and")) {
+      auto n = make_node(COp::And);
+      n->lhs = std::move(lhs);
+      n->rhs = parse_not();
+      lhs = std::move(n);
+    }
+    return lhs;
+  }
+
+  CNodePtr parse_not() {
+    enter();
+    if (accept_keyword("not")) {
+      auto n = make_node(COp::Not);
+      n->lhs = parse_not();
+      --depth_;
+      return n;
+    }
+    CNodePtr e = parse_rel();
+    --depth_;
+    return e;
+  }
+
+  CNodePtr parse_rel() {
+    CNodePtr lhs = parse_add();
+    COp op;
+    if (accept_op("==")) {
+      op = COp::Eq;
+    } else if (accept_op("!=")) {
+      op = COp::Ne;
+    } else if (accept_op("<=")) {
+      op = COp::Le;
+    } else if (accept_op(">=")) {
+      op = COp::Ge;
+    } else if (accept_op("<")) {
+      op = COp::Lt;
+    } else if (accept_op(">")) {
+      op = COp::Gt;
+    } else if (accept_op("~")) {
+      op = COp::Substr;
+    } else if (accept_keyword("in")) {
+      op = COp::In;
+    } else {
+      return lhs;
+    }
+    auto n = make_node(op);
+    n->lhs = std::move(lhs);
+    n->rhs = parse_add();
+    return n;
+  }
+
+  CNodePtr parse_add() {
+    CNodePtr lhs = parse_mul();
+    for (;;) {
+      COp op;
+      if (accept_op("+")) {
+        op = COp::Add;
+      } else if (accept_op("-")) {
+        op = COp::Sub;
+      } else {
+        return lhs;
+      }
+      auto n = make_node(op);
+      n->lhs = std::move(lhs);
+      n->rhs = parse_mul();
+      lhs = std::move(n);
+    }
+  }
+
+  CNodePtr parse_mul() {
+    CNodePtr lhs = parse_unary();
+    for (;;) {
+      COp op;
+      if (accept_op("*")) {
+        op = COp::Mul;
+      } else if (accept_op("/")) {
+        op = COp::Div;
+      } else {
+        return lhs;
+      }
+      auto n = make_node(op);
+      n->lhs = std::move(lhs);
+      n->rhs = parse_unary();
+      lhs = std::move(n);
+    }
+  }
+
+  CNodePtr parse_unary() {
+    if (accept_op("-")) {
+      enter();
+      auto n = make_node(COp::Neg);
+      n->lhs = parse_unary();
+      --depth_;
+      return n;
+    }
+    if (accept_keyword("exist")) {
+      if (lex_.cur().kind != CTok::Ident) {
+        throw IllegalConstraint("'exist' must be followed by a property name");
+      }
+      auto n = make_node(COp::Exist);
+      n->text = lex_.cur().text;
+      lex_.next();
+      return n;
+    }
+    return parse_primary();
+  }
+
+  CNodePtr parse_primary() {
+    const CTok& t = lex_.cur();
+    switch (t.kind) {
+      case CTok::Num: {
+        auto n = make_node(COp::Number);
+        n->number = t.number;
+        lex_.next();
+        return n;
+      }
+      case CTok::Str: {
+        auto n = make_node(COp::String);
+        n->text = t.text;
+        lex_.next();
+        return n;
+      }
+      case CTok::Ident: {
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          auto n = make_node(COp::Bool);
+          n->number = t.text == "TRUE" ? 1 : 0;
+          lex_.next();
+          return n;
+        }
+        if (t.text == "and" || t.text == "or" || t.text == "not" || t.text == "in" ||
+            t.text == "exist") {
+          throw IllegalConstraint("unexpected keyword '" + t.text + "'");
+        }
+        auto n = make_node(COp::Property);
+        n->text = t.text;
+        lex_.next();
+        return n;
+      }
+      case CTok::Op:
+        if (t.text == "(") {
+          lex_.next();
+          CNodePtr inner = parse_or();
+          if (!accept_op(")")) throw IllegalConstraint("missing ')'");
+          return inner;
+        }
+        throw IllegalConstraint("unexpected operator '" + t.text + "'");
+      case CTok::End:
+        throw IllegalConstraint("unexpected end of constraint");
+    }
+    throw IllegalConstraint("unexpected token");
+  }
+
+  CLexer lex_;
+  int depth_ = 0;
+};
+
+// ---- evaluator ------------------------------------------------------------
+
+/// Raised internally when evaluation touches an undefined property; caught
+/// at the top level to yield "constraint false" per OMG semantics.
+struct UndefinedProperty {
+  std::string name;
+};
+
+Value eval_node(const CNode& n, const PropertyLookup& props);
+
+bool eval_bool(const CNode& n, const PropertyLookup& props) {
+  const Value v = eval_node(n, props);
+  if (v.is_bool()) return v.as_bool();
+  throw IllegalConstraint("expression is not boolean: got " + std::string(v.type_name()));
+}
+
+double eval_num(const CNode& n, const PropertyLookup& props) {
+  const Value v = eval_node(n, props);
+  if (v.is_number()) return v.as_number();
+  throw IllegalConstraint("expression is not numeric: got " + std::string(v.type_name()));
+}
+
+enum class RelKind { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Relational semantics: numbers follow IEEE-754 (all orderings and == are
+/// false against NaN; != is true), strings compare lexicographically,
+/// booleans as false < true. Mixed types: == false, != true, orderings are
+/// a type error (constraint fails for that offer).
+bool compare_rel(RelKind op, const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_number();
+    const double y = b.as_number();
+    switch (op) {
+      case RelKind::Eq: return x == y;
+      case RelKind::Ne: return x != y;
+      case RelKind::Lt: return x < y;
+      case RelKind::Le: return x <= y;
+      case RelKind::Gt: return x > y;
+      case RelKind::Ge: return x >= y;
+    }
+  }
+  int cmp;
+  if (a.is_string() && b.is_string()) {
+    cmp = a.as_string().compare(b.as_string());
+  } else if (a.is_bool() && b.is_bool()) {
+    cmp = static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  } else {
+    if (op == RelKind::Eq) return false;
+    if (op == RelKind::Ne) return true;
+    throw IllegalConstraint(std::string("cannot compare ") + a.type_name() + " with " +
+                            b.type_name());
+  }
+  switch (op) {
+    case RelKind::Eq: return cmp == 0;
+    case RelKind::Ne: return cmp != 0;
+    case RelKind::Lt: return cmp < 0;
+    case RelKind::Le: return cmp <= 0;
+    case RelKind::Gt: return cmp > 0;
+    case RelKind::Ge: return cmp >= 0;
+  }
+  throw IllegalConstraint("internal: unknown relational operator");
+}
+
+Value eval_node(const CNode& n, const PropertyLookup& props) {
+  switch (n.op) {
+    case COp::Number: return Value(n.number);
+    case COp::String: return Value(n.text);
+    case COp::Bool: return Value(n.number != 0);
+    case COp::Property: {
+      std::optional<Value> v = props(n.text);
+      if (!v) throw UndefinedProperty{n.text};
+      return std::move(*v);
+    }
+    case COp::Exist:
+      return Value(props(n.text).has_value());
+    case COp::Or: {
+      // OMG semantics: an undefined property anywhere fails the whole
+      // constraint, so both sides evaluate strictly — but short-circuit on a
+      // defined true lhs is still sound and avoids dynamic-property calls.
+      if (eval_bool(*n.lhs, props)) return Value(true);
+      return Value(eval_bool(*n.rhs, props));
+    }
+    case COp::And: {
+      if (!eval_bool(*n.lhs, props)) return Value(false);
+      return Value(eval_bool(*n.rhs, props));
+    }
+    case COp::Not:
+      return Value(!eval_bool(*n.lhs, props));
+    case COp::Eq:
+      return Value(compare_rel(RelKind::Eq, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Ne:
+      return Value(compare_rel(RelKind::Ne, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Lt:
+      return Value(compare_rel(RelKind::Lt, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Le:
+      return Value(compare_rel(RelKind::Le, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Gt:
+      return Value(compare_rel(RelKind::Gt, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Ge:
+      return Value(compare_rel(RelKind::Ge, eval_node(*n.lhs, props), eval_node(*n.rhs, props)));
+    case COp::Substr: {
+      const Value a = eval_node(*n.lhs, props);
+      const Value b = eval_node(*n.rhs, props);
+      if (!a.is_string() || !b.is_string()) {
+        throw IllegalConstraint("'~' requires string operands");
+      }
+      return Value(b.as_string().find(a.as_string()) != std::string::npos);
+    }
+    case COp::In: {
+      const Value item = eval_node(*n.lhs, props);
+      const Value seq = eval_node(*n.rhs, props);
+      if (!seq.is_table()) throw IllegalConstraint("'in' requires a sequence rhs");
+      const Table& t = *seq.as_table();
+      for (int64_t i = 1; i <= t.length(); ++i) {
+        if (compare_rel(RelKind::Eq, t.geti(i), item)) return Value(true);
+      }
+      return Value(false);
+    }
+    case COp::Add: return Value(eval_num(*n.lhs, props) + eval_num(*n.rhs, props));
+    case COp::Sub: return Value(eval_num(*n.lhs, props) - eval_num(*n.rhs, props));
+    case COp::Mul: return Value(eval_num(*n.lhs, props) * eval_num(*n.rhs, props));
+    case COp::Div: return Value(eval_num(*n.lhs, props) / eval_num(*n.rhs, props));
+    case COp::Neg: return Value(-eval_num(*n.lhs, props));
+  }
+  throw IllegalConstraint("internal: unknown constraint node");
+}
+
+void collect_properties(const CNode& n, std::set<std::string>& out) {
+  if (n.op == COp::Property || n.op == COp::Exist) out.insert(n.text);
+  if (n.lhs) collect_properties(*n.lhs, out);
+  if (n.rhs) collect_properties(*n.rhs, out);
+}
+
+bool is_blank(std::string_view text) {
+  for (const char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace detail
+
+Constraint::Constraint(Constraint&&) noexcept = default;
+Constraint& Constraint::operator=(Constraint&&) noexcept = default;
+Constraint::~Constraint() = default;
+
+Constraint Constraint::parse(std::string_view text) {
+  Constraint c;
+  c.text_ = std::string(text);
+  if (!detail::is_blank(text)) {
+    c.root_ = detail::CParser(text).parse();
+  }
+  return c;
+}
+
+bool Constraint::matches(const PropertyLookup& props) const {
+  if (!root_) return true;
+  try {
+    return detail::eval_bool(*root_, props);
+  } catch (const detail::UndefinedProperty&) {
+    return false;  // OMG: undefined property => offer does not match
+  } catch (const IllegalConstraint&) {
+    return false;  // type mismatch during evaluation => no match
+  }
+}
+
+std::optional<double> Constraint::evaluate_numeric(const PropertyLookup& props) const {
+  if (!root_) return std::nullopt;
+  try {
+    const Value v = detail::eval_node(*root_, props);
+    if (v.is_number()) return v.as_number();
+    if (v.is_bool()) return v.as_bool() ? 1.0 : 0.0;
+    return std::nullopt;
+  } catch (const detail::UndefinedProperty&) {
+    return std::nullopt;
+  } catch (const IllegalConstraint&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::string> Constraint::referenced_properties() const {
+  std::set<std::string> set;
+  if (root_) detail::collect_properties(*root_, set);
+  return {set.begin(), set.end()};
+}
+
+Preference Preference::parse(std::string_view text) {
+  Preference p;
+  p.text_ = std::string(text);
+  // trim
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  const std::string_view body = text.substr(begin, end - begin);
+  if (body.empty() || body == "first") {
+    p.kind_ = Kind::First;
+    return p;
+  }
+  if (body == "random") {
+    p.kind_ = Kind::Random;
+    return p;
+  }
+  auto starts_with = [&](std::string_view kw) {
+    return body.size() > kw.size() && body.substr(0, kw.size()) == kw &&
+           std::isspace(static_cast<unsigned char>(body[kw.size()]));
+  };
+  try {
+    if (starts_with("min")) {
+      p.kind_ = Kind::Min;
+      p.expr_ = Constraint::parse(body.substr(3));
+      return p;
+    }
+    if (starts_with("max")) {
+      p.kind_ = Kind::Max;
+      p.expr_ = Constraint::parse(body.substr(3));
+      return p;
+    }
+    if (starts_with("with")) {
+      p.kind_ = Kind::With;
+      p.expr_ = Constraint::parse(body.substr(4));
+      return p;
+    }
+  } catch (const IllegalConstraint& e) {
+    throw IllegalPreference(std::string("bad preference expression: ") + e.what());
+  }
+  throw IllegalPreference("unknown preference: '" + std::string(body) + "'");
+}
+
+}  // namespace adapt::trading

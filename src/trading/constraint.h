@@ -1,0 +1,98 @@
+// The OMG trader constraint language (CosTrading spec, appendix B) — the
+// language in which smart proxies express nonfunctional requirements, e.g.
+//
+//   "LoadAvg < 50 and LoadAvgIncreasing == 'no'"        (paper SV)
+//
+// Supported grammar (standard TCL subset plus boolean literals):
+//   expr     := or_expr
+//   or_expr  := and_expr { "or" and_expr }
+//   and_expr := not_expr { "and" not_expr }
+//   not_expr := [ "not" ] rel_expr
+//   rel_expr := add_expr [ (==|!=|<|<=|>|>=|~|in) add_expr ]
+//   add_expr := mul_expr { (+|-) mul_expr }
+//   mul_expr := unary { (*|/) unary }
+//   unary    := [-] primary | "exist" ident
+//   primary  := number | 'string' | TRUE | FALSE | ident | ( expr )
+//
+// `~` is the substring operator (lhs contained in rhs); `in` tests list
+// membership (rhs is a sequence-valued property); `exist p` tests whether
+// the offer defines property p.
+//
+// Evaluation follows OMG semantics for undefined properties: any
+// subexpression that touches an undefined property makes the whole
+// constraint FALSE for that offer (except under `exist`).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/value.h"
+#include "trading/errors.h"
+
+namespace adapt::trading {
+
+/// Resolves a property name to its (possibly dynamic) value for one offer.
+/// Returns nullopt when the offer does not define the property.
+using PropertyLookup = std::function<std::optional<Value>(const std::string&)>;
+
+namespace detail {
+struct CNode;
+using CNodePtr = std::unique_ptr<CNode>;
+}  // namespace detail
+
+/// A parsed constraint expression; immutable and reusable across offers.
+class Constraint {
+ public:
+  /// Parses `text`; empty/blank text matches everything.
+  /// Throws IllegalConstraint on syntax errors.
+  static Constraint parse(std::string_view text);
+
+  Constraint(Constraint&&) noexcept;
+  Constraint& operator=(Constraint&&) noexcept;
+  ~Constraint();
+
+  /// True when the constraint holds for the offer visible through `props`.
+  /// Undefined properties make the result false, never an exception.
+  [[nodiscard]] bool matches(const PropertyLookup& props) const;
+
+  /// Evaluates as an arithmetic expression (used by min/max preferences).
+  /// Returns nullopt when evaluation touches an undefined property or the
+  /// result is not a number.
+  [[nodiscard]] std::optional<double> evaluate_numeric(const PropertyLookup& props) const;
+
+  /// Property names referenced by the expression.
+  [[nodiscard]] std::vector<std::string> referenced_properties() const;
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] bool match_all() const { return root_ == nullptr; }
+
+ private:
+  Constraint() = default;
+  std::string text_;
+  detail::CNodePtr root_;
+};
+
+/// Preference: how matched offers are ordered (OMG CosTrading preferences).
+///   "min <expr>" | "max <expr>" | "with <constraint>" | "random" | "first"
+/// Empty text means "first" (registration order).
+class Preference {
+ public:
+  enum class Kind { First, Min, Max, With, Random };
+
+  static Preference parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const Constraint& expr() const { return expr_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  Kind kind_ = Kind::First;
+  std::string text_;
+  Constraint expr_ = Constraint::parse("");
+};
+
+}  // namespace adapt::trading

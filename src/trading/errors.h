@@ -1,0 +1,47 @@
+// Trading-service error taxonomy (OMG CosTrading exception analog).
+#pragma once
+
+#include "base/error.h"
+
+namespace adapt::trading {
+
+class TradingError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Constraint or preference text failed to parse (CosTrading::IllegalConstraint).
+class IllegalConstraint : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+class IllegalPreference : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+/// Service type not registered (CosTrading::UnknownServiceType).
+class UnknownServiceType : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+/// Offer export violated the service type (missing mandatory property,
+/// wrong property type, readonly modification).
+class PropertyMismatch : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+class UnknownOffer : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+class DuplicateServiceType : public TradingError {
+ public:
+  using TradingError::TradingError;
+};
+
+}  // namespace adapt::trading

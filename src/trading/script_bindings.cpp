@@ -1,0 +1,136 @@
+#include "trading/script_bindings.h"
+
+namespace adapt::trading {
+
+namespace {
+
+ObjectRef ref_from_value(const Value& v, const char* what) {
+  if (v.is_object()) return v.as_object();
+  if (v.is_string()) return ObjectRef::parse(v.as_string());
+  throw TradingError(std::string(what) + ": expected an object reference");
+}
+
+/// Converts a Luma props table to a PropertyMap; sub-tables of the form
+/// {eval=<ref>, extra=<v>} become dynamic properties.
+PropertyMap props_from_script(const Value& v) {
+  PropertyMap props;
+  if (!v.is_table()) return props;
+  for (const auto& [key, val] : *v.as_table()) {
+    if (!key.is_string()) continue;
+    if (val.is_table()) {
+      const Value eval = val.as_table()->get(Value("eval"));
+      if (eval.is_object() || eval.is_string()) {
+        DynamicProperty dp;
+        dp.eval = ref_from_value(eval, "dynamic property");
+        dp.extra = val.as_table()->get(Value("extra"));
+        props.emplace(key.as_string(), OfferedProperty(std::move(dp)));
+        continue;
+      }
+    }
+    props.emplace(key.as_string(), OfferedProperty(val));
+  }
+  return props;
+}
+
+Value offers_to_script(const Value& reply) {
+  // The Lookup servant already returns offer tables; convert provider refs
+  // to strings so script code can print/compare them conveniently.
+  if (!reply.is_table()) return Value(Table::make());
+  const Table& in = *reply.as_table();
+  auto out = Table::make();
+  for (int64_t i = 1; i <= in.length(); ++i) {
+    const Value offer = in.geti(i);
+    if (offer.is_table()) {
+      const Value provider = offer.as_table()->get(Value("provider"));
+      if (provider.is_object()) {
+        offer.as_table()->set(Value("provider"), Value(provider.as_object().str()));
+      }
+    }
+    out->append(offer);
+  }
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+TraderRefs trader_refs(const Trader& trader) {
+  return TraderRefs{trader.lookup_ref(), trader.register_ref(), trader.repository_ref()};
+}
+
+void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
+                              const TraderRefs& refs) {
+  auto t = Table::make();
+  auto need = [](const ObjectRef& ref, const char* what) {
+    if (ref.empty()) throw TradingError(std::string("trading.") + what + ": no servant ref");
+    return ref;
+  };
+
+  t->set(Value("query"), Value(NativeFunction::make("trading.query",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
+        const Value reply = orb->invoke(
+            need(refs.lookup, "query"), "query",
+            {arg(0), arg(1).is_nil() ? Value("") : arg(1),
+             arg(2).is_nil() ? Value("") : arg(2), Value(), arg(3)});
+        return {offers_to_script(reply)};
+      })));
+
+  t->set(Value("select"), Value(NativeFunction::make("trading.select",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
+        const Value reply = orb->invoke(
+            need(refs.lookup, "select"), "query",
+            {arg(0), arg(1).is_nil() ? Value("") : arg(1),
+             arg(2).is_nil() ? Value("") : arg(2)});
+        const Value offers = offers_to_script(reply);
+        return {offers.as_table()->geti(1)};
+      })));
+
+  t->set(Value("export"), Value(NativeFunction::make("trading.export",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
+        const PropertyMap props = props_from_script(arg(2));
+        const double lease = arg(3).is_number() ? arg(3).as_number() : 0;
+        const Value id = orb->invoke(
+            need(refs.register_ref, "export"), "export",
+            {arg(0), Value(ref_from_value(arg(1), "export provider")),
+             Trader::property_map_to_value(props), Value(lease)});
+        return {id};
+      })));
+
+  t->set(Value("withdraw"), Value(NativeFunction::make("trading.withdraw",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        orb->invoke(need(refs.register_ref, "withdraw"), "withdraw", {a.at(0)});
+        return {};
+      })));
+
+  t->set(Value("modify"), Value(NativeFunction::make("trading.modify",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        orb->invoke(need(refs.register_ref, "modify"), "modify",
+                    {a.at(0), Trader::property_map_to_value(props_from_script(a.at(1)))});
+        return {};
+      })));
+
+  t->set(Value("refresh"), Value(NativeFunction::make("trading.refresh",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        orb->invoke(need(refs.register_ref, "refresh"), "refresh", {a.at(0), a.at(1)});
+        return {};
+      })));
+
+  t->set(Value("add_type"), Value(NativeFunction::make("trading.add_type",
+      [orb, refs, need](const ValueList& a) -> ValueList {
+        auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
+        orb->invoke(need(refs.repository, "add_type"), "addType",
+                    {arg(0), arg(1).is_nil() ? Value("") : arg(1), Value(), arg(2)});
+        return {};
+      })));
+
+  t->set(Value("types"), Value(NativeFunction::make("trading.types",
+      [orb, refs, need](const ValueList&) -> ValueList {
+        return {orb->invoke(need(refs.repository, "types"), "listTypes")};
+      })));
+
+  engine.set_global("trading", Value(std::move(t)));
+}
+
+}  // namespace adapt::trading

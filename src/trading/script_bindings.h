@@ -1,0 +1,42 @@
+// LuaTrading (paper SIV): "To facilitate the use of the Trading service in
+// our infrastructure, we developed a Lua library that provides a simplified
+// interface to it, called LuaTrading."
+//
+// install_trading_bindings exposes a `trading` table to Luma code:
+//
+//   trading.query(type [, constraint [, preference [, policies]]])
+//       -> array of offer tables {id=..., type=..., provider=<ref string>,
+//          properties={...}}
+//   trading.select(type [, constraint [, preference]])
+//       -> best offer table or nil (the "give me one" shortcut)
+//   trading.export(type, provider_ref, props [, lease]) -> offer id
+//       -- provider_ref: an object ref string or object value; props may
+//       -- contain dynamic properties as {eval=<ref>, extra=<value>}
+//   trading.withdraw(offer_id)
+//   trading.modify(offer_id, props)
+//   trading.refresh(offer_id, lease)
+//   trading.add_type(name [, interface [, supertypes]])
+//   trading.types() -> array of type names
+#pragma once
+
+#include "orb/orb.h"
+#include "script/engine.h"
+#include "trading/trader.h"
+
+namespace adapt::trading {
+
+/// Refs to a trader's three servants (any may be empty; calling a binding
+/// that needs a missing one raises a script error).
+struct TraderRefs {
+  ObjectRef lookup;
+  ObjectRef register_ref;
+  ObjectRef repository;
+};
+
+void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
+                              const TraderRefs& refs);
+
+/// Convenience: all three refs of a local Trader.
+TraderRefs trader_refs(const Trader& trader);
+
+}  // namespace adapt::trading

@@ -1,0 +1,106 @@
+// Unit tests for the binary encoders used by the ORB wire format.
+#include "base/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adapt {
+namespace {
+
+TEST(BytesTest, ScalarRoundtrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.141592653589793);
+  w.str("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, BinaryStringWithNulls) {
+  ByteWriter w;
+  const std::string payload("a\0b\0c", 5);
+  w.str(payload);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), payload);
+}
+
+TEST(BytesTest, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW((void)r.u8(), SerializationError);
+}
+
+TEST(BytesTest, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), SerializationError);
+}
+
+TEST(BytesTest, PatchU32) {
+  ByteWriter w;
+  w.u32(0);  // placeholder
+  w.str("body");
+  w.patch_u32(0, static_cast<uint32_t>(w.size() - 4));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), w.size() - 4);
+}
+
+TEST(BytesTest, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u32(0, 5), SerializationError);
+}
+
+TEST(BytesTest, NegativeAndSpecialDoubles) {
+  ByteWriter w;
+  w.f64(-0.0);
+  w.f64(1e308);
+  w.f64(-1e-308);
+  ByteReader r(w.bytes());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_DOUBLE_EQ(r.f64(), 1e308);
+  EXPECT_DOUBLE_EQ(r.f64(), -1e-308);
+}
+
+TEST(BytesTest, RemainingCount) {
+  ByteWriter w;
+  w.u64(1);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(BytesTest, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u8(9);
+  Bytes b = w.take();
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 9);
+}
+
+}  // namespace
+}  // namespace adapt

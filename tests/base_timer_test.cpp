@@ -1,0 +1,163 @@
+// Unit tests for Clock / SimClock / TimerService.
+#include "base/timer_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace adapt {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+}
+
+TEST(SimClockTest, NeverGoesBackward) {
+  SimClock clock;
+  clock.set(10.0);
+  clock.set(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(SimClockTest, SleepWakesWhenAdvanced) {
+  auto clock = std::make_shared<SimClock>();
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock->sleep_for(1.0);
+    woke = true;
+  });
+  // Give the sleeper a moment to block, then advance virtual time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke);
+  clock->advance(1.5);
+  sleeper.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(RealClockTest, MonotonicAndSleeps) {
+  RealClock clock;
+  const double t0 = clock.now();
+  clock.sleep_for(0.01);
+  EXPECT_GE(clock.now(), t0 + 0.009);
+}
+
+TEST(TimerServiceTest, PeriodicTaskFiresEachPeriod) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  int fired = 0;
+  timers.schedule_every(1.0, [&] { ++fired; });
+  timers.run_for(5.0);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(TimerServiceTest, OneShotFiresOnce) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  int fired = 0;
+  timers.schedule_after(2.0, [&] { ++fired; });
+  timers.run_for(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(timers.pending_tasks(), 0u);
+}
+
+TEST(TimerServiceTest, TasksFireInTimestampOrder) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  std::vector<int> order;
+  timers.schedule_after(3.0, [&] { order.push_back(3); });
+  timers.schedule_after(1.0, [&] { order.push_back(1); });
+  timers.schedule_after(2.0, [&] { order.push_back(2); });
+  timers.run_for(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerServiceTest, ClockSetToTaskTimeDuringCallback) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  double seen = -1;
+  timers.schedule_after(4.0, [&] { seen = clock->now(); });
+  timers.run_for(10.0);
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+  EXPECT_DOUBLE_EQ(clock->now(), 10.0);
+}
+
+TEST(TimerServiceTest, CancelPreventsFiring) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  int fired = 0;
+  const auto id = timers.schedule_every(1.0, [&] { ++fired; });
+  timers.run_for(2.0);
+  EXPECT_EQ(fired, 2);
+  timers.cancel(id);
+  timers.run_for(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerServiceTest, TaskCanCancelItself) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  int fired = 0;
+  TimerService::TaskId id = 0;
+  id = timers.schedule_every(1.0, [&] {
+    if (++fired == 3) timers.cancel(id);
+  });
+  timers.run_for(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(TimerServiceTest, TaskCanScheduleAnotherWithinWindow) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  std::vector<double> times;
+  timers.schedule_after(1.0, [&] {
+    times.push_back(clock->now());
+    timers.schedule_after(1.0, [&] { times.push_back(clock->now()); });
+  });
+  timers.run_for(5.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(TimerServiceTest, RunUntilRequiresSimClock) {
+  TimerService timers(std::make_shared<RealClock>());
+  EXPECT_THROW(timers.run_for(1.0), Error);
+}
+
+TEST(TimerServiceTest, RealClockDispatcherFires) {
+  TimerService timers(std::make_shared<RealClock>());
+  std::atomic<int> fired{0};
+  timers.schedule_after(0.01, [&] { ++fired; });
+  for (int i = 0; i < 200 && fired == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerServiceTest, RealClockPeriodicFires) {
+  TimerService timers(std::make_shared<RealClock>());
+  std::atomic<int> fired{0};
+  timers.schedule_every(0.005, [&] { ++fired; });
+  for (int i = 0; i < 400 && fired < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(fired, 3);
+}
+
+TEST(TimerServiceTest, ZeroPeriodClampedNotInfinite) {
+  auto clock = std::make_shared<SimClock>();
+  TimerService timers(clock);
+  int fired = 0;
+  const auto id = timers.schedule_every(0.0, [&] { ++fired; });
+  timers.run_for(1e-6);
+  EXPECT_GT(fired, 0);
+  timers.cancel(id);
+}
+
+}  // namespace
+}  // namespace adapt

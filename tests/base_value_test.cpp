@@ -1,0 +1,203 @@
+// Unit tests for adapt::Value, adapt::Table and adapt::ObjectRef.
+#include "base/value.h"
+
+#include <gtest/gtest.h>
+
+#include "script/interpreter.h"
+
+namespace adapt {
+namespace {
+
+TEST(ValueTest, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v.type(), Value::Type::Nil);
+  EXPECT_FALSE(v.truthy());
+  EXPECT_EQ(v.str(), "nil");
+}
+
+TEST(ValueTest, BoolRoundtrip) {
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_FALSE(Value(false).as_bool());
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_EQ(Value(true).str(), "true");
+}
+
+TEST(ValueTest, NumberRoundtrip) {
+  EXPECT_DOUBLE_EQ(Value(3.5).as_number(), 3.5);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_EQ(Value(7.0).str(), "7");
+  EXPECT_EQ(Value(2.5).str(), "2.5");
+  EXPECT_TRUE(Value(0.0).truthy()) << "0 is truthy in Lua semantics";
+}
+
+TEST(ValueTest, AsIntRejectsFractions) {
+  EXPECT_THROW((void)Value(1.5).as_int(), TypeError);
+}
+
+TEST(ValueTest, StringRoundtrip) {
+  Value v("hello");
+  EXPECT_EQ(v.as_string(), "hello");
+  EXPECT_EQ(v.str(), "hello");
+  EXPECT_TRUE(v.truthy());
+}
+
+TEST(ValueTest, TypeMismatchThrows) {
+  EXPECT_THROW((void)Value(1.0).as_string(), TypeError);
+  EXPECT_THROW((void)Value("x").as_number(), TypeError);
+  EXPECT_THROW((void)Value().as_table(), TypeError);
+  EXPECT_THROW((void)Value(true).as_object(), TypeError);
+}
+
+TEST(ValueTest, EqualityScalars) {
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_NE(Value(1.0), Value(2.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value(1.0)) << "cross-type values are never equal";
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, TableIdentityEquality) {
+  auto t1 = Table::make();
+  auto t2 = Table::make();
+  EXPECT_EQ(Value(t1), Value(t1));
+  EXPECT_NE(Value(t1), Value(t2)) << "tables compare by identity";
+}
+
+TEST(ValueTest, ObjectRefEquality) {
+  ObjectRef a{"inproc://x", "obj1", "IfaceA"};
+  ObjectRef b{"inproc://x", "obj1", "IfaceB"};
+  ObjectRef c{"inproc://x", "obj2", "IfaceA"};
+  EXPECT_EQ(Value(a), Value(b)) << "interface name is not part of identity";
+  EXPECT_NE(Value(a), Value(c));
+}
+
+TEST(TableTest, SetGet) {
+  auto t = Table::make();
+  t->set(Value("k"), Value(1.0));
+  t->seti(1, Value("first"));
+  EXPECT_EQ(t->get(Value("k")).as_number(), 1.0);
+  EXPECT_EQ(t->geti(1).as_string(), "first");
+  EXPECT_TRUE(t->get(Value("missing")).is_nil());
+}
+
+TEST(TableTest, NilValueErases) {
+  auto t = Table::make();
+  t->set(Value("k"), Value(1.0));
+  EXPECT_EQ(t->size(), 1u);
+  t->set(Value("k"), Value());
+  EXPECT_EQ(t->size(), 0u);
+}
+
+TEST(TableTest, NilKeyThrows) {
+  auto t = Table::make();
+  EXPECT_THROW(t->set(Value(), Value(1.0)), TypeError);
+  EXPECT_TRUE(t->get(Value()).is_nil()) << "reading a nil key yields nil";
+}
+
+TEST(TableTest, IntegralDoubleKeysNormalize) {
+  auto t = Table::make();
+  t->set(Value(2.0), Value("two"));
+  EXPECT_EQ(t->geti(2).as_string(), "two");
+  t->seti(3, Value("three"));
+  EXPECT_EQ(t->get(Value(3.0)).as_string(), "three");
+}
+
+TEST(TableTest, Length) {
+  auto t = Table::make();
+  EXPECT_EQ(t->length(), 0);
+  t->seti(1, Value("a"));
+  t->seti(2, Value("b"));
+  t->seti(4, Value("d"));
+  EXPECT_EQ(t->length(), 2) << "length stops at the first hole";
+  t->set(Value("x"), Value(1.0));
+  EXPECT_EQ(t->length(), 2) << "string keys do not affect length";
+}
+
+TEST(TableTest, Append) {
+  auto t = Table::make();
+  t->append(Value(10.0));
+  t->append(Value(20.0));
+  EXPECT_EQ(t->length(), 2);
+  EXPECT_EQ(t->geti(2).as_number(), 20.0);
+}
+
+TEST(TableTest, MakeArray) {
+  auto t = Table::make_array({Value(1.0), Value("x"), Value(true)});
+  EXPECT_EQ(t->length(), 3);
+  EXPECT_EQ(t->geti(1).as_number(), 1.0);
+  EXPECT_EQ(t->geti(2).as_string(), "x");
+  EXPECT_TRUE(t->geti(3).as_bool());
+}
+
+TEST(TableTest, MixedKeyTypesCoexist) {
+  auto t = Table::make();
+  t->set(Value(true), Value("bool-key"));
+  t->set(Value(1.0), Value("num-key"));
+  t->set(Value("1"), Value("str-key"));
+  EXPECT_EQ(t->get(Value(true)).as_string(), "bool-key");
+  EXPECT_EQ(t->geti(1).as_string(), "num-key");
+  EXPECT_EQ(t->get(Value("1")).as_string(), "str-key");
+  EXPECT_EQ(t->size(), 3u);
+}
+
+TEST(TableTest, DisplayString) {
+  auto t = Table::make();
+  t->seti(1, Value(10.0));
+  t->set(Value("name"), Value("n"));
+  const std::string s = Value(t).str();
+  EXPECT_NE(s.find("[1]=10"), std::string::npos) << s;
+  EXPECT_NE(s.find("name=n"), std::string::npos) << s;
+}
+
+TEST(TableTest, CyclicDisplayDoesNotHang) {
+  auto t = Table::make();
+  t->set(Value("self"), Value(t));
+  const std::string s = Value(t).str();
+  EXPECT_NE(s.find("{...}"), std::string::npos) << s;
+}
+
+TEST(ObjectRefTest, StrParseRoundtrip) {
+  ObjectRef ref{"tcp://127.0.0.1:9000", "monitor-42", "EventMonitor"};
+  const ObjectRef back = ObjectRef::parse(ref.str());
+  EXPECT_EQ(back.endpoint, ref.endpoint);
+  EXPECT_EQ(back.object_id, ref.object_id);
+  EXPECT_EQ(back.interface, ref.interface);
+}
+
+TEST(ObjectRefTest, ParseRejectsMalformed) {
+  EXPECT_THROW(ObjectRef::parse("no-scheme!id#iface"), Error);
+  EXPECT_THROW(ObjectRef::parse("tcp://host-only"), Error);
+  EXPECT_THROW(ObjectRef::parse("tcp://host!#iface"), Error);
+}
+
+TEST(ObjectRefTest, EmptyInterfaceAllowed) {
+  const ObjectRef ref = ObjectRef::parse("inproc://hostA!obj#");
+  EXPECT_EQ(ref.object_id, "obj");
+  EXPECT_TRUE(ref.interface.empty());
+}
+
+TEST(ObjectRefTest, SlashesInEndpointAndObjectIdSurvive) {
+  // ORB names ("infra/host") and object ids ("monitor/LoadAvg-1") both
+  // contain '/': the stringified form must stay unambiguous.
+  ObjectRef ref{"inproc://infra/host-3", "monitor/LoadAvg-1", "EventMonitor"};
+  const ObjectRef back = ObjectRef::parse(ref.str());
+  EXPECT_EQ(back.endpoint, "inproc://infra/host-3");
+  EXPECT_EQ(back.object_id, "monitor/LoadAvg-1");
+  EXPECT_EQ(back.interface, "EventMonitor");
+}
+
+TEST(NativeFunctionTest, CallThroughBase) {
+  auto fn = NativeFunction::make("double", [](const ValueList& args) -> ValueList {
+    return {Value(args.at(0).as_number() * 2)};
+  });
+  script::Interpreter interp(script::Environment::make());
+  CallContext ctx{interp};
+  ValueList out = fn->call(ctx, {Value(21.0)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].as_number(), 42.0);
+}
+
+}  // namespace
+}  // namespace adapt

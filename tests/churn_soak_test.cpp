@@ -1,0 +1,164 @@
+// Churn/soak scenarios: a larger deployment run for hours of virtual time
+// with servers joining and crashing (leases expiring), roaming load, and
+// clients that must keep being served by live, suitable components
+// throughout. These are invariant tests, not benchmarks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/infrastructure.h"
+#include "sim/workload.h"
+
+namespace adapt::core {
+namespace {
+
+using orb::FunctionServant;
+
+constexpr const char* kInterest = R"(function(observer, value, monitor)
+  return value[1] > 50 and monitor:getAspectValue("increasing") == "yes"
+end)";
+
+struct Node {
+  std::string name;
+  ObjectRef provider;
+  std::shared_ptr<ServiceAgent> agent;
+  bool alive = true;
+};
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  ChurnTest() {
+    infra_.trader().types().add({.name = "Svc"});
+  }
+
+  Node deploy(const std::string& name) {
+    Node node;
+    node.name = name;
+    auto host = infra_.make_host(name);
+    auto servant = FunctionServant::make("Svc");
+    servant->on("work", [name, host](const ValueList&) {
+      host->record_work(0.1);
+      return Value(name);
+    });
+    node.provider = infra_.host_orb(name)->register_servant(servant, "svc");
+    node.agent = infra_.make_agent(name);
+    auto mon = node.agent->create_load_monitor(host);
+    node.agent->enable_heartbeat(/*period=*/30.0, /*lease=*/90.0);
+    node.agent->export_with_load("Svc", node.provider, mon);
+    return node;
+  }
+
+  void crash(Node& node) {
+    // The server vanishes and its agent stops heartbeating — nothing is
+    // withdrawn explicitly; the lease must clean up.
+    infra_.host_orb(node.name)->unregister_servant("svc");
+    node.agent->disable_heartbeat();
+    node.alive = false;
+  }
+
+  Infrastructure infra_{InfrastructureOptions{.name = "churn" + std::to_string(counter_++)}};
+  static int counter_;
+};
+
+int ChurnTest::counter_ = 0;
+
+TEST_F(ChurnTest, ClientsSurviveServerChurn) {
+  std::vector<Node> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(deploy("n" + std::to_string(i)));
+
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+  cfg.preference = "min LoadAvg";
+  std::vector<SmartProxyPtr> proxies;
+  std::vector<std::unique_ptr<sim::ClosedLoopClient>> clients;
+  std::set<std::string> servers_seen;
+  int served = 0;
+  int failed = 0;
+  for (int c = 0; c < 3; ++c) {
+    auto proxy = infra_.make_proxy(cfg);
+    proxy->add_interest("LoadIncrease", kInterest);
+    proxy->set_strategy("LoadIncrease", [](SmartProxy& p) { p.select(); });
+    clients.push_back(std::make_unique<sim::ClosedLoopClient>(
+        infra_.timers(),
+        [&, proxy] {
+          try {
+            servers_seen.insert(proxy->invoke("work").as_string());
+            ++served;
+          } catch (const Error&) {
+            ++failed;
+          }
+        },
+        7.0));
+    clients.back()->start();
+    proxies.push_back(std::move(proxy));
+  }
+
+  // Hour 1: normal operation with a roaming spike.
+  sim::schedule_load_spike(*infra_.timers(), infra_.host("n0"), 600, 1800, 90);
+  infra_.run_for(3600);
+
+  // Hour 2: two servers crash (no withdraw — leases must expire), load
+  // roams to another survivor.
+  crash(nodes[1]);
+  crash(nodes[2]);
+  sim::schedule_load_spike(*infra_.timers(), infra_.host("n3"), 4200, 5400, 90);
+  infra_.run_for(3600);
+
+  // Hour 3: a replacement joins; everything keeps flowing.
+  nodes.push_back(deploy("n4"));
+  infra_.run_for(3600);
+
+  for (auto& client : clients) client->stop();
+
+  EXPECT_GT(served, 4000) << "three clients at ~514 req/hour each for 3 hours";
+  // Transient failures are allowed only in the lease-expiry window right
+  // after a crash (the proxy may hit the dead ref once before failover).
+  EXPECT_LT(failed, 20) << "failures bounded by crash transients";
+  EXPECT_GE(servers_seen.size(), 3u) << "clients migrated across servers";
+  EXPECT_EQ(infra_.trader().query("Svc", "").size(), 3u)
+      << "trader converged to the live servers (n0, n3, n4)";
+  // Dead servers' offers are gone without any explicit withdrawal.
+  for (const auto& offer : infra_.trader().query("Svc", "")) {
+    const std::string host = offer.properties.at("Host").as_string();
+    EXPECT_NE(host, "n1");
+    EXPECT_NE(host, "n2");
+  }
+}
+
+TEST_F(ChurnTest, ProxiesConvergeAfterMassCrash) {
+  std::vector<Node> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(deploy("m" + std::to_string(i)));
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  cfg.preference = "min LoadAvg";
+  auto proxy = infra_.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", kInterest);
+  ASSERT_TRUE(proxy->select());
+
+  // All but one crash at once.
+  crash(nodes[0]);
+  crash(nodes[1]);
+  infra_.run_for(120.0);  // leases expire
+
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(proxy->invoke("work").as_string(), "m2");
+  }
+}
+
+TEST_F(ChurnTest, TraderOfferCountTracksMembership) {
+  std::vector<Node> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(deploy("t" + std::to_string(i)));
+  EXPECT_EQ(infra_.trader().query("Svc", "").size(), 6u);
+  crash(nodes[0]);
+  crash(nodes[3]);
+  crash(nodes[5]);
+  infra_.run_for(100.0);
+  EXPECT_EQ(infra_.trader().query("Svc", "").size(), 3u);
+  deploy("t6");
+  deploy("t7");
+  EXPECT_EQ(infra_.trader().query("Svc", "").size(), 5u);
+}
+
+}  // namespace
+}  // namespace adapt::core

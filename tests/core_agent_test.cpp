@@ -1,0 +1,163 @@
+// ServiceAgent tests: monitor creation, offer export with dynamic
+// properties, withdrawal, and script-driven agents (paper SIV: "these
+// service agents — typically implemented as Lua scripts").
+#include "core/service_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/infrastructure.h"
+
+namespace adapt::core {
+namespace {
+
+using orb::FunctionServant;
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() {
+    trading::ServiceTypeDef type;
+    type.name = "Svc";
+    infra_.trader().types().add(type);
+    host_ = infra_.make_host("ag-host");
+    agent_ = infra_.make_agent("ag-host");
+    auto servant = FunctionServant::make("Svc");
+    servant->on("op", [](const ValueList&) { return Value(1.0); });
+    provider_ = infra_.host_orb("ag-host")->register_servant(servant);
+  }
+
+  Infrastructure infra_{InfrastructureOptions{.name = "at" + std::to_string(counter_++)}};
+  sim::HostPtr host_;
+  std::shared_ptr<ServiceAgent> agent_;
+  ObjectRef provider_;
+  static int counter_;
+};
+
+int AgentTest::counter_ = 0;
+
+TEST_F(AgentTest, LoadMonitorTracksHost) {
+  auto mon = agent_->create_load_monitor(host_);
+  host_->set_background_jobs(10.0);
+  infra_.run_for(600.0);
+  const Value v = mon->getvalue();
+  ASSERT_TRUE(v.is_table());
+  EXPECT_NEAR(v.as_table()->geti(1).as_number(), 10.0, 0.5);
+  EXPECT_EQ(mon->getAspectValue("increasing").as_string(), "yes");
+  host_->set_background_jobs(0.0);
+  infra_.run_for(600.0);
+  EXPECT_EQ(mon->getAspectValue("increasing").as_string(), "no");
+}
+
+TEST_F(AgentTest, ExportWithLoadPublishesDynamicProperties) {
+  auto mon = agent_->create_load_monitor(host_);
+  const std::string id = agent_->export_with_load("Svc", provider_, mon);
+  EXPECT_EQ(infra_.trader().offer_count(), 1u);
+
+  host_->set_background_jobs(30.0);
+  infra_.run_for(600.0);
+  // The trader sees live values through evalDP.
+  auto results = infra_.trader().query("Svc", "LoadAvg > 25");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].properties.at("LoadAvg").as_number(), 30.0, 1.0);
+  EXPECT_EQ(results[0].properties.at("LoadAvgIncreasing").as_string(), "yes");
+  EXPECT_TRUE(results[0].properties.at("LoadAvgMonitor").is_object());
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "ag-host");
+  EXPECT_EQ(results[0].offer_id, id);
+}
+
+TEST_F(AgentTest, WithdrawAllOnDestruction) {
+  {
+    Infrastructure inner{InfrastructureOptions{.name = "at-inner"}};
+    trading::ServiceTypeDef type;
+    type.name = "Svc";
+    inner.trader().types().add(type);
+    auto host = inner.make_host("h");
+    auto agent = inner.make_agent("h");
+    auto servant = FunctionServant::make("Svc");
+    const ObjectRef provider = inner.host_orb("h")->register_servant(servant);
+    auto mon = agent->create_load_monitor(host);
+    agent->export_with_load("Svc", provider, mon);
+    EXPECT_EQ(inner.trader().offer_count(), 1u);
+    // Infrastructure teardown destroys the agent first; the offer must go.
+  }
+  SUCCEED();
+}
+
+TEST_F(AgentTest, ExplicitWithdraw) {
+  auto mon = agent_->create_load_monitor(host_);
+  const std::string id = agent_->export_with_load("Svc", provider_, mon);
+  EXPECT_EQ(agent_->offers().size(), 1u);
+  agent_->withdraw(id);
+  EXPECT_EQ(agent_->offers().size(), 0u);
+  EXPECT_EQ(infra_.trader().offer_count(), 0u);
+}
+
+TEST_F(AgentTest, CustomMonitorProperty) {
+  auto mem = std::make_shared<double>(512.0);
+  auto mon = agent_->create_monitor(
+      "FreeMemory",
+      Value(NativeFunction::make("mem", [mem](const ValueList&) {
+        return ValueList{Value(*mem)};
+      })),
+      30.0);
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 512.0);
+  *mem = 256.0;
+  infra_.run_for(30.0);
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 256.0);
+  // Exported as a dynamic property under its own name.
+  trading::PropertyMap props;
+  props["FreeMemory"] = trading::OfferedProperty(
+      trading::DynamicProperty{agent_->monitor_ref(*mon), Value()});
+  agent_->export_offer("Svc", provider_, props);
+  auto results = infra_.trader().query("Svc", "FreeMemory == 256");
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST_F(AgentTest, ScriptDrivenAgentExportsOffer) {
+  // The agent as a Luma script (paper SIV): create a monitor and export an
+  // offer entirely from script.
+  agent_->engine()->set_global("provider", Value(provider_));
+  agent_->run_script(R"(
+    lmon = EventMonitor:new("Temperature", function() return 21.5 end, 60)
+    offer_id = agent.export("Svc", provider, {
+      Temperature = 21.5,
+      Room = "machine-room-2",
+    })
+  )");
+  EXPECT_EQ(infra_.trader().offer_count(), 1u);
+  const Value id = agent_->engine()->get_global("offer_id");
+  ASSERT_TRUE(id.is_string());
+  const auto offer = infra_.trader().describe(id.as_string());
+  EXPECT_EQ(offer.properties.at("Room").static_value().as_string(), "machine-room-2");
+  // ...and withdraw it from script too.
+  agent_->run_script("agent.withdraw(offer_id)");
+  EXPECT_EQ(infra_.trader().offer_count(), 0u);
+}
+
+TEST_F(AgentTest, ScriptAgentConfiguresMonitorAspects) {
+  agent_->run_script(R"(
+    m = BasicMonitor:new("Queue")
+    m:setvalue(3)
+    m:defineAspect("busy", "function(self, v) if v > 5 then return 'yes' else return 'no' end end")
+    m:setvalue(7)
+  )");
+  EXPECT_EQ(agent_->engine()->eval1("return m:getAspectValue('busy')").as_string(), "yes");
+}
+
+TEST_F(AgentTest, AgentScriptsSeeLuaTrading) {
+  // Infrastructure-made agents can query the trader from script (SIV).
+  agent_->engine()->set_global("provider", Value(provider_));
+  agent_->run_script(R"(
+    agent.export("Svc", provider, {Zone = "east"})
+    found = trading.query("Svc", "Zone == 'east'")
+  )");
+  EXPECT_DOUBLE_EQ(agent_->engine()->eval1("return #found").as_number(), 1.0);
+}
+
+TEST_F(AgentTest, MonitorRefUnknownMonitorThrows) {
+  auto other_engine = std::make_shared<script::ScriptEngine>();
+  monitor::BasicMonitor foreign("x", other_engine);
+  EXPECT_THROW(agent_->monitor_ref(foreign), Error);
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,208 @@
+// Infrastructure script bindings: deployments driven from Luma, including
+// servers implemented in the interpreted language (paper SII claims 1-3),
+// plus the new script-language features they rely on (varargs) and ORB
+// deferred-synchronous invocation.
+#include "core/script_bindings.h"
+
+#include <gtest/gtest.h>
+
+namespace adapt::core {
+namespace {
+
+class ScriptBindingsTest : public ::testing::Test {
+ protected:
+  ScriptBindingsTest()
+      : infra_({.name = "sb" + std::to_string(counter_++)}), engine_(infra_.clock()) {
+    install_infrastructure_bindings(engine_, infra_);
+  }
+
+  Infrastructure infra_;
+  script::ScriptEngine engine_;
+  static int counter_;
+};
+
+int ScriptBindingsTest::counter_ = 0;
+
+TEST_F(ScriptBindingsTest, AddTypeFromScript) {
+  engine_.eval("infra.add_type('ScriptedType')");
+  EXPECT_TRUE(infra_.trader().types().has("ScriptedType"));
+}
+
+TEST_F(ScriptBindingsTest, HostWrapperControlsLoad) {
+  engine_.eval(R"(
+    h = infra.make_host('script-host')
+    h:set_jobs(10)
+    infra.run_for(600)
+    l = h:loadavg()
+  )");
+  const Value l = engine_.get_global("l");
+  ASSERT_TRUE(l.is_table());
+  EXPECT_NEAR(l.as_table()->geti(1).as_number(), 10.0, 0.5);
+  EXPECT_EQ(engine_.eval1("return h.name").as_string(), "script-host");
+}
+
+TEST_F(ScriptBindingsTest, LumaServerServesRemoteCalls) {
+  engine_.eval(R"(
+    infra.add_type('Echo')
+    server = {}
+    function server:shout(text) return text .. '!' end
+    ref = infra.deploy('echo-host', 'Echo', server)
+  )");
+  // Call the Luma-implemented server from a plain C++ ORB client.
+  const ObjectRef ref = ObjectRef::parse(engine_.get_global("ref").as_string());
+  auto client = infra_.make_orb("cpp-client");
+  EXPECT_EQ(client->invoke(ref, "shout", {Value("hey")}).as_string(), "hey!");
+}
+
+TEST_F(ScriptBindingsTest, LumaServerKeepsStateAcrossCalls) {
+  engine_.eval(R"(
+    infra.add_type('Counter')
+    local counter = {n = 0}
+    function counter:bump() self.n = self.n + 1 return self.n end
+    infra.deploy('ctr-host', 'Counter', counter)
+    p = infra.make_proxy{type = 'Counter'}
+  )");
+  EXPECT_DOUBLE_EQ(engine_.eval1("return p:invoke('bump')").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(engine_.eval1("return p:invoke('bump')").as_number(), 2.0);
+}
+
+TEST_F(ScriptBindingsTest, DeployRecordsWorkOnHost) {
+  engine_.eval(R"(
+    infra.add_type('Busy')
+    local s = {}
+    function s:work() return true end
+    infra.deploy('busy-host', 'Busy', s, 1.0)
+    p = infra.make_proxy{type = 'Busy'}
+    for i = 1, 20 do p:invoke('work') end
+    infra.run_for(10)
+  )");
+  EXPECT_GT(infra_.host("busy-host")->total_work(), 19.0);
+}
+
+TEST_F(ScriptBindingsTest, FullAdaptiveScenarioFromScript) {
+  engine_.eval(R"(
+    infra.add_type('Svc')
+    for i, name in ipairs({'s1', 's2'}) do
+      local server = {}
+      function server:whoami() return name end
+      infra.deploy(name, 'Svc', server)
+    end
+    p = infra.make_proxy{
+      type = 'Svc',
+      constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'",
+      preference = 'min LoadAvg',
+    }
+    p:add_interest('LoadIncrease', [[function(o, v, m)
+      return v[1] > 50 and m:getAspectValue('increasing') == 'yes'
+    end]])
+    p:set_strategy('LoadIncrease', [[function(self) self:_select('LoadAvg < 50') end]])
+    first = p:invoke('whoami')
+  )");
+  EXPECT_EQ(engine_.get_global("first").as_string(), "s1");
+  infra_.host("s1")->set_background_jobs(150.0);
+  infra_.run_for(600.0);
+  EXPECT_EQ(engine_.eval1("return p:invoke('whoami')").as_string(), "s2");
+  EXPECT_GE(engine_.eval1("return p:rebinds()").as_number(), 2.0);
+}
+
+TEST_F(ScriptBindingsTest, DeployRejectsNonTableMethods) {
+  engine_.eval("infra.add_type('Bad')");
+  EXPECT_THROW(engine_.eval("infra.deploy('bh', 'Bad', 42)"), Error);
+}
+
+TEST_F(ScriptBindingsTest, ClockVisibleFromScript) {
+  EXPECT_DOUBLE_EQ(engine_.eval1("return infra.now()").as_number(), 0.0);
+  engine_.eval("infra.run_for(90)");
+  EXPECT_DOUBLE_EQ(engine_.eval1("return infra.now()").as_number(), 90.0);
+}
+
+// ---- varargs (added for generic script wrappers) ---------------------------
+
+TEST(VarargTest, ExtrasAvailableAsDots) {
+  script::ScriptEngine eng;
+  ValueList out = eng.eval(R"(
+    function tail(first, ...) return ... end
+    return tail(1, 2, 3, 4)
+  )");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].as_number(), 2);
+  EXPECT_DOUBLE_EQ(out[2].as_number(), 4);
+}
+
+TEST(VarargTest, ArgTableWithCount) {
+  script::ScriptEngine eng;
+  EXPECT_DOUBLE_EQ(
+      eng.eval1("function f(...) return arg.n end return f('a', 'b', 'c')").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      eng.eval1("function f(...) return arg.n end return f()").as_number(), 0.0);
+}
+
+TEST(VarargTest, DotsExpandInCallsAndTables) {
+  script::ScriptEngine eng;
+  ValueList out = eng.eval(R"(
+    function pack(...) return {...} end
+    function sum3(a, b, c) return a + b + c end
+    function forward(...) return sum3(...) end
+    local t = pack(10, 20, 30)
+    return #t, forward(1, 2, 3)
+  )");
+  EXPECT_DOUBLE_EQ(out.at(0).as_number(), 3);
+  EXPECT_DOUBLE_EQ(out.at(1).as_number(), 6);
+}
+
+TEST(VarargTest, DotsMidListTruncatesToOne) {
+  script::ScriptEngine eng;
+  ValueList out = eng.eval(R"(
+    function f(...) return ..., 99 end
+    return f(7, 8)
+  )");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].as_number(), 7);
+  EXPECT_DOUBLE_EQ(out[1].as_number(), 99);
+}
+
+TEST(VarargTest, DotsOutsideVarargFunctionThrows) {
+  script::ScriptEngine eng;
+  EXPECT_THROW(eng.eval("function f() return ... end return f()"), script::ScriptError);
+}
+
+// ---- ORB deferred-synchronous invocation -----------------------------------
+
+TEST(InvokeAsyncTest, ResultDeliveredThroughFuture) {
+  auto orb = orb::Orb::create();
+  auto servant = orb::FunctionServant::make("Calc");
+  servant->on("square", [](const ValueList& a) {
+    return Value(a.at(0).as_number() * a.at(0).as_number());
+  });
+  const ObjectRef ref = orb->register_servant(servant);
+  auto future = orb->invoke_async(ref, "square", {Value(9.0)});
+  EXPECT_DOUBLE_EQ(future.get().as_number(), 81.0);
+}
+
+TEST(InvokeAsyncTest, ErrorsRethrownFromFuture) {
+  auto orb = orb::Orb::create();
+  auto servant = orb::FunctionServant::make("Calc");
+  servant->on("die", [](const ValueList&) -> Value { throw Error("async boom"); });
+  const ObjectRef ref = orb->register_servant(servant);
+  auto ok_future = orb->invoke_async(ref, "die");
+  EXPECT_THROW(ok_future.get(), orb::RemoteError);
+  auto missing = orb->invoke_async(ObjectRef{"inproc://nowhere", "x", ""}, "op");
+  EXPECT_THROW(missing.get(), orb::TransportError);
+}
+
+TEST(InvokeAsyncTest, ManyConcurrentRequests) {
+  auto orb = orb::Orb::create();
+  auto servant = orb::FunctionServant::make("Calc");
+  servant->on("id", [](const ValueList& a) { return a.at(0); });
+  const ObjectRef ref = orb->register_servant(servant);
+  std::vector<std::future<Value>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(orb->invoke_async(ref, "id", {Value(static_cast<double>(i))}));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(futures[static_cast<size_t>(i)].get().as_number(), i);
+  }
+}
+
+}  // namespace
+}  // namespace adapt::core

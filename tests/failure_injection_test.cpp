@@ -1,0 +1,181 @@
+// Failure injection across the stack: trader outages, monitor loss, dead
+// observers, servant crashes, engine errors inside system callbacks. The
+// infrastructure must degrade, never wedge.
+#include <gtest/gtest.h>
+
+#include "core/infrastructure.h"
+
+namespace adapt::core {
+namespace {
+
+using orb::FunctionServant;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() {
+    trading::ServiceTypeDef type;
+    type.name = "Svc";
+    infra_.trader().types().add(type);
+  }
+
+  ObjectRef deploy(const std::string& name) {
+    auto servant = FunctionServant::make("Svc");
+    servant->on("whoami", [name](const ValueList&) { return Value(name); });
+    return infra_.deploy_server(name, "Svc", servant);
+  }
+
+  Infrastructure infra_{InfrastructureOptions{.name = "fi" + std::to_string(counter_++)}};
+  static int counter_;
+};
+
+int FailureTest::counter_ = 0;
+
+TEST_F(FailureTest, ProxySurvivesTraderOutage) {
+  // A proxy whose trader is unreachable: selection fails gracefully (false,
+  // never a throw); invocation on an unbound proxy reports
+  // NoComponentAvailable; a proxy already bound keeps serving.
+  deploy("h1");
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto bound = infra_.make_proxy(cfg);
+  ASSERT_TRUE(bound->select());
+
+  auto orphan = SmartProxy::create(infra_.make_orb("orphan-client"),
+                                   ObjectRef{"inproc://nowhere", "lookup", ""}, cfg);
+  EXPECT_FALSE(orphan->select()) << "query failure returns false, no throw";
+  EXPECT_THROW(orphan->invoke("whoami"), NoComponentAvailable);
+  EXPECT_EQ(bound->invoke("whoami").as_string(), "h1")
+      << "already-bound proxy unaffected by trader reachability";
+}
+
+TEST_F(FailureTest, MonitorDeathDoesNotBlockSelectionOrCalls) {
+  deploy("h1");
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto proxy = infra_.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", "function(o, v, m) return false end");
+  ASSERT_TRUE(proxy->select());
+
+  // Kill the monitor servant; re-selection must still work (attach fails
+  // with a warning, invocations proceed).
+  const auto offer = proxy->current_offer();
+  const ObjectRef mon_ref = offer->properties.at("LoadAvgMonitor").as_object();
+  infra_.host_orb("h1")->unregister_servant(mon_ref.object_id);
+  ASSERT_TRUE(proxy->select());
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "h1");
+}
+
+TEST_F(FailureTest, TraderToleratesCrashingDynamicProperty) {
+  // evalDP raising mid-query must not poison other offers.
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  auto crash = std::make_shared<bool>(false);
+  evaluator->on("evalDP", [crash](const ValueList&) -> Value {
+    if (*crash) throw Error("evaluator crashed");
+    return Value(5.0);
+  });
+  infra_.make_host("dyn");
+  const ObjectRef eval_ref = infra_.host_orb("dyn")->register_servant(evaluator);
+  auto servant = FunctionServant::make("Svc");
+  const ObjectRef provider = infra_.host_orb("dyn")->register_servant(servant);
+  trading::PropertyMap props;
+  props["LoadAvg"] = trading::OfferedProperty(trading::DynamicProperty{eval_ref, Value()});
+  infra_.make_agent("dyn")->export_offer("Svc", provider, props);
+  deploy("static-host");
+
+  EXPECT_EQ(infra_.trader().query("Svc", "").size(), 2u);
+  *crash = true;
+  const auto results = infra_.trader().query("Svc", "exist LoadAvg");
+  ASSERT_EQ(results.size(), 1u) << "crashing offer excluded, healthy one matched";
+  EXPECT_EQ(results[0].properties.count("Host"), 1u);
+}
+
+TEST_F(FailureTest, ServantThrowingStdExceptionIsUserError) {
+  infra_.make_host("std-thrower");
+  auto servant = FunctionServant::make("Svc");
+  servant->on("bad", [](const ValueList&) -> Value {
+    throw std::runtime_error("plain std exception");
+  });
+  const ObjectRef ref = infra_.host_orb("std-thrower")->register_servant(servant);
+  auto client = infra_.make_orb("std-client");
+  try {
+    client->invoke(ref, "bad");
+    FAIL() << "expected RemoteError";
+  } catch (const orb::RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("plain std exception"), std::string::npos);
+  }
+}
+
+TEST_F(FailureTest, ObserverHostDiesNotificationsKeepFlowingElsewhere) {
+  deploy("h1");
+  auto dying_orb = infra_.make_orb("dying-client");
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto p_dead = infra_.make_proxy(cfg, dying_orb);
+  auto p_live = infra_.make_proxy(cfg, infra_.make_orb("living-client"));
+  p_dead->add_interest("LoadIncrease", "function(o, v, m) return v[1] > 50 end");
+  p_live->add_interest("LoadIncrease", "function(o, v, m) return v[1] > 50 end");
+  ASSERT_TRUE(p_dead->select());
+  ASSERT_TRUE(p_live->select());
+
+  // The dying client's observer servant vanishes; its oneway notifications
+  // fail silently while the living client keeps receiving events.
+  dying_orb->unregister_servant(p_dead->observer_ref().object_id);
+  infra_.host("h1")->set_background_jobs(200.0);
+  infra_.run_for(180.0);
+  EXPECT_GE(p_live->pending_events(), 1u);
+  EXPECT_EQ(p_dead->pending_events(), 0u);
+}
+
+TEST_F(FailureTest, ProxyDestructorDetachesObservers) {
+  deploy("h1");
+  std::shared_ptr<monitor::EventMonitor> mon;
+  {
+    SmartProxyConfig cfg;
+    cfg.service_type = "Svc";
+    auto proxy = infra_.make_proxy(cfg);
+    proxy->add_interest("Ev", "function(o, v, m) return false end");
+    ASSERT_TRUE(proxy->select());
+    const ObjectRef mon_ref =
+        proxy->current_offer()->properties.at("LoadAvgMonitor").as_object();
+    auto servant = infra_.host_orb("h1")->find_servant(mon_ref.object_id);
+    mon = std::dynamic_pointer_cast<monitor::EventMonitor>(servant);
+    ASSERT_TRUE(mon);
+    EXPECT_EQ(mon->observer_count(), 1u);
+  }
+  EXPECT_EQ(mon->observer_count(), 0u) << "destructor detached the registration";
+}
+
+TEST_F(FailureTest, StrategyExceptionNeverLeaksIntoCaller) {
+  deploy("h1");
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto proxy = infra_.make_proxy(cfg);
+  ASSERT_TRUE(proxy->select());
+  proxy->set_strategy("Boom", [](SmartProxy&) -> void { throw Error("native strategy bug"); });
+  proxy->enqueue_event("Boom");
+  EXPECT_NO_THROW(proxy->invoke("whoami"));
+  proxy->set_strategy_code("Boom2", "function(self) error('script strategy bug') end");
+  proxy->enqueue_event("Boom2");
+  EXPECT_NO_THROW(proxy->invoke("whoami"));
+}
+
+TEST_F(FailureTest, AgentSurvivesTraderRestart) {
+  // Withdraw-all tolerates the trader being gone when the agent dies.
+  auto agent = [&] {
+    infra_.make_host("ag");
+    auto a = infra_.make_agent("ag");
+    auto servant = FunctionServant::make("Svc");
+    const ObjectRef provider = infra_.host_orb("ag")->register_servant(servant);
+    a->export_offer("Svc", provider, {});
+    return a;
+  }();
+  // Remove the register servant out from under the agent: destructor must
+  // not throw.
+  // (We cannot reach the trader's private orb; emulate by withdrawing via
+  //  the trader first so the agent's withdraw fails with UnknownOffer.)
+  for (const auto& id : agent->offers()) infra_.trader().withdraw(id);
+  EXPECT_NO_THROW(agent->withdraw_all());
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,217 @@
+// End-to-end integration of the whole architecture (paper Fig. 6): hosts,
+// agents, monitors, trader with dynamic properties, smart proxies with
+// script strategies — the SV load-sharing system, plus a TCP variant.
+#include <gtest/gtest.h>
+
+#include "core/baseline_proxy.h"
+#include "core/infrastructure.h"
+#include "core/smart_proxy.h"
+#include "sim/workload.h"
+
+namespace adapt::core {
+namespace {
+
+using orb::FunctionServant;
+
+constexpr const char* kLoadIncreasePredicate = R"(function(observer, value, monitor)
+  local incr
+  incr = monitor:getAspectValue("increasing")
+  return value[1] > 50 and incr == "yes"
+end)";
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() {
+    trading::ServiceTypeDef type;
+    type.name = "HelloService";
+    type.properties = {{"LoadAvg", "number", trading::PropertyDef::Mode::Normal},
+                       {"LoadAvgIncreasing", "string", trading::PropertyDef::Mode::Normal},
+                       {"LoadAvgMonitor", "object", trading::PropertyDef::Mode::Normal},
+                       {"Host", "string", trading::PropertyDef::Mode::Normal}};
+    infra_.trader().types().add(type);
+  }
+
+  /// Deploys a hello server that records its work on the host.
+  void deploy(const std::string& name, double work_per_call = 0.05) {
+    auto servant = FunctionServant::make("Hello");
+    auto host = infra_.make_host(name);
+    servant->on("hello", [host, work_per_call](const ValueList&) {
+      host->record_work(work_per_call);
+      return Value();
+    });
+    servant->on("whoami", [name](const ValueList&) { return Value(name); });
+    const ObjectRef provider = infra_.host_orb(name)->register_servant(servant);
+    auto agent = infra_.make_agent(name);
+    auto mon = agent->create_load_monitor(host);
+    agent->export_with_load("HelloService", provider, mon);
+  }
+
+  SmartProxyPtr make_adaptive_proxy() {
+    SmartProxyConfig cfg;
+    cfg.service_type = "HelloService";
+    cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+    cfg.preference = "min LoadAvg";
+    auto proxy = infra_.make_proxy(cfg);
+    proxy->add_interest("LoadIncrease", kLoadIncreasePredicate);
+    proxy->set_strategy("LoadIncrease", [](SmartProxy& p) { p.select(); });
+    return proxy;
+  }
+
+  Infrastructure infra_{InfrastructureOptions{.name = "it" + std::to_string(counter_++)}};
+  static int counter_;
+};
+
+int IntegrationTest::counter_ = 0;
+
+TEST_F(IntegrationTest, PaperScenarioClientMigratesUnderLoad) {
+  // Three servers; the client binds the least loaded; a load spike on its
+  // host drives it elsewhere; when the spike ends it can come back.
+  deploy("alpha");
+  deploy("beta");
+  deploy("gamma");
+  infra_.host("beta")->set_background_jobs(10.0);
+  infra_.host("gamma")->set_background_jobs(20.0);
+  infra_.run_for(900.0);
+
+  auto proxy = make_adaptive_proxy();
+  auto client = sim::ClosedLoopClient(infra_.timers(), [&] { proxy->invoke("hello"); }, 5.0);
+  client.start();
+  infra_.run_for(60.0);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "alpha");
+
+  // Spike on alpha pushes its 1-min load far beyond 50 and the proxy away.
+  infra_.host("alpha")->set_background_jobs(120.0);
+  infra_.run_for(600.0);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "beta")
+      << "migrated to the least-loaded alternative";
+
+  // Spike ends; alpha cools down; a later LoadIncrease on beta sends the
+  // client to the best server again.
+  infra_.host("alpha")->set_background_jobs(0.0);
+  infra_.host("beta")->add_background_jobs(100.0);
+  infra_.run_for(900.0);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "alpha");
+  EXPECT_GE(proxy->rebinds(), 3u);
+  client.stop();
+}
+
+TEST_F(IntegrationTest, TwoClientsSpreadAcrossServers) {
+  deploy("s1");
+  deploy("s2");
+  auto p1 = make_adaptive_proxy();
+  auto p2 = make_adaptive_proxy();
+  ASSERT_TRUE(p1->select());
+  // p1's requests add induced load to s1... but lightly; tie-break sends
+  // both to s1 initially.
+  infra_.run_for(300.0);
+  ASSERT_TRUE(p2->select());
+  // Both clients hammer away; heavy background load lands on s1.
+  infra_.host("s1")->set_background_jobs(100.0);
+  infra_.run_for(600.0);
+  p1->invoke("hello");
+  p2->invoke("hello");
+  EXPECT_EQ(p1->invoke("whoami").as_string(), "s2");
+  EXPECT_EQ(p2->invoke("whoami").as_string(), "s2");
+}
+
+TEST_F(IntegrationTest, MonitorsKeepTraderPropertiesLive) {
+  deploy("live");
+  infra_.host("live")->set_background_jobs(42.0);
+  infra_.run_for(900.0);
+  const auto offers = infra_.trader().query("HelloService", "");
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_NEAR(offers[0].properties.at("LoadAvg").as_number(), 42.0, 1.0);
+}
+
+TEST_F(IntegrationTest, ReconfigurationTransparentToFunctionalCode) {
+  // The paper's claim (SV): the same adaptation code serves different
+  // functional interfaces. Deploy an adder service with the same agent
+  // machinery; the strategy code does not change.
+  trading::ServiceTypeDef type;
+  type.name = "AdderService";
+  infra_.trader().types().add(type);
+  for (const std::string name : {"add-1", "add-2"}) {
+    auto servant = FunctionServant::make("Adder");
+    servant->on("add", [](const ValueList& a) {
+      return Value(a.at(0).as_number() + a.at(1).as_number());
+    });
+    servant->on("whoami", [name](const ValueList&) { return Value(name); });
+    infra_.deploy_server(name, "AdderService", servant);
+  }
+  SmartProxyConfig cfg;
+  cfg.service_type = "AdderService";
+  cfg.constraint = "LoadAvg < 50 and LoadAvgIncreasing == 'no'";
+  cfg.preference = "min LoadAvg";
+  auto proxy = infra_.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", kLoadIncreasePredicate);
+  proxy->set_strategy("LoadIncrease", [](SmartProxy& p) { p.select(); });
+
+  EXPECT_DOUBLE_EQ(proxy->invoke("add", {Value(40.0), Value(2.0)}).as_number(), 42.0);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "add-1");
+  infra_.host("add-1")->set_background_jobs(150.0);
+  infra_.run_for(600.0);
+  EXPECT_DOUBLE_EQ(proxy->invoke("add", {Value(1.0), Value(1.0)}).as_number(), 2.0);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "add-2");
+}
+
+TEST_F(IntegrationTest, AdaptiveBeatsStaticUnderShiftingLoad) {
+  // The qualitative claim behind bench_load_sharing (E1), as a test.
+  deploy("m1", 0.2);
+  deploy("m2", 0.2);
+  auto adaptive = make_adaptive_proxy();
+  StaticSelectionProxy static_proxy(infra_.make_orb("static-cli"), infra_.lookup_ref(),
+                                    "HelloService", "", "min LoadAvg");
+  ASSERT_TRUE(adaptive->select());
+  ASSERT_TRUE(static_proxy.select());
+
+  sim::Stats adaptive_latency;
+  sim::Stats static_latency;
+  auto measure = [&](auto& proxy, sim::Stats& stats, const std::string& who) {
+    const std::string host = proxy.invoke("whoami").as_string();
+    stats.add(infra_.host(host)->response_time(0.05));
+    (void)who;
+  };
+  sim::ClosedLoopClient ca(infra_.timers(),
+                           [&] { measure(*adaptive, adaptive_latency, "a"); }, 10.0);
+  sim::ClosedLoopClient cs(infra_.timers(),
+                           [&] { measure(static_proxy, static_latency, "s"); }, 10.0);
+  ca.start();
+  cs.start();
+  // Phase 1: m1 fine. Phase 2: m1 overloaded for a long stretch.
+  infra_.run_for(300.0);
+  infra_.host("m1")->set_background_jobs(150.0);
+  infra_.run_for(1800.0);
+  ca.stop();
+  cs.stop();
+  EXPECT_LT(adaptive_latency.mean(), static_latency.mean() * 0.5)
+      << "adaptive proxy escapes the overloaded host; static rides it out";
+}
+
+TEST_F(IntegrationTest, FullStackOverTcp) {
+  // Same architecture with every ORB listening on TCP: references carried
+  // through the trader are tcp:// refs and all calls cross real sockets.
+  Infrastructure tcp_infra{InfrastructureOptions{.simulated_time = true,
+                                                 .tcp = true,
+                                                 .name = "it-tcp"}};
+  trading::ServiceTypeDef type;
+  type.name = "HelloService";
+  tcp_infra.trader().types().add(type);
+  auto servant = FunctionServant::make("Hello");
+  servant->on("whoami", [](const ValueList&) { return Value("tcp-server"); });
+  const ObjectRef provider = tcp_infra.deploy_server("tcp-host", "HelloService", servant);
+  ASSERT_EQ(provider.endpoint.rfind("tcp://", 0), 0u) << provider.str();
+
+  SmartProxyConfig cfg;
+  cfg.service_type = "HelloService";
+  cfg.preference = "min LoadAvg";
+  auto proxy = tcp_infra.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", kLoadIncreasePredicate);
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "tcp-server");
+  auto mon = proxy->current_monitor();
+  ASSERT_TRUE(mon.valid());
+  EXPECT_EQ(mon.ref().endpoint.rfind("tcp://", 0), 0u);
+  EXPECT_TRUE(mon.getvalue().is_table());
+}
+
+}  // namespace
+}  // namespace adapt::core

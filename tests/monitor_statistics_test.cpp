@@ -1,0 +1,167 @@
+// Statistics/profiling aspects (paper SIII) and composite monitors (SIII
+// end: "the code for evaluating a property ... can contain references to
+// other monitors, thus allowing the construction of arbitrarily complex
+// composite properties and events").
+#include "monitor/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor_client.h"
+
+namespace adapt::monitor {
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  StatisticsTest()
+      : engine_(std::make_shared<script::ScriptEngine>()),
+        mon_(std::make_shared<BasicMonitor>("Metric", engine_)) {
+    install_statistics_aspects(*mon_, /*window=*/4);
+  }
+
+  void feed(std::initializer_list<double> values) {
+    for (const double v : values) mon_->setvalue(Value(v));
+  }
+
+  std::shared_ptr<script::ScriptEngine> engine_;
+  std::shared_ptr<BasicMonitor> mon_;
+};
+
+TEST_F(StatisticsTest, AllAspectsInstalled) {
+  const auto names = mon_->definedAspects();
+  EXPECT_EQ(names, (std::vector<std::string>{"history", "max", "mean", "min", "stddev",
+                                             "trend"}));
+}
+
+TEST_F(StatisticsTest, HistoryKeepsWindow) {
+  feed({1, 2, 3});
+  const Value h = mon_->getAspectValue("history");
+  ASSERT_TRUE(h.is_table());
+  EXPECT_EQ(h.as_table()->length(), 3);
+  feed({4, 5, 6});
+  const Value h2 = mon_->getAspectValue("history");
+  EXPECT_EQ(h2.as_table()->length(), 4) << "window caps the ring";
+  EXPECT_DOUBLE_EQ(h2.as_table()->geti(1).as_number(), 3.0) << "oldest surviving sample";
+  EXPECT_DOUBLE_EQ(h2.as_table()->geti(4).as_number(), 6.0);
+}
+
+TEST_F(StatisticsTest, MeanMinMax) {
+  feed({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("mean").as_number(), 25.0);
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("min").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("max").as_number(), 40.0);
+}
+
+TEST_F(StatisticsTest, Stddev) {
+  feed({2, 4, 4, 6});
+  // sample stddev of {2,4,4,6}: mean 4, var (4+0+0+4)/3 = 8/3
+  EXPECT_NEAR(mon_->getAspectValue("stddev").as_number(), std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST_F(StatisticsTest, StddevDegenerateCases) {
+  feed({5});
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("stddev").as_number(), 0.0);
+}
+
+TEST_F(StatisticsTest, Trend) {
+  feed({1});
+  EXPECT_EQ(mon_->getAspectValue("trend").as_string(), "flat");
+  feed({2});
+  EXPECT_EQ(mon_->getAspectValue("trend").as_string(), "up");
+  feed({2});
+  EXPECT_EQ(mon_->getAspectValue("trend").as_string(), "flat");
+  feed({1});
+  EXPECT_EQ(mon_->getAspectValue("trend").as_string(), "down");
+}
+
+TEST_F(StatisticsTest, TableValuedPropertyProfilesFirstElement) {
+  // loadavg-shaped values: profile the 1-minute average.
+  mon_->setvalue(Value(Table::make_array({Value(10.0), Value(5.0), Value(2.0)})));
+  mon_->setvalue(Value(Table::make_array({Value(20.0), Value(6.0), Value(2.0)})));
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("mean").as_number(), 15.0);
+  EXPECT_EQ(mon_->getAspectValue("trend").as_string(), "up");
+}
+
+TEST_F(StatisticsTest, NonNumericSamplesSkipped) {
+  feed({1, 2});
+  mon_->setvalue(Value("not a number"));
+  const Value h = mon_->getAspectValue("history");
+  EXPECT_EQ(h.as_table()->length(), 2) << "string sample not recorded";
+  EXPECT_DOUBLE_EQ(mon_->getAspectValue("mean").as_number(), 1.5);
+}
+
+TEST_F(StatisticsTest, WindowValidation) {
+  EXPECT_THROW(install_statistics_aspects(*mon_, 0), MonitorError);
+}
+
+TEST_F(StatisticsTest, StatisticsServeAsDynamicProperties) {
+  // The point of SIII/SIV: a derived statistic can back a trader dynamic
+  // property, e.g. "mean load over the window".
+  feed({30, 50});
+  EXPECT_DOUBLE_EQ(mon_->evalDP("MeanMetric", Value("mean")).as_number(), 40.0);
+}
+
+TEST_F(StatisticsTest, RemoteClientSeesStatistics) {
+  auto orb = orb::Orb::create();
+  const ObjectRef ref = orb->register_servant(mon_);
+  feed({7, 9});
+  auto client_orb = orb::Orb::create();
+  MonitorClient client(client_orb, ref);
+  EXPECT_DOUBLE_EQ(client.getAspectValue("mean").as_number(), 8.0);
+}
+
+// ---- composite monitors ----------------------------------------------
+
+TEST(CompositeMonitorTest, PropertyComposedFromOtherMonitors) {
+  // A "ClusterLoad" monitor whose update function reads two (remote) LoadAvg
+  // monitors through their wrappers — arbitrary composition in script.
+  auto engine = std::make_shared<script::ScriptEngine>();
+  auto orb = orb::Orb::create();
+
+  auto mon_a = std::make_shared<BasicMonitor>("LoadA", engine);
+  auto mon_b = std::make_shared<BasicMonitor>("LoadB", engine);
+  mon_a->setvalue(Value(10.0));
+  mon_b->setvalue(Value(30.0));
+  const ObjectRef ref_a = orb->register_servant(mon_a);
+  const ObjectRef ref_b = orb->register_servant(mon_b);
+
+  auto composite = std::make_shared<BasicMonitor>("ClusterLoad", engine);
+  engine->set_global("source_a", make_remote_monitor_wrapper(orb, ref_a));
+  engine->set_global("source_b", make_remote_monitor_wrapper(orb, ref_b));
+  composite->set_update_code(R"(function()
+    return (source_a:getvalue() + source_b:getvalue()) / 2
+  end)");
+  composite->update_now();
+  EXPECT_DOUBLE_EQ(composite->getvalue().as_number(), 20.0);
+
+  mon_b->setvalue(Value(50.0));
+  composite->update_now();
+  EXPECT_DOUBLE_EQ(composite->getvalue().as_number(), 30.0);
+}
+
+TEST(CompositeMonitorTest, CompositeEventPredicateReadsOtherMonitor) {
+  // An event fires based on *another* monitor's state (composite events).
+  auto engine = std::make_shared<script::ScriptEngine>();
+  auto orb = orb::Orb::create();
+  auto backlog = std::make_shared<BasicMonitor>("Backlog", engine);
+  backlog->setvalue(Value(100.0));
+  engine->set_global("backlog", make_remote_monitor_wrapper(orb, orb->register_servant(backlog)));
+
+  auto latency = std::make_shared<EventMonitor>("Latency", engine, orb);
+  std::vector<std::string> events;
+  auto observer = std::make_shared<CallbackObserver>(
+      [&](const std::string& evid) { events.push_back(evid); });
+  const ObjectRef obs_ref = orb->register_servant(observer);
+  latency->attachEventObserver(obs_ref, "Saturated", R"(function(o, value, monitor)
+    return value > 1.0 and backlog:getvalue() > 50
+  end)");
+
+  latency->setvalue(Value(2.0));  // latency high AND backlog high
+  EXPECT_EQ(events.size(), 1u);
+  backlog->setvalue(Value(10.0));
+  latency->setvalue(Value(2.0));  // latency high but backlog low
+  EXPECT_EQ(events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adapt::monitor

@@ -1,0 +1,458 @@
+// LuaMonitor tests: BasicMonitor values, aspects (Fig. 1), event monitors and
+// observers (Fig. 2), timer-driven updates, the dynamic-property bridge, and
+// remote access through MonitorClient.
+#include "monitor/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/bindings.h"
+#include "monitor/monitor_client.h"
+
+namespace adapt::monitor {
+namespace {
+
+using orb::Orb;
+using orb::OrbPtr;
+using script::ScriptEngine;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : clock_(std::make_shared<SimClock>()),
+        timers_(std::make_shared<TimerService>(clock_)),
+        engine_(std::make_shared<ScriptEngine>(clock_)),
+        orb_(Orb::create()) {}
+
+  std::shared_ptr<SimClock> clock_;
+  std::shared_ptr<TimerService> timers_;
+  std::shared_ptr<ScriptEngine> engine_;
+  OrbPtr orb_;
+};
+
+// ---- BasicMonitor ----------------------------------------------------------
+
+TEST_F(MonitorTest, GetSetValue) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  EXPECT_TRUE(mon->getvalue().is_nil());
+  mon->setvalue(Value(3.5));
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 3.5);
+}
+
+TEST_F(MonitorTest, UpdateFunctionFromCode) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  engine_->set_global("source", Value(10.0));
+  mon->set_update_code("function() return source * 2 end");
+  mon->update_now();
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 20.0);
+  engine_->set_global("source", Value(50.0));
+  mon->update_now();
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 100.0);
+  EXPECT_EQ(mon->update_count(), 2u);
+}
+
+TEST_F(MonitorTest, UpdateFunctionFromNative) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  auto n = std::make_shared<double>(1.0);
+  mon->set_update_function(Value(NativeFunction::make("src", [n](const ValueList&) {
+    return ValueList{Value(*n)};
+  })));
+  mon->update_now();
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 1.0);
+  *n = 7.0;
+  mon->update_now();
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 7.0);
+}
+
+TEST_F(MonitorTest, FailingUpdateKeepsOldValue) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->setvalue(Value(1.0));
+  mon->set_update_code("function() error('sensor offline') end");
+  mon->update_now();
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 1.0);
+}
+
+TEST_F(MonitorTest, PeriodicUpdatesViaTimerService) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  engine_->eval("n = 0");
+  mon->set_update_code("function() n = n + 1 return n end");
+  mon->start(timers_, 60.0);  // paper: update values every minute
+  timers_->run_for(300.0);
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 5.0);
+  mon->stop();
+  timers_->run_for(300.0);
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 5.0);
+}
+
+TEST_F(MonitorTest, StopIsIdempotentAndRestartable) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  engine_->eval("n = 0");
+  mon->set_update_code("function() n = n + 1 return n end");
+  mon->start(timers_, 10.0);
+  mon->start(timers_, 5.0);  // restart with a new period replaces the task
+  timers_->run_for(10.0);
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 2.0);
+  mon->stop();
+  mon->stop();
+}
+
+// ---- aspects (Fig. 1) ----------------------------------------------------
+
+TEST_F(MonitorTest, DefineAspectAndGetValue) {
+  auto mon = std::make_shared<BasicMonitor>("LoadAvg", engine_);
+  mon->defineAspect("doubled", "function(self, currval, monitor) return currval * 2 end");
+  mon->setvalue(Value(21.0));
+  EXPECT_DOUBLE_EQ(mon->getAspectValue("doubled").as_number(), 42.0);
+}
+
+TEST_F(MonitorTest, PaperFig3IncreasingAspect) {
+  // The exact aspect from the paper's Fig. 3 lines 14-21.
+  auto mon = std::make_shared<BasicMonitor>("LoadAvg", engine_);
+  mon->defineAspect("increasing", R"(function(self, currval, monitor)
+    if currval[1] > currval[2] then
+      return "yes"
+    else
+      return "no"
+    end
+  end)");
+  mon->setvalue(Value(Table::make_array({Value(2.0), Value(1.0), Value(0.5)})));
+  EXPECT_EQ(mon->getAspectValue("increasing").as_string(), "yes");
+  mon->setvalue(Value(Table::make_array({Value(0.5), Value(1.0), Value(0.5)})));
+  EXPECT_EQ(mon->getAspectValue("increasing").as_string(), "no");
+}
+
+TEST_F(MonitorTest, AspectsKeepStateInSelf) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->defineAspect("count", R"(function(self, currval, monitor)
+    self.n = (self.n or 0) + 1
+    return self.n
+  end)");
+  mon->setvalue(Value(1.0));
+  mon->setvalue(Value(2.0));
+  mon->setvalue(Value(3.0));
+  EXPECT_DOUBLE_EQ(mon->getAspectValue("count").as_number(), 3.0);
+}
+
+TEST_F(MonitorTest, AspectsCanReadOtherAspects) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->defineAspect("base", "function(self, currval, monitor) return currval + 1 end");
+  // Aspect ordering is alphabetical in refresh; "derived" > "base" so it can
+  // read the freshly computed "base" through the monitor wrapper.
+  mon->defineAspect("derived", R"(function(self, currval, monitor)
+    return monitor:getAspectValue('base') * 10
+  end)");
+  mon->setvalue(Value(4.0));
+  EXPECT_DOUBLE_EQ(mon->getAspectValue("derived").as_number(), 50.0);
+}
+
+TEST_F(MonitorTest, DefinedAspectsListsNames) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->defineAspect("a", "function() return 1 end");
+  mon->defineAspect("b", "function() return 2 end");
+  EXPECT_EQ(mon->definedAspects(), (std::vector<std::string>{"a", "b"}));
+  mon->removeAspect("a");
+  EXPECT_EQ(mon->definedAspects(), (std::vector<std::string>{"b"}));
+}
+
+TEST_F(MonitorTest, UnknownAspectThrows) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  EXPECT_THROW(mon->getAspectValue("nope"), MonitorError);
+}
+
+TEST_F(MonitorTest, BadAspectCodeThrowsAtDefineTime) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  EXPECT_THROW(mon->defineAspect("bad", "function(self oops"), Error);
+  EXPECT_THROW(mon->defineAspect("notfn", "42"), Error);
+}
+
+TEST_F(MonitorTest, FailingAspectDoesNotBreakOthers) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->defineAspect("bad", "function() error('aspect broken') end");
+  mon->defineAspect("good", "function(self, v) return v end");
+  mon->setvalue(Value(5.0));
+  EXPECT_DOUBLE_EQ(mon->getAspectValue("good").as_number(), 5.0);
+}
+
+// ---- dynamic property bridge ------------------------------------------------
+
+TEST_F(MonitorTest, EvalDPServesPropertyAndAspects) {
+  auto mon = std::make_shared<BasicMonitor>("LoadAvg", engine_);
+  mon->defineAspect("increasing", "function(self, v) return 'no' end");
+  mon->setvalue(Value(12.0));
+  EXPECT_DOUBLE_EQ(mon->evalDP("LoadAvg", Value()).as_number(), 12.0);
+  EXPECT_EQ(mon->evalDP("LoadAvgIncreasing", Value("increasing")).as_string(), "no");
+  EXPECT_THROW(mon->evalDP("Unknown", Value()), MonitorError);
+}
+
+TEST_F(MonitorTest, EvalDPNumericExtraIndexesTableValue) {
+  auto mon = std::make_shared<BasicMonitor>("LoadAvg", engine_);
+  mon->setvalue(Value(Table::make_array({Value(1.5), Value(2.5), Value(3.5)})));
+  EXPECT_DOUBLE_EQ(mon->evalDP("LoadAvg", Value(1.0)).as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(mon->evalDP("LoadAvg", Value(3.0)).as_number(), 3.5);
+}
+
+TEST_F(MonitorTest, MonitorActsAsTraderDynamicProperty) {
+  // End-to-end: monitor registered as servant answers evalDP via the ORB —
+  // exactly what the trader does during lookup.
+  auto mon = std::make_shared<BasicMonitor>("LoadAvg", engine_);
+  mon->setvalue(Value(30.0));
+  const ObjectRef ref = orb_->register_servant(mon);
+  const Value v = orb_->invoke(ref, "evalDP", {Value("LoadAvg"), Value()});
+  EXPECT_DOUBLE_EQ(v.as_number(), 30.0);
+}
+
+// ---- EventMonitor (Fig. 2) -------------------------------------------------
+
+class EventTest : public MonitorTest {
+ protected:
+  EventTest() : mon_(std::make_shared<EventMonitor>("LoadAvg", engine_, orb_)) {
+    observer_servant_ = std::make_shared<CallbackObserver>(
+        [this](const std::string& evid) { events_.push_back(evid); });
+    observer_ref_ = orb_->register_servant(observer_servant_);
+  }
+
+  std::shared_ptr<EventMonitor> mon_;
+  std::shared_ptr<CallbackObserver> observer_servant_;
+  ObjectRef observer_ref_;
+  std::vector<std::string> events_;
+};
+
+TEST_F(EventTest, NotifiesWhenPredicateTrue) {
+  mon_->attachEventObserver(observer_ref_, "HighLoad",
+                            "function(observer, value, monitor) return value > 50 end");
+  mon_->setvalue(Value(10.0));
+  EXPECT_TRUE(events_.empty());
+  mon_->setvalue(Value(80.0));
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0], "HighLoad");
+  EXPECT_EQ(mon_->notifications_sent(), 1u);
+}
+
+TEST_F(EventTest, PredicateSeesMonitorAspects) {
+  // The paper's Fig. 4 predicate: value[1] > 50 and increasing == 'yes'.
+  mon_->defineAspect("increasing", R"(function(self, currval, monitor)
+    if currval[1] > currval[2] then return "yes" else return "no" end
+  end)");
+  mon_->attachEventObserver(observer_ref_, "LoadIncrease", R"(function(observer, value, monitor)
+    local incr
+    incr = monitor:getAspectValue("increasing")
+    return value[1] > 50 and incr == "yes"
+  end)");
+  mon_->setvalue(Value(Table::make_array({Value(60.0), Value(70.0)})));  // not increasing
+  EXPECT_TRUE(events_.empty());
+  mon_->setvalue(Value(Table::make_array({Value(80.0), Value(70.0)})));  // increasing + high
+  ASSERT_EQ(events_.size(), 1u);
+  EXPECT_EQ(events_[0], "LoadIncrease");
+  mon_->setvalue(Value(Table::make_array({Value(40.0), Value(70.0)})));  // low again
+  EXPECT_EQ(events_.size(), 1u);
+}
+
+TEST_F(EventTest, MultipleObserversIndependent) {
+  std::vector<std::string> other_events;
+  auto other = std::make_shared<CallbackObserver>(
+      [&](const std::string& evid) { other_events.push_back(evid); });
+  const ObjectRef other_ref = orb_->register_servant(other);
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end");
+  mon_->attachEventObserver(other_ref, "Low", "function(o, v, m) return v < 10 end");
+  EXPECT_EQ(mon_->observer_count(), 2u);
+  mon_->setvalue(Value(99.0));
+  mon_->setvalue(Value(5.0));
+  EXPECT_EQ(events_, (std::vector<std::string>{"High"}));
+  EXPECT_EQ(other_events, (std::vector<std::string>{"Low"}));
+}
+
+TEST_F(EventTest, DetachStopsNotifications) {
+  const std::string id = mon_->attachEventObserver(
+      observer_ref_, "High", "function(o, v, m) return v > 50 end");
+  mon_->setvalue(Value(99.0));
+  EXPECT_EQ(events_.size(), 1u);
+  mon_->detachEventObserver(id);
+  mon_->setvalue(Value(99.0));
+  EXPECT_EQ(events_.size(), 1u);
+  EXPECT_THROW(mon_->detachEventObserver(id), MonitorError);
+}
+
+TEST_F(EventTest, TimerDrivenDetection) {
+  engine_->eval("load = 10");
+  mon_->set_update_code("function() return load end");
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end");
+  mon_->start(timers_, 60.0);
+  timers_->run_for(120.0);
+  EXPECT_TRUE(events_.empty());
+  engine_->eval("load = 90");
+  timers_->run_for(60.0);
+  ASSERT_EQ(events_.size(), 1u);
+}
+
+TEST_F(EventTest, DeadObserverDoesNotBreakOthers) {
+  // First observer's host disappears; second must still be notified
+  // (oneways are best-effort).
+  ObjectRef dead{"inproc://vanished-host", "obs", "EventObserver"};
+  mon_->attachEventObserver(dead, "High", "function(o, v, m) return v > 50 end");
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end");
+  mon_->setvalue(Value(99.0));
+  EXPECT_EQ(events_.size(), 1u);
+}
+
+TEST_F(EventTest, FailingPredicateSkipsNotification) {
+  mon_->attachEventObserver(observer_ref_, "Broken",
+                            "function(o, v, m) return v.no_such_field.deeper end");
+  mon_->attachEventObserver(observer_ref_, "Good",
+                            "function(o, v, m) return v > 1 end");
+  mon_->setvalue(Value(5.0));
+  EXPECT_EQ(events_, (std::vector<std::string>{"Good"}));
+}
+
+TEST_F(EventTest, RemoteAttachViaOrbShipsCode) {
+  // Remote evaluation (paper SIII): a client on another ORB ships predicate
+  // source to the monitor and receives notifications.
+  const ObjectRef mon_ref = orb_->register_servant(mon_);
+  auto client_orb = Orb::create();
+  std::vector<std::string> client_events;
+  auto client_observer = std::make_shared<CallbackObserver>(
+      [&](const std::string& evid) { client_events.push_back(evid); });
+  const ObjectRef client_obs_ref = client_orb->register_servant(client_observer);
+
+  const Value id = client_orb->invoke(
+      mon_ref, "attachEventObserver",
+      {Value(client_obs_ref), Value("RemoteHigh"),
+       Value("function(o, v, m) return v > 42 end")});
+  EXPECT_TRUE(id.is_string());
+  mon_->setvalue(Value(100.0));
+  ASSERT_EQ(client_events.size(), 1u);
+  EXPECT_EQ(client_events[0], "RemoteHigh");
+}
+
+TEST_F(EventTest, BadPredicateCodeRejectedAtAttach) {
+  EXPECT_THROW(mon_->attachEventObserver(observer_ref_, "x", "function(broken"), Error);
+}
+
+TEST_F(EventTest, LevelTriggeredNotifiesEveryUpdateWhileTrue) {
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end");
+  mon_->setvalue(Value(60.0));
+  mon_->setvalue(Value(70.0));
+  mon_->setvalue(Value(80.0));
+  EXPECT_EQ(events_.size(), 3u) << "level semantics: one notification per update";
+}
+
+TEST_F(EventTest, EdgeTriggeredNotifiesOnTransitionOnly) {
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end",
+                            /*edge_triggered=*/true);
+  mon_->setvalue(Value(60.0));
+  mon_->setvalue(Value(70.0));
+  mon_->setvalue(Value(80.0));
+  EXPECT_EQ(events_.size(), 1u) << "edge semantics: only the false->true transition";
+  mon_->setvalue(Value(10.0));  // falls below: re-arms
+  mon_->setvalue(Value(90.0));  // second episode
+  EXPECT_EQ(events_.size(), 2u);
+}
+
+TEST_F(EventTest, EdgeTriggerViaOrbDispatch) {
+  const ObjectRef mon_ref = orb_->register_servant(mon_);
+  orb_->invoke(mon_ref, "attachEventObserver",
+               {Value(observer_ref_), Value("High"),
+                Value("function(o, v, m) return v > 50 end"), Value(true)});
+  mon_->setvalue(Value(60.0));
+  mon_->setvalue(Value(61.0));
+  EXPECT_EQ(events_.size(), 1u);
+}
+
+TEST_F(EventTest, MixedTriggerModesCoexist) {
+  std::vector<std::string> edge_events;
+  auto edge_observer = std::make_shared<CallbackObserver>(
+      [&](const std::string& evid) { edge_events.push_back(evid); });
+  const ObjectRef edge_ref = orb_->register_servant(edge_observer);
+  mon_->attachEventObserver(observer_ref_, "High",
+                            "function(o, v, m) return v > 50 end");
+  mon_->attachEventObserver(edge_ref, "High", "function(o, v, m) return v > 50 end",
+                            /*edge_triggered=*/true);
+  mon_->setvalue(Value(60.0));
+  mon_->setvalue(Value(70.0));
+  EXPECT_EQ(events_.size(), 2u);
+  EXPECT_EQ(edge_events.size(), 1u);
+}
+
+// ---- MonitorClient ----------------------------------------------------------
+
+TEST_F(MonitorTest, MonitorClientFullSurface) {
+  auto mon = std::make_shared<EventMonitor>("LoadAvg", engine_, orb_);
+  const ObjectRef ref = orb_->register_servant(mon);
+  auto client_orb = Orb::create();
+  MonitorClient client(client_orb, ref);
+
+  client.setvalue(Value(5.0));
+  EXPECT_DOUBLE_EQ(client.getvalue().as_number(), 5.0);
+  client.defineAspect("neg", "function(self, v) return -v end");
+  client.update();
+  client.setvalue(Value(9.0));
+  EXPECT_DOUBLE_EQ(client.getAspectValue("neg").as_number(), -9.0);
+  EXPECT_EQ(client.definedAspects(), (std::vector<std::string>{"neg"}));
+
+  std::vector<std::string> events;
+  auto observer = std::make_shared<CallbackObserver>(
+      [&](const std::string& evid) { events.push_back(evid); });
+  const ObjectRef obs_ref = client_orb->register_servant(observer);
+  const std::string id =
+      client.attachEventObserver(obs_ref, "Neg", "function(o, v, m) return v < 0 end");
+  client.setvalue(Value(-1.0));
+  EXPECT_EQ(events.size(), 1u);
+  client.detachEventObserver(id);
+  client.setvalue(Value(-2.0));
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST_F(MonitorTest, EmptyMonitorClientThrows) {
+  MonitorClient client;
+  EXPECT_FALSE(client.valid());
+  EXPECT_THROW(client.getvalue(), MonitorError);
+}
+
+TEST_F(MonitorTest, RemoteWrapperForScriptCode) {
+  auto mon = std::make_shared<BasicMonitor>("prop", engine_);
+  mon->setvalue(Value(11.0));
+  const ObjectRef ref = orb_->register_servant(mon);
+  auto client_orb = Orb::create();
+  ScriptEngine client_engine;
+  client_engine.set_global("mon", make_remote_monitor_wrapper(client_orb, ref));
+  EXPECT_DOUBLE_EQ(client_engine.eval1("return mon:getvalue()").as_number(), 11.0);
+  client_engine.eval("mon:setvalue(22)");
+  EXPECT_DOUBLE_EQ(mon->getvalue().as_number(), 22.0);
+  client_engine.eval("mon:defineAspect('twice', 'function(self, v) return v * 2 end')");
+  mon->setvalue(Value(10.0));
+  EXPECT_DOUBLE_EQ(client_engine.eval1("return mon:getAspectValue('twice')").as_number(),
+                   20.0);
+}
+
+// ---- script bindings (EventMonitor:new, paper Fig. 3 machinery) ----------
+
+TEST_F(MonitorTest, EventMonitorNewFromScript) {
+  install_monitor_bindings(*engine_, orb_, timers_);
+  engine_->eval("load = 5");
+  const Value wrapper = engine_->eval1(R"(
+    lmon = EventMonitor:new("LoadAvg", function() return load end, 60)
+    return lmon
+  )");
+  ASSERT_TRUE(wrapper.is_table());
+  EXPECT_DOUBLE_EQ(engine_->eval1("return lmon:getvalue()").as_number(), 5.0);
+  engine_->eval("load = 42");
+  timers_->run_for(60.0);
+  EXPECT_DOUBLE_EQ(engine_->eval1("return lmon:getvalue()").as_number(), 42.0);
+  EXPECT_TRUE(wrapper.as_table()->get(Value("ref")).is_string());
+}
+
+TEST_F(MonitorTest, ScriptCreatedMonitorIsRemotelyReachable) {
+  install_monitor_bindings(*engine_, orb_, timers_);
+  engine_->eval(R"(m = BasicMonitor:new("Temp"))");
+  engine_->eval("m:setvalue(36.6)");
+  const std::string ref_str = engine_->eval1("return m.ref").as_string();
+  auto client_orb = Orb::create();
+  const Value v = client_orb->invoke(ObjectRef::parse(ref_str), "getvalue");
+  EXPECT_DOUBLE_EQ(v.as_number(), 36.6);
+}
+
+}  // namespace
+}  // namespace adapt::monitor

@@ -1,0 +1,128 @@
+// Coverage for remaining ORB surfaces: ObjectHandle oneways, interface
+// validation interplay with built-ins, servant lookup, orb lifecycle,
+// and Value display/edge semantics used across the wire.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "orb/orb.h"
+
+namespace adapt::orb {
+namespace {
+
+TEST(ObjectHandleTest, OnewayThroughHandle) {
+  auto orb = Orb::create();
+  auto hits = std::make_shared<std::atomic<int>>(0);
+  auto servant = FunctionServant::make("Sink");
+  servant->on("poke", [hits](const ValueList&) {
+    ++*hits;
+    return Value();
+  });
+  ObjectHandle handle(orb, orb->register_servant(servant));
+  handle.call_oneway("poke");
+  EXPECT_EQ(hits->load(), 1);
+  EXPECT_THROW(ObjectHandle().call_oneway("poke"), OrbError);
+}
+
+TEST(OrbLifecycleTest, ShutdownIsIdempotentAndStopsDispatch) {
+  auto server = Orb::create({.name = "lc-server"});
+  auto client = Orb::create({.name = "lc-client"});
+  auto servant = FunctionServant::make("S");
+  servant->on("op", [](const ValueList&) { return Value(1.0); });
+  const ObjectRef ref = server->register_servant(servant);
+  EXPECT_DOUBLE_EQ(client->invoke(ref, "op").as_number(), 1.0);
+  server->shutdown();
+  server->shutdown();  // idempotent
+  EXPECT_THROW(client->invoke(ref, "op"), TransportError)
+      << "inproc endpoint deregistered on shutdown";
+}
+
+TEST(OrbLifecycleTest, ServantCountAndLookup) {
+  auto orb = Orb::create();
+  EXPECT_EQ(orb->servant_count(), 0u);
+  auto servant = FunctionServant::make("S");
+  const ObjectRef ref = orb->register_servant(servant, "known");
+  EXPECT_EQ(orb->servant_count(), 1u);
+  EXPECT_EQ(orb->find_servant("known"), servant);
+  EXPECT_EQ(orb->find_servant("unknown"), nullptr);
+  EXPECT_EQ(orb->make_ref("known").interface, "S");
+  orb->unregister_servant("known");
+  EXPECT_EQ(orb->servant_count(), 0u);
+  (void)ref;
+}
+
+TEST(OrbValidationTest, BuiltinsBypassInterfaceValidation) {
+  auto orb = Orb::create();
+  orb->interfaces().define_idl("interface Narrow { void only(); };");
+  auto servant = FunctionServant::make("Narrow");
+  servant->on("only", [](const ValueList&) { return Value(); });
+  const ObjectRef ref = orb->register_servant(servant);
+  // _ping and _interface are not declared on Narrow but must always work.
+  EXPECT_TRUE(orb->ping(ref));
+  EXPECT_EQ(orb->invoke(ref, "_interface").as_string(), "Narrow");
+}
+
+TEST(OrbValidationTest, ValidationCanBeDisabled) {
+  OrbConfig cfg;
+  cfg.name = "no-validate";
+  cfg.validate_interfaces = false;
+  auto orb = Orb::create(cfg);
+  orb->interfaces().define_idl("interface Narrow { void only(); };");
+  auto servant = FunctionServant::make("Narrow");
+  servant->on("extra", [](const ValueList&) { return Value("ok"); });
+  const ObjectRef ref = orb->register_servant(servant);
+  EXPECT_EQ(orb->invoke(ref, "extra").as_string(), "ok")
+      << "undeclared operation allowed when validation is off";
+}
+
+TEST(ValueDisplayTest, FunctionAndObjectRendering) {
+  const Value fn(NativeFunction::make("probe", [](const ValueList&) {
+    return ValueList{};
+  }));
+  EXPECT_NE(fn.str().find("probe"), std::string::npos);
+  const Value obj(ObjectRef{"inproc://h", "o", "I"});
+  EXPECT_NE(obj.str().find("inproc://h"), std::string::npos);
+}
+
+TEST(ValueDisplayTest, NumericEdgeRendering) {
+  EXPECT_EQ(Value(1e20).str(), "1e+20");
+  EXPECT_EQ(Value(-0.0).str(), "0");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).str(), "nan");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).str(), "inf");
+}
+
+TEST(FunctionServantTest, HandlerReplacementTakesEffect) {
+  auto servant = FunctionServant::make("S");
+  servant->on("v", [](const ValueList&) { return Value(1.0); });
+  EXPECT_DOUBLE_EQ(servant->dispatch("v", {}).as_number(), 1.0);
+  servant->on("v", [](const ValueList&) { return Value(2.0); });
+  EXPECT_DOUBLE_EQ(servant->dispatch("v", {}).as_number(), 2.0);
+}
+
+TEST(OrbConcurrencyTest, ParallelRegistrationAndInvocation) {
+  auto orb = Orb::create();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto servant = FunctionServant::make("S");
+        servant->on("op", [](const ValueList&) { return Value(1.0); });
+        const std::string id = "obj-" + std::to_string(t) + "-" + std::to_string(i);
+        try {
+          const ObjectRef ref = orb->register_servant(servant, id);
+          if (orb->invoke(ref, "op").as_number() != 1.0) ++failures;
+          orb->unregister_servant(id);
+        } catch (const Error&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(orb->servant_count(), 0u);
+}
+
+}  // namespace
+}  // namespace adapt::orb

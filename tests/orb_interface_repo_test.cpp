@@ -1,0 +1,166 @@
+// Interface repository tests: definitions, inheritance, IDL parsing.
+#include "orb/interface_repo.h"
+
+#include <gtest/gtest.h>
+
+namespace adapt::orb {
+namespace {
+
+InterfaceDef simple_iface(const std::string& name,
+                          std::vector<std::string> ops,
+                          std::vector<std::string> bases = {}) {
+  InterfaceDef def;
+  def.name = name;
+  def.bases = std::move(bases);
+  for (const auto& op : ops) {
+    OperationDef o;
+    o.name = op;
+    def.operations[op] = std::move(o);
+  }
+  return def;
+}
+
+TEST(InterfaceRepoTest, DefineAndFind) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("Hello", {"hello"}));
+  EXPECT_TRUE(repo.has("Hello"));
+  EXPECT_FALSE(repo.has("Other"));
+  const auto def = repo.find("Hello");
+  ASSERT_TRUE(def.has_value());
+  EXPECT_EQ(def->operations.count("hello"), 1u);
+}
+
+TEST(InterfaceRepoTest, RedefineReplaces) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("I", {"a"}));
+  repo.define(simple_iface("I", {"b"}));
+  const auto def = repo.find("I");
+  EXPECT_EQ(def->operations.count("a"), 0u);
+  EXPECT_EQ(def->operations.count("b"), 1u);
+}
+
+TEST(InterfaceRepoTest, UnknownBaseRejected) {
+  InterfaceRepository repo;
+  EXPECT_THROW(repo.define(simple_iface("Derived", {}, {"NoSuchBase"})), Error);
+}
+
+TEST(InterfaceRepoTest, IsAWalksInheritance) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("A", {"opA"}));
+  repo.define(simple_iface("B", {"opB"}, {"A"}));
+  repo.define(simple_iface("C", {"opC"}, {"B"}));
+  EXPECT_TRUE(repo.is_a("C", "C"));
+  EXPECT_TRUE(repo.is_a("C", "B"));
+  EXPECT_TRUE(repo.is_a("C", "A"));
+  EXPECT_FALSE(repo.is_a("A", "C"));
+  EXPECT_FALSE(repo.is_a("X", "A"));
+}
+
+TEST(InterfaceRepoTest, MultipleInheritance) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("Left", {"l"}));
+  repo.define(simple_iface("Right", {"r"}));
+  repo.define(simple_iface("Both", {"b"}, {"Left", "Right"}));
+  EXPECT_TRUE(repo.is_a("Both", "Left"));
+  EXPECT_TRUE(repo.is_a("Both", "Right"));
+  EXPECT_TRUE(repo.find_operation("Both", "l").has_value());
+  EXPECT_TRUE(repo.find_operation("Both", "r").has_value());
+}
+
+TEST(InterfaceRepoTest, FindOperationWalksBases) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("Base", {"inherited"}));
+  repo.define(simple_iface("Derived", {"own"}, {"Base"}));
+  EXPECT_TRUE(repo.find_operation("Derived", "own").has_value());
+  EXPECT_TRUE(repo.find_operation("Derived", "inherited").has_value());
+  EXPECT_FALSE(repo.find_operation("Derived", "missing").has_value());
+  EXPECT_FALSE(repo.find_operation("NoIface", "x").has_value());
+}
+
+TEST(InterfaceRepoTest, List) {
+  InterfaceRepository repo;
+  repo.define(simple_iface("B", {}));
+  repo.define(simple_iface("A", {}));
+  const auto names = repo.list();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[1], "B");
+}
+
+// ---- IDL parsing (the paper's Fig. 1 / Fig. 2 interfaces) ----------------
+
+TEST(InterfaceRepoIdlTest, PaperFig1AspectsManager) {
+  InterfaceRepository repo;
+  const auto defined = repo.define_idl(R"(
+    interface AspectsManager {
+      any getAspectValue(in string name);
+      table definedAspects();
+      void defineAspect(in string name, in string updatef);
+    };
+  )");
+  ASSERT_EQ(defined.size(), 1u);
+  EXPECT_EQ(defined[0], "AspectsManager");
+  const auto op = repo.find_operation("AspectsManager", "defineAspect");
+  ASSERT_TRUE(op.has_value());
+  ASSERT_EQ(op->params.size(), 2u);
+  EXPECT_EQ(op->params[0].name, "name");
+  EXPECT_EQ(op->params[0].type, "string");
+  EXPECT_FALSE(op->oneway);
+}
+
+TEST(InterfaceRepoIdlTest, PaperFig2EventMonitor) {
+  InterfaceRepository repo;
+  repo.define_idl(R"(
+    interface EventObserver {
+      oneway void notifyEvent(in string evid);
+    };
+    interface BasicMonitor {
+      any getvalue();
+      void setvalue(in any v);
+    };
+    interface EventMonitor : BasicMonitor {
+      string attachEventObserver(in object obj, in string evid, in string notifyf);
+      void detachEventObserver(in string id);
+    };
+  )");
+  EXPECT_TRUE(repo.is_a("EventMonitor", "BasicMonitor"));
+  const auto notify = repo.find_operation("EventObserver", "notifyEvent");
+  ASSERT_TRUE(notify.has_value());
+  EXPECT_TRUE(notify->oneway);
+  EXPECT_TRUE(repo.find_operation("EventMonitor", "getvalue").has_value())
+      << "inherited operation reachable";
+}
+
+TEST(InterfaceRepoIdlTest, CommentsAndWhitespace) {
+  InterfaceRepository repo;
+  repo.define_idl(R"(
+    // a leading comment
+    interface Spaced {
+      void op();  // trailing comment
+    };
+  )");
+  EXPECT_TRUE(repo.has("Spaced"));
+}
+
+TEST(InterfaceRepoIdlTest, SyntaxErrors) {
+  InterfaceRepository repo;
+  EXPECT_THROW(repo.define_idl("iface Bad {}"), Error);
+  EXPECT_THROW(repo.define_idl("interface { void op(); };"), Error);
+  EXPECT_THROW(repo.define_idl("interface I { void op() };"), Error)
+      << "missing semicolon after operation";
+  EXPECT_THROW(repo.define_idl("interface I : Unknown { };"), Error);
+}
+
+TEST(InterfaceRepoIdlTest, MultipleParamsAndDirections) {
+  InterfaceRepository repo;
+  repo.define_idl("interface M { number mix(in number a, string b, in table c); };");
+  const auto op = repo.find_operation("M", "mix");
+  ASSERT_TRUE(op.has_value());
+  ASSERT_EQ(op->params.size(), 3u);
+  EXPECT_EQ(op->params[1].name, "b");
+  EXPECT_EQ(op->params[2].type, "table");
+  EXPECT_EQ(op->result_type, "number");
+}
+
+}  // namespace
+}  // namespace adapt::orb

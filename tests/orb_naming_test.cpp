@@ -1,0 +1,103 @@
+// CosNaming-subset tests: local API, remote servant access, and the
+// bootstrap path (resolve the trader through the naming service).
+#include "orb/naming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/infrastructure.h"
+
+namespace adapt::orb {
+namespace {
+
+class NamingTest : public ::testing::Test {
+ protected:
+  NamingTest() : orb_(Orb::create()), naming_(orb_) {
+    auto servant = FunctionServant::make("Thing");
+    servant->on("id", [](const ValueList&) { return Value("the thing"); });
+    thing_ = orb_->register_servant(servant);
+  }
+
+  OrbPtr orb_;
+  NamingService naming_;
+  ObjectRef thing_;
+};
+
+TEST_F(NamingTest, BindAndResolve) {
+  naming_.bind("things/one", thing_);
+  const ObjectRef out = naming_.resolve("things/one");
+  EXPECT_EQ(out, thing_);
+  EXPECT_EQ(orb_->invoke(out, "id").as_string(), "the thing");
+}
+
+TEST_F(NamingTest, BindDuplicateRejected) {
+  naming_.bind("a", thing_);
+  EXPECT_THROW(naming_.bind("a", thing_), NameAlreadyBound);
+  EXPECT_NO_THROW(naming_.rebind("a", thing_));
+}
+
+TEST_F(NamingTest, ResolveUnknownThrows) {
+  EXPECT_THROW(naming_.resolve("ghost"), NameNotFound);
+  EXPECT_FALSE(naming_.try_resolve("ghost").has_value());
+}
+
+TEST_F(NamingTest, UnbindRemoves) {
+  naming_.bind("temp", thing_);
+  naming_.unbind("temp");
+  EXPECT_THROW(naming_.resolve("temp"), NameNotFound);
+  EXPECT_THROW(naming_.unbind("temp"), NameNotFound);
+}
+
+TEST_F(NamingTest, InvalidNamesRejected) {
+  EXPECT_THROW(naming_.bind("", thing_), OrbError);
+  EXPECT_THROW(naming_.bind("/leading", thing_), OrbError);
+  EXPECT_THROW(naming_.bind("trailing/", thing_), OrbError);
+  EXPECT_THROW(naming_.bind("a//b", thing_), OrbError);
+  EXPECT_THROW(naming_.bind("ok", ObjectRef{}), OrbError);
+}
+
+TEST_F(NamingTest, ListWithPrefix) {
+  naming_.bind("services/a", thing_);
+  naming_.bind("services/b", thing_);
+  naming_.bind("hosts/x", thing_);
+  EXPECT_EQ(naming_.list("services/"),
+            (std::vector<std::string>{"services/a", "services/b"}));
+  EXPECT_EQ(naming_.list().size(), 3u);
+  EXPECT_EQ(naming_.size(), 3u);
+}
+
+TEST_F(NamingTest, RemoteClientFullSurface) {
+  auto client_orb = Orb::create();
+  NamingClient client(client_orb, naming_.ref());
+  client.bind("remote/thing", thing_);
+  EXPECT_EQ(client.resolve("remote/thing"), thing_);
+  EXPECT_EQ(client.list("remote/"), (std::vector<std::string>{"remote/thing"}));
+  client.rebind("remote/thing", thing_);
+  client.unbind("remote/thing");
+  EXPECT_THROW(client.resolve("remote/thing"), RemoteError);
+}
+
+TEST_F(NamingTest, StringifiedNamingRefBootstrap) {
+  // The real bootstrap story: a process is handed ONE string (the naming
+  // ref), parses it, and finds everything else from there.
+  const std::string handoff = naming_.ref().str();
+  naming_.bind("things/one", thing_);
+  auto other = Orb::create();
+  NamingClient client(other, ObjectRef::parse(handoff));
+  EXPECT_EQ(other->invoke(client.resolve("things/one"), "id").as_string(), "the thing");
+}
+
+TEST(NamingBootstrapTest, InfrastructureBindsTrader) {
+  core::Infrastructure infra({.name = "nm-boot"});
+  infra.trader().types().add({.name = "Svc"});
+  auto client_orb = infra.make_orb("boot-client");
+  NamingClient names(client_orb, infra.naming_ref());
+
+  const ObjectRef lookup = names.resolve("services/trader/lookup");
+  // Use the resolved lookup to run a real query.
+  const Value reply = client_orb->invoke(lookup, "query", {Value("Svc"), Value("")});
+  EXPECT_TRUE(reply.is_table());
+  EXPECT_EQ(names.list("services/trader/").size(), 3u);
+}
+
+}  // namespace
+}  // namespace adapt::orb

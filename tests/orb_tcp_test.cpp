@@ -1,0 +1,199 @@
+// TCP transport tests: real-socket invocations, oneways, failures, timeouts,
+// concurrency, reconnection after server restart.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "orb/orb.h"
+
+namespace adapt::orb {
+namespace {
+
+OrbPtr make_tcp_orb(const std::string& name) {
+  OrbConfig cfg;
+  cfg.name = name;
+  cfg.listen_tcp = true;
+  cfg.request_timeout = 5.0;
+  return Orb::create(cfg);
+}
+
+TEST(TcpAddressTest, Parse) {
+  const TcpAddress a = TcpAddress::parse("tcp://127.0.0.1:8080");
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 8080);
+}
+
+TEST(TcpAddressTest, Malformed) {
+  EXPECT_THROW(TcpAddress::parse("inproc://x"), TransportError);
+  EXPECT_THROW(TcpAddress::parse("tcp://nohost"), TransportError);
+  EXPECT_THROW(TcpAddress::parse("tcp://:8080"), TransportError);
+  EXPECT_THROW(TcpAddress::parse("tcp://h:notaport"), TransportError);
+  EXPECT_THROW(TcpAddress::parse("tcp://h:99999"), TransportError);
+}
+
+TEST(TcpOrbTest, EndpointIsTcpWhenListening) {
+  auto orb = make_tcp_orb("tcp-endpoint-test");
+  EXPECT_EQ(orb->endpoint().rfind("tcp://127.0.0.1:", 0), 0u) << orb->endpoint();
+}
+
+TEST(TcpOrbTest, RemoteInvocation) {
+  auto server = make_tcp_orb("tcp-server-1");
+  auto client = Orb::create({.name = "tcp-client-1"});
+  auto servant = FunctionServant::make("Echo");
+  servant->on("shout", [](const ValueList& args) {
+    return Value(args.at(0).as_string() + "!");
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  ASSERT_EQ(ref.endpoint.rfind("tcp://", 0), 0u);
+  EXPECT_EQ(client->invoke(ref, "shout", {Value("hey")}).as_string(), "hey!");
+}
+
+TEST(TcpOrbTest, StructuredArgumentsOverTcp) {
+  auto server = make_tcp_orb("tcp-server-2");
+  auto client = Orb::create({.name = "tcp-client-2"});
+  auto servant = FunctionServant::make("Stats");
+  servant->on("sum", [](const ValueList& args) {
+    const Table& t = *args.at(0).as_table();
+    double sum = 0;
+    for (int64_t i = 1; i <= t.length(); ++i) sum += t.geti(i).as_number();
+    return Value(sum);
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  auto numbers = Table::make_array({Value(1.5), Value(2.5), Value(3.0)});
+  EXPECT_DOUBLE_EQ(client->invoke(ref, "sum", {Value(numbers)}).as_number(), 7.0);
+}
+
+TEST(TcpOrbTest, ObjectRefTravelsOverTcpAndIsCallable) {
+  auto server = make_tcp_orb("tcp-server-3");
+  auto client = Orb::create({.name = "tcp-client-3"});
+  auto target = FunctionServant::make("Target");
+  target->on("whoami", [](const ValueList&) { return Value("the target"); });
+  const ObjectRef target_ref = server->register_servant(target);
+
+  auto directory = FunctionServant::make("Directory");
+  directory->on("lookup", [target_ref](const ValueList&) { return Value(target_ref); });
+  const ObjectRef dir_ref = server->register_servant(directory);
+
+  const Value fetched = client->invoke(dir_ref, "lookup", {});
+  ASSERT_TRUE(fetched.is_object());
+  EXPECT_EQ(client->invoke(fetched.as_object(), "whoami", {}).as_string(), "the target");
+}
+
+TEST(TcpOrbTest, RemoteErrorsPropagate) {
+  auto server = make_tcp_orb("tcp-server-4");
+  auto client = Orb::create({.name = "tcp-client-4"});
+  auto servant = FunctionServant::make("Flaky");
+  servant->on("die", [](const ValueList&) -> Value { throw Error("remote boom"); });
+  const ObjectRef ref = server->register_servant(servant);
+  EXPECT_THROW(client->invoke(ref, "die", {}), RemoteError);
+  EXPECT_THROW(client->invoke(ref, "undefined", {}), BadOperation);
+  ObjectRef missing = ref;
+  missing.object_id = "missing";
+  EXPECT_THROW(client->invoke(missing, "die", {}), ObjectNotFound);
+}
+
+TEST(TcpOrbTest, ConnectionRefusedIsTransportError) {
+  auto client = Orb::create({.name = "tcp-client-5"});
+  // Bind-then-close to find a port that is almost certainly not listening.
+  auto probe = make_tcp_orb("tcp-probe");
+  const std::string endpoint = probe->endpoint();
+  probe->shutdown();
+  ObjectRef ref{endpoint, "obj", ""};
+  EXPECT_THROW(client->invoke(ref, "op", {}), TransportError);
+}
+
+TEST(TcpOrbTest, OnewayOverTcp) {
+  auto server = make_tcp_orb("tcp-server-5");
+  auto client = Orb::create({.name = "tcp-client-6"});
+  auto hits = std::make_shared<std::atomic<int>>(0);
+  auto servant = FunctionServant::make("Sink");
+  servant->on("notify", [hits](const ValueList&) {
+    ++*hits;
+    return Value();
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  client->invoke_oneway(ref, "notify");
+  client->invoke_oneway(ref, "notify");
+  // oneways are fire-and-forget: wait briefly for delivery
+  for (int i = 0; i < 200 && hits->load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(hits->load(), 2);
+  // A later two-way call on the same connection still works (framing intact).
+  EXPECT_TRUE(client->ping(ref));
+}
+
+TEST(TcpOrbTest, ConcurrentClients) {
+  auto server = make_tcp_orb("tcp-server-6");
+  auto servant = FunctionServant::make("Counter");
+  auto hits = std::make_shared<std::atomic<int>>(0);
+  servant->on("hit", [hits](const ValueList&) {
+    ++*hits;
+    return Value(hits->load());
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  constexpr int kThreads = 6;
+  constexpr int kCalls = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Orb::create({.name = "tcp-cc-" + std::to_string(t)});
+      for (int i = 0; i < kCalls; ++i) client->invoke(ref, "hit", {});
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hits->load(), kThreads * kCalls);
+}
+
+TEST(TcpOrbTest, SlowServantTimesOut) {
+  OrbConfig server_cfg;
+  server_cfg.name = "tcp-slow-server";
+  server_cfg.listen_tcp = true;
+  auto server = Orb::create(server_cfg);
+  auto servant = FunctionServant::make("Slow");
+  servant->on("sleep", [](const ValueList&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    return Value("done");
+  });
+  const ObjectRef ref = server->register_servant(servant);
+
+  OrbConfig client_cfg;
+  client_cfg.name = "tcp-impatient-client";
+  client_cfg.request_timeout = 0.1;
+  auto client = Orb::create(client_cfg);
+  EXPECT_THROW(client->invoke(ref, "sleep", {}), TransportError);
+}
+
+TEST(TcpOrbTest, ServerRestartNewConnectionWorks) {
+  ObjectRef ref;
+  uint16_t port = 0;
+  {
+    auto server = make_tcp_orb("tcp-restart-a");
+    auto servant = FunctionServant::make("S");
+    servant->on("v", [](const ValueList&) { return Value(1.0); });
+    ref = server->register_servant(servant, "the-object");
+    port = TcpAddress::parse(server->endpoint()).port;
+    auto client = Orb::create({.name = "tcp-restart-client-1"});
+    EXPECT_DOUBLE_EQ(client->invoke(ref, "v", {}).as_number(), 1.0);
+  }
+  // Server gone: connection fails.
+  {
+    auto client = Orb::create({.name = "tcp-restart-client-2"});
+    EXPECT_THROW(client->invoke(ref, "v", {}), TransportError);
+  }
+  // Restart on the same port; a fresh client reaches the new incarnation.
+  OrbConfig cfg;
+  cfg.name = "tcp-restart-b";
+  cfg.listen_tcp = true;
+  cfg.listen_port = port;
+  auto revived = Orb::create(cfg);
+  auto servant = FunctionServant::make("S");
+  servant->on("v", [](const ValueList&) { return Value(2.0); });
+  revived->register_servant(servant, "the-object");
+  auto client = Orb::create({.name = "tcp-restart-client-3"});
+  EXPECT_DOUBLE_EQ(client->invoke(ref, "v", {}).as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace adapt::orb

@@ -1,0 +1,170 @@
+// TimingServant: per-operation service-time measurement and the paper's
+// SIII response-time monitor example, end to end with a trader dynamic
+// property. Plus large-payload and mixed-traffic TCP stress tests.
+#include "orb/timing_servant.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "monitor/monitor.h"
+#include "trading/trader.h"
+
+namespace adapt::orb {
+namespace {
+
+/// Deterministic "clock" ticking a fixed amount per now() call, so service
+/// times are exact without real sleeping.
+class TickClock final : public Clock {
+ public:
+  explicit TickClock(double step) : step_(step) {}
+  [[nodiscard]] double now() const override { return t_ += step_; }
+  void sleep_for(double) override {}
+  [[nodiscard]] bool is_virtual() const override { return true; }
+
+ private:
+  double step_;
+  mutable double t_ = 0;
+};
+
+std::shared_ptr<FunctionServant> make_worker() {
+  auto servant = FunctionServant::make("Worker");
+  servant->on("fast", [](const ValueList&) { return Value(1.0); });
+  servant->on("slow", [](const ValueList&) { return Value(2.0); });
+  servant->on("fail", [](const ValueList&) -> Value { throw Error("kaput"); });
+  return servant;
+}
+
+TEST(TimingServantTest, CountsAndMeans) {
+  // Each dispatch calls now() twice -> 2 * step per call with TickClock.
+  auto timed = std::make_shared<TimingServant>(make_worker(),
+                                               std::make_shared<TickClock>(0.5));
+  timed->dispatch("fast", {});
+  timed->dispatch("fast", {});
+  timed->dispatch("slow", {});
+  const auto fast = timed->stats("fast");
+  EXPECT_EQ(fast.count, 2u);
+  EXPECT_DOUBLE_EQ(fast.mean_seconds(), 0.5);
+  EXPECT_EQ(timed->stats().count, 3u);
+  EXPECT_EQ(timed->stats("nothing").count, 0u);
+}
+
+TEST(TimingServantTest, FailuresAreTimedToo) {
+  auto timed = std::make_shared<TimingServant>(make_worker(),
+                                               std::make_shared<TickClock>(0.1));
+  EXPECT_THROW(timed->dispatch("fail", {}), Error);
+  EXPECT_EQ(timed->stats("fail").count, 1u);
+}
+
+TEST(TimingServantTest, ResetClears) {
+  auto timed = std::make_shared<TimingServant>(make_worker(),
+                                               std::make_shared<TickClock>(0.1));
+  timed->dispatch("fast", {});
+  timed->reset();
+  EXPECT_EQ(timed->stats().count, 0u);
+}
+
+TEST(TimingServantTest, WallClockMeasurement) {
+  auto servant = FunctionServant::make("Sleepy");
+  servant->on("nap", [](const ValueList&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return Value();
+  });
+  auto timed = std::make_shared<TimingServant>(servant, std::make_shared<RealClock>());
+  auto orb = Orb::create();
+  const ObjectRef ref = orb->register_servant(timed);
+  orb->invoke(ref, "nap");
+  EXPECT_GE(timed->stats("nap").mean_seconds(), 0.004);
+  EXPECT_GE(timed->stats("nap").max_seconds, 0.004);
+}
+
+TEST(TimingServantTest, TransparentToCallers) {
+  auto timed = std::make_shared<TimingServant>(make_worker(),
+                                               std::make_shared<RealClock>());
+  auto orb = Orb::create();
+  const ObjectRef ref = orb->register_servant(timed);
+  EXPECT_EQ(ref.interface, "Worker") << "decorator preserves the interface name";
+  EXPECT_DOUBLE_EQ(orb->invoke(ref, "fast").as_number(), 1.0);
+  EXPECT_THROW(orb->invoke(ref, "fail"), RemoteError);
+  EXPECT_THROW(orb->invoke(ref, "missing"), BadOperation);
+}
+
+TEST(TimingServantTest, ResponseTimeMonitorEndToEnd) {
+  // The paper's SIII example: a ResponseTime property at the trader, served
+  // live by a monitor fed from the timing decorator.
+  auto orb = Orb::create();
+  auto timed = std::make_shared<TimingServant>(make_worker(),
+                                               std::make_shared<TickClock>(0.25));
+  const ObjectRef provider = orb->register_servant(timed);
+
+  auto engine = std::make_shared<script::ScriptEngine>();
+  auto mon = std::make_shared<monitor::BasicMonitor>("ResponseTime", engine);
+  mon->set_update_function(Value(timed->make_monitor_source()));
+  const ObjectRef mon_ref = orb->register_servant(mon);
+
+  trading::Trader trader(orb, {.name = "rt-trader"});
+  trader.types().add({.name = "Timed"});
+  trading::PropertyMap props;
+  props["ResponseTime"] =
+      trading::OfferedProperty(trading::DynamicProperty{mon_ref, Value()});
+  trader.export_offer("Timed", provider, props);
+
+  orb->invoke(provider, "fast");
+  mon->update_now();
+  const auto offers = trader.query("Timed", "ResponseTime < 1");
+  ASSERT_EQ(offers.size(), 1u);
+  EXPECT_DOUBLE_EQ(offers[0].properties.at("ResponseTime").as_number(), 0.25);
+}
+
+TEST(TimingServantTest, SourceOutlivedByMonitorFailsSoft) {
+  auto engine = std::make_shared<script::ScriptEngine>();
+  auto mon = std::make_shared<monitor::BasicMonitor>("ResponseTime", engine);
+  {
+    auto timed = std::make_shared<TimingServant>(make_worker(),
+                                                 std::make_shared<RealClock>());
+    mon->set_update_function(Value(timed->make_monitor_source()));
+    mon->update_now();
+  }
+  // Servant destroyed: updates fail with a warning, old value retained.
+  EXPECT_NO_THROW(mon->update_now());
+}
+
+// ---- TCP stress -------------------------------------------------------------
+
+TEST(TcpStressTest, MegabytePayloadRoundtrip) {
+  auto server = Orb::create({.name = "stress-server", .listen_tcp = true});
+  auto servant = FunctionServant::make("Blob");
+  servant->on("bounce", [](const ValueList& a) { return a.at(0); });
+  const ObjectRef ref = server->register_servant(servant);
+  auto client = Orb::create({.name = "stress-client"});
+  std::string blob(1 << 20, 'x');
+  for (size_t i = 0; i < blob.size(); i += 97) blob[i] = static_cast<char>('a' + i % 23);
+  const Value out = client->invoke(ref, "bounce", {Value(blob)});
+  EXPECT_EQ(out.as_string(), blob);
+}
+
+TEST(TcpStressTest, MixedOnewayAndTwowayTraffic) {
+  auto server = Orb::create({.name = "stress-mixed-server", .listen_tcp = true});
+  auto count = std::make_shared<std::atomic<int>>(0);
+  auto servant = FunctionServant::make("Mixed");
+  servant->on("note", [count](const ValueList&) {
+    ++*count;
+    return Value();
+  });
+  servant->on("ask", [count](const ValueList&) {
+    return Value(static_cast<double>(count->load()));
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  auto client = Orb::create({.name = "stress-mixed-client"});
+  for (int i = 0; i < 50; ++i) {
+    client->invoke_oneway(ref, "note");
+    client->invoke(ref, "ask");
+  }
+  for (int i = 0; i < 200 && count->load() < 50; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(count->load(), 50);
+}
+
+}  // namespace
+}  // namespace adapt::orb

@@ -1,0 +1,156 @@
+// Real-time integration: the full stack on wall-clock time — monitors tick
+// on the TimerService dispatcher thread while clients invoke from other
+// threads, optionally over real TCP sockets. Periods are tens of
+// milliseconds so each test finishes in about a second; the point is the
+// *threading*, which virtual-time tests never exercise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/infrastructure.h"
+
+namespace adapt::core {
+namespace {
+
+using orb::FunctionServant;
+
+/// Waits until `cond` is true or ~2 s have passed.
+bool wait_for(const std::function<bool()>& cond) {
+  for (int i = 0; i < 400; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+InfrastructureOptions realtime_options(const std::string& name, bool tcp = false) {
+  InfrastructureOptions options;
+  options.simulated_time = false;
+  options.tcp = tcp;
+  options.monitor_period = 0.02;  // 20 ms ticks
+  options.name = name;
+  return options;
+}
+
+TEST(RealtimeTest, MonitorsTickOnDispatcherThread) {
+  Infrastructure infra(realtime_options("rt-ticks"));
+  infra.trader().types().add({.name = "Svc"});
+  auto host = infra.make_host("h");
+  auto agent = infra.make_agent("h");
+  auto mon = agent->create_load_monitor(host);
+  host->set_background_jobs(5.0);
+  EXPECT_TRUE(wait_for([&] { return mon->update_count() >= 5; }));
+  EXPECT_TRUE(mon->getvalue().is_table());
+}
+
+TEST(RealtimeTest, EventNotificationAcrossThreads) {
+  Infrastructure infra(realtime_options("rt-events"));
+  infra.trader().types().add({.name = "Svc"});
+  auto servant = FunctionServant::make("Svc");
+  servant->on("op", [](const ValueList&) { return Value(); });
+  infra.deploy_server("h", "Svc", servant);
+
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto proxy = infra.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", "function(o, v, m) return v[1] > 3 end");
+  std::atomic<int> strategy_runs{0};
+  proxy->set_strategy("LoadIncrease", [&](SmartProxy&) { ++strategy_runs; });
+  ASSERT_TRUE(proxy->select());
+
+  infra.host("h")->set_background_jobs(500.0);
+  // Host sampling (5 s virtual period scaled by... real clock) — the host
+  // samples on its own 5 s schedule; to keep this fast, poke the load
+  // average by waiting for monitor ticks that see rising ready_jobs.
+  // The 1-minute window needs ready jobs folded in, which happens on the
+  // host sampler; with RealClock that is every 5 s — too slow. Drive the
+  // monitor with setvalue instead (still crosses threads via the ORB).
+  auto mon = proxy->current_monitor();
+  ASSERT_TRUE(mon.valid());
+  mon.setvalue(Value(Table::make_array({Value(10.0), Value(1.0), Value(0.5)})));
+  EXPECT_TRUE(wait_for([&] { return proxy->pending_events() > 0; }));
+  proxy->invoke("op");
+  EXPECT_GE(strategy_runs.load(), 1);
+}
+
+TEST(RealtimeTest, ConcurrentClientsAgainstTickingMonitors) {
+  Infrastructure infra(realtime_options("rt-concurrent"));
+  infra.trader().types().add({.name = "Svc"});
+  auto servant = FunctionServant::make("Svc");
+  std::atomic<int> served{0};
+  servant->on("op", [&](const ValueList&) {
+    ++served;
+    return Value();
+  });
+  infra.deploy_server("h1", "Svc", servant);
+  infra.deploy_server("h2", "Svc", servant);
+
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SmartProxyConfig cfg;
+      cfg.service_type = "Svc";
+      cfg.preference = "min LoadAvg";
+      auto proxy = infra.make_proxy(cfg);
+      proxy->add_interest("LoadIncrease", "function(o, v, m) return v[1] > 1 end");
+      proxy->set_strategy("LoadIncrease", [](SmartProxy& p) { p.select(); });
+      for (int i = 0; i < kCalls; ++i) {
+        try {
+          proxy->invoke("op");
+        } catch (const Error&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(served.load(), kThreads * kCalls);
+}
+
+TEST(RealtimeTest, FullTcpDeploymentWithLiveMonitoring) {
+  Infrastructure infra(realtime_options("rt-tcp", /*tcp=*/true));
+  infra.trader().types().add({.name = "Svc"});
+  auto servant = FunctionServant::make("Svc");
+  servant->on("whoami", [](const ValueList&) { return Value("tcp-live"); });
+  const ObjectRef provider = infra.deploy_server("h", "Svc", servant);
+  ASSERT_EQ(provider.endpoint.rfind("tcp://", 0), 0u);
+
+  SmartProxyConfig cfg;
+  cfg.service_type = "Svc";
+  auto proxy = infra.make_proxy(cfg);
+  proxy->add_interest("LoadIncrease", "function(o, v, m) return false end");
+  EXPECT_EQ(proxy->invoke("whoami").as_string(), "tcp-live");
+  auto mon = proxy->current_monitor();
+  ASSERT_TRUE(mon.valid());
+  // The monitor keeps updating on its dispatcher thread while we read it
+  // over TCP from this thread.
+  const uint64_t before = infra.trader().dynamic_evals();
+  EXPECT_TRUE(wait_for([&] {
+    return infra.trader().query("Svc", "LoadAvg >= 0").size() == 1;
+  }));
+  EXPECT_GT(infra.trader().dynamic_evals(), before);
+}
+
+TEST(RealtimeTest, HeartbeatOnWallClock) {
+  Infrastructure infra(realtime_options("rt-hb"));
+  infra.trader().types().add({.name = "Svc"});
+  infra.make_host("h");
+  auto agent = infra.make_agent("h");
+  const ObjectRef provider =
+      infra.host_orb("h")->register_servant(FunctionServant::make("Svc"));
+  agent->enable_heartbeat(/*period=*/0.02, /*lease=*/0.2);
+  agent->export_offer("Svc", provider, {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(infra.trader().query("Svc", "").size(), 1u) << "kept alive by heartbeats";
+  agent->disable_heartbeat();
+  EXPECT_TRUE(wait_for([&] { return infra.trader().query("Svc", "").empty(); }))
+      << "expired after heartbeats stopped";
+}
+
+}  // namespace
+}  // namespace adapt::core

@@ -1,0 +1,163 @@
+// Tests for the ScriptEngine embedding API — the features the infrastructure
+// relies on: native function registration, compile_function for shipped code
+// strings, cross-engine isolation, thread safety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "script/engine.h"
+
+namespace adapt::script {
+namespace {
+
+TEST(EngineTest, EvalReturnsValues) {
+  ScriptEngine eng;
+  ValueList vs = eng.eval("return 1, 'two', true");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 1);
+  EXPECT_EQ(vs[1].as_string(), "two");
+  EXPECT_TRUE(vs[2].as_bool());
+}
+
+TEST(EngineTest, Eval1TakesFirst) {
+  ScriptEngine eng;
+  EXPECT_DOUBLE_EQ(eng.eval1("return 5, 6").as_number(), 5);
+  EXPECT_TRUE(eng.eval1("local x = 1").is_nil());
+}
+
+TEST(EngineTest, GlobalsPersistAcrossEvals) {
+  ScriptEngine eng;
+  eng.eval("counter = 10");
+  eng.eval("counter = counter + 5");
+  EXPECT_DOUBLE_EQ(eng.get_global("counter").as_number(), 15);
+}
+
+TEST(EngineTest, SetGetGlobal) {
+  ScriptEngine eng;
+  eng.set_global("injected", Value(3.5));
+  EXPECT_DOUBLE_EQ(eng.eval1("return injected * 2").as_number(), 7.0);
+}
+
+TEST(EngineTest, RegisterFunction) {
+  ScriptEngine eng;
+  eng.register_function("treble", [](const ValueList& args) -> ValueList {
+    return {Value(args.at(0).as_number() * 3)};
+  });
+  EXPECT_DOUBLE_EQ(eng.eval1("return treble(14)").as_number(), 42);
+}
+
+TEST(EngineTest, NativeFunctionErrorsBecomeScriptErrors) {
+  ScriptEngine eng;
+  eng.register_function("boom", [](const ValueList&) -> ValueList {
+    throw Error("native failure");
+  });
+  // catchable from script via pcall
+  ValueList vs = eng.eval("return pcall(boom)");
+  EXPECT_FALSE(vs[0].as_bool());
+  EXPECT_NE(vs[1].as_string().find("native failure"), std::string::npos);
+}
+
+TEST(EngineTest, LoadCompilesWithoutRunning) {
+  ScriptEngine eng;
+  eng.eval("ran = false");
+  Value chunk = eng.load("ran = true return 7");
+  EXPECT_FALSE(eng.get_global("ran").as_bool());
+  ValueList vs = eng.call(chunk);
+  EXPECT_TRUE(eng.get_global("ran").as_bool());
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 7);
+}
+
+TEST(EngineTest, CompileFunctionFromSourceString) {
+  // This is the exact mechanism used for code shipped to remote monitors
+  // (paper SIII): a string containing "function(...) ... end".
+  ScriptEngine eng;
+  Value fn = eng.compile_function("function(a, b) return a * b end");
+  EXPECT_DOUBLE_EQ(eng.call1(fn, {Value(6.0), Value(7.0)}).as_number(), 42);
+}
+
+TEST(EngineTest, CompileFunctionMultiline) {
+  ScriptEngine eng;
+  Value fn = eng.compile_function(R"(function(self, currval, monitor)
+    if currval[1] > currval[2] then
+      return "yes"
+    else
+      return "no"
+    end
+  end)");
+  auto currval = Table::make_array({Value(5.0), Value(3.0), Value(1.0)});
+  EXPECT_EQ(eng.call1(fn, {Value(), Value(currval), Value()}).as_string(), "yes");
+}
+
+TEST(EngineTest, CompileFunctionRejectsNonFunction) {
+  ScriptEngine eng;
+  EXPECT_THROW(eng.compile_function("42"), ScriptError);
+}
+
+TEST(EngineTest, CompiledFunctionsSeeLaterGlobals) {
+  ScriptEngine eng;
+  Value fn = eng.compile_function("function() return shared_state end");
+  eng.set_global("shared_state", Value("later"));
+  EXPECT_EQ(eng.call1(fn).as_string(), "later");
+}
+
+TEST(EngineTest, EnginesAreIsolated) {
+  ScriptEngine a;
+  ScriptEngine b;
+  a.eval("x = 'in-a'");
+  EXPECT_TRUE(b.get_global("x").is_nil());
+}
+
+TEST(EngineTest, CallNonFunctionThrows) {
+  ScriptEngine eng;
+  EXPECT_THROW(eng.call(Value(5.0), {}), ScriptError);
+}
+
+TEST(EngineTest, NativeCanCallBackIntoScript) {
+  ScriptEngine eng;
+  // A native that invokes a script callback — the pattern used by event
+  // monitors when running predicate functions.
+  eng.set_global("invoke",
+                 Value(NativeFunction::make_ctx("invoke", [](CallContext& ctx, const ValueList& args) {
+                   return ctx.interp.call(args.at(0), {Value(10.0)});
+                 })));
+  EXPECT_DOUBLE_EQ(eng.eval1("return invoke(function(x) return x + 1 end)").as_number(), 11);
+}
+
+TEST(EngineTest, ConcurrentEvalsAreSerialized) {
+  ScriptEngine eng;
+  eng.eval("n = 0");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) eng.eval("n = n + 1");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(eng.get_global("n").as_number(), kThreads * kIters);
+}
+
+TEST(EngineTest, DeterministicRngByDefault) {
+  ScriptEngine a;
+  ScriptEngine b;
+  EXPECT_DOUBLE_EQ(a.eval1("return math.random()").as_number(),
+                   b.eval1("return math.random()").as_number())
+      << "fresh engines share the default seed for reproducible experiments";
+}
+
+TEST(EngineTest, ChunkNameAppearsInParseErrors) {
+  ScriptEngine eng;
+  try {
+    eng.eval("local = bad", "strategy:LoadIncrease");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("strategy:LoadIncrease"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace adapt::script

@@ -1,0 +1,389 @@
+// Interpreter semantics tests: expressions, statements, closures, scoping,
+// control flow, multiple returns. Exercised through the ScriptEngine facade.
+#include <gtest/gtest.h>
+
+#include "script/engine.h"
+
+namespace adapt::script {
+namespace {
+
+class InterpTest : public ::testing::Test {
+ protected:
+  Value run(const std::string& code) { return eng_.eval1(code); }
+  double num(const std::string& code) { return run(code).as_number(); }
+  std::string str(const std::string& code) { return run(code).as_string(); }
+  ScriptEngine eng_;
+};
+
+// ---- literals & operators ------------------------------------------------
+
+TEST_F(InterpTest, Literals) {
+  EXPECT_TRUE(run("return nil").is_nil());
+  EXPECT_TRUE(run("return true").as_bool());
+  EXPECT_FALSE(run("return false").as_bool());
+  EXPECT_DOUBLE_EQ(num("return 42"), 42);
+  EXPECT_EQ(str("return 'hi'"), "hi");
+}
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(num("return 2+3*4"), 14);
+  EXPECT_DOUBLE_EQ(num("return (2+3)*4"), 20);
+  EXPECT_DOUBLE_EQ(num("return 10/4"), 2.5);
+  EXPECT_DOUBLE_EQ(num("return 7%3"), 1);
+  EXPECT_DOUBLE_EQ(num("return -7%3"), 2) << "Lua mod takes divisor sign";
+  EXPECT_DOUBLE_EQ(num("return 2^10"), 1024);
+  EXPECT_DOUBLE_EQ(num("return 2^3^2"), 512) << "^ is right-associative";
+  EXPECT_DOUBLE_EQ(num("return -2^2"), -4) << "unary minus binds looser than ^";
+}
+
+TEST_F(InterpTest, StringCoercionInArithmetic) {
+  EXPECT_DOUBLE_EQ(num("return '10' + 5"), 15);
+  EXPECT_THROW(run("return 'abc' + 1"), ScriptError);
+}
+
+TEST_F(InterpTest, Concat) {
+  EXPECT_EQ(str("return 'a' .. 'b' .. 'c'"), "abc");
+  EXPECT_EQ(str("return 'n=' .. 5"), "n=5");
+  EXPECT_THROW(run("return 'x' .. nil"), ScriptError);
+}
+
+TEST_F(InterpTest, Comparison) {
+  EXPECT_TRUE(run("return 1 < 2").as_bool());
+  EXPECT_TRUE(run("return 'a' < 'b'").as_bool());
+  EXPECT_TRUE(run("return 2 >= 2").as_bool());
+  EXPECT_TRUE(run("return 1 ~= 2").as_bool());
+  EXPECT_TRUE(run("return 'x' == 'x'").as_bool());
+  EXPECT_FALSE(run("return 1 == '1'").as_bool()) << "no coercion in equality";
+  EXPECT_THROW(run("return 1 < 'a'"), ScriptError);
+}
+
+TEST_F(InterpTest, LogicalOperatorsYieldOperands) {
+  EXPECT_DOUBLE_EQ(num("return false or 5"), 5);
+  EXPECT_DOUBLE_EQ(num("return nil or 7"), 7);
+  EXPECT_DOUBLE_EQ(num("return 3 and 4"), 4);
+  EXPECT_TRUE(run("return nil and error('not reached')").is_nil());
+  EXPECT_FALSE(run("return not 1").as_bool());
+  EXPECT_TRUE(run("return not nil").as_bool());
+}
+
+TEST_F(InterpTest, ShortCircuitSkipsSideEffects) {
+  eng_.eval("called = false; function f() called = true; return true end");
+  run("return false and f()");
+  EXPECT_FALSE(eng_.get_global("called").as_bool());
+  run("return true or f()");
+  EXPECT_FALSE(eng_.get_global("called").as_bool());
+}
+
+TEST_F(InterpTest, LengthOperator) {
+  EXPECT_DOUBLE_EQ(num("return #'hello'"), 5);
+  EXPECT_DOUBLE_EQ(num("return #{10,20,30}"), 3);
+}
+
+// ---- variables & scoping --------------------------------------------------
+
+TEST_F(InterpTest, GlobalAssignment) {
+  eng_.eval("x = 10");
+  EXPECT_DOUBLE_EQ(eng_.get_global("x").as_number(), 10);
+}
+
+TEST_F(InterpTest, UndefinedGlobalIsNil) {
+  EXPECT_TRUE(run("return no_such_var").is_nil());
+}
+
+TEST_F(InterpTest, LocalsShadowGlobals) {
+  eng_.eval("x = 1");
+  EXPECT_DOUBLE_EQ(num("local x = 2; return x"), 2);
+  EXPECT_DOUBLE_EQ(eng_.get_global("x").as_number(), 1);
+}
+
+TEST_F(InterpTest, BlockScoping) {
+  const Value v = run(R"(
+    local a = 1
+    do
+      local a = 2
+    end
+    return a
+  )");
+  EXPECT_DOUBLE_EQ(v.as_number(), 1);
+}
+
+TEST_F(InterpTest, MultipleAssignment) {
+  eng_.eval("a, b, c = 1, 2");
+  EXPECT_DOUBLE_EQ(eng_.get_global("a").as_number(), 1);
+  EXPECT_DOUBLE_EQ(eng_.get_global("b").as_number(), 2);
+  EXPECT_TRUE(eng_.get_global("c").is_nil());
+}
+
+TEST_F(InterpTest, SwapViaMultipleAssignment) {
+  eng_.eval("a, b = 1, 2; a, b = b, a");
+  EXPECT_DOUBLE_EQ(eng_.get_global("a").as_number(), 2);
+  EXPECT_DOUBLE_EQ(eng_.get_global("b").as_number(), 1);
+}
+
+// ---- control flow -----------------------------------------------------------
+
+TEST_F(InterpTest, IfElseifElse) {
+  const std::string code = R"(
+    function grade(n)
+      if n >= 90 then return 'A'
+      elseif n >= 80 then return 'B'
+      elseif n >= 70 then return 'C'
+      else return 'F' end
+    end
+    return grade(95), grade(85), grade(75), grade(10)
+  )";
+  ValueList vs = eng_.eval(code);
+  ASSERT_EQ(vs.size(), 4u);
+  EXPECT_EQ(vs[0].as_string(), "A");
+  EXPECT_EQ(vs[1].as_string(), "B");
+  EXPECT_EQ(vs[2].as_string(), "C");
+  EXPECT_EQ(vs[3].as_string(), "F");
+}
+
+TEST_F(InterpTest, WhileLoop) {
+  EXPECT_DOUBLE_EQ(num("local s=0 local i=1 while i<=10 do s=s+i i=i+1 end return s"), 55);
+}
+
+TEST_F(InterpTest, WhileBreak) {
+  EXPECT_DOUBLE_EQ(num("local i=0 while true do i=i+1 if i==5 then break end end return i"), 5);
+}
+
+TEST_F(InterpTest, RepeatUntil) {
+  EXPECT_DOUBLE_EQ(num("local i=0 repeat i=i+1 until i>=3 return i"), 3);
+}
+
+TEST_F(InterpTest, RepeatConditionSeesBodyLocals) {
+  EXPECT_DOUBLE_EQ(num("local n=0 repeat local done=true n=n+1 until done return n"), 1);
+}
+
+TEST_F(InterpTest, NumericFor) {
+  EXPECT_DOUBLE_EQ(num("local s=0 for i=1,5 do s=s+i end return s"), 15);
+  EXPECT_DOUBLE_EQ(num("local s=0 for i=10,1,-2 do s=s+i end return s"), 30);
+  EXPECT_DOUBLE_EQ(num("local s=0 for i=5,1 do s=s+i end return s"), 0) << "empty range";
+}
+
+TEST_F(InterpTest, NumericForZeroStepThrows) {
+  EXPECT_THROW(run("for i=1,10,0 do end"), ScriptError);
+}
+
+TEST_F(InterpTest, ForLoopVariableIsLocal) {
+  eng_.eval("i = 99; for i=1,3 do end");
+  EXPECT_DOUBLE_EQ(eng_.get_global("i").as_number(), 99);
+}
+
+TEST_F(InterpTest, GenericForWithPairs) {
+  const std::string code = R"(
+    local t = {x=1, y=2, z=3}
+    local sum = 0
+    for k, v in pairs(t) do sum = sum + v end
+    return sum
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 6);
+}
+
+TEST_F(InterpTest, GenericForWithIpairs) {
+  const std::string code = R"(
+    local t = {5, 6, 7}
+    local keys, sum = 0, 0
+    for i, v in ipairs(t) do keys = keys + i sum = sum + v end
+    return keys + sum
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 24);
+}
+
+TEST_F(InterpTest, GenericForBreak) {
+  const std::string code = R"(
+    local n = 0
+    for i, v in ipairs({1,2,3,4,5}) do
+      n = n + 1
+      if i == 2 then break end
+    end
+    return n
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 2);
+}
+
+// ---- functions ---------------------------------------------------------------
+
+TEST_F(InterpTest, FunctionDefinitionAndCall) {
+  EXPECT_DOUBLE_EQ(num("function add(a, b) return a + b end return add(2, 3)"), 5);
+}
+
+TEST_F(InterpTest, LocalFunctionRecursion) {
+  EXPECT_DOUBLE_EQ(
+      num("local function fact(n) if n <= 1 then return 1 end return n * fact(n-1) end "
+          "return fact(6)"),
+      720);
+}
+
+TEST_F(InterpTest, MissingArgsAreNil) {
+  EXPECT_TRUE(run("function f(a, b) return b end return f(1)").is_nil());
+}
+
+TEST_F(InterpTest, ExtraArgsIgnored) {
+  EXPECT_DOUBLE_EQ(num("function f(a) return a end return f(1, 2, 3)"), 1);
+}
+
+TEST_F(InterpTest, MultipleReturnValues) {
+  ValueList vs = eng_.eval("function two() return 1, 2 end return two()");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 1);
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 2);
+}
+
+TEST_F(InterpTest, MultipleReturnsTruncatedMidList) {
+  ValueList vs = eng_.eval("function two() return 1, 2 end return two(), 10");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 1) << "non-final call truncates to one value";
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 10);
+}
+
+TEST_F(InterpTest, MultipleAssignmentFromCall) {
+  eng_.eval("function three() return 'a','b','c' end x, y, z = three()");
+  EXPECT_EQ(eng_.get_global("x").as_string(), "a");
+  EXPECT_EQ(eng_.get_global("y").as_string(), "b");
+  EXPECT_EQ(eng_.get_global("z").as_string(), "c");
+}
+
+TEST_F(InterpTest, ClosuresCaptureUpvalues) {
+  const std::string code = R"(
+    function counter()
+      local n = 0
+      return function() n = n + 1 return n end
+    end
+    local c = counter()
+    c() c()
+    return c()
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 3);
+}
+
+TEST_F(InterpTest, ClosuresAreIndependent) {
+  const std::string code = R"(
+    function counter()
+      local n = 0
+      return function() n = n + 1 return n end
+    end
+    local c1 = counter()
+    local c2 = counter()
+    c1() c1()
+    return c1() * 10 + c2()
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 31);
+}
+
+TEST_F(InterpTest, FunctionsAreFirstClass) {
+  EXPECT_DOUBLE_EQ(num("local f = function(x) return x * 2 end return f(21)"), 42);
+  EXPECT_DOUBLE_EQ(num("local t = {fn = function() return 9 end} return t.fn()"), 9);
+}
+
+TEST_F(InterpTest, HigherOrderFunctions) {
+  const std::string code = R"(
+    function apply(f, x) return f(x) end
+    return apply(function(v) return v + 1 end, 41)
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 42);
+}
+
+TEST_F(InterpTest, RunawayRecursionRaisesScriptError) {
+  EXPECT_THROW(run("function f() return f() end return f()"), ScriptError);
+}
+
+// ---- tables ---------------------------------------------------------------
+
+TEST_F(InterpTest, TableConstructorPositional) {
+  ValueList vs = eng_.eval("local t = {10, 20, 30} return t[1], t[3], #t");
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 10);
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 30);
+  EXPECT_DOUBLE_EQ(vs[2].as_number(), 3);
+}
+
+TEST_F(InterpTest, TableConstructorNamed) {
+  EXPECT_DOUBLE_EQ(num("local t = {x = 1, ['y z'] = 2} return t.x + t['y z']"), 3);
+}
+
+TEST_F(InterpTest, TableConstructorMixed) {
+  ValueList vs = eng_.eval("local t = {1, x='a', 2} return t[1], t[2], t.x");
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 1);
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 2);
+  EXPECT_EQ(vs[2].as_string(), "a");
+}
+
+TEST_F(InterpTest, LastCallExpandsInConstructor) {
+  EXPECT_DOUBLE_EQ(num("function two() return 8, 9 end local t = {two()} return #t"), 2);
+}
+
+TEST_F(InterpTest, NestedTables) {
+  EXPECT_DOUBLE_EQ(num("local t = {a = {b = {c = 7}}} return t.a.b.c"), 7);
+}
+
+TEST_F(InterpTest, TableFieldAssignment) {
+  EXPECT_DOUBLE_EQ(num("local t = {} t.x = 1 t['y'] = 2 t[3] = 3 return t.x + t.y + t[3]"), 6);
+}
+
+TEST_F(InterpTest, TablesHaveReferenceSemantics) {
+  EXPECT_DOUBLE_EQ(num("local a = {n = 1} local b = a b.n = 5 return a.n"), 5);
+}
+
+TEST_F(InterpTest, MethodCallSugar) {
+  const std::string code = R"(
+    local obj = {count = 10}
+    function obj:bump(by) self.count = self.count + by return self.count end
+    return obj:bump(5)
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 15);
+}
+
+TEST_F(InterpTest, MethodOnNilFieldThrows) {
+  EXPECT_THROW(run("local t = {} return t:nothere()"), ScriptError);
+}
+
+TEST_F(InterpTest, IndexingNilThrows) {
+  EXPECT_THROW(run("local x return x.field"), ScriptError);
+  EXPECT_THROW(run("local x x.field = 1"), ScriptError);
+}
+
+TEST_F(InterpTest, StringIndexYieldsChar) {
+  EXPECT_EQ(str("local s = 'abc' return s[2]"), "b");
+}
+
+// ---- errors -------------------------------------------------------------
+
+TEST_F(InterpTest, CallingNonFunctionThrows) {
+  EXPECT_THROW(run("local x = 5 return x()"), ScriptError);
+}
+
+TEST_F(InterpTest, ErrorsCarryLineNumbers) {
+  try {
+    run("local a = 1\nlocal b = 2\nreturn a + {}");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(InterpTest, HostileNestingRejectedNotCrash) {
+  const std::string deep(5000, '(');
+  EXPECT_THROW(run("return " + deep + "1" + std::string(5000, ')')), ParseError);
+  std::string nots = "return ";
+  for (int i = 0; i < 5000; ++i) nots += "not ";
+  EXPECT_THROW(run(nots + "true"), ParseError);
+  std::string blocks;
+  for (int i = 0; i < 5000; ++i) blocks += "do ";
+  EXPECT_THROW(run(blocks), ParseError);
+  EXPECT_NO_THROW(run("return ((((((((((1))))))))))"));
+  EXPECT_TRUE(run("return not not not false").as_bool());
+}
+
+TEST_F(InterpTest, ParseErrorsPropagate) {
+  EXPECT_THROW(run("if without then"), ParseError);
+  EXPECT_THROW(run("return 1 +"), ParseError);
+  EXPECT_THROW(run("local = 5"), ParseError);
+}
+
+TEST_F(InterpTest, StatementMustBeCall) {
+  EXPECT_THROW(run("1 + 2"), ParseError);
+}
+
+}  // namespace
+}  // namespace adapt::script

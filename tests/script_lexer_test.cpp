@@ -1,0 +1,135 @@
+// Unit tests for the Luma lexer.
+#include "script/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace adapt::script {
+namespace {
+
+std::vector<Token> lex(std::string_view src) { return Lexer(src).tokenize(); }
+
+TEST(LexerTest, EmptyInput) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::Eof);
+}
+
+TEST(LexerTest, Keywords) {
+  const auto toks = lex("if then else end while do function local return");
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, Tok::If);
+  EXPECT_EQ(toks[1].kind, Tok::Then);
+  EXPECT_EQ(toks[2].kind, Tok::Else);
+  EXPECT_EQ(toks[3].kind, Tok::End);
+  EXPECT_EQ(toks[4].kind, Tok::While);
+  EXPECT_EQ(toks[5].kind, Tok::Do);
+  EXPECT_EQ(toks[6].kind, Tok::Function);
+  EXPECT_EQ(toks[7].kind, Tok::Local);
+  EXPECT_EQ(toks[8].kind, Tok::Return);
+}
+
+TEST(LexerTest, Identifiers) {
+  const auto toks = lex("foo _bar baz_2 If");
+  EXPECT_EQ(toks[0].kind, Tok::Name);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "_bar");
+  EXPECT_EQ(toks[2].text, "baz_2");
+  EXPECT_EQ(toks[3].kind, Tok::Name) << "keywords are case-sensitive";
+}
+
+TEST(LexerTest, Numbers) {
+  const auto toks = lex("42 3.5 1e3 2.5e-2 0x1F .5");
+  EXPECT_DOUBLE_EQ(toks[0].number, 42);
+  EXPECT_DOUBLE_EQ(toks[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].number, 1000);
+  EXPECT_DOUBLE_EQ(toks[3].number, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].number, 31);
+  EXPECT_DOUBLE_EQ(toks[5].number, 0.5);
+}
+
+TEST(LexerTest, ShortStrings) {
+  const auto toks = lex(R"("hello" 'world' "a\nb" "q\"q")");
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "world");
+  EXPECT_EQ(toks[2].text, "a\nb");
+  EXPECT_EQ(toks[3].text, "q\"q");
+}
+
+TEST(LexerTest, LongStrings) {
+  const auto toks = lex("[[multi\nline]]");
+  EXPECT_EQ(toks[0].kind, Tok::String);
+  EXPECT_EQ(toks[0].text, "multi\nline");
+}
+
+TEST(LexerTest, LongStringSkipsLeadingNewline) {
+  const auto toks = lex("[[\nbody]]");
+  EXPECT_EQ(toks[0].text, "body");
+}
+
+TEST(LexerTest, LongStringKeepsQuotes) {
+  // The paper's Fig. 4 ships code in [[ ]] containing quoted strings.
+  const auto toks = lex("[[return incr == 'yes']]");
+  EXPECT_EQ(toks[0].text, "return incr == 'yes'");
+}
+
+TEST(LexerTest, Operators) {
+  const auto toks = lex("+ - * / % ^ # == ~= <= >= < > = .. ...");
+  const Tok expected[] = {Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                          Tok::Caret, Tok::Hash, Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge,
+                          Tok::Lt, Tok::Gt, Tok::Assign, Tok::Concat, Tok::Ellipsis};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  const auto toks = lex("a -- comment here\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(LexerTest, BlockComments) {
+  const auto toks = lex("a --[[ multi\nline comment ]] b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  const auto toks = lex("a\nb\n\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), ParseError);
+  EXPECT_THROW(lex("[[oops"), ParseError);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("--[[ never closed"), ParseError);
+}
+
+TEST(LexerTest, InvalidEscapeThrows) {
+  EXPECT_THROW(lex(R"("\z")"), ParseError);
+}
+
+TEST(LexerTest, StrayTildeThrows) {
+  EXPECT_THROW(lex("a ~ b"), ParseError);
+}
+
+TEST(LexerTest, NewlineInShortStringThrows) {
+  EXPECT_THROW(lex("\"line\nbreak\""), ParseError);
+}
+
+TEST(LexerTest, DotVsConcatVsEllipsis) {
+  const auto toks = lex("a.b a..b");
+  EXPECT_EQ(toks[1].kind, Tok::Dot);
+  EXPECT_EQ(toks[4].kind, Tok::Concat);
+}
+
+}  // namespace
+}  // namespace adapt::script

@@ -1,0 +1,169 @@
+// Metatables (the Lua "tag methods" the paper's LuaCorba builds proxies
+// with): __index / __newindex chains, setmetatable/getmetatable, raw access,
+// and the classic prototype-OO pattern they enable.
+#include <gtest/gtest.h>
+
+#include "script/engine.h"
+
+namespace adapt::script {
+namespace {
+
+class MetatableTest : public ::testing::Test {
+ protected:
+  Value run(const std::string& code) { return eng_.eval1(code); }
+  double num(const std::string& code) { return run(code).as_number(); }
+  std::string str(const std::string& code) { return run(code).as_string(); }
+  ScriptEngine eng_;
+};
+
+TEST_F(MetatableTest, IndexTableFallback) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local defaults = {color = 7}
+    local t = setmetatable({}, {__index = defaults})
+    return t.color
+  )"),
+                   7);
+}
+
+TEST_F(MetatableTest, OwnKeysShadowIndex) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local t = setmetatable({x = 1}, {__index = {x = 99}})
+    return t.x
+  )"),
+                   1);
+}
+
+TEST_F(MetatableTest, IndexFunctionReceivesTableAndKey) {
+  EXPECT_EQ(str(R"(
+    local t = setmetatable({}, {__index = function(tbl, key)
+      return "computed:" .. key
+    end})
+    return t.anything
+  )"),
+            "computed:anything");
+}
+
+TEST_F(MetatableTest, IndexChainsThroughPrototypes) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local grandparent = {inherited = 42}
+    local parent = setmetatable({}, {__index = grandparent})
+    local child = setmetatable({}, {__index = parent})
+    return child.inherited
+  )"),
+                   42);
+}
+
+TEST_F(MetatableTest, MissingStaysNil) {
+  EXPECT_TRUE(run("local t = setmetatable({}, {}) return t.ghost").is_nil());
+  EXPECT_TRUE(run("local t = setmetatable({}, {__index = {}}) return t.ghost").is_nil());
+}
+
+TEST_F(MetatableTest, NewindexFunctionIntercepts) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local log = {}
+    local t = setmetatable({}, {__newindex = function(tbl, key, value)
+      log[key] = value  -- redirect instead of storing
+    end})
+    t.x = 5
+    return (rawget(t, 'x') == nil and log.x) or -1
+  )"),
+                   5);
+}
+
+TEST_F(MetatableTest, NewindexTableRedirects) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local store = {}
+    local t = setmetatable({}, {__newindex = store})
+    t.x = 9
+    return store.x
+  )"),
+                   9);
+}
+
+TEST_F(MetatableTest, NewindexSkippedForExistingKeys) {
+  EXPECT_DOUBLE_EQ(num(R"(
+    local hits = 0
+    local t = setmetatable({x = 1}, {__newindex = function() hits = hits + 1 end})
+    t.x = 2   -- existing key: raw write
+    t.y = 3   -- new key: intercepted
+    return t.x * 10 + hits
+  )"),
+                   21);
+}
+
+TEST_F(MetatableTest, SetGetClearMetatable) {
+  eng_.eval(R"(
+    t = {}
+    mt = {__index = function() return 0 end}
+    setmetatable(t, mt)
+  )");
+  EXPECT_EQ(run("return getmetatable(t)"), eng_.get_global("mt"));
+  eng_.eval("setmetatable(t, nil)");
+  EXPECT_TRUE(run("return getmetatable(t)").is_nil());
+  EXPECT_TRUE(run("return getmetatable(5)").is_nil());
+  EXPECT_THROW(eng_.eval("setmetatable({}, 5)"), ScriptError);
+}
+
+TEST_F(MetatableTest, RawFunctions) {
+  EXPECT_TRUE(run(R"(
+    local t = setmetatable({}, {__index = function() return 'trap' end})
+    return rawget(t, 'k') == nil
+  )").as_bool());
+  EXPECT_DOUBLE_EQ(num(R"(
+    local t = setmetatable({}, {__newindex = function() error('trap') end})
+    rawset(t, 'k', 3)
+    return rawget(t, 'k')
+  )"),
+                   3);
+  EXPECT_TRUE(run("local t = {} return rawequal(t, t)").as_bool());
+  EXPECT_FALSE(run("return rawequal({}, {})").as_bool());
+}
+
+TEST_F(MetatableTest, PrototypeClassPattern) {
+  // The idiom LuaCorba-era code uses for classes.
+  const std::string code = R"(
+    Account = {}
+    Account.__index = Account
+    function Account.new(balance)
+      return setmetatable({balance = balance}, Account)
+    end
+    function Account:deposit(n) self.balance = self.balance + n end
+    function Account:get() return self.balance end
+
+    local a = Account.new(100)
+    local b = Account.new(5)
+    a:deposit(20)
+    b:deposit(1)
+    return a:get() * 1000 + b:get()
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 120006);
+}
+
+TEST_F(MetatableTest, MethodCallsResolveThroughIndex) {
+  EXPECT_EQ(str(R"(
+    local base = {}
+    function base:speak() return "from base" end
+    local derived = setmetatable({}, {__index = base})
+    return derived:speak()
+  )"),
+            "from base");
+}
+
+TEST_F(MetatableTest, IndexLoopDetected) {
+  EXPECT_THROW(run(R"(
+    local a = {}
+    local b = {}
+    setmetatable(a, {__index = b})
+    setmetatable(b, {__index = a})
+    return a.missing
+  )"),
+               ScriptError);
+}
+
+TEST_F(MetatableTest, InvalidHandlerTypesRejected) {
+  EXPECT_THROW(run("local t = setmetatable({}, {__index = 5}) return t.x"), ScriptError);
+  EXPECT_THROW(run("local t = setmetatable({}, {__newindex = 5}) t.x = 1"), ScriptError);
+}
+
+}  // namespace
+}  // namespace adapt::script

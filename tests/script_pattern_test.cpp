@@ -1,0 +1,244 @@
+// Lua pattern matching: the matcher itself plus string.find/match/gmatch/
+// gsub semantics.
+#include "script/lua_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "script/engine.h"
+
+namespace adapt::script {
+namespace {
+
+// ---- the raw matcher ------------------------------------------------------
+
+TEST(PatternCoreTest, LiteralAndDot) {
+  auto m = pattern_find("hello world", "wor");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->start, 6u);
+  EXPECT_EQ(m->end, 9u);
+  EXPECT_TRUE(pattern_find("abc", "a.c"));
+  EXPECT_FALSE(pattern_find("abc", "a.d"));
+}
+
+TEST(PatternCoreTest, CharacterClasses) {
+  EXPECT_TRUE(pattern_find("abc123", "%d"));
+  EXPECT_EQ(pattern_find("abc123", "%d+")->start, 3u);
+  EXPECT_TRUE(pattern_find("  x", "%s%s%a"));
+  EXPECT_TRUE(pattern_find("HI", "%u%u"));
+  EXPECT_FALSE(pattern_find("hi", "%u"));
+  EXPECT_TRUE(pattern_find("hi!", "%p"));
+  EXPECT_TRUE(pattern_find("beef", "%x+"));
+  EXPECT_FALSE(pattern_find("g", "%x")) << "g is not a hex digit";
+}
+
+TEST(PatternCoreTest, ComplementClasses) {
+  EXPECT_EQ(pattern_find("123a", "%D")->start, 3u);
+  EXPECT_EQ(pattern_find("a 1", "%S+")->end, 1u);
+}
+
+TEST(PatternCoreTest, Sets) {
+  EXPECT_TRUE(pattern_find("cat", "[cb]at"));
+  EXPECT_TRUE(pattern_find("bat", "[cb]at"));
+  EXPECT_FALSE(pattern_find("rat", "[cb]at"));
+  EXPECT_TRUE(pattern_find("f", "[a-f]"));
+  EXPECT_FALSE(pattern_find("g", "[a-f]"));
+  EXPECT_TRUE(pattern_find("g", "[^a-f]"));
+  EXPECT_TRUE(pattern_find("5", "[%d]"));
+  EXPECT_TRUE(pattern_find("-", "[%-x]")) << "escaped dash in set";
+}
+
+TEST(PatternCoreTest, Quantifiers) {
+  EXPECT_EQ(pattern_find("aaa", "a*")->end, 3u) << "* is greedy";
+  EXPECT_EQ(pattern_find("aaa", "a-")->end, 0u) << "- is lazy";
+  EXPECT_EQ(pattern_find("aaab", "a-b")->end, 4u);
+  EXPECT_TRUE(pattern_find("color", "colou?r"));
+  EXPECT_TRUE(pattern_find("colour", "colou?r"));
+  EXPECT_FALSE(pattern_find("colouur", "colou?r"));
+  EXPECT_FALSE(pattern_find("", "a+"));
+  EXPECT_TRUE(pattern_find("", "a*"));
+}
+
+TEST(PatternCoreTest, Anchors) {
+  EXPECT_TRUE(pattern_find("hello", "^hel"));
+  EXPECT_FALSE(pattern_find("say hello", "^hel"));
+  EXPECT_TRUE(pattern_find("hello", "llo$"));
+  EXPECT_FALSE(pattern_find("hello!", "llo$"));
+  EXPECT_TRUE(pattern_find("x", "^x$"));
+}
+
+TEST(PatternCoreTest, Captures) {
+  const auto m = pattern_find("key=value", "(%w+)=(%w+)");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->captures.size(), 2u);
+  EXPECT_EQ(m->captures[0].text, "key");
+  EXPECT_EQ(m->captures[1].text, "value");
+}
+
+TEST(PatternCoreTest, NestedCaptures) {
+  const auto m = pattern_find("abc", "((a)(b))c");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->captures.size(), 3u);
+  EXPECT_EQ(m->captures[0].text, "ab");
+  EXPECT_EQ(m->captures[1].text, "a");
+  EXPECT_EQ(m->captures[2].text, "b");
+}
+
+TEST(PatternCoreTest, PositionCaptures) {
+  const auto m = pattern_find("hello", "l()l");
+  ASSERT_TRUE(m);
+  ASSERT_EQ(m->captures.size(), 1u);
+  EXPECT_TRUE(m->captures[0].is_position);
+  EXPECT_EQ(m->captures[0].position, 4u);
+}
+
+TEST(PatternCoreTest, BackReferences) {
+  EXPECT_TRUE(pattern_find("abcabc", "(abc)%1"));
+  EXPECT_FALSE(pattern_find("abcabd", "(abc)%1"));
+  EXPECT_TRUE(pattern_find("xx", "(.)%1"));
+}
+
+TEST(PatternCoreTest, EscapedMagicChars) {
+  EXPECT_TRUE(pattern_find("3.14", "%d%.%d"));
+  EXPECT_FALSE(pattern_find("3x14", "%d%.%d"));
+  EXPECT_TRUE(pattern_find("(a)", "%((%a)%)"));
+  EXPECT_TRUE(pattern_find("100%", "%d+%%"));
+}
+
+TEST(PatternCoreTest, InitOffset) {
+  EXPECT_EQ(pattern_find("aXbXc", "X", 2)->start, 3u);
+  EXPECT_FALSE(pattern_find("abc", "a", 1));
+  EXPECT_FALSE(pattern_find("abc", "x", 99));
+}
+
+TEST(PatternCoreTest, MalformedPatterns) {
+  EXPECT_THROW(pattern_find("x", "("), PatternError);
+  EXPECT_THROW(pattern_find("x", ")"), PatternError);
+  EXPECT_THROW(pattern_find("x", "%"), PatternError);
+  EXPECT_THROW(pattern_find("x", "[abc"), PatternError);
+  EXPECT_THROW(pattern_find("aa", "(a)%3"), PatternError)
+      << "backreference to a nonexistent capture, reached during matching";
+}
+
+TEST(PatternCoreTest, GsubTemplate) {
+  int count = 0;
+  EXPECT_EQ(pattern_gsub("hello world", "o", "0", -1, count), "hell0 w0rld");
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(pattern_gsub("hello world", "o", "0", 1, count), "hell0 world");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(pattern_gsub("key=val", "(%w+)=(%w+)", "%2=%1", -1, count), "val=key");
+  EXPECT_EQ(pattern_gsub("abc", "%w", "[%0]", -1, count), "[a][b][c]");
+  EXPECT_EQ(pattern_gsub("abc", "x*", "-", -1, count), "-a-b-c-")
+      << "empty matches advance one char (Lua semantics)";
+  EXPECT_THROW(pattern_gsub("x", "x", "%9", -1, count), PatternError);
+  EXPECT_THROW(pattern_gsub("x", "x", "%z", -1, count), PatternError);
+}
+
+// ---- through the stdlib ---------------------------------------------------
+
+class PatternLibTest : public ::testing::Test {
+ protected:
+  Value run(const std::string& code) { return eng_.eval1(code); }
+  std::string str(const std::string& code) { return run(code).as_string(); }
+  ScriptEngine eng_;
+};
+
+TEST_F(PatternLibTest, FindWithPatterns) {
+  ValueList out = eng_.eval("return string.find('hello 42 world', '%d+')");
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].as_number(), 7);
+  EXPECT_DOUBLE_EQ(out[1].as_number(), 8);
+}
+
+TEST_F(PatternLibTest, FindReturnsCaptures) {
+  ValueList out = eng_.eval("return string.find('key=value', '(%w+)=(%w+)')");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2].as_string(), "key");
+  EXPECT_EQ(out[3].as_string(), "value");
+}
+
+TEST_F(PatternLibTest, FindPlainMode) {
+  // In plain mode magic characters are literal.
+  EXPECT_TRUE(run("return string.find('a+b', 'a+b', 1, true)").truthy());
+  ValueList out = eng_.eval("return string.find('xa+by', 'a+b', 1, true)");
+  EXPECT_DOUBLE_EQ(out.at(0).as_number(), 2);
+}
+
+TEST_F(PatternLibTest, Match) {
+  EXPECT_EQ(str("return string.match('hello 42', '%d+')"), "42");
+  EXPECT_EQ(str("return string.match('key=val', '(%w+)=')"), "key");
+  EXPECT_TRUE(run("return string.match('abc', '%d')").is_nil());
+  ValueList out = eng_.eval("return string.match('2026-07-07', '(%d+)-(%d+)-(%d+)')");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].as_string(), "2026");
+  EXPECT_EQ(out[2].as_string(), "07");
+}
+
+TEST_F(PatternLibTest, GmatchIteratesAllMatches) {
+  const std::string code = R"(
+    local words = {}
+    for w in string.gmatch('the quick brown fox', '%a+') do
+      table.insert(words, w)
+    end
+    return table.concat(words, ','), #words
+  )";
+  ValueList out = eng_.eval(code);
+  EXPECT_EQ(out.at(0).as_string(), "the,quick,brown,fox");
+  EXPECT_DOUBLE_EQ(out.at(1).as_number(), 4);
+}
+
+TEST_F(PatternLibTest, GmatchWithCaptures) {
+  const std::string code = R"(
+    local t = {}
+    for k, v in string.gmatch('a=1, b=2, c=3', '(%w+)=(%w+)') do
+      t[k] = tonumber(v)
+    end
+    return t.a + t.b + t.c
+  )";
+  EXPECT_DOUBLE_EQ(run(code).as_number(), 6);
+}
+
+TEST_F(PatternLibTest, GsubWithTemplate) {
+  ValueList out = eng_.eval("return string.gsub('hello world', 'o', '0')");
+  EXPECT_EQ(out.at(0).as_string(), "hell0 w0rld");
+  EXPECT_DOUBLE_EQ(out.at(1).as_number(), 2);
+  EXPECT_EQ(str("return (string.gsub('hello', 'l+', 'L'))"), "heLo");
+}
+
+TEST_F(PatternLibTest, GsubWithFunction) {
+  EXPECT_EQ(str(R"(return (string.gsub('a1b2', '%d', function(d)
+    return tostring(tonumber(d) * 10)
+  end)))"),
+            "a10b20");
+  // Returning nil keeps the original text.
+  EXPECT_EQ(str(R"(return (string.gsub('keep drop', '%a+', function(w)
+    if w == 'drop' then return 'X' end
+    return nil
+  end)))"),
+            "keep X");
+}
+
+TEST_F(PatternLibTest, GsubLimit) {
+  EXPECT_EQ(str("return (string.gsub('aaaa', 'a', 'b', 2))"), "bbaa");
+}
+
+TEST_F(PatternLibTest, PracticalAgentUse) {
+  // The kind of string handling agent scripts do: parse a loadavg line.
+  const std::string code = R"(
+    local line = '0.42 1.50 2.75 1/123 4567'
+    local l1, l5, l15 = string.match(line, '^(%S+) (%S+) (%S+)')
+    return tonumber(l1), tonumber(l5), tonumber(l15)
+  )";
+  ValueList out = eng_.eval(code);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].as_number(), 0.42);
+  EXPECT_DOUBLE_EQ(out[1].as_number(), 1.50);
+  EXPECT_DOUBLE_EQ(out[2].as_number(), 2.75);
+}
+
+TEST_F(PatternLibTest, BadPatternRaisesCatchableError) {
+  ValueList out = eng_.eval("return pcall(function() return string.match('x', '%') end)");
+  EXPECT_FALSE(out.at(0).as_bool());
+}
+
+}  // namespace
+}  // namespace adapt::script

@@ -1,0 +1,290 @@
+// Tests for the Luma standard library.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "script/engine.h"
+
+namespace adapt::script {
+namespace {
+
+class StdlibTest : public ::testing::Test {
+ protected:
+  StdlibTest() {
+    eng_.set_print_sink([this](const std::string& line) { printed_.push_back(line); });
+  }
+  Value run(const std::string& code) { return eng_.eval1(code); }
+  double num(const std::string& code) { return run(code).as_number(); }
+  std::string str(const std::string& code) { return run(code).as_string(); }
+
+  ScriptEngine eng_;
+  std::vector<std::string> printed_;
+};
+
+// ---- basic functions -------------------------------------------------------
+
+TEST_F(StdlibTest, Print) {
+  eng_.eval("print('hello', 42, true, nil)");
+  ASSERT_EQ(printed_.size(), 1u);
+  EXPECT_EQ(printed_[0], "hello\t42\ttrue\tnil");
+}
+
+TEST_F(StdlibTest, Type) {
+  EXPECT_EQ(str("return type(nil)"), "nil");
+  EXPECT_EQ(str("return type(true)"), "boolean");
+  EXPECT_EQ(str("return type(1)"), "number");
+  EXPECT_EQ(str("return type('s')"), "string");
+  EXPECT_EQ(str("return type({})"), "table");
+  EXPECT_EQ(str("return type(print)"), "function");
+}
+
+TEST_F(StdlibTest, Tostring) {
+  EXPECT_EQ(str("return tostring(12)"), "12");
+  EXPECT_EQ(str("return tostring(nil)"), "nil");
+  EXPECT_EQ(str("return tostring(true)"), "true");
+}
+
+TEST_F(StdlibTest, Tonumber) {
+  EXPECT_DOUBLE_EQ(num("return tonumber('42')"), 42);
+  EXPECT_DOUBLE_EQ(num("return tonumber('3.5')"), 3.5);
+  EXPECT_TRUE(run("return tonumber('abc')").is_nil());
+  EXPECT_TRUE(run("return tonumber({})").is_nil());
+}
+
+TEST_F(StdlibTest, ErrorAndPcall) {
+  ValueList vs = eng_.eval("return pcall(function() error('boom') end)");
+  ASSERT_GE(vs.size(), 2u);
+  EXPECT_FALSE(vs[0].as_bool());
+  EXPECT_NE(vs[1].as_string().find("boom"), std::string::npos);
+}
+
+TEST_F(StdlibTest, PcallSuccessPassesResults) {
+  ValueList vs = eng_.eval("return pcall(function(a, b) return a + b, 'ok' end, 1, 2)");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_TRUE(vs[0].as_bool());
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 3);
+  EXPECT_EQ(vs[2].as_string(), "ok");
+}
+
+TEST_F(StdlibTest, PcallCatchesRuntimeErrors) {
+  ValueList vs = eng_.eval("return pcall(function() return nil + 1 end)");
+  EXPECT_FALSE(vs[0].as_bool());
+}
+
+TEST_F(StdlibTest, AssertPassesThrough) {
+  EXPECT_DOUBLE_EQ(num("return assert(42)"), 42);
+  EXPECT_THROW(run("assert(false, 'custom msg')"), ScriptError);
+  EXPECT_THROW(run("assert(nil)"), ScriptError);
+}
+
+TEST_F(StdlibTest, Unpack) {
+  ValueList vs = eng_.eval("return unpack({7, 8, 9})");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[2].as_number(), 9);
+}
+
+TEST_F(StdlibTest, PairsSeesAllKeyTypes) {
+  const std::string code = R"(
+    local t = {10, 20, x = 'a', [true] = 'b'}
+    local n = 0
+    for k, v in pairs(t) do n = n + 1 end
+    return n
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 4);
+}
+
+TEST_F(StdlibTest, PairsToleratesMutationDuringIteration) {
+  const std::string code = R"(
+    local t = {a=1, b=2, c=3}
+    local n = 0
+    for k, v in pairs(t) do n = n + 1 t[k] = nil end
+    return n
+  )";
+  EXPECT_DOUBLE_EQ(num(code), 3);
+}
+
+// ---- string library ------------------------------------------------------
+
+TEST_F(StdlibTest, StringLen) {
+  EXPECT_DOUBLE_EQ(num("return string.len('hello')"), 5);
+  EXPECT_DOUBLE_EQ(num("return strlen('hi')"), 2) << "Lua-4 style alias";
+}
+
+TEST_F(StdlibTest, StringSub) {
+  EXPECT_EQ(str("return string.sub('hello', 2, 4)"), "ell");
+  EXPECT_EQ(str("return string.sub('hello', 2)"), "ello");
+  EXPECT_EQ(str("return string.sub('hello', -3)"), "llo");
+  EXPECT_EQ(str("return string.sub('hello', 4, 2)"), "");
+  EXPECT_EQ(str("return string.sub('hello', 1, 100)"), "hello");
+}
+
+TEST_F(StdlibTest, StringCase) {
+  EXPECT_EQ(str("return string.upper('MiXeD')"), "MIXED");
+  EXPECT_EQ(str("return string.lower('MiXeD')"), "mixed");
+}
+
+TEST_F(StdlibTest, StringRep) {
+  EXPECT_EQ(str("return string.rep('ab', 3)"), "ababab");
+  EXPECT_EQ(str("return string.rep('x', 0)"), "");
+}
+
+TEST_F(StdlibTest, StringFindPlain) {
+  ValueList vs = eng_.eval("return string.find('hello world', 'world')");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 7);
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 11);
+  EXPECT_TRUE(run("return string.find('abc', 'zzz')").is_nil());
+}
+
+TEST_F(StdlibTest, StringFormat) {
+  EXPECT_EQ(str("return string.format('%d-%s', 42, 'x')"), "42-x");
+  EXPECT_EQ(str("return string.format('%5.2f', 3.14159)"), " 3.14");
+  EXPECT_EQ(str("return string.format('%x', 255)"), "ff");
+  EXPECT_EQ(str("return string.format('%%')"), "%");
+  EXPECT_EQ(str("return format('%03d', 7)"), "007") << "Lua-4 style alias";
+}
+
+TEST_F(StdlibTest, StringByteChar) {
+  EXPECT_DOUBLE_EQ(num("return string.byte('A')"), 65);
+  EXPECT_EQ(str("return string.char(72, 105)"), "Hi");
+}
+
+// ---- math library -----------------------------------------------------------
+
+TEST_F(StdlibTest, MathBasics) {
+  EXPECT_DOUBLE_EQ(num("return math.floor(3.7)"), 3);
+  EXPECT_DOUBLE_EQ(num("return math.ceil(3.2)"), 4);
+  EXPECT_DOUBLE_EQ(num("return math.abs(-5)"), 5);
+  EXPECT_DOUBLE_EQ(num("return math.sqrt(49)"), 7);
+  EXPECT_DOUBLE_EQ(num("return math.max(3, 9, 2)"), 9);
+  EXPECT_DOUBLE_EQ(num("return math.min(3, 9, 2)"), 2);
+  EXPECT_DOUBLE_EQ(num("return math.pow(2, 8)"), 256);
+}
+
+TEST_F(StdlibTest, MathRandomRanges) {
+  for (int i = 0; i < 50; ++i) {
+    const double r = num("return math.random()");
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    const double d = num("return math.random(6)");
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, 6.0);
+    const double ab = num("return math.random(10, 12)");
+    EXPECT_GE(ab, 10.0);
+    EXPECT_LE(ab, 12.0);
+  }
+}
+
+TEST_F(StdlibTest, MathRandomSeedReproducible) {
+  eng_.eval("math.randomseed(7)");
+  const double a1 = num("return math.random()");
+  const double a2 = num("return math.random()");
+  eng_.eval("math.randomseed(7)");
+  EXPECT_DOUBLE_EQ(num("return math.random()"), a1);
+  EXPECT_DOUBLE_EQ(num("return math.random()"), a2);
+}
+
+// ---- table library -------------------------------------------------------
+
+TEST_F(StdlibTest, TableInsertAppend) {
+  EXPECT_DOUBLE_EQ(num("local t = {1, 2} table.insert(t, 3) return t[3] + #t"), 6);
+}
+
+TEST_F(StdlibTest, TableInsertAtPosition) {
+  ValueList vs = eng_.eval("local t = {'a', 'c'} table.insert(t, 2, 'b') return t[1], t[2], t[3]");
+  EXPECT_EQ(vs[0].as_string(), "a");
+  EXPECT_EQ(vs[1].as_string(), "b");
+  EXPECT_EQ(vs[2].as_string(), "c");
+}
+
+TEST_F(StdlibTest, TableRemove) {
+  ValueList vs = eng_.eval("local t = {'a', 'b', 'c'} local r = table.remove(t, 2) return r, #t, t[2]");
+  EXPECT_EQ(vs[0].as_string(), "b");
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 2);
+  EXPECT_EQ(vs[2].as_string(), "c");
+}
+
+TEST_F(StdlibTest, TableRemoveLastAndEmpty) {
+  EXPECT_EQ(str("local t = {'x', 'y'} return table.remove(t)"), "y");
+  EXPECT_TRUE(run("return table.remove({})").is_nil());
+}
+
+TEST_F(StdlibTest, TableConcat) {
+  EXPECT_EQ(str("return table.concat({'a', 'b', 'c'}, '-')"), "a-b-c");
+  EXPECT_EQ(str("return table.concat({1, 2, 3})"), "123");
+}
+
+TEST_F(StdlibTest, TableSortDefault) {
+  EXPECT_EQ(str("local t = {3, 1, 2} table.sort(t) return table.concat(t, ',')"), "1,2,3");
+  EXPECT_EQ(str("local t = {'b', 'a'} table.sort(t) return table.concat(t, ',')"), "a,b");
+}
+
+TEST_F(StdlibTest, TableSortComparator) {
+  EXPECT_EQ(
+      str("local t = {1, 3, 2} table.sort(t, function(a, b) return a > b end) "
+          "return table.concat(t, ',')"),
+      "3,2,1");
+}
+
+TEST_F(StdlibTest, TableGetn) {
+  EXPECT_DOUBLE_EQ(num("return table.getn({9, 9, 9})"), 3);
+  EXPECT_DOUBLE_EQ(num("return getn({9})"), 1) << "Lua-4 style alias";
+}
+
+// ---- os / io compat ---------------------------------------------------------
+
+TEST_F(StdlibTest, OsTimeUsesEngineClock) {
+  auto clock = std::make_shared<SimClock>();
+  ScriptEngine eng(clock);
+  EXPECT_DOUBLE_EQ(eng.eval1("return os.time()").as_number(), 0.0);
+  clock->advance(42.0);
+  EXPECT_DOUBLE_EQ(eng.eval1("return os.time()").as_number(), 42.0);
+}
+
+TEST_F(StdlibTest, ReadfromReadNumbersLikePaperFig3) {
+  // Fig. 3 reads three numbers from /proc/loadavg; reproduce with a temp file.
+  const std::string path = ::testing::TempDir() + "/loadavg_test.txt";
+  {
+    std::ofstream out(path);
+    out << "0.42 1.50 2.75 1/123 4567\n";
+  }
+  eng_.set_global("path", Value(path));
+  ValueList vs = eng_.eval(R"(
+    readfrom(path)
+    local nj1, nj5, nj15 = read("*n", "*n", "*n")
+    readfrom()
+    return nj1, nj5, nj15
+  )");
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_DOUBLE_EQ(vs[0].as_number(), 0.42);
+  EXPECT_DOUBLE_EQ(vs[1].as_number(), 1.50);
+  EXPECT_DOUBLE_EQ(vs[2].as_number(), 2.75);
+  std::remove(path.c_str());
+}
+
+TEST_F(StdlibTest, ReadLinesAndAll) {
+  const std::string path = ::testing::TempDir() + "/lines_test.txt";
+  {
+    std::ofstream out(path);
+    out << "first\nsecond\n";
+  }
+  eng_.set_global("path", Value(path));
+  EXPECT_EQ(str("readfrom(path) local l = read('*l') readfrom() return l"), "first");
+  EXPECT_EQ(str("readfrom(path) local a = read('*a') readfrom() return a"), "first\nsecond\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(StdlibTest, ReadfromMissingFileReturnsNilAndMessage) {
+  ValueList vs = eng_.eval("return readfrom('/no/such/file/xyz')");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_TRUE(vs[0].is_nil());
+  EXPECT_NE(vs[1].as_string().find("cannot open"), std::string::npos);
+}
+
+TEST_F(StdlibTest, ReadWithoutInputThrows) {
+  EXPECT_THROW(run("return read('*n')"), ScriptError);
+}
+
+}  // namespace
+}  // namespace adapt::script

@@ -1,0 +1,235 @@
+// Simulated-environment tests: load-average dynamics, workload generators,
+// statistics, and the synthetic image store.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "script/engine.h"
+#include "sim/host.h"
+#include "sim/image_store.h"
+#include "sim/workload.h"
+
+namespace adapt::sim {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest()
+      : clock_(std::make_shared<SimClock>()),
+        timers_(std::make_shared<TimerService>(clock_)),
+        host_(std::make_shared<Host>(HostConfig{.name = "h1"}, timers_)) {
+    host_->start();
+  }
+  std::shared_ptr<SimClock> clock_;
+  std::shared_ptr<TimerService> timers_;
+  HostPtr host_;
+};
+
+TEST_F(HostTest, IdleHostHasZeroLoad) {
+  timers_->run_for(600.0);
+  const auto load = host_->loadavg();
+  EXPECT_DOUBLE_EQ(load[0], 0.0);
+  EXPECT_DOUBLE_EQ(load[1], 0.0);
+  EXPECT_DOUBLE_EQ(load[2], 0.0);
+}
+
+TEST_F(HostTest, LoadConvergesToJobCount) {
+  host_->set_background_jobs(8.0);
+  timers_->run_for(3600.0);  // one hour >> all horizons
+  const auto load = host_->loadavg();
+  EXPECT_NEAR(load[0], 8.0, 0.1);
+  EXPECT_NEAR(load[1], 8.0, 0.2);
+  EXPECT_NEAR(load[2], 8.0, 0.5);
+}
+
+TEST_F(HostTest, OneMinuteAverageReactsFastest) {
+  host_->set_background_jobs(10.0);
+  timers_->run_for(60.0);
+  const auto load = host_->loadavg();
+  EXPECT_GT(load[0], load[1]) << "1-min window reacts faster than 5-min";
+  EXPECT_GT(load[1], load[2]) << "5-min window reacts faster than 15-min";
+  // After one 60 s horizon the 1-min load should be ~(1 - 1/e) of target.
+  EXPECT_NEAR(load[0], 10.0 * (1 - std::exp(-1.0)), 0.5);
+}
+
+TEST_F(HostTest, LoadDecaysWhenJobsLeave) {
+  host_->set_background_jobs(10.0);
+  timers_->run_for(1200.0);
+  host_->set_background_jobs(0.0);
+  timers_->run_for(300.0);  // 5 half-lives of the 1-min window
+  const auto load = host_->loadavg();
+  EXPECT_LT(load[0], 0.2);
+  EXPECT_GT(load[2], load[0]) << "15-min average remembers the past longer";
+}
+
+TEST_F(HostTest, IncreasingSignalMatchesPaperHeuristic) {
+  // While ramping up, 1-min > 5-min (the Fig. 3 'increasing' test).
+  host_->set_background_jobs(20.0);
+  timers_->run_for(120.0);
+  auto load = host_->loadavg();
+  EXPECT_GT(load[0], load[1]);
+  // Once load stops, 1-min falls below 5-min (decreasing).
+  host_->set_background_jobs(0.0);
+  timers_->run_for(120.0);
+  load = host_->loadavg();
+  EXPECT_LT(load[0], load[1]);
+}
+
+TEST_F(HostTest, RecordedWorkShowsUpAsInducedLoad) {
+  // 2.5 s of CPU per 5 s sample interval = utilization 0.5.
+  timers_->schedule_every(1.0, [this] { host_->record_work(0.5); });
+  timers_->run_for(600.0);
+  EXPECT_NEAR(host_->ready_jobs(), 0.5, 0.05);
+  EXPECT_NEAR(host_->loadavg()[0], 0.5, 0.1);
+  EXPECT_GT(host_->total_work(), 200.0);
+}
+
+TEST_F(HostTest, ResponseTimeScalesWithLoad) {
+  EXPECT_DOUBLE_EQ(host_->response_time(0.1), 0.1);
+  host_->set_background_jobs(4.0);
+  EXPECT_DOUBLE_EQ(host_->response_time(0.1), 0.5);  // base * (1 + 4)
+}
+
+TEST_F(HostTest, BackgroundJobsNeverNegative) {
+  host_->add_background_jobs(-5.0);
+  EXPECT_DOUBLE_EQ(host_->background_jobs(), 0.0);
+  host_->add_background_jobs(3.0);
+  host_->add_background_jobs(-10.0);
+  EXPECT_DOUBLE_EQ(host_->background_jobs(), 0.0);
+}
+
+TEST_F(HostTest, LoadavgValueIsPaperShapedTable) {
+  host_->set_background_jobs(5.0);
+  timers_->run_for(600.0);
+  const Value v = host_->loadavg_value();
+  ASSERT_TRUE(v.is_table());
+  EXPECT_EQ(v.as_table()->length(), 3);
+  EXPECT_GT(v.as_table()->geti(1).as_number(), 0.0);
+}
+
+TEST_F(HostTest, LoadavgSourceCallable) {
+  auto source = make_loadavg_source(host_);
+  host_->set_background_jobs(2.0);
+  timers_->run_for(600.0);
+  script::ScriptEngine eng;
+  eng.set_global("src", Value(source));
+  const Value v = eng.eval1("local t = src() return t[1]");
+  EXPECT_NEAR(v.as_number(), 2.0, 0.1);
+}
+
+TEST_F(HostTest, LoadSpikeScheduling) {
+  schedule_load_spike(*timers_, host_, 100.0, 200.0, 30.0);
+  timers_->run_for(50.0);
+  EXPECT_DOUBLE_EQ(host_->background_jobs(), 0.0);
+  timers_->run_for(100.0);  // t=150, inside the spike
+  EXPECT_DOUBLE_EQ(host_->background_jobs(), 30.0);
+  timers_->run_for(100.0);  // t=250, after
+  EXPECT_DOUBLE_EQ(host_->background_jobs(), 0.0);
+}
+
+// ---- workload generators ---------------------------------------------------
+
+TEST(WorkloadTest, ClosedLoopIssuesAtThinkRate) {
+  auto clock = std::make_shared<SimClock>();
+  auto timers = std::make_shared<TimerService>(clock);
+  int calls = 0;
+  ClosedLoopClient client(timers, [&] { ++calls; }, 2.0);
+  client.start();
+  timers->run_for(100.0);
+  EXPECT_EQ(calls, 50);
+  EXPECT_EQ(client.requests_issued(), 50u);
+  client.stop();
+  timers->run_for(100.0);
+  EXPECT_EQ(calls, 50);
+}
+
+TEST(WorkloadTest, OpenLoopApproximatesPoissonRate) {
+  auto clock = std::make_shared<SimClock>();
+  auto timers = std::make_shared<TimerService>(clock);
+  int calls = 0;
+  OpenLoopClient client(timers, [&] { ++calls; }, 5.0, 7);
+  client.start();
+  timers->run_for(1000.0);
+  client.stop();
+  EXPECT_NEAR(calls, 5000, 300) << "rate 5/s over 1000 s";
+}
+
+TEST(WorkloadTest, OpenLoopStopCeasesArrivals) {
+  auto clock = std::make_shared<SimClock>();
+  auto timers = std::make_shared<TimerService>(clock);
+  int calls = 0;
+  OpenLoopClient client(timers, [&] { ++calls; }, 10.0);
+  client.start();
+  timers->run_for(10.0);
+  client.stop();
+  const int frozen = calls;
+  timers->run_for(100.0);
+  EXPECT_EQ(calls, frozen);
+}
+
+TEST(WorkloadTest, InvalidParametersRejected) {
+  auto clock = std::make_shared<SimClock>();
+  auto timers = std::make_shared<TimerService>(clock);
+  EXPECT_THROW(ClosedLoopClient(timers, [] {}, 0.0), Error);
+  EXPECT_THROW(OpenLoopClient(timers, [] {}, -1.0), Error);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(StatsTest, BasicMoments) {
+  Stats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StatsTest, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(s.percentile(99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(StatsTest, EmptyAndSingle) {
+  Stats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+}
+
+// ---- image store -----------------------------------------------------------
+
+TEST(ImageStoreTest, RoundtripAndDeterminism) {
+  const std::string img = make_image(3, 64, 48);
+  const ImageInfo info = parse_image(img);
+  EXPECT_EQ(info.index, 3u);
+  EXPECT_EQ(info.width, 64u);
+  EXPECT_EQ(info.height, 48u);
+  EXPECT_EQ(info.payload_bytes, 64u * 48u);
+  EXPECT_EQ(image_checksum(img), image_checksum(make_image(3, 64, 48)))
+      << "images are deterministic";
+  EXPECT_NE(image_checksum(img), image_checksum(make_image(4, 64, 48)));
+}
+
+TEST(ImageStoreTest, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_image("not an image"), Error);
+  std::string truncated = make_image(1, 32, 32);
+  truncated.resize(truncated.size() - 10);
+  EXPECT_THROW(parse_image(truncated), Error);
+}
+
+TEST(ImageStoreTest, WorkModel) {
+  EXPECT_GT(image_work_seconds(1920, 1080), image_work_seconds(640, 480));
+  EXPECT_GE(image_work_seconds(1, 1), 0.001);
+}
+
+}  // namespace
+}  // namespace adapt::sim

@@ -1,0 +1,588 @@
+// Trader tests: service types, offer lifecycle, queries with constraints and
+// preferences, dynamic properties, policies, federation, remote clients.
+#include "trading/trader.h"
+
+#include <gtest/gtest.h>
+
+namespace adapt::trading {
+namespace {
+
+using orb::FunctionServant;
+using orb::Orb;
+using orb::OrbPtr;
+
+class TraderTest : public ::testing::Test {
+ protected:
+  TraderTest() : orb_(Orb::create()), trader_(orb_, {.name = "t1"}) {
+    ServiceTypeDef type;
+    type.name = "LoadService";
+    type.interface = "";
+    type.properties = {
+        {"LoadAvg", "number", PropertyDef::Mode::Normal},
+        {"Host", "string", PropertyDef::Mode::Mandatory},
+        {"Arch", "string", PropertyDef::Mode::MandatoryReadonly},
+    };
+    trader_.types().add(type);
+  }
+
+  /// Exports an offer backed by a trivial servant; returns the offer id.
+  std::string export_host(const std::string& host, double load,
+                          const std::string& arch = "x86") {
+    auto servant = FunctionServant::make("");
+    servant->on("hello", [](const ValueList&) { return Value("hi"); });
+    const ObjectRef provider = orb_->register_servant(servant);
+    PropertyMap props;
+    props["LoadAvg"] = OfferedProperty(Value(load));
+    props["Host"] = OfferedProperty(Value(host));
+    props["Arch"] = OfferedProperty(Value(arch));
+    return trader_.export_offer("LoadService", provider, std::move(props));
+  }
+
+  OrbPtr orb_;
+  Trader trader_;
+};
+
+// ---- service types ----------------------------------------------------------
+
+TEST_F(TraderTest, TypeRepositoryBasics) {
+  EXPECT_TRUE(trader_.types().has("LoadService"));
+  EXPECT_FALSE(trader_.types().has("Nothing"));
+  EXPECT_THROW(trader_.types().add({.name = "LoadService"}), DuplicateServiceType);
+}
+
+TEST_F(TraderTest, SubtypesParticipateInQueries) {
+  ServiceTypeDef sub;
+  sub.name = "FastLoadService";
+  sub.supertypes = {"LoadService"};
+  trader_.types().add(sub);
+  EXPECT_TRUE(trader_.types().is_subtype("FastLoadService", "LoadService"));
+
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h1"));
+  props["Arch"] = OfferedProperty(Value("arm"));
+  trader_.export_offer("FastLoadService", provider, props);
+
+  EXPECT_EQ(trader_.query("LoadService", "").size(), 1u);
+  LookupPolicies exact;
+  exact.exact_type_match = true;
+  EXPECT_EQ(trader_.query("LoadService", "", "", {}, exact).size(), 0u);
+  EXPECT_EQ(trader_.query("FastLoadService", "").size(), 1u);
+}
+
+TEST_F(TraderTest, SubtypePropertyConflictRejected) {
+  ServiceTypeDef bad;
+  bad.name = "BadSub";
+  bad.supertypes = {"LoadService"};
+  bad.properties = {{"LoadAvg", "string", PropertyDef::Mode::Normal}};
+  EXPECT_THROW(trader_.types().add(bad), PropertyMismatch);
+}
+
+TEST_F(TraderTest, MaskedTypeRejectsExports) {
+  trader_.types().mask("LoadService");
+  EXPECT_THROW(export_host("h", 1.0), TradingError);
+  trader_.types().unmask("LoadService");
+  EXPECT_NO_THROW(export_host("h", 1.0));
+}
+
+TEST_F(TraderTest, RemoveTypeWithSubtypesRejected) {
+  ServiceTypeDef sub;
+  sub.name = "Sub";
+  sub.supertypes = {"LoadService"};
+  trader_.types().add(sub);
+  EXPECT_THROW(trader_.types().remove("LoadService"), TradingError);
+  trader_.types().remove("Sub");
+  EXPECT_NO_THROW(trader_.types().remove("LoadService"));
+}
+
+// ---- offer lifecycle --------------------------------------------------------
+
+TEST_F(TraderTest, ExportAndDescribe) {
+  const std::string id = export_host("node-1", 12.0);
+  const ServiceOffer offer = trader_.describe(id);
+  EXPECT_EQ(offer.service_type, "LoadService");
+  EXPECT_DOUBLE_EQ(offer.properties.at("LoadAvg").static_value().as_number(), 12.0);
+  EXPECT_EQ(trader_.offer_count(), 1u);
+}
+
+TEST_F(TraderTest, ExportValidatesServiceType) {
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  EXPECT_THROW(trader_.export_offer("NoSuchType", provider, {}), UnknownServiceType);
+}
+
+TEST_F(TraderTest, ExportValidatesMandatoryProperties) {
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;  // Host and Arch are mandatory
+  props["LoadAvg"] = OfferedProperty(Value(1.0));
+  EXPECT_THROW(trader_.export_offer("LoadService", provider, props), PropertyMismatch);
+}
+
+TEST_F(TraderTest, ExportValidatesPropertyTypes) {
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value(42.0));  // must be string
+  props["Arch"] = OfferedProperty(Value("x86"));
+  EXPECT_THROW(trader_.export_offer("LoadService", provider, props), PropertyMismatch);
+}
+
+TEST_F(TraderTest, ExportValidatesInterfaceConformance) {
+  orb_->interfaces().define_idl(R"(
+    interface Base { void ping(); };
+    interface Conforming : Base { void extra(); };
+    interface Unrelated { void nope(); };
+  )");
+  ServiceTypeDef type;
+  type.name = "TypedService";
+  type.interface = "Base";
+  trader_.types().add(type);
+
+  const ObjectRef good = orb_->register_servant(FunctionServant::make("Conforming"));
+  const ObjectRef bad = orb_->register_servant(FunctionServant::make("Unrelated"));
+  EXPECT_NO_THROW(trader_.export_offer("TypedService", good, {}));
+  EXPECT_THROW(trader_.export_offer("TypedService", bad, {}), PropertyMismatch);
+}
+
+TEST_F(TraderTest, WithdrawRemovesOffer) {
+  const std::string id = export_host("node-1", 10.0);
+  trader_.withdraw(id);
+  EXPECT_EQ(trader_.offer_count(), 0u);
+  EXPECT_THROW(trader_.withdraw(id), UnknownOffer);
+  EXPECT_THROW(trader_.describe(id), UnknownOffer);
+}
+
+TEST_F(TraderTest, WithdrawProviderRemovesAllItsOffers) {
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  trader_.export_offer("LoadService", provider, props);
+  trader_.export_offer("LoadService", provider, props);
+  export_host("other", 1.0);
+  EXPECT_EQ(trader_.withdraw_provider(provider), 2u);
+  EXPECT_EQ(trader_.offer_count(), 1u);
+}
+
+TEST_F(TraderTest, ModifyChangesProperties) {
+  const std::string id = export_host("node-1", 10.0);
+  PropertyMap changes;
+  changes["LoadAvg"] = OfferedProperty(Value(99.0));
+  trader_.modify(id, changes);
+  EXPECT_DOUBLE_EQ(trader_.describe(id).properties.at("LoadAvg").static_value().as_number(),
+                   99.0);
+}
+
+TEST_F(TraderTest, ModifyReadonlyRejected) {
+  const std::string id = export_host("node-1", 10.0, "sparc");
+  PropertyMap changes;
+  changes["Arch"] = OfferedProperty(Value("x86"));
+  EXPECT_THROW(trader_.modify(id, changes), PropertyMismatch);
+}
+
+// ---- queries ---------------------------------------------------------------
+
+TEST_F(TraderTest, QueryWithConstraint) {
+  export_host("light", 10.0);
+  export_host("heavy", 90.0);
+  const auto results = trader_.query("LoadService", "LoadAvg < 50");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "light");
+}
+
+TEST_F(TraderTest, QueryUnknownTypeThrows) {
+  EXPECT_THROW(trader_.query("NoType", ""), UnknownServiceType);
+}
+
+TEST_F(TraderTest, QueryBadConstraintThrows) {
+  EXPECT_THROW(trader_.query("LoadService", "LoadAvg <"), IllegalConstraint);
+}
+
+TEST_F(TraderTest, QueryMinPreferenceOrders) {
+  export_host("c", 30.0);
+  export_host("a", 10.0);
+  export_host("b", 20.0);
+  const auto results = trader_.query("LoadService", "", "min LoadAvg");
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "a");
+  EXPECT_EQ(results[1].properties.at("Host").as_string(), "b");
+  EXPECT_EQ(results[2].properties.at("Host").as_string(), "c");
+}
+
+TEST_F(TraderTest, QueryMaxPreferenceOrders) {
+  export_host("a", 10.0);
+  export_host("b", 20.0);
+  const auto results = trader_.query("LoadService", "", "max LoadAvg");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "b");
+}
+
+TEST_F(TraderTest, QueryWithPreferencePutsMatchesFirst) {
+  export_host("busy", 80.0);
+  export_host("idle", 5.0);
+  const auto results = trader_.query("LoadService", "", "with LoadAvg < 50");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "idle");
+  EXPECT_EQ(results[1].properties.at("Host").as_string(), "busy");
+}
+
+TEST_F(TraderTest, QueryFirstPreferenceKeepsRegistrationOrder) {
+  export_host("one", 50.0);
+  export_host("two", 10.0);
+  const auto results = trader_.query("LoadService", "");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "one");
+}
+
+TEST_F(TraderTest, QueryUnscorableOffersGoLast) {
+  // An offer without the preference property sorts after scored ones.
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("noload"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  trader_.export_offer("LoadService", provider, props);
+  export_host("scored", 25.0);
+  const auto results = trader_.query("LoadService", "", "min LoadAvg");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "scored");
+  EXPECT_EQ(results[1].properties.at("Host").as_string(), "noload");
+}
+
+TEST_F(TraderTest, QueryRandomPreferenceIsDeterministicPerSeed) {
+  for (int i = 0; i < 8; ++i) export_host("h" + std::to_string(i), i);
+  auto orb2 = Orb::create();
+  Trader other(orb2, {.name = "t-same-seed"});
+  ServiceTypeDef type;
+  type.name = "LoadService";
+  type.properties = {{"Host", "string", PropertyDef::Mode::Normal}};
+  other.types().add(type);
+  // Same seed, same offers => same shuffle order.
+  auto servant = FunctionServant::make("");
+  for (int i = 0; i < 8; ++i) {
+    PropertyMap props;
+    props["Host"] = OfferedProperty(Value("h" + std::to_string(i)));
+    other.export_offer("LoadService", orb2->register_servant(servant, "s" + std::to_string(i)),
+                       props);
+  }
+  const auto r1 = trader_.query("LoadService", "", "random");
+  const auto r2 = other.query("LoadService", "", "random");
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].properties.at("Host").as_string(), r2[i].properties.at("Host").as_string());
+  }
+}
+
+TEST_F(TraderTest, ReturnCardLimitsResults) {
+  for (int i = 0; i < 10; ++i) export_host("h" + std::to_string(i), i);
+  LookupPolicies policies;
+  policies.return_card = 3;
+  EXPECT_EQ(trader_.query("LoadService", "", "", {}, policies).size(), 3u);
+}
+
+TEST_F(TraderTest, SearchCardLimitsConsideration) {
+  for (int i = 0; i < 10; ++i) export_host("h" + std::to_string(i), i);
+  LookupPolicies policies;
+  policies.search_card = 4;
+  // Only the first 4 registered offers are considered at all.
+  const auto results = trader_.query("LoadService", "LoadAvg >= 0", "", {}, policies);
+  EXPECT_EQ(results.size(), 4u);
+}
+
+TEST_F(TraderTest, DesiredPropertiesFilterReturnedProps) {
+  export_host("node", 5.0);
+  const auto results = trader_.query("LoadService", "", "", {"Host"});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].properties.size(), 1u);
+  EXPECT_EQ(results[0].properties.count("Host"), 1u);
+}
+
+// ---- dynamic properties ----------------------------------------------------
+
+TEST_F(TraderTest, DynamicPropertyEvaluatedAtLookup) {
+  auto load = std::make_shared<double>(75.0);
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  evaluator->on("evalDP", [load](const ValueList&) { return Value(*load); });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = orb_->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("dyn"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", provider, props);
+
+  EXPECT_EQ(trader_.query("LoadService", "LoadAvg < 50").size(), 0u);
+  *load = 20.0;  // live value changes; next lookup sees it
+  const auto results = trader_.query("LoadService", "LoadAvg < 50");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].properties.at("LoadAvg").as_number(), 20.0);
+}
+
+TEST_F(TraderTest, DynamicPropertyReceivesNameAndExtra) {
+  ValueList captured;
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  auto capture = std::make_shared<ValueList>();
+  evaluator->on("evalDP", [capture](const ValueList& args) {
+    *capture = args;
+    return Value(1.0);
+  });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value("extra-data")});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  trader_.query("LoadService", "LoadAvg > 0");
+  ASSERT_EQ(capture->size(), 2u);
+  EXPECT_EQ((*capture)[0].as_string(), "LoadAvg");
+  EXPECT_EQ((*capture)[1].as_string(), "extra-data");
+}
+
+TEST_F(TraderTest, DynamicPropertyCachedWithinOneQuery) {
+  auto calls = std::make_shared<int>(0);
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  evaluator->on("evalDP", [calls](const ValueList&) {
+    ++*calls;
+    return Value(10.0);
+  });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  // Constraint + min preference + returned props all touch LoadAvg.
+  trader_.query("LoadService", "LoadAvg < 50", "min LoadAvg");
+  EXPECT_EQ(*calls, 1) << "one evalDP per offer per query";
+}
+
+TEST_F(TraderTest, UseDynamicPropertiesPolicyOff) {
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  auto calls = std::make_shared<int>(0);
+  evaluator->on("evalDP", [calls](const ValueList&) {
+    ++*calls;
+    return Value(10.0);
+  });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  LookupPolicies policies;
+  policies.use_dynamic_properties = false;
+  EXPECT_EQ(trader_.query("LoadService", "LoadAvg < 50", "", {}, policies).size(), 0u)
+      << "dynamic property treated as undefined";
+  EXPECT_EQ(*calls, 0);
+}
+
+TEST_F(TraderTest, FailingDynamicPropertyMeansUndefined) {
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  evaluator->on("evalDP", [](const ValueList&) -> Value { throw Error("down"); });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  EXPECT_EQ(trader_.query("LoadService", "LoadAvg < 50").size(), 0u);
+  EXPECT_EQ(trader_.query("LoadService", "not exist LoadAvg").size(), 1u);
+}
+
+// ---- federation -----------------------------------------------------------
+
+TEST_F(TraderTest, FederatedQueryMergesRemoteOffers) {
+  auto orb2 = Orb::create();
+  Trader remote(orb2, {.name = "t2"});
+  ServiceTypeDef type;
+  type.name = "LoadService";
+  type.properties = {{"LoadAvg", "number", PropertyDef::Mode::Normal},
+                     {"Host", "string", PropertyDef::Mode::Normal}};
+  remote.types().add(type);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("remote-host"));
+  props["LoadAvg"] = OfferedProperty(Value(5.0));
+  remote.export_offer("LoadService", orb2->register_servant(servant), props);
+
+  export_host("local-host", 10.0);
+  trader_.add_link("to-t2", remote.lookup_ref());
+  const auto results = trader_.query("LoadService", "LoadAvg < 50");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "local-host");
+  EXPECT_EQ(results[1].properties.at("Host").as_string(), "remote-host");
+}
+
+TEST_F(TraderTest, HopCountZeroStaysLocal) {
+  auto orb2 = Orb::create();
+  Trader remote(orb2, {.name = "t3"});
+  ServiceTypeDef type;
+  type.name = "LoadService";
+  remote.types().add(type);
+  auto servant = FunctionServant::make("");
+  remote.export_offer("LoadService", orb2->register_servant(servant), {});
+  trader_.add_link("to-t3", remote.lookup_ref());
+  export_host("local", 1.0);
+  LookupPolicies policies;
+  policies.hop_count = 0;
+  EXPECT_EQ(trader_.query("LoadService", "", "", {}, policies).size(), 1u);
+}
+
+TEST_F(TraderTest, LinkCyclesTerminate) {
+  auto orb2 = Orb::create();
+  Trader other(orb2, {.name = "t4"});
+  ServiceTypeDef type;
+  type.name = "LoadService";
+  type.properties = {{"LoadAvg", "number", PropertyDef::Mode::Normal},
+                     {"Host", "string", PropertyDef::Mode::Normal},
+                     {"Arch", "string", PropertyDef::Mode::Normal}};
+  other.types().add(type);
+  trader_.add_link("a", other.lookup_ref());
+  other.add_link("b", trader_.lookup_ref());
+  export_host("only", 1.0);
+  LookupPolicies policies;
+  policies.hop_count = 3;
+  const auto results = trader_.query("LoadService", "", "", {}, policies);
+  EXPECT_EQ(results.size(), 1u) << "cycle bounded by hop_count, offer deduplicated";
+}
+
+TEST_F(TraderTest, DeadLinkIsSkipped) {
+  trader_.add_link("dead", ObjectRef{"inproc://no-such-trader", "x", ""});
+  export_host("local", 1.0);
+  EXPECT_EQ(trader_.query("LoadService", "").size(), 1u);
+}
+
+// ---- remote access through servants -----------------------------------------
+
+TEST_F(TraderTest, RemoteClientRoundtrip) {
+  export_host("via-servant", 7.0);
+  auto client_orb = Orb::create();
+  TraderClient client(client_orb, trader_.lookup_ref(), trader_.register_ref());
+  const auto results = client.query("LoadService", "LoadAvg < 10", "min LoadAvg");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].properties.at("Host").as_string(), "via-servant");
+  EXPECT_EQ(results[0].service_type, "LoadService");
+  EXPECT_FALSE(results[0].provider.empty());
+}
+
+TEST_F(TraderTest, RemoteExportAndWithdraw) {
+  auto client_orb = Orb::create();
+  TraderClient client(client_orb, trader_.lookup_ref(), trader_.register_ref());
+  auto servant = FunctionServant::make("");
+  const ObjectRef provider = client_orb->register_servant(servant);
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("remote-reg"));
+  props["Arch"] = OfferedProperty(Value("riscv"));
+  props["LoadAvg"] = OfferedProperty(Value(3.0));
+  const std::string id = client.export_offer("LoadService", provider, props);
+  EXPECT_EQ(trader_.offer_count(), 1u);
+  client.modify(id, {{"LoadAvg", OfferedProperty(Value(8.0))}});
+  EXPECT_DOUBLE_EQ(trader_.describe(id).properties.at("LoadAvg").static_value().as_number(),
+                   8.0);
+  client.withdraw(id);
+  EXPECT_EQ(trader_.offer_count(), 0u);
+}
+
+TEST_F(TraderTest, RemoteExportOfDynamicProperty) {
+  auto client_orb = Orb::create();
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  evaluator->on("evalDP", [](const ValueList&) { return Value(4.0); });
+  const ObjectRef eval_ref = client_orb->register_servant(evaluator);
+  TraderClient client(client_orb, trader_.lookup_ref(), trader_.register_ref());
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  client.export_offer("LoadService", client_orb->register_servant(servant), props);
+  const auto results = trader_.query("LoadService", "LoadAvg == 4");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].properties.at("LoadAvg").as_number(), 4.0);
+}
+
+// ---- Admin interface --------------------------------------------------
+
+TEST_F(TraderTest, AdminClampsReturnCard) {
+  for (int i = 0; i < 10; ++i) export_host("h" + std::to_string(i), i);
+  TraderAdminSettings admin;
+  admin.max_return_card = 4;
+  trader_.set_admin(admin);
+  LookupPolicies policies;
+  policies.return_card = 100;  // importer asks for more than allowed
+  EXPECT_EQ(trader_.query("LoadService", "", "", {}, policies).size(), 4u);
+}
+
+TEST_F(TraderTest, AdminClampsSearchCard) {
+  for (int i = 0; i < 10; ++i) export_host("h" + std::to_string(i), i);
+  TraderAdminSettings admin;
+  admin.max_search_card = 3;
+  trader_.set_admin(admin);
+  EXPECT_EQ(trader_.query("LoadService", "LoadAvg >= 0").size(), 3u);
+}
+
+TEST_F(TraderTest, AdminDisablesDynamicProperties) {
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  auto calls = std::make_shared<int>(0);
+  evaluator->on("evalDP", [calls](const ValueList&) {
+    ++*calls;
+    return Value(1.0);
+  });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  TraderAdminSettings admin;
+  admin.supports_dynamic_properties = false;
+  trader_.set_admin(admin);
+  EXPECT_EQ(trader_.query("LoadService", "LoadAvg > 0").size(), 0u);
+  EXPECT_EQ(*calls, 0) << "globally disabled: no evalDP callbacks";
+}
+
+TEST_F(TraderTest, AdminClampsHopCount) {
+  auto orb2 = Orb::create();
+  Trader remote(orb2, {.name = "t-admin-remote"});
+  ServiceTypeDef type;
+  type.name = "LoadService";
+  remote.types().add(type);
+  auto servant = FunctionServant::make("");
+  remote.export_offer("LoadService", orb2->register_servant(servant), {});
+  trader_.add_link("r", remote.lookup_ref());
+  TraderAdminSettings admin;
+  admin.max_hop_count = 0;  // federation disabled
+  trader_.set_admin(admin);
+  export_host("local", 1.0);
+  LookupPolicies policies;
+  policies.hop_count = 5;
+  EXPECT_EQ(trader_.query("LoadService", "", "", {}, policies).size(), 1u)
+      << "remote offer not consulted";
+}
+
+TEST_F(TraderTest, DynamicEvalCounter) {
+  auto evaluator = FunctionServant::make("DynamicPropEval");
+  evaluator->on("evalDP", [](const ValueList&) { return Value(1.0); });
+  const ObjectRef eval_ref = orb_->register_servant(evaluator);
+  auto servant = FunctionServant::make("");
+  PropertyMap props;
+  props["Host"] = OfferedProperty(Value("h"));
+  props["Arch"] = OfferedProperty(Value("x86"));
+  props["LoadAvg"] = OfferedProperty(DynamicProperty{eval_ref, Value()});
+  trader_.export_offer("LoadService", orb_->register_servant(servant), props);
+  const uint64_t before = trader_.dynamic_evals();
+  trader_.query("LoadService", "LoadAvg > 0");
+  EXPECT_EQ(trader_.dynamic_evals(), before + 1);
+}
+
+}  // namespace
+}  // namespace adapt::trading
