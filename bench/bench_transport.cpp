@@ -1,0 +1,112 @@
+// bench_transport — client-side RPC path costs on the resilient transport.
+//
+// The ROADMAP north-star demands a transport that survives heavy traffic;
+// this bench pins the costs the resilience work must not regress:
+//   raw pooled frame round trip     the TcpConnectionPool floor
+//   fresh-dial frame round trip     what every pool miss / redial pays
+//   ORB TCP invoke (small args)     marshalling + retry plumbing on top
+//   ORB TCP invoke (4 KiB string)   payload-dominated calls
+//   ORB TCP ping                    idempotent builtin (retry-eligible path)
+//   stats snapshot                  cost of observability reads
+#include <benchmark/benchmark.h>
+
+#include "orb/orb.h"
+
+using namespace adapt;
+
+namespace {
+
+/// One echo server ORB plus a raw wire-speaking listener, shared per run.
+struct Setup {
+  Setup() {
+    orb::OrbConfig server_cfg;
+    server_cfg.name = "bench-transport-server";
+    server_cfg.listen_tcp = true;
+    server = orb::Orb::create(server_cfg);
+    auto servant = orb::FunctionServant::make("Echo");
+    servant->on("echo", [](const ValueList& args) {
+      return args.empty() ? Value() : args[0];
+    });
+    ref = server->register_servant(servant);
+
+    client = orb::Orb::create({.name = "bench-transport-client"});
+
+    listener = std::make_unique<orb::TcpListener>(
+        "127.0.0.1", 0, [](const Bytes& payload) -> std::optional<Bytes> {
+          const orb::RequestMessage req = orb::decode_request(payload);
+          orb::ReplyMessage rep;
+          rep.request_id = req.request_id;
+          rep.status = orb::ReplyStatus::Ok;
+          rep.result = Value(true);
+          return orb::encode_reply(rep);
+        });
+    raw_request = orb::encode_request(orb::RequestMessage{1, false, "obj", "_ping", {}});
+  }
+
+  static Setup& instance() {
+    static Setup s;
+    return s;
+  }
+
+  orb::OrbPtr server;
+  orb::OrbPtr client;
+  ObjectRef ref;
+  std::unique_ptr<orb::TcpListener> listener;
+  Bytes raw_request;
+};
+
+void BM_RawPooledRoundTrip(benchmark::State& state) {
+  auto& s = Setup::instance();
+  orb::TcpConnectionPool pool(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.call(s.listener->endpoint(), s.raw_request));
+  }
+}
+BENCHMARK(BM_RawPooledRoundTrip);
+
+void BM_RawFreshDialRoundTrip(benchmark::State& state) {
+  auto& s = Setup::instance();
+  orb::TcpConnectionPool pool(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.call(s.listener->endpoint(), s.raw_request));
+    pool.clear();  // force the next iteration to dial
+  }
+}
+BENCHMARK(BM_RawFreshDialRoundTrip);
+
+void BM_OrbTcpInvokeSmall(benchmark::State& state) {
+  auto& s = Setup::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.client->invoke(s.ref, "echo", {Value(42.0)}));
+  }
+}
+BENCHMARK(BM_OrbTcpInvokeSmall);
+
+void BM_OrbTcpInvokePayload4K(benchmark::State& state) {
+  auto& s = Setup::instance();
+  const Value payload(std::string(4096, 'x'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.client->invoke(s.ref, "echo", {payload}));
+  }
+}
+BENCHMARK(BM_OrbTcpInvokePayload4K);
+
+void BM_OrbTcpPing(benchmark::State& state) {
+  auto& s = Setup::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.client->ping(s.ref));
+  }
+}
+BENCHMARK(BM_OrbTcpPing);
+
+void BM_StatsSnapshot(benchmark::State& state) {
+  auto& s = Setup::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.client->stats());
+  }
+}
+BENCHMARK(BM_StatsSnapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -73,7 +73,9 @@ int main(int argc, char** argv) {
   core::Infrastructure infra({.simulated_time = true, .name = "adaptsh"});
   script::ScriptEngine engine(infra.clock());
   core::install_infrastructure_bindings(engine, infra);
-  trading::install_trading_bindings(engine, infra.make_orb("shell-client"),
+  // The bindings hold the shell's client ORB weakly; keep it alive here.
+  const orb::OrbPtr shell_orb = infra.make_orb("shell-client");
+  trading::install_trading_bindings(engine, shell_orb,
                                     trading::trader_refs(infra.trader()));
 
   try {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verify, optionally under a sanitizer preset.
+#
+#   scripts/check.sh            # plain RelWithDebInfo build + ctest
+#   scripts/check.sh tsan       # ThreadSanitizer build + ctest
+#   scripts/check.sh asan       # Address+UB sanitizer build + ctest
+#   scripts/check.sh all        # default, then tsan, then asan
+#
+# The tsan run is the gate for the ORB's concurrency code (listener thread
+# reaping, connection pool, retry path); run it for any transport change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}"
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+case "${1:-default}" in
+  default|tsan|asan)
+    run_preset "${1:-default}"
+    ;;
+  all)
+    run_preset default
+    run_preset tsan
+    run_preset asan
+    ;;
+  *)
+    echo "usage: $0 [default|tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "==> OK"

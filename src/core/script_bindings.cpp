@@ -78,6 +78,10 @@ Value make_proxy_wrapper(const SmartProxyPtr& proxy) {
   method("rebinds", [proxy](const ValueList&) -> ValueList {
     return {Value(static_cast<double>(proxy->rebinds()))};
   });
+  method("stats", [proxy](const ValueList&) -> ValueList {
+    // Transport counters of the proxy's client ORB (retries, redials, ...).
+    return {orb::stats_to_value(proxy->orb()->stats())};
+  });
   method("pending_events", [proxy](const ValueList&) -> ValueList {
     return {Value(static_cast<double>(proxy->pending_events()))};
   });

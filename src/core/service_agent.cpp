@@ -123,11 +123,19 @@ std::string ServiceAgent::export_with_load(
 std::string ServiceAgent::export_offer(const std::string& service_type,
                                        const ObjectRef& provider,
                                        const trading::PropertyMap& properties) {
+  double lease = 0;
+  {
+    std::scoped_lock lock(offers_mu_);
+    lease = lease_;
+  }
   const Value id = orb_->invoke(
       register_ref_, "export",
       {Value(service_type), Value(provider), trading::Trader::property_map_to_value(properties),
-       Value(lease_)});
-  offer_ids_.push_back(id.as_string());
+       Value(lease)});
+  {
+    std::scoped_lock lock(offers_mu_);
+    offer_ids_.push_back(id.as_string());
+  }
   log_info("agent ", config_.name, ": exported offer ", id.as_string(), " for ",
            service_type);
   return id.as_string();
@@ -135,34 +143,56 @@ std::string ServiceAgent::export_offer(const std::string& service_type,
 
 void ServiceAgent::withdraw(const std::string& offer_id) {
   orb_->invoke(register_ref_, "withdraw", {Value(offer_id)});
+  std::scoped_lock lock(offers_mu_);
   std::erase(offer_ids_, offer_id);
 }
 
 void ServiceAgent::withdraw_all() {
-  for (const std::string& id : offer_ids_) {
+  std::vector<std::string> ids;
+  {
+    std::scoped_lock lock(offers_mu_);
+    ids = offer_ids_;
+  }
+  for (const std::string& id : ids) {
     try {
       orb_->invoke(register_ref_, "withdraw", {Value(id)});
     } catch (const Error& e) {
       log_debug("agent ", config_.name, ": withdraw ", id, " failed: ", e.what());
     }
   }
-  offer_ids_.clear();
+  std::scoped_lock lock(offers_mu_);
+  for (const std::string& id : ids) std::erase(offer_ids_, id);
 }
 
-std::vector<std::string> ServiceAgent::offers() const { return offer_ids_; }
+std::vector<std::string> ServiceAgent::offers() const {
+  std::scoped_lock lock(offers_mu_);
+  return offer_ids_;
+}
 
 void ServiceAgent::enable_heartbeat(double period, double lease) {
   if (period <= 0 || lease <= 0) throw Error("heartbeat period and lease must be positive");
   disable_heartbeat();
-  lease_ = lease;
+  std::vector<std::string> ids;
+  {
+    std::scoped_lock lock(offers_mu_);
+    lease_ = lease;
+    ids = offer_ids_;
+  }
   // Put existing offers on the lease right away.
-  for (const std::string& id : offer_ids_) {
-    orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease_)});
+  for (const std::string& id : ids) {
+    orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)});
   }
   heartbeat_task_ = timers_->schedule_every(period, [this] {
-    for (const std::string& id : offer_ids_) {
+    std::vector<std::string> ids;
+    double lease = 0;
+    {
+      std::scoped_lock lock(offers_mu_);
+      ids = offer_ids_;
+      lease = lease_;
+    }
+    for (const std::string& id : ids) {
       try {
-        orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease_)});
+        orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)});
         ++heartbeats_;
       } catch (const Error& e) {
         log_warn("agent ", config_.name, ": heartbeat for ", id, " failed: ", e.what());
@@ -176,6 +206,7 @@ void ServiceAgent::disable_heartbeat() {
     timers_->cancel(heartbeat_task_);
     heartbeat_task_ = 0;
   }
+  std::scoped_lock lock(offers_mu_);
   lease_ = 0;
 }
 

@@ -11,8 +11,10 @@
 // an `agent` table.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,13 +100,17 @@ class ServiceAgent {
   ServiceAgentConfig config_;
   std::shared_ptr<script::ScriptEngine> engine_;
 
+  /// Guards offer_ids_ and lease_: the heartbeat timer thread reads both
+  /// while callers export/withdraw. Snapshot under the lock, refresh outside
+  /// it (CP.22 — no remote calls while holding a lock).
+  mutable std::mutex offers_mu_;
   std::vector<std::string> offer_ids_;
   std::map<const monitor::BasicMonitor*, ObjectRef> monitor_refs_;
   std::vector<std::shared_ptr<monitor::BasicMonitor>> monitors_;
 
   double lease_ = 0;  // 0 = permanent offers
   TimerService::TaskId heartbeat_task_ = 0;
-  uint64_t heartbeats_ = 0;
+  std::atomic<uint64_t> heartbeats_{0};
 };
 
 }  // namespace adapt::core

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "base/logging.h"
+#include "orb/script_bindings.h"
 
 namespace adapt::core {
 
@@ -51,6 +52,10 @@ void SmartProxy::init() {
   });
   observer_ref_ = orb_->register_servant(
       observer_, "smartproxy-observer-" + std::to_string(g_proxy_counter++));
+
+  // Strategy code can introspect transport health (orb.stats() etc.) when
+  // deciding how to adapt; the binding tracks this proxy's client ORB.
+  orb::install_orb_bindings(*engine_, orb_);
 
   // Script-facing self table.
   auto self = Table::make();
@@ -132,10 +137,17 @@ std::vector<trading::OfferInfo> SmartProxy::query_offers(const std::string& cons
                                                          const std::string& preference) {
   std::vector<trading::OfferInfo> offers;
   try {
+    // Rebind path: trader queries are idempotent, so give the transport an
+    // explicit deadline + retry budget instead of failing on the first hiccup.
+    orb::InvokeOptions options;
+    options.deadline = config_.query_deadline;
+    options.idempotent = true;
+    options.retry = config_.query_retry;
     const Value reply = orb_->invoke(
         lookup_, "query",
         {Value(config_.service_type), Value(constraint), Value(preference), Value(),
-         trading::Trader::policies_to_value(config_.policies)});
+         trading::Trader::policies_to_value(config_.policies)},
+        options);
     if (reply.is_table()) {
       const Table& t = *reply.as_table();
       for (int64_t i = 1; i <= t.length(); ++i) {

@@ -65,6 +65,12 @@ struct SmartProxyConfig {
   std::string monitor_field = "_loadavgmon";
   /// Lookup policies for trader queries.
   trading::LookupPolicies policies;
+  /// Per-call deadline for trader queries on the (re)bind path, seconds;
+  /// 0 uses the client ORB's request_timeout. Queries are idempotent, so
+  /// the ORB's RetryPolicy applies to them within this deadline.
+  double query_deadline = 0.0;
+  /// Overrides the client ORB's retry policy for trader queries.
+  std::optional<orb::RetryPolicy> query_retry;
 };
 
 class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
@@ -161,6 +167,9 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   /// helpers. Stable across the proxy's lifetime.
   Value script_self();
   [[nodiscard]] const std::shared_ptr<script::ScriptEngine>& engine() const { return engine_; }
+  /// The client ORB carrying this proxy's invocations (transport stats via
+  /// orb()->stats(); also bound as the Luma global `orb` in `engine()`).
+  [[nodiscard]] const orb::OrbPtr& orb() const { return orb_; }
 
   // ---- diagnostics ------------------------------------------------------
   [[nodiscard]] uint64_t invocations() const;

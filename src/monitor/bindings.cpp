@@ -59,14 +59,22 @@ std::shared_ptr<EventMonitor> create_event_monitor(
 void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
                               const std::shared_ptr<TimerService>& timers) {
   script::ScriptEngine* eng = &engine;
-  orb::OrbPtr orb_copy = orb;
+  // Weak: monitors created here become servants of `orb`, and they share
+  // `engine` — a strong capture would cycle orb -> servant -> engine ->
+  // this closure -> orb and keep the ORB (and its listener threads) alive
+  // forever.
+  std::weak_ptr<orb::Orb> weak_orb = orb;
   std::shared_ptr<TimerService> timers_copy = timers;
+  auto need_orb = [weak_orb]() -> orb::OrbPtr {
+    if (auto o = weak_orb.lock()) return o;
+    throw MonitorError("monitor binding: orb is gone");
+  };
 
   // EventMonitor:new(name, updatefn, period) — method-call convention, so
   // args[0] is the EventMonitor table itself.
   auto event_ctor = NativeFunction::make(
       "EventMonitor.new",
-      [eng, orb_copy, timers_copy](const ValueList& a) -> ValueList {
+      [eng, need_orb, timers_copy](const ValueList& a) -> ValueList {
         const std::string name = a.at(1).as_string();
         const Value update_fn = a.size() > 2 ? a[2] : Value();
         const double period = a.size() > 3 && a[3].is_number() ? a[3].as_number() : 0.0;
@@ -75,7 +83,7 @@ void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
         // keeps its upvalues.
         auto shared_engine =
             std::shared_ptr<script::ScriptEngine>(eng, [](script::ScriptEngine*) {});
-        auto mon = create_event_monitor(name, shared_engine, orb_copy, timers_copy,
+        auto mon = create_event_monitor(name, shared_engine, need_orb(), timers_copy,
                                         update_fn, period, &ref);
         return {make_owning_wrapper(mon, ref)};
       });
@@ -87,13 +95,13 @@ void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
   // BasicMonitor:new(name [, updatefn [, period]]) — same shape, no events.
   auto basic_ctor = NativeFunction::make(
       "BasicMonitor.new",
-      [eng, orb_copy, timers_copy](const ValueList& a) -> ValueList {
+      [eng, need_orb, timers_copy](const ValueList& a) -> ValueList {
         const std::string name = a.at(1).as_string();
         auto shared_engine =
             std::shared_ptr<script::ScriptEngine>(eng, [](script::ScriptEngine*) {});
         auto mon = std::make_shared<BasicMonitor>(name, shared_engine);
         if (a.size() > 2 && a[2].is_function()) mon->set_update_function(a[2]);
-        const ObjectRef ref = orb_copy->register_servant(
+        const ObjectRef ref = need_orb()->register_servant(
             mon, "monitor/" + name + "-" + std::to_string(g_monitor_counter++));
         const double period = a.size() > 3 && a[3].is_number() ? a[3].as_number() : 0.0;
         if (timers_copy && period > 0) mon->start(timers_copy, period);

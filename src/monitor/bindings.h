@@ -27,6 +27,10 @@ namespace adapt::monitor {
 ///
 /// The returned table keeps the monitor alive; the monitor is additionally
 /// pinned by its servant registration until the ORB shuts down.
+///
+/// The bindings hold `orb` weakly — monitors created here become servants
+/// of that ORB and share `engine`, so a strong capture would cycle and
+/// leak the ORB. The caller keeps the ORB alive.
 void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
                               const std::shared_ptr<TimerService>& timers);
 

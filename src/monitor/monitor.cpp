@@ -270,8 +270,8 @@ Value BasicMonitor::script_wrapper() {
 
 EventMonitor::EventMonitor(std::string property_name,
                            std::shared_ptr<script::ScriptEngine> engine, orb::OrbPtr orb)
-    : BasicMonitor(std::move(property_name), std::move(engine)), orb_(std::move(orb)) {
-  if (!orb_) throw MonitorError("EventMonitor requires an ORB for notifications");
+    : BasicMonitor(std::move(property_name), std::move(engine)), orb_(orb) {
+  if (!orb) throw MonitorError("EventMonitor requires an ORB for notifications");
 }
 
 std::string EventMonitor::attachEventObserver(const ObjectRef& observer,
@@ -339,8 +339,10 @@ void EventMonitor::on_updated(const Value& new_value) {
       }
     }
     if (notify) {
-      ++notifications_;
-      orb_->invoke_oneway(obs.ref, "notifyEvent", {Value(obs.event_id)});
+      if (auto orb = orb_.lock()) {
+        ++notifications_;
+        orb->invoke_oneway(obs.ref, "notifyEvent", {Value(obs.event_id)});
+      }
     }
   }
 }

@@ -163,7 +163,10 @@ class EventMonitor : public BasicMonitor {
     bool was_true = false;  // last predicate outcome (edge detection)
   };
 
-  orb::OrbPtr orb_;
+  /// Weak: this monitor is typically a servant *of* `orb`, so a strong
+  /// ref would cycle (orb -> servants_ -> monitor -> orb) and leak the ORB
+  /// and its listener threads. Notifications are skipped once it is gone.
+  std::weak_ptr<orb::Orb> orb_;
   std::atomic<uint64_t> next_observer_{1};
   std::atomic<uint64_t> notifications_{0};
   std::vector<Observer> observers_;  // guarded by mu_

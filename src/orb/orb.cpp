@@ -1,10 +1,36 @@
 #include "orb/orb.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 #include "base/logging.h"
 
 namespace adapt::orb {
 
 namespace {
+
+/// Monotonic wall-clock seconds. Client transport deadlines are real time
+/// by nature (socket timeouts are), unlike the simulation's virtual clock.
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Backoff before retry number `retry_index` (0-based), with jitter.
+double backoff_delay(const RetryPolicy& policy, int retry_index) {
+  double delay = policy.initial_backoff;
+  for (int i = 0; i < retry_index; ++i) delay *= policy.backoff_multiplier;
+  delay = std::min(delay, policy.max_backoff);
+  if (policy.jitter > 0.0) {
+    thread_local std::minstd_rand rng{std::random_device{}()};
+    std::uniform_real_distribution<double> dist(0.0, policy.jitter);
+    delay *= 1.0 + dist(rng);
+  }
+  return delay;
+}
 
 /// Process-wide registry of live ORBs, keyed by inproc endpoint. Lets many
 /// ORBs in one process (one per simulated host) reach each other without
@@ -65,7 +91,11 @@ Orb::Orb(OrbConfig config) : config_(std::move(config)) {
   inproc_endpoint_ = "inproc://" + name_;
   interfaces_ = config_.interfaces ? config_.interfaces
                                    : std::make_shared<InterfaceRepository>();
-  pool_ = std::make_unique<TcpConnectionPool>(config_.request_timeout);
+  PoolConfig pool_config;
+  pool_config.timeout = config_.request_timeout;
+  pool_config.max_idle_per_endpoint = config_.pool_max_idle_per_endpoint;
+  pool_config.max_idle_age = config_.pool_max_idle_age;
+  pool_ = std::make_unique<TcpConnectionPool>(std::move(pool_config), stats_);
 }
 
 void Orb::start() {
@@ -73,11 +103,15 @@ void Orb::start() {
   primary_endpoint_ = inproc_endpoint_;
   if (config_.listen_tcp) {
     try {
+      // Raw capture, not a weak_from_this().lock(): a locked shared_ptr
+      // held across a slow servant call can become the *last* owner, running
+      // ~Orb on a serving thread after main() — and the static inproc
+      // registry — are gone. Safe because shutdown() stops the listener,
+      // joining every serving thread, before any member is torn down.
       listener_ = std::make_unique<TcpListener>(
           config_.listen_host, config_.listen_port,
-          [self = weak_from_this()](const Bytes& payload) -> std::optional<Bytes> {
-            if (auto orb = self.lock()) return orb->handle_payload(payload);
-            return std::nullopt;
+          [this](const Bytes& payload) -> std::optional<Bytes> {
+            return handle_payload(payload);
           });
     } catch (...) {
       InprocRegistry::instance().remove(inproc_endpoint_);
@@ -145,7 +179,7 @@ ObjectRef Orb::make_ref(const std::string& object_id) const {
 // ---- server side -----------------------------------------------------------
 
 ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
-  ++requests_served_;
+  stats_->add_request_served();
   ReplyMessage rep;
   rep.request_id = req.request_id;
   const ServantPtr servant = find_servant(req.object_id);
@@ -160,6 +194,8 @@ ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
       rep.result = Value(true);
     } else if (req.operation == "_interface") {
       rep.result = Value(servant->interface_name());
+    } else if (req.operation == "_stats") {
+      rep.result = stats_to_value(stats());
     } else {
       rep.result = servant->dispatch(req.operation, req.args);
     }
@@ -193,7 +229,7 @@ std::optional<Bytes> Orb::handle_payload(const Bytes& payload) {
 
 void Orb::validate(const ObjectRef& ref, const std::string& operation) const {
   if (!config_.validate_interfaces || ref.interface.empty()) return;
-  if (operation == "_ping" || operation == "_interface") return;
+  if (operation == "_ping" || operation == "_interface" || operation == "_stats") return;
   if (!interfaces_->has(ref.interface)) return;  // unknown type: dynamic call
   if (!interfaces_->find_operation(ref.interface, operation)) {
     throw BadOperation("interface '" + ref.interface + "' has no operation '" +
@@ -218,13 +254,18 @@ Value Orb::reply_to_result(const ReplyMessage& rep) {
 
 Value Orb::invoke(const ObjectRef& ref, const std::string& operation,
                   const ValueList& args) {
-  return invoke_impl(ref, operation, args, /*oneway=*/false);
+  return invoke_impl(ref, operation, args, /*oneway=*/false, InvokeOptions{});
+}
+
+Value Orb::invoke(const ObjectRef& ref, const std::string& operation,
+                  const ValueList& args, const InvokeOptions& options) {
+  return invoke_impl(ref, operation, args, /*oneway=*/false, options);
 }
 
 void Orb::invoke_oneway(const ObjectRef& ref, const std::string& operation,
                         const ValueList& args) {
   try {
-    invoke_impl(ref, operation, args, /*oneway=*/true);
+    invoke_impl(ref, operation, args, /*oneway=*/true, InvokeOptions{});
   } catch (const Error& e) {
     log_debug("oneway ", operation, " to ", ref.str(), " failed: ", e.what());
   }
@@ -234,7 +275,7 @@ std::future<Value> Orb::invoke_async(const ObjectRef& ref, const std::string& op
                                      const ValueList& args) {
   auto self = shared_from_this();
   return std::async(std::launch::async, [self, ref, operation, args] {
-    return self->invoke_impl(ref, operation, args, /*oneway=*/false);
+    return self->invoke_impl(ref, operation, args, /*oneway=*/false, InvokeOptions{});
   });
 }
 
@@ -246,8 +287,25 @@ bool Orb::ping(const ObjectRef& ref) {
   }
 }
 
+Value Orb::invoke_tcp_once(const ObjectRef& ref, const RequestMessage& req, bool oneway,
+                           double timeout, bool idempotent) {
+  const Bytes encoded = encode_request(req);
+  stats_->add_request();
+  if (oneway) {
+    pool_->send(ref.endpoint, encoded, timeout);
+    return {};
+  }
+  const Bytes reply_bytes = pool_->call(ref.endpoint, encoded, timeout, idempotent);
+  const ReplyMessage rep = decode_reply(reply_bytes);
+  if (rep.request_id != req.request_id) {
+    throw TransportError("reply id mismatch (protocol error)");
+  }
+  stats_->add_reply();
+  return reply_to_result(rep);
+}
+
 Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
-                       const ValueList& args, bool oneway) {
+                       const ValueList& args, bool oneway, const InvokeOptions& options) {
   if (ref.empty()) throw OrbError("invoke: empty object reference");
   validate(ref, operation);
 
@@ -267,15 +325,19 @@ Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
   } else if (ref.endpoint.rfind("inproc://", 0) == 0) {
     target = InprocRegistry::instance().find(ref.endpoint);
     if (!target) {
+      stats_->add_request();
+      stats_->add_transport_error();
       throw TransportError("inproc endpoint not reachable: " + ref.endpoint);
     }
   }
 
   if (target) {
     // In-process path: still round-trip through the wire codec so the call
-    // is bit-for-bit what a TCP peer would see.
+    // is bit-for-bit what a TCP peer would see. No retry loop here — an
+    // unreachable inproc peer is definitively gone, not transiently flaky.
     const Bytes encoded = encode_request(req);
     const RequestMessage decoded = decode_request(encoded);
+    stats_->add_request();
     const ReplyMessage rep = target->dispatch_request(decoded);
     if (oneway) {
       if (rep.status != ReplyStatus::Ok) {
@@ -284,21 +346,50 @@ Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
       return {};
     }
     const Bytes rep_bytes = encode_reply(rep);
+    stats_->add_reply();
     return reply_to_result(decode_reply(rep_bytes));
   }
 
-  // TCP path.
-  const Bytes encoded = encode_request(req);
-  if (oneway) {
-    pool_->send(ref.endpoint, encoded);
-    return {};
+  // TCP path: idempotent operations are retried with backoff under one
+  // overall deadline; everything else gets a single attempt. The pool's
+  // checkout-time stale detection protects every operation; its riskier
+  // post-write redial is enabled only for idempotent ones (the flag below
+  // reaches TcpConnectionPool::call).
+  const bool idempotent = options.idempotent.has_value()
+                              ? *options.idempotent
+                              : config_.idempotent_operations.count(operation) > 0;
+  const RetryPolicy policy = options.retry ? *options.retry : config_.retry;
+  const double budget =
+      options.deadline > 0.0 ? options.deadline : config_.request_timeout;
+  const int max_attempts = (idempotent && !oneway) ? std::max(1, policy.max_attempts) : 1;
+  const double start = steady_now();
+
+  for (int attempt = 0;; ++attempt) {
+    const double remaining = budget - (steady_now() - start);
+    if (remaining <= 0.0) {
+      stats_->add_timeout();
+      throw TimeoutError("deadline exceeded invoking '" + operation + "' on " + ref.str());
+    }
+    try {
+      // Fresh request id per attempt: a late reply to an abandoned attempt
+      // can then never be mistaken for the current one.
+      if (attempt > 0) req.request_id = next_request_id_++;
+      return invoke_tcp_once(ref, req, oneway, remaining, idempotent);
+    } catch (const TimeoutError&) {
+      // The per-attempt socket timeout already was the remaining budget.
+      stats_->add_timeout();
+      throw;
+    } catch (const TransportError& e) {
+      stats_->add_transport_error();
+      if (attempt + 1 >= max_attempts) throw;
+      const double delay = backoff_delay(policy, attempt);
+      if (steady_now() - start + delay >= budget) throw;
+      log_debug("invoke '", operation, "' on ", ref.str(), " failed (", e.what(),
+                "), retrying in ", delay, "s");
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      stats_->add_retry();
+    }
   }
-  const Bytes reply_bytes = pool_->call(ref.endpoint, encoded);
-  const ReplyMessage rep = decode_reply(reply_bytes);
-  if (rep.request_id != req.request_id) {
-    throw TransportError("reply id mismatch (protocol error)");
-  }
-  return reply_to_result(rep);
 }
 
 }  // namespace adapt::orb

@@ -18,16 +18,47 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "base/value.h"
 #include "orb/errors.h"
 #include "orb/interface_repo.h"
 #include "orb/servant.h"
+#include "orb/stats.h"
 #include "orb/tcp_transport.h"
 #include "orb/wire.h"
 
 namespace adapt::orb {
+
+/// Client-side retry policy for idempotent operations over TCP. Attempts
+/// are separated by exponential backoff with jitter and always bounded by
+/// the call's deadline; non-idempotent operations get exactly one attempt
+/// regardless (re-executing them is not safe).
+struct RetryPolicy {
+  /// Total attempts including the first (1 disables retries).
+  int max_attempts = 3;
+  /// Delay before the first retry, seconds.
+  double initial_backoff = 0.02;
+  /// Backoff growth factor per retry.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff delay, seconds.
+  double max_backoff = 0.5;
+  /// Random extra delay, as a fraction of the backoff ([0, jitter)).
+  double jitter = 0.5;
+};
+
+/// Per-call overrides for Orb::invoke.
+struct InvokeOptions {
+  /// Total budget for the call including retries, seconds; <= 0 uses the
+  /// ORB's request_timeout.
+  double deadline = 0.0;
+  /// Overrides the operation-name idempotence classification.
+  std::optional<bool> idempotent;
+  /// Overrides the ORB's retry policy for this call.
+  std::optional<RetryPolicy> retry;
+};
 
 struct OrbConfig {
   /// In-process endpoint name; auto-generated when empty. The ORB is always
@@ -48,6 +79,22 @@ struct OrbConfig {
 
   /// Share an interface repository across ORBs; a fresh one when null.
   std::shared_ptr<InterfaceRepository> interfaces;
+
+  /// Retry policy applied to idempotent operations over TCP.
+  RetryPolicy retry = {};
+
+  /// Operations safe to re-execute; retried per `retry` when a transport
+  /// failure strikes. Builtins (_ping/_interface/_stats), trader queries
+  /// and monitor reads by default. Per-call overridable via InvokeOptions.
+  std::set<std::string> idempotent_operations = {
+      "_ping",    "_interface",     "_stats",          "query",
+      "getvalue", "getAspectValue", "definedAspects",  "resolve",
+      "list",     "describe_type",  "list_types"};
+
+  /// Idle TCP connections kept per endpoint (extra checkins close).
+  size_t pool_max_idle_per_endpoint = 8;
+  /// Idle TCP connections older than this are reaped, seconds.
+  double pool_max_idle_age = 30.0;
 };
 
 class Orb : public std::enable_shared_from_this<Orb> {
@@ -86,6 +133,10 @@ class Orb : public std::enable_shared_from_this<Orb> {
   Value invoke(const ObjectRef& ref, const std::string& operation,
                const ValueList& args = {});
 
+  /// Like invoke, with per-call deadline / idempotence / retry overrides.
+  Value invoke(const ObjectRef& ref, const std::string& operation,
+               const ValueList& args, const InvokeOptions& options);
+
   /// Best-effort oneway request: no reply, errors are swallowed (logged).
   void invoke_oneway(const ObjectRef& ref, const std::string& operation,
                      const ValueList& args = {});
@@ -103,14 +154,23 @@ class Orb : public std::enable_shared_from_this<Orb> {
   [[nodiscard]] std::shared_ptr<InterfaceRepository> interfaces_ptr() { return interfaces_; }
 
   /// Number of requests this ORB dispatched as a server (diagnostics).
-  [[nodiscard]] uint64_t requests_served() const { return requests_served_.load(); }
+  [[nodiscard]] uint64_t requests_served() const { return stats_->requests_served(); }
+
+  /// Transport/invocation counters (also served remotely as "_stats" and to
+  /// Luma via install_orb_bindings).
+  [[nodiscard]] OrbStats stats() const { return stats_->snapshot(); }
 
  private:
   explicit Orb(OrbConfig config);
   void start();
 
   Value invoke_impl(const ObjectRef& ref, const std::string& operation,
-                    const ValueList& args, bool oneway);
+                    const ValueList& args, bool oneway, const InvokeOptions& options);
+  /// One TCP round trip with the given remaining budget. `idempotent`
+  /// lets the pool redial a stale connection even after the request was
+  /// fully written (re-execution is safe for idempotent operations only).
+  Value invoke_tcp_once(const ObjectRef& ref, const RequestMessage& req, bool oneway,
+                        double timeout, bool idempotent);
   void validate(const ObjectRef& ref, const std::string& operation) const;
 
   /// Server side: executes a decoded request against the local adapter.
@@ -130,7 +190,7 @@ class Orb : public std::enable_shared_from_this<Orb> {
   std::map<std::string, ServantPtr> servants_;
   std::atomic<uint64_t> next_object_id_{1};
   std::atomic<uint64_t> next_request_id_{1};
-  std::atomic<uint64_t> requests_served_{0};
+  std::shared_ptr<OrbStatsCounters> stats_ = std::make_shared<OrbStatsCounters>();
   std::atomic<bool> shut_down_{false};
 
   std::unique_ptr<TcpListener> listener_;

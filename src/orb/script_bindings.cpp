@@ -1,0 +1,32 @@
+#include "orb/script_bindings.h"
+
+namespace adapt::orb {
+
+void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb) {
+  std::weak_ptr<Orb> weak = orb;
+  auto need = [weak]() {
+    auto o = weak.lock();
+    if (!o) throw OrbError("orb is gone");
+    return o;
+  };
+  auto t = Table::make();
+  t->set(Value("stats"), Value(NativeFunction::make("orb.stats",
+      [need](const ValueList&) -> ValueList {
+        return {stats_to_value(need()->stats())};
+      })));
+  t->set(Value("requests_served"), Value(NativeFunction::make("orb.requests_served",
+      [need](const ValueList&) -> ValueList {
+        return {Value(need()->requests_served())};
+      })));
+  t->set(Value("endpoint"), Value(NativeFunction::make("orb.endpoint",
+      [need](const ValueList&) -> ValueList {
+        return {Value(need()->endpoint())};
+      })));
+  t->set(Value("name"), Value(NativeFunction::make("orb.name",
+      [need](const ValueList&) -> ValueList {
+        return {Value(need()->name())};
+      })));
+  engine.set_global("orb", Value(std::move(t)));
+}
+
+}  // namespace adapt::orb

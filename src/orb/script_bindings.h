@@ -1,0 +1,22 @@
+// Luma bindings for ORB introspection.
+//
+// install_orb_bindings exposes a global `orb` table so adaptation
+// strategies can read transport health (paper SIV: strategies are shipped
+// as interpreted code and must be able to observe the substrate they
+// adapt):
+//   orb.stats()            -- table of OrbStats counters (requests, replies,
+//                             retries, redials, timeouts, transport_errors,
+//                             bytes_sent, bytes_received, ...)
+//   orb.requests_served()  -- server-side dispatch count
+//   orb.endpoint()         -- primary endpoint string
+//   orb.name()             -- ORB name
+#pragma once
+
+#include "orb/orb.h"
+#include "script/engine.h"
+
+namespace adapt::orb {
+
+void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb);
+
+}  // namespace adapt::orb

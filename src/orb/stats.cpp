@@ -1,0 +1,37 @@
+#include "orb/stats.h"
+
+namespace adapt::orb {
+
+OrbStats OrbStatsCounters::snapshot() const {
+  OrbStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.replies = replies_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.redials = redials_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  s.connections_reused = connections_reused_.load(std::memory_order_relaxed);
+  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Value stats_to_value(const OrbStats& stats) {
+  auto t = Table::make();
+  t->set(Value("requests"), Value(stats.requests));
+  t->set(Value("replies"), Value(stats.replies));
+  t->set(Value("retries"), Value(stats.retries));
+  t->set(Value("redials"), Value(stats.redials));
+  t->set(Value("timeouts"), Value(stats.timeouts));
+  t->set(Value("transport_errors"), Value(stats.transport_errors));
+  t->set(Value("bytes_sent"), Value(stats.bytes_sent));
+  t->set(Value("bytes_received"), Value(stats.bytes_received));
+  t->set(Value("connections_opened"), Value(stats.connections_opened));
+  t->set(Value("connections_reused"), Value(stats.connections_reused));
+  t->set(Value("requests_served"), Value(stats.requests_served));
+  return Value(std::move(t));
+}
+
+}  // namespace adapt::orb

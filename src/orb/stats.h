@@ -1,0 +1,86 @@
+// Transport/invocation statistics (ORB observability).
+//
+// OrbStatsCounters is the live, thread-safe counter block shared by an Orb
+// and its TcpConnectionPool; OrbStats is the plain snapshot handed to
+// callers. Adaptation strategies read these through Orb::stats(), the
+// "_stats" builtin operation, or the Luma `orb.stats()` binding, so that
+// transport health (retries, redials, timeouts) is itself an input to
+// adaptation decisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/value.h"
+
+namespace adapt::orb {
+
+/// Point-in-time snapshot of an ORB's transport counters. Client-side
+/// counters cover both the TCP and the in-process path unless noted.
+struct OrbStats {
+  uint64_t requests = 0;          ///< requests sent (each retry attempt counts)
+  uint64_t replies = 0;           ///< replies successfully received
+  uint64_t retries = 0;           ///< RetryPolicy re-attempts after a failure
+  uint64_t redials = 0;           ///< stale pooled connections discarded & replaced
+  uint64_t timeouts = 0;          ///< calls that exhausted their deadline
+  uint64_t transport_errors = 0;  ///< connect/read/write failures (incl. timeouts)
+  uint64_t bytes_sent = 0;        ///< TCP frame bytes written (client side)
+  uint64_t bytes_received = 0;    ///< TCP frame bytes read (client side)
+  uint64_t connections_opened = 0;  ///< fresh dials
+  uint64_t connections_reused = 0;  ///< pool hits
+  uint64_t requests_served = 0;     ///< server side: dispatched requests
+};
+
+/// Live counters. Increments use relaxed atomics: the numbers are
+/// diagnostics, torn only across fields, never within one.
+class OrbStatsCounters {
+ public:
+  void add_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void add_reply() { replies_.fetch_add(1, std::memory_order_relaxed); }
+  void add_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void add_redial() { redials_.fetch_add(1, std::memory_order_relaxed); }
+  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void add_transport_error() {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_bytes_sent(uint64_t n) { bytes_sent_.fetch_add(n, std::memory_order_relaxed); }
+  void add_bytes_received(uint64_t n) {
+    bytes_received_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_connection_opened() {
+    connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_connection_reused() {
+    connections_reused_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_request_served() {
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t redials() const {
+    return redials_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] OrbStats snapshot() const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> redials_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_reused_{0};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+/// Converts a snapshot to a Luma table (keys match the field names).
+[[nodiscard]] Value stats_to_value(const OrbStats& stats);
+
+}  // namespace adapt::orb

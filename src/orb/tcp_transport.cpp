@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "base/logging.h"
@@ -49,8 +51,9 @@ void write_all(int fd, const uint8_t* data, size_t n) {
   }
 }
 
-/// Reads exactly n bytes. Returns false on clean EOF at offset 0.
-bool read_all(int fd, uint8_t* data, size_t n) {
+/// Reads exactly n bytes. Returns false on clean EOF at offset 0. When
+/// `consumed` is non-null it tracks bytes read even when throwing.
+bool read_all(int fd, uint8_t* data, size_t n, size_t* consumed = nullptr) {
   size_t got = 0;
   while (got < n) {
     const ssize_t rc = ::recv(fd, data + got, n - got, 0);
@@ -63,8 +66,26 @@ bool read_all(int fd, uint8_t* data, size_t n) {
       throw_errno("recv");
     }
     got += static_cast<size_t>(rc);
+    if (consumed != nullptr) *consumed += static_cast<size_t>(rc);
   }
   return true;
+}
+
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True when an idle pooled fd is still usable: no EOF, no pending error,
+/// and no stray unread bytes (those would desynchronize the framing). A
+/// restarted peer's FIN/RST is detected here, before any request is
+/// written on the dead socket.
+bool idle_connection_usable(int fd) {
+  uint8_t probe = 0;
+  const ssize_t rc = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (rc >= 0) return false;  // 0: peer closed; >0: leftover bytes
+  return errno == EAGAIN || errno == EWOULDBLOCK;
 }
 
 }  // namespace
@@ -91,23 +112,24 @@ TcpAddress TcpAddress::parse(const std::string& endpoint) {
   return addr;
 }
 
-void write_frame(int fd, const Bytes& payload) {
+size_t write_frame(int fd, const Bytes& payload) {
   ByteWriter w;
   w.u32(static_cast<uint32_t>(payload.size()));
   w.raw(payload.data(), payload.size());
   write_all(fd, w.bytes().data(), w.size());
+  return w.size();
 }
 
-std::optional<Bytes> read_frame(int fd) {
+std::optional<Bytes> read_frame(int fd, size_t* bytes_consumed) {
   uint8_t len_buf[4];
-  if (!read_all(fd, len_buf, 4)) return std::nullopt;
+  if (!read_all(fd, len_buf, 4, bytes_consumed)) return std::nullopt;
   ByteReader lr(len_buf, 4);
   const uint32_t len = lr.u32();
   if (len > kMaxFrameSize) {
     throw TransportError("frame too large: " + std::to_string(len));
   }
   Bytes payload(len);
-  if (len > 0 && !read_all(fd, payload.data(), len)) {
+  if (len > 0 && !read_all(fd, payload.data(), len, bytes_consumed)) {
     throw TransportError("connection closed mid-frame");
   }
   return payload;
@@ -156,14 +178,42 @@ void TcpListener::stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> threads;
+  // Keep the Conn objects alive until their threads are joined: each
+  // serving thread dereferences its Conn to close the fd on the way out.
+  std::vector<std::unique_ptr<Conn>> conns;
   {
     std::scoped_lock lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
+    for (const auto& conn : conns_) {
+      if (!conn->closed) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    conns.swap(conns_);
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+size_t TcpListener::live_connections() const {
+  std::scoped_lock lock(conn_mu_);
+  size_t live = 0;
+  for (const auto& conn : conns_) {
+    if (!conn->closed) ++live;
+  }
+  return live;
+}
+
+void TcpListener::reap_finished() {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    std::scoped_lock lock(conn_mu_);
+    auto keep_end = std::partition(conns_.begin(), conns_.end(),
+                                   [](const std::unique_ptr<Conn>& c) { return !c->closed; });
+    for (auto it = keep_end; it != conns_.end(); ++it) dead.push_back(std::move(*it));
+    conns_.erase(keep_end, conns_.end());
+  }
+  // `closed` is the serving thread's last act, so these joins are brief.
+  for (auto& conn : dead) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
 }
 
@@ -177,38 +227,84 @@ void TcpListener::accept_loop() {
       return;
     }
     set_nodelay(fd);
+    reap_finished();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
     std::scoped_lock lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
   }
 }
 
-void TcpListener::serve_connection(int fd) {
+void TcpListener::serve_connection(Conn* conn) {
   try {
     for (;;) {
-      std::optional<Bytes> request = read_frame(fd);
+      std::optional<Bytes> request = read_frame(conn->fd);
       if (!request) break;  // peer closed
       std::optional<Bytes> reply = handler_(*request);
-      if (reply) write_frame(fd, *reply);
+      if (reply) write_frame(conn->fd, *reply);
     }
   } catch (const Error& e) {
     if (!stopping_) log_debug("connection error: ", e.what());
+  } catch (const std::exception& e) {
+    // A handler bug (bad_alloc, decode failure, ...) must cost one
+    // connection, not the process.
+    log_warn("connection handler failed: ", e.what());
   }
-  ::close(fd);
+  // Close under the lock and mark the fd dead in the same critical section:
+  // stop() must never shutdown() a descriptor number the kernel may have
+  // already handed to someone else.
+  std::scoped_lock lock(conn_mu_);
+  ::close(conn->fd);
+  conn->closed = true;
 }
 
 // ---- TcpConnectionPool ----------------------------------------------------
 
-TcpConnectionPool::TcpConnectionPool(double timeout_seconds) : timeout_(timeout_seconds) {}
+TcpConnectionPool::TcpConnectionPool(double timeout_seconds)
+    : TcpConnectionPool([timeout_seconds] {
+        PoolConfig config;
+        config.timeout = timeout_seconds;
+        return config;
+      }(), nullptr) {}
+
+TcpConnectionPool::TcpConnectionPool(PoolConfig config,
+                                     std::shared_ptr<OrbStatsCounters> stats)
+    : config_(std::move(config)), stats_(std::move(stats)) {
+  if (!config_.now) config_.now = steady_now;
+}
 
 TcpConnectionPool::~TcpConnectionPool() { clear(); }
 
 void TcpConnectionPool::clear() {
   std::scoped_lock lock(mu_);
-  for (auto& [endpoint, fds] : idle_) {
-    for (const int fd : fds) ::close(fd);
+  for (auto& [endpoint, conns] : idle_) {
+    for (const IdleConn& conn : conns) ::close(conn.fd);
   }
   idle_.clear();
+}
+
+size_t TcpConnectionPool::reap_idle() {
+  std::vector<int> to_close;
+  {
+    std::scoped_lock lock(mu_);
+    const double cutoff = config_.now() - config_.max_idle_age;
+    for (auto& [endpoint, conns] : idle_) {
+      auto fresh_end = std::partition(conns.begin(), conns.end(),
+                                      [&](const IdleConn& c) { return c.since >= cutoff; });
+      for (auto it = fresh_end; it != conns.end(); ++it) to_close.push_back(it->fd);
+      conns.erase(fresh_end, conns.end());
+    }
+  }
+  for (const int fd : to_close) ::close(fd);
+  return to_close.size();
+}
+
+size_t TcpConnectionPool::idle_count(const std::string& endpoint) const {
+  std::scoped_lock lock(mu_);
+  const auto it = idle_.find(endpoint);
+  return it == idle_.end() ? 0 : it->second.size();
 }
 
 int TcpConnectionPool::dial(const TcpAddress& addr, double timeout) {
@@ -243,46 +339,168 @@ int TcpConnectionPool::dial(const TcpAddress& addr, double timeout) {
   return fd;
 }
 
-int TcpConnectionPool::checkout(const std::string& endpoint) {
+TcpConnectionPool::Checkout TcpConnectionPool::checkout(const std::string& endpoint,
+                                                        double timeout) {
+  int fd = -1;
+  std::vector<int> stale;
   {
     std::scoped_lock lock(mu_);
-    auto& fds = idle_[endpoint];
-    if (!fds.empty()) {
-      const int fd = fds.back();
-      fds.pop_back();
-      return fd;
+    auto& conns = idle_[endpoint];
+    while (!conns.empty()) {
+      const int candidate = conns.back().fd;
+      conns.pop_back();
+      if (idle_connection_usable(candidate)) {
+        fd = candidate;
+        break;
+      }
+      stale.push_back(candidate);
     }
   }
-  return dial(TcpAddress::parse(endpoint), timeout_);
+  for (const int dead : stale) {
+    ::close(dead);
+    // Each one is a connection we silently replace with a fresh dial.
+    if (stats_) stats_->add_redial();
+  }
+  if (!stale.empty()) {
+    log_debug(stale.size(), " stale pooled connection(s) to ", endpoint, " discarded");
+  }
+  if (fd >= 0) {
+    if (stats_) stats_->add_connection_reused();
+    return Checkout{fd, /*reused=*/true};
+  }
+  fd = dial(TcpAddress::parse(endpoint), timeout);
+  if (stats_) stats_->add_connection_opened();
+  return Checkout{fd, /*reused=*/false};
 }
 
 void TcpConnectionPool::checkin(const std::string& endpoint, int fd) {
-  std::scoped_lock lock(mu_);
-  idle_[endpoint].push_back(fd);
+  {
+    std::scoped_lock lock(mu_);
+    auto& conns = idle_[endpoint];
+    if (conns.size() < config_.max_idle_per_endpoint) {
+      conns.push_back(IdleConn{fd, config_.now()});
+      return;
+    }
+  }
+  ::close(fd);  // pool full for this endpoint
 }
 
-Bytes TcpConnectionPool::call(const std::string& endpoint, const Bytes& request) {
-  const int fd = checkout(endpoint);
-  try {
-    write_frame(fd, request);
-    std::optional<Bytes> reply = read_frame(fd);
-    if (!reply) throw TransportError("connection closed before reply");
-    checkin(endpoint, fd);
-    return std::move(*reply);
-  } catch (...) {
-    ::close(fd);
-    throw;
+size_t TcpConnectionPool::flush_endpoint(const std::string& endpoint) {
+  std::vector<IdleConn> victims;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = idle_.find(endpoint);
+    if (it == idle_.end()) return 0;
+    victims.swap(it->second);
+  }
+  for (const IdleConn& conn : victims) ::close(conn.fd);
+  return victims.size();
+}
+
+Bytes TcpConnectionPool::call(const std::string& endpoint, const Bytes& request,
+                              double timeout, bool idempotent) {
+  reap_idle();
+  if (timeout <= 0.0) timeout = config_.timeout;
+  // Absolute deadline for the whole call: a redial continues the original
+  // budget instead of restarting it.
+  const double deadline = config_.now() + timeout;
+  for (bool redialed = false;; redialed = true) {
+    const double dial_budget = deadline - config_.now();
+    if (dial_budget <= 0.0) {
+      throw TimeoutError("call to " + endpoint + " timed out");
+    }
+    const Checkout co = checkout(endpoint, dial_budget);
+    set_timeouts(co.fd, dial_budget);
+    // Redial policy: before the request is fully written, nothing was
+    // delivered and a retry is always safe. After a full write the peer
+    // may have executed the request, so only idempotent calls may resend —
+    // and never once a byte of the reply was consumed (a torn reply must
+    // surface, not be silently re-requested). Fresh dials never redial:
+    // their failure is a real signal, not pool staleness.
+    size_t reply_bytes = 0;
+    bool sent_fully = false;
+    const bool may_redial = co.reused && !redialed;
+    // Every exit from the attempt below funnels through exactly one
+    // ::close(co.fd) — a second close could hit a recycled fd number owned
+    // by another thread.
+    try {
+      const size_t sent = write_frame(co.fd, request);
+      sent_fully = true;
+      if (stats_) stats_->add_bytes_sent(sent);
+      const double read_budget = deadline - config_.now();
+      if (read_budget <= 0.0) {
+        throw TimeoutError("call to " + endpoint + " timed out");
+      }
+      set_timeouts(co.fd, read_budget);
+      std::optional<Bytes> reply = read_frame(co.fd, &reply_bytes);
+      if (stats_) stats_->add_bytes_received(reply_bytes);
+      if (reply) {
+        checkin(endpoint, co.fd);
+        return std::move(*reply);
+      }
+      // Clean EOF before any reply byte: fall through to the close-and-
+      // decide block below.
+    } catch (const TimeoutError&) {
+      // The peer is alive but slow; the deadline is spent either way.
+      if (stats_) stats_->add_bytes_received(reply_bytes);
+      ::close(co.fd);
+      throw;
+    } catch (const TransportError&) {
+      if (stats_) stats_->add_bytes_received(reply_bytes);
+      ::close(co.fd);
+      if (may_redial && reply_bytes == 0 && (!sent_fully || idempotent)) {
+        if (stats_) stats_->add_redial();
+        log_debug("stale pooled connection to ", endpoint, ", redialing");
+        // Its pooled siblings are the same vintage; make the redial (and
+        // whoever checks out next) dial fresh rather than inherit them.
+        flush_endpoint(endpoint);
+        continue;
+      }
+      throw;
+    }
+    ::close(co.fd);
+    if (may_redial && idempotent) {
+      if (stats_) stats_->add_redial();
+      log_debug("stale pooled connection to ", endpoint, ", redialing");
+      flush_endpoint(endpoint);
+      continue;
+    }
+    throw TransportError("connection closed before reply");
   }
 }
 
-void TcpConnectionPool::send(const std::string& endpoint, const Bytes& request) {
-  const int fd = checkout(endpoint);
-  try {
-    write_frame(fd, request);
-    checkin(endpoint, fd);
-  } catch (...) {
-    ::close(fd);
-    throw;
+void TcpConnectionPool::send(const std::string& endpoint, const Bytes& request,
+                             double timeout) {
+  reap_idle();
+  if (timeout <= 0.0) timeout = config_.timeout;
+  const double deadline = config_.now() + timeout;
+  for (bool redialed = false;; redialed = true) {
+    const double remaining = deadline - config_.now();
+    if (remaining <= 0.0) {
+      throw TimeoutError("send to " + endpoint + " timed out");
+    }
+    const Checkout co = checkout(endpoint, remaining);
+    set_timeouts(co.fd, remaining);
+    try {
+      const size_t sent = write_frame(co.fd, request);
+      if (stats_) stats_->add_bytes_sent(sent);
+      checkin(endpoint, co.fd);
+      return;
+    } catch (const TimeoutError&) {
+      ::close(co.fd);
+      throw;  // budget spent; a redial would double it
+    } catch (const TransportError&) {
+      ::close(co.fd);
+      // A failed write delivered no complete frame; retry once on a fresh
+      // socket when the failure came from a pooled (possibly stale)
+      // connection. Safe regardless of idempotence.
+      if (co.reused && !redialed) {
+        if (stats_) stats_->add_redial();
+        flush_endpoint(endpoint);
+        continue;
+      }
+      throw;
+    }
   }
 }
 

@@ -2,9 +2,16 @@
 //
 // Server side: TcpListener accepts connections and runs one handler thread
 // per connection (requests on a connection are processed in order, matching
-// the synchronous client).
-// Client side: TcpConnectionPool keeps idle connections per endpoint and
-// checks them out for the duration of one call.
+// the synchronous client). Finished connections are reaped as new ones
+// arrive, so neither fd numbers nor thread handles accumulate.
+// Client side: TcpConnectionPool keeps idle connections per endpoint
+// (bounded per endpoint, age-reaped) and checks them out for the duration
+// of one call. Checkout probes each pooled fd with a non-blocking peek, so
+// a connection whose peer already closed (server restart) is discarded and
+// replaced by a fresh dial *before* the request is written — safe for any
+// operation. A failure after the request was fully written may mean the
+// peer executed it, so that redial happens only for idempotent calls, and
+// never after a byte of the reply was consumed.
 #pragma once
 
 #include <atomic>
@@ -20,6 +27,7 @@
 
 #include "base/bytes.h"
 #include "orb/errors.h"
+#include "orb/stats.h"
 
 namespace adapt::orb {
 
@@ -49,9 +57,23 @@ class TcpListener {
   /// Stops accepting, closes live connections and joins all threads.
   void stop();
 
+  /// Connections currently being served (diagnostics/tests).
+  [[nodiscard]] size_t live_connections() const;
+
  private:
+  /// One accepted connection: its fd and the thread serving it. `closed`
+  /// is guarded by conn_mu_; the serving thread closes the fd and sets it
+  /// as its last act, so stop() never shutdown()s a recycled descriptor.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    bool closed = false;
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Conn* conn);
+  /// Joins and drops connections whose serving thread has finished.
+  void reap_finished();
 
   Handler handler_;
   int listen_fd_ = -1;
@@ -59,43 +81,87 @@ class TcpListener {
   std::string endpoint_;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+struct PoolConfig {
+  /// Default per-call budget (connect + write + read), seconds.
+  double timeout = 10.0;
+  /// Idle connections kept per endpoint; extra checkins are closed.
+  size_t max_idle_per_endpoint = 8;
+  /// Idle connections older than this are reaped on the next pool use.
+  double max_idle_age = 30.0;
+  /// Monotonic time source, seconds. Injectable for tests; the default
+  /// reads the steady clock (socket deadlines are inherently wall-clock,
+  /// unlike the simulation's virtual time).
+  std::function<double()> now;
 };
 
 class TcpConnectionPool {
  public:
   /// `timeout_seconds` bounds connect and per-call read/write.
   explicit TcpConnectionPool(double timeout_seconds);
+  TcpConnectionPool(PoolConfig config, std::shared_ptr<OrbStatsCounters> stats);
   ~TcpConnectionPool();
   TcpConnectionPool(const TcpConnectionPool&) = delete;
   TcpConnectionPool& operator=(const TcpConnectionPool&) = delete;
 
-  /// Round-trip: sends one frame, waits for one reply frame.
-  Bytes call(const std::string& endpoint, const Bytes& request);
+  /// Round-trip: sends one frame, waits for one reply frame. `timeout`
+  /// overrides the pool default for this call (<= 0 uses the default) and
+  /// acts as an absolute deadline: connect, send and recv each get only
+  /// what remains of it, including across a redial. The bound is
+  /// best-effort — a peer trickling bytes resets the per-syscall socket
+  /// timeout each time. `idempotent` gates the post-write redial: when
+  /// false, a request that was fully written is never re-sent (the peer
+  /// may have executed it); checkout-time stale detection still applies.
+  Bytes call(const std::string& endpoint, const Bytes& request, double timeout = 0.0,
+             bool idempotent = true);
 
   /// Fire-and-forget: sends one frame without waiting.
-  void send(const std::string& endpoint, const Bytes& request);
+  void send(const std::string& endpoint, const Bytes& request, double timeout = 0.0);
 
   /// Closes all pooled connections.
   void clear();
 
+  /// Closes idle connections older than max_idle_age; returns how many.
+  size_t reap_idle();
+
+  /// Idle connections currently pooled for `endpoint` (diagnostics/tests).
+  [[nodiscard]] size_t idle_count(const std::string& endpoint) const;
+
  private:
-  int checkout(const std::string& endpoint);
+  struct IdleConn {
+    int fd = -1;
+    double since = 0.0;  // pool-clock time of checkin
+  };
+  struct Checkout {
+    int fd = -1;
+    bool reused = false;  // came from the idle pool (stale-redial candidate)
+  };
+
+  Checkout checkout(const std::string& endpoint, double timeout);
   void checkin(const std::string& endpoint, int fd);
+  /// Closes every idle connection pooled for `endpoint`; returns how many.
+  /// Used when a redial proved the endpoint's pooled siblings suspect.
+  size_t flush_endpoint(const std::string& endpoint);
   static int dial(const TcpAddress& addr, double timeout);
 
-  double timeout_;
-  std::mutex mu_;
-  std::map<std::string, std::vector<int>> idle_;
+  PoolConfig config_;
+  std::shared_ptr<OrbStatsCounters> stats_;  // may be null
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<IdleConn>> idle_;
 };
 
-/// Frame I/O shared by both sides: u32 length prefix + payload.
-void write_frame(int fd, const Bytes& payload);
+/// Frame I/O shared by both sides: u32 length prefix + payload. Returns the
+/// number of bytes written (payload + prefix).
+size_t write_frame(int fd, const Bytes& payload);
 /// Reads one frame; returns nullopt on orderly peer close at a frame
-/// boundary; throws TransportError/TimeoutError otherwise.
-std::optional<Bytes> read_frame(int fd);
+/// boundary; throws TransportError/TimeoutError otherwise. When
+/// `bytes_consumed` is non-null it accumulates every byte read off the
+/// socket, including on the error paths — callers use it to decide whether
+/// a retry could double-deliver.
+std::optional<Bytes> read_frame(int fd, size_t* bytes_consumed = nullptr);
 
 /// Maximum accepted frame size (64 MiB) — guards against corrupt prefixes.
 inline constexpr uint32_t kMaxFrameSize = 64u << 20;

@@ -64,11 +64,20 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
     if (ref.empty()) throw TradingError(std::string("trading.") + what + ": no servant ref");
     return ref;
   };
+  // Weak: agent engines hold these bindings and are themselves reachable
+  // from servants of `orb` (monitors share the agent's engine), so a strong
+  // capture would cycle orb -> servant -> engine -> closure -> orb and leak
+  // the ORB with its listener threads.
+  std::weak_ptr<orb::Orb> weak_orb = orb;
+  auto need_orb = [weak_orb]() -> orb::OrbPtr {
+    if (auto o = weak_orb.lock()) return o;
+    throw TradingError("trading binding: orb is gone");
+  };
 
   t->set(Value("query"), Value(NativeFunction::make("trading.query",
-      [orb, refs, need](const ValueList& a) -> ValueList {
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
         auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
-        const Value reply = orb->invoke(
+        const Value reply = need_orb()->invoke(
             need(refs.lookup, "query"), "query",
             {arg(0), arg(1).is_nil() ? Value("") : arg(1),
              arg(2).is_nil() ? Value("") : arg(2), Value(), arg(3)});
@@ -76,9 +85,9 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
       })));
 
   t->set(Value("select"), Value(NativeFunction::make("trading.select",
-      [orb, refs, need](const ValueList& a) -> ValueList {
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
         auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
-        const Value reply = orb->invoke(
+        const Value reply = need_orb()->invoke(
             need(refs.lookup, "select"), "query",
             {arg(0), arg(1).is_nil() ? Value("") : arg(1),
              arg(2).is_nil() ? Value("") : arg(2)});
@@ -87,11 +96,11 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
       })));
 
   t->set(Value("export"), Value(NativeFunction::make("trading.export",
-      [orb, refs, need](const ValueList& a) -> ValueList {
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
         auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
         const PropertyMap props = props_from_script(arg(2));
         const double lease = arg(3).is_number() ? arg(3).as_number() : 0;
-        const Value id = orb->invoke(
+        const Value id = need_orb()->invoke(
             need(refs.register_ref, "export"), "export",
             {arg(0), Value(ref_from_value(arg(1), "export provider")),
              Trader::property_map_to_value(props), Value(lease)});
@@ -99,35 +108,35 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
       })));
 
   t->set(Value("withdraw"), Value(NativeFunction::make("trading.withdraw",
-      [orb, refs, need](const ValueList& a) -> ValueList {
-        orb->invoke(need(refs.register_ref, "withdraw"), "withdraw", {a.at(0)});
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
+        need_orb()->invoke(need(refs.register_ref, "withdraw"), "withdraw", {a.at(0)});
         return {};
       })));
 
   t->set(Value("modify"), Value(NativeFunction::make("trading.modify",
-      [orb, refs, need](const ValueList& a) -> ValueList {
-        orb->invoke(need(refs.register_ref, "modify"), "modify",
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
+        need_orb()->invoke(need(refs.register_ref, "modify"), "modify",
                     {a.at(0), Trader::property_map_to_value(props_from_script(a.at(1)))});
         return {};
       })));
 
   t->set(Value("refresh"), Value(NativeFunction::make("trading.refresh",
-      [orb, refs, need](const ValueList& a) -> ValueList {
-        orb->invoke(need(refs.register_ref, "refresh"), "refresh", {a.at(0), a.at(1)});
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
+        need_orb()->invoke(need(refs.register_ref, "refresh"), "refresh", {a.at(0), a.at(1)});
         return {};
       })));
 
   t->set(Value("add_type"), Value(NativeFunction::make("trading.add_type",
-      [orb, refs, need](const ValueList& a) -> ValueList {
+      [need_orb, refs, need](const ValueList& a) -> ValueList {
         auto arg = [&](size_t i) { return i < a.size() ? a[i] : Value(); };
-        orb->invoke(need(refs.repository, "add_type"), "addType",
+        need_orb()->invoke(need(refs.repository, "add_type"), "addType",
                     {arg(0), arg(1).is_nil() ? Value("") : arg(1), Value(), arg(2)});
         return {};
       })));
 
   t->set(Value("types"), Value(NativeFunction::make("trading.types",
-      [orb, refs, need](const ValueList&) -> ValueList {
-        return {orb->invoke(need(refs.repository, "types"), "listTypes")};
+      [need_orb, refs, need](const ValueList&) -> ValueList {
+        return {need_orb()->invoke(need(refs.repository, "types"), "listTypes")};
       })));
 
   engine.set_global("trading", Value(std::move(t)));

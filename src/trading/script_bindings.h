@@ -33,6 +33,10 @@ struct TraderRefs {
   ObjectRef repository;
 };
 
+/// The bindings hold `orb` weakly (a strong capture would cycle when the
+/// engine is reachable from one of the ORB's own servants, as in agent
+/// engines); the caller must keep the ORB alive for as long as scripts
+/// call into the `trading` table.
 void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& orb,
                               const TraderRefs& refs);
 
