@@ -1,0 +1,135 @@
+// bench_json — machine-readable mode for selected benchmarks.
+//
+// Google Benchmark's human output is great interactively but awkward for CI
+// gates, so benches that feed `scripts/check.sh` also accept:
+//
+//   bench_transport --json[=PATH] [--quick]
+//
+// In this mode the gbench registry is bypassed entirely: each case runs on a
+// hand-rolled harness (warmup, then timed iterations, per-iteration latency
+// into an obs::Histogram) and the results land as one JSON document —
+// default PATH is BENCH_<name>.json in the working directory. `--quick`
+// shrinks the iteration counts so the whole file is produced in seconds.
+//
+// Schema (stable; scripts/check.sh validates it):
+//   { "bench": "<name>", "quick": bool, "cases": [
+//       { "name": "...", "iterations": N, "ops_per_sec": X,
+//         "ns": { "mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":.. } } ] }
+// ops_per_sec is the best repetition; the ns stats pool all samples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace adapt::benchjson {
+
+struct Case {
+  std::string name;
+  std::function<void()> fn = nullptr;        // one iteration
+  std::function<void()> setup = nullptr;     // optional, once before warmup
+  std::function<void()> teardown = nullptr;  // optional, once after timing
+};
+
+struct Options {
+  std::string path;
+  bool quick = false;
+};
+
+/// Returns options when --json was given; nullopt hands control to gbench.
+inline std::optional<Options> parse_json_mode(int argc, char** argv) {
+  std::optional<Options> opts;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.emplace();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.emplace();
+      opts->path = arg.substr(7);
+    } else if (arg == "--quick") {
+      quick = true;
+    }
+  }
+  if (opts) opts->quick = quick;
+  return opts;
+}
+
+inline int run_json_cases(const Options& opts, const std::string& bench_name,
+                          const std::vector<Case>& cases) {
+  const size_t warmup = opts.quick ? 50 : 500;
+  const size_t iters = opts.quick ? 250 : 1000;
+  // ops_per_sec is best-of-reps (the gbench convention): a single scheduler
+  // preemption costs milliseconds against microsecond operations, so a
+  // one-shot mean is dominated by luck on a busy machine. Short repetitions
+  // maximize the chance one lands in a clean scheduling window; percentiles
+  // pool every sample from every repetition.
+  const size_t reps = opts.quick ? 2 : 5;
+  const std::string path =
+      opts.path.empty() ? "BENCH_" + bench_name + ".json" : opts.path;
+
+  std::string out = "{\"bench\":\"" + bench_name + "\",\"quick\":";
+  out += opts.quick ? "true" : "false";
+  out += ",\"cases\":[";
+  bool first = true;
+  for (const Case& c : cases) {
+    if (c.setup) c.setup();
+    for (size_t i = 0; i < warmup; ++i) c.fn();
+    obs::Histogram hist;
+    double best_ops = 0.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const auto run_start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < iters; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        c.fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        hist.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+      }
+      const double total_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+              .count();
+      const double ops = total_s > 0 ? static_cast<double>(iters) / total_s : 0.0;
+      best_ops = std::max(best_ops, ops);
+    }
+    if (c.teardown) c.teardown();
+
+    const obs::Histogram::Snapshot s = hist.snapshot();
+    const double ops = best_ops;
+    const size_t samples = iters * reps;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"iterations\":%zu,\"ops_per_sec\":%.1f,"
+                  "\"ns\":{\"mean\":%.1f,\"min\":%llu,\"max\":%llu,"
+                  "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}",
+                  c.name.c_str(), samples, ops, s.mean(),
+                  static_cast<unsigned long long>(s.min),
+                  static_cast<unsigned long long>(s.max), s.p50, s.p95, s.p99);
+    if (!first) out += ',';
+    first = false;
+    out += buf;
+    std::cerr << bench_name << '/' << c.name << ": " << std::fixed
+              << static_cast<uint64_t>(ops) << " ops/s, p50 "
+              << static_cast<uint64_t>(s.p50) << " ns, p99 "
+              << static_cast<uint64_t>(s.p99) << " ns\n";
+  }
+  out += "]}";
+
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::cerr << "bench_json: cannot write " << path << '\n';
+    return 1;
+  }
+  f << out << '\n';
+  std::cout << out << '\n';
+  return 0;
+}
+
+}  // namespace adapt::benchjson

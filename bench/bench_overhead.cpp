@@ -14,10 +14,15 @@
 //   InterceptedCaller invoke       interceptor-chain alternative (X1)
 //   SmartProxy invoke + 1 event    queue drain + native strategy (D5)
 //   SmartProxy invoke + script ev  queue drain + Luma strategy   (D5)
+//
+// `--json[=PATH] [--quick]` switches to the machine-readable harness
+// (bench_json.h) and emits BENCH_overhead.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "core/infrastructure.h"
 #include "core/interceptor.h"
+#include "orb/wire.h"
 
 using namespace adapt;
 
@@ -180,4 +185,38 @@ BENCHMARK(BM_MarshalRoundtrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    auto& s = Setup::instance();
+    auto host_orb = s.infra.host_orb("h1");
+    const ValueList args{Value(42.0)};
+    auto marshal_value = [] {
+      auto t = Table::make();
+      t->set(Value("LoadAvg"), Value(12.5));
+      t->set(Value("LoadAvgIncreasing"), Value("no"));
+      t->set(Value("Host"), Value("node-7"));
+      return Value(t);
+    }();
+    const std::vector<adapt::benchjson::Case> cases = {
+        {.name = "local_orb_invoke",
+         .fn = [&] { host_orb->invoke(s.provider, "echo", args); }},
+        {.name = "cross_orb_inproc_invoke",
+         .fn = [&] { s.client_orb->invoke(s.provider, "echo", args); }},
+        {.name = "smartproxy_invoke",
+         .fn = [&] { s.proxy->invoke("echo", args); }},
+        {.name = "marshal_roundtrip",
+         .fn = [&] {
+           ByteWriter w;
+           orb::encode_value(w, marshal_value);
+           ByteReader r(w.bytes());
+           orb::decode_value(r);
+         }},
+    };
+    return adapt::benchjson::run_json_cases(*opts, "overhead", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

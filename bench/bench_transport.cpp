@@ -8,8 +8,15 @@
 //   ORB TCP invoke (4 KiB string)   payload-dominated calls
 //   ORB TCP ping                    idempotent builtin (retry-eligible path)
 //   stats snapshot                  cost of observability reads
+//
+// `--json[=PATH] [--quick]` switches to the machine-readable harness
+// (bench_json.h) and emits BENCH_transport.json; the JSON case list adds an
+// invoke_small variant with the tracer disabled so the tracing overhead is
+// directly visible as invoke_small vs invoke_small_notrace.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+#include "obs/trace.h"
 #include "orb/orb.h"
 
 using namespace adapt;
@@ -40,7 +47,8 @@ struct Setup {
           rep.result = Value(true);
           return orb::encode_reply(rep);
         });
-    raw_request = orb::encode_request(orb::RequestMessage{1, false, "obj", "_ping", {}});
+    raw_request = orb::encode_request(
+        orb::RequestMessage{.request_id = 1, .object_id = "obj", .operation = "_ping"});
   }
 
   static Setup& instance() {
@@ -109,4 +117,26 @@ BENCHMARK(BM_StatsSnapshot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    auto& s = Setup::instance();
+    orb::TcpConnectionPool pool(5.0);
+    const std::vector<adapt::benchjson::Case> cases = {
+        {.name = "raw_pooled_roundtrip",
+         .fn = [&] { pool.call(s.listener->endpoint(), s.raw_request); }},
+        {.name = "invoke_small",
+         .fn = [&] { s.client->invoke(s.ref, "echo", {Value(42.0)}); }},
+        {.name = "invoke_small_notrace",
+         .fn = [&] { s.client->invoke(s.ref, "echo", {Value(42.0)}); },
+         .setup = [&] { s.client->tracer().set_enabled(false); },
+         .teardown = [&] { s.client->tracer().set_enabled(true); }},
+        {.name = "ping", .fn = [&] { s.client->ping(s.ref); }},
+    };
+    return adapt::benchjson::run_json_cases(*opts, "transport", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

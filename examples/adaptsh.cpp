@@ -6,17 +6,25 @@
 // Usage:
 //   adaptsh <script.luma>    run a deployment script from a file
 //   adaptsh -                read the script from stdin
+//   adaptsh trace [script]   run the script (or demo), then dump the recorded
+//                            spans as JSON lines (one trace tree per trace id)
+//   adaptsh metrics [script] run the script (or demo), then dump the process
+//                            metrics registry as JSON
 //   adaptsh                  run the built-in demo script
 //
 // Scripts see the `infra` table (hosts, Luma servers, smart proxies, virtual
 // time — see core/script_bindings.h), the `trading` table (LuaTrading), the
-// monitor constructors (EventMonitor:new / BasicMonitor:new), and the full
-// Luma standard library including string patterns.
+// monitor constructors (EventMonitor:new / BasicMonitor:new), the `trace` and
+// `metrics` observability tables (obs/script_bindings.h), and the full Luma
+// standard library including string patterns.
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "core/script_bindings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "trading/script_bindings.h"
 
 using namespace adapt;
@@ -67,9 +75,31 @@ print("rebinds: " .. proxy:rebinds())
 assert(proxy:rebinds() >= 2, "expected a migration")
 )LUMA";
 
+/// Dumps every retained span in recording order (children finish before
+/// their parents) as JSON lines on stdout.
+void dump_traces() {
+  const auto spans = obs::default_tracer().recent();
+  for (const auto& span : spans) {
+    std::cout << obs::span_to_json(span) << '\n';
+  }
+  std::cerr << "adaptsh: " << spans.size() << " span(s) recorded\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `adaptsh trace [script]` / `adaptsh metrics [script]`: run as usual, then
+  // dump the observability state the run produced.
+  std::string dump_mode;
+  int script_arg = 1;
+  if (argc > 1) {
+    const std::string mode = argv[1];
+    if (mode == "trace" || mode == "metrics") {
+      dump_mode = mode;
+      script_arg = 2;
+    }
+  }
+
   core::Infrastructure infra({.simulated_time = true, .name = "adaptsh"});
   script::ScriptEngine engine(infra.clock());
   core::install_infrastructure_bindings(engine, infra);
@@ -81,17 +111,17 @@ int main(int argc, char** argv) {
   try {
     std::string source = kDemoScript;
     std::string chunk_name = "demo";
-    if (argc > 1) {
-      chunk_name = argv[1];
-      if (std::string(argv[1]) == "-") {
+    if (argc > script_arg) {
+      chunk_name = argv[script_arg];
+      if (std::string(argv[script_arg]) == "-") {
         std::ostringstream buffer;
         buffer << std::cin.rdbuf();
         source = buffer.str();
         chunk_name = "stdin";
       } else {
-        std::ifstream in(argv[1]);
+        std::ifstream in(argv[script_arg]);
         if (!in.is_open()) {
-          std::cerr << "adaptsh: cannot open " << argv[1] << '\n';
+          std::cerr << "adaptsh: cannot open " << argv[script_arg] << '\n';
           return 1;
         }
         std::ostringstream buffer;
@@ -103,6 +133,12 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::cerr << "adaptsh: " << e.what() << '\n';
     return 1;
+  }
+
+  if (dump_mode == "trace") {
+    dump_traces();
+  } else if (dump_mode == "metrics") {
+    std::cout << obs::metrics().to_json() << '\n';
   }
   return 0;
 }

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verify, optionally under a sanitizer preset.
 #
-#   scripts/check.sh            # plain RelWithDebInfo build + ctest
+#   scripts/check.sh            # plain RelWithDebInfo build + ctest + bench JSON
 #   scripts/check.sh tsan       # ThreadSanitizer build + ctest
 #   scripts/check.sh asan       # Address+UB sanitizer build + ctest
 #   scripts/check.sh all        # default, then tsan, then asan
 #
 # The tsan run is the gate for the ORB's concurrency code (listener thread
 # reaping, connection pool, retry path); run it for any transport change.
+#
+# The default preset additionally runs bench_transport / bench_overhead in
+# quick JSON mode and validates BENCH_*.json, so a broken machine-readable
+# bench surface (schema drift, crash at exit, malformed output) fails the
+# check even though the benches are not ctest targets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,12 +26,52 @@ run_preset() {
   ctest --preset "${preset}" -j "$(nproc)"
 }
 
+# Runs one bench in quick JSON mode and validates the emitted document:
+# well-formed JSON, expected bench name, non-empty case list, every case
+# with a positive ops_per_sec.
+run_bench_json() {
+  local bench="$1" name="$2" build_dir="build"
+  if [[ ! -x "${build_dir}/bench/${bench}" ]]; then
+    echo "==> bench ${bench}: missing (benchmark library not available?) — skipped"
+    return 0
+  fi
+  echo "==> bench ${bench} --json --quick"
+  local out="${build_dir}/BENCH_${name}.json"
+  (cd "${build_dir}" && "bench/${bench}" --json="BENCH_${name}.json" --quick >/dev/null)
+  python3 - "${out}" "${name}" <<'EOF'
+import json, sys
+path, name = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+assert doc["bench"] == name, f"bench name {doc['bench']!r} != {name!r}"
+assert isinstance(doc["quick"], bool)
+cases = doc["cases"]
+assert cases, "no cases in bench output"
+for case in cases:
+    assert case["name"], "unnamed case"
+    assert case["iterations"] > 0
+    assert case["ops_per_sec"] > 0, f"{case['name']}: ops_per_sec not positive"
+    ns = case["ns"]
+    for key in ("mean", "min", "max", "p50", "p95", "p99"):
+        assert ns[key] >= 0, f"{case['name']}: ns.{key} negative"
+    assert ns["min"] <= ns["max"]
+print(f"    {path}: {len(cases)} cases OK")
+EOF
+}
+
 case "${1:-default}" in
-  default|tsan|asan)
-    run_preset "${1:-default}"
+  default)
+    run_preset default
+    run_bench_json bench_transport transport
+    run_bench_json bench_overhead overhead
+    ;;
+  tsan|asan)
+    run_preset "$1"
     ;;
   all)
     run_preset default
+    run_bench_json bench_transport transport
+    run_bench_json bench_overhead overhead
     run_preset tsan
     run_preset asan
     ;;

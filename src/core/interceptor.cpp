@@ -1,6 +1,7 @@
 #include "core/interceptor.h"
 
 #include "base/logging.h"
+#include "obs/trace.h"
 
 namespace adapt::core {
 
@@ -10,11 +11,26 @@ void InterceptedCaller::add(std::shared_ptr<Interceptor> interceptor) {
 
 Value InterceptedCaller::invoke(const ObjectRef& target, const std::string& operation,
                                 const ValueList& args) {
+  // The intercepted call is one span; the underlying ORB invocation(s) —
+  // including an interceptor-driven failover retry — nest under it, so a
+  // rebind is visible as two client child spans against different peers.
+  obs::SpanOptions span_options;
+  span_options.tracer = &orb_->tracer();
+  obs::ScopedSpan span("intercept:" + operation, span_options);
+
   ObjectRef effective = target;
   ValueList effective_args = args;
   for (const auto& interceptor : chain_) {
     interceptor->before_invoke(effective, operation, effective_args);
   }
+  auto retry_with = [&](const ObjectRef& retry) {
+    span.annotate("failover", retry.str());
+    Value result = orb_->invoke(retry, operation, effective_args);
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      (*it)->after_invoke(retry, operation, result);
+    }
+    return result;
+  };
   Value result;
   try {
     result = orb_->invoke(effective, operation, effective_args);
@@ -22,25 +38,19 @@ Value InterceptedCaller::invoke(const ObjectRef& target, const std::string& oper
     ObjectRef retry;
     for (const auto& interceptor : chain_) {
       if (interceptor->on_error(effective, operation, e, retry)) {
-        result = orb_->invoke(retry, operation, effective_args);
-        for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
-          (*it)->after_invoke(retry, operation, result);
-        }
-        return result;
+        return retry_with(retry);
       }
     }
+    span.set_error(e.what());
     throw;
   } catch (const orb::ObjectNotFound& e) {
     ObjectRef retry;
     for (const auto& interceptor : chain_) {
       if (interceptor->on_error(effective, operation, e, retry)) {
-        result = orb_->invoke(retry, operation, effective_args);
-        for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
-          (*it)->after_invoke(retry, operation, result);
-        }
-        return result;
+        return retry_with(retry);
       }
     }
+    span.set_error(e.what());
     throw;
   }
   for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {

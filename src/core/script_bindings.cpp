@@ -1,5 +1,7 @@
 #include "core/script_bindings.h"
 
+#include "obs/script_bindings.h"
+
 namespace adapt::core {
 
 namespace {
@@ -170,6 +172,11 @@ void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructur
       [inf](const ValueList&) -> ValueList { return {Value(inf->now())}; })));
 
   engine.set_global("infra", Value(std::move(t)));
+
+  // Scripts driving the infrastructure get the observability globals too,
+  // so adaptation code can open spans and bump metrics (`trace.span{...}`,
+  // `metrics.counter(...)`) alongside infra/proxy calls.
+  obs::install_obs_bindings(engine);
 }
 
 }  // namespace adapt::core

@@ -1,6 +1,7 @@
 #include "core/service_agent.h"
 
 #include "base/logging.h"
+#include "obs/metrics.h"
 
 namespace adapt::core {
 
@@ -194,6 +195,7 @@ void ServiceAgent::enable_heartbeat(double period, double lease) {
       try {
         orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)});
         ++heartbeats_;
+        obs::metrics().counter("agent.heartbeats").add();
       } catch (const Error& e) {
         log_warn("agent ", config_.name, ": heartbeat for ", id, " failed: ", e.what());
       }

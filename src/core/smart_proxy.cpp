@@ -3,6 +3,9 @@
 #include <atomic>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/script_bindings.h"
+#include "obs/trace.h"
 #include "orb/script_bindings.h"
 
 namespace adapt::core {
@@ -56,6 +59,9 @@ void SmartProxy::init() {
   // Strategy code can introspect transport health (orb.stats() etc.) when
   // deciding how to adapt; the binding tracks this proxy's client ORB.
   orb::install_orb_bindings(*engine_, orb_);
+  // Strategies are first-class observable: trace.span / metrics.counter etc.
+  // record into the same tracer/registry as the ORB's automatic spans.
+  obs::install_obs_bindings(*engine_, &orb_->tracer());
 
   // Script-facing self table.
   auto self = Table::make();
@@ -183,6 +189,13 @@ bool SmartProxy::select(const std::string& constraint) {
 }
 
 void SmartProxy::bind(const trading::OfferInfo& offer) {
+  // A rebind triggered inside an invocation (event strategy, failover)
+  // appears as a child span of that invocation's proxy span.
+  obs::SpanOptions span_options;
+  span_options.tracer = &orb_->tracer();
+  obs::ScopedSpan span("proxy.rebind:" + config_.service_type, span_options);
+  if (span.active()) span.annotate("provider", offer.provider.str());
+
   detach_registrations();
   bool changed = false;
   {
@@ -219,6 +232,7 @@ void SmartProxy::bind(const trading::OfferInfo& offer) {
                               : monitor::make_remote_monitor_wrapper(orb_, mon_ref));
   }
   if (changed) {
+    obs::metrics().counter("proxy.rebinds").add();
     log_info("smartproxy[", config_.service_type, "]: bound to ", offer.provider.str());
   }
 }
@@ -336,6 +350,14 @@ void SmartProxy::handle_pending_events() {
 }
 
 void SmartProxy::handle_event(const std::string& event_id) {
+  // Strategy activations are spans: an adaptation firing inside a request
+  // shows up between the proxy span and any rebind/reselect child spans.
+  obs::SpanOptions span_options;
+  span_options.tracer = &orb_->tracer();
+  obs::ScopedSpan span("proxy.event:" + event_id, span_options);
+  if (span.active()) span.annotate("service_type", config_.service_type);
+  obs::metrics().counter("proxy.events_handled").add();
+
   // Script strategies (the _strategies table) take precedence, so that
   // run-time updates shipped as code override compiled-in behavior.
   Value strategy;
@@ -492,6 +514,23 @@ Value SmartProxy::forward(const std::string& operation, const ValueList& args) {
 }
 
 Value SmartProxy::invoke(const std::string& operation, const ValueList& args) {
+  // Proxy span: parent of the event-strategy work, any rebind, and the
+  // forwarded ORB client span(s) — so adaptation shows up inside the trace
+  // of the request that triggered it.
+  obs::SpanOptions span_options;
+  span_options.tracer = &orb_->tracer();
+  obs::ScopedSpan span("proxy.invoke:" + operation, span_options);
+  if (span.active()) span.annotate("service_type", config_.service_type);
+  obs::metrics().counter("proxy.invocations").add();
+  try {
+    return invoke_traced(operation, args);
+  } catch (const Error& e) {
+    span.set_error(e.what());
+    throw;
+  }
+}
+
+Value SmartProxy::invoke_traced(const std::string& operation, const ValueList& args) {
   handle_pending_events();
 
   // Routed operations resolve their own component (SIV-A).

@@ -201,6 +201,8 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
     ObjectRef target;  // cached selection; empty until first use
   };
 
+  /// invoke() after its proxy span is open: events, routing, failover.
+  Value invoke_traced(const std::string& operation, const ValueList& args);
   /// Forwards to `target`, applying method alternatives on BadOperation.
   Value forward_to(const ObjectRef& target, const std::string& operation,
                    const ValueList& args, int depth = 0);

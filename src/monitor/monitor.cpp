@@ -1,6 +1,10 @@
 #include "monitor/monitor.h"
 
+#include <chrono>
+
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adapt::monitor {
 
@@ -118,14 +122,23 @@ void BasicMonitor::refresh_aspects(const Value& current) {
   }
   const Value wrapper = script_wrapper();
   for (auto& [name, aspect] : snapshot) {
+    obs::ScopedSpan span("aspect:" + property_name_ + "/" + name);
+    const auto started = std::chrono::steady_clock::now();
     try {
       Value result = engine_->call1(aspect.fn, {aspect.self, current, wrapper});
       std::scoped_lock lock(mu_);
       const auto it = aspects_.find(name);
       if (it != aspects_.end()) it->second.value = std::move(result);
     } catch (const Error& e) {
+      span.set_error(e.what());
       log_warn("monitor ", property_name_, ": aspect '", name, "' failed: ", e.what());
     }
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    obs::metrics().counter("monitor.aspect_evals").add();
+    obs::metrics()
+        .histogram("monitor.aspect_eval_ns")
+        .record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
   }
 }
 
@@ -322,6 +335,7 @@ void EventMonitor::on_updated(const Value& new_value) {
       const Value verdict =
           engine()->call1(obs.predicate, {Value(obs.ref), new_value, wrapper});
       fired = verdict.truthy();
+      adapt::obs::metrics().counter("monitor.predicate_evals").add();
     } catch (const Error& e) {
       log_warn("monitor ", property_name(), ": event predicate '", obs.event_id,
                "' failed: ", e.what());
@@ -341,6 +355,7 @@ void EventMonitor::on_updated(const Value& new_value) {
     if (notify) {
       if (auto orb = orb_.lock()) {
         ++notifications_;
+        adapt::obs::metrics().counter("monitor.notifications").add();
         orb->invoke_oneway(obs.ref, "notifyEvent", {Value(obs.event_id)});
       }
     }

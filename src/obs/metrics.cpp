@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace adapt::obs {
+
+namespace {
+
+/// Bucket index for a sample: its bit width (0 for value 0).
+size_t bucket_index(uint64_t value) {
+  return value == 0 ? 0 : static_cast<size_t>(64 - std::countl_zero(value));
+}
+
+/// Inclusive lower bound of bucket i's value range.
+double bucket_lower(size_t i) {
+  return i <= 1 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+/// Exclusive upper bound of bucket i's value range.
+double bucket_upper(size_t i) {
+  return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+
+void atomic_max(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t observed = target.load(std::memory_order_relaxed);
+  while (observed < value &&
+         !target.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<uint64_t>& target, uint64_t value) {
+  uint64_t observed = target.load(std::memory_order_relaxed);
+  while (observed > value &&
+         !target.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+void json_number(std::string& out, double v) {
+  if (v == static_cast<double>(static_cast<uint64_t>(v)) && v >= 0) {
+    out += std::to_string(static_cast<uint64_t>(v));
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) {
+  double observed = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+void Histogram::record(uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::percentile(const std::array<uint64_t, kBuckets>& buckets,
+                             uint64_t count, double q) const {
+  if (count == 0) return 0.0;
+  // Rank of the requested quantile, 1-based.
+  const auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      // Linear interpolation inside the bucket.
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[i]);
+      return bucket_lower(i) + within * (bucket_upper(i) - bucket_lower(i));
+    }
+    cumulative += buckets[i];
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    count += buckets[i];
+  }
+  Snapshot s;
+  s.count = count;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  s.min = (count == 0 || min == UINT64_MAX) ? 0 : min;
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = percentile(buckets, count, 0.50);
+  s.p95 = percentile(buckets, count, 0.95);
+  s.p99 = percentile(buckets, count, 0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+Value MetricsRegistry::to_value() const {
+  auto counters = Table::make();
+  auto gauges = Table::make();
+  auto histograms = Table::make();
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters->set(Value(name), Value(counter->value()));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges->set(Value(name), Value(gauge->value()));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      const Histogram::Snapshot s = histogram->snapshot();
+      auto h = Table::make();
+      h->set(Value("count"), Value(s.count));
+      h->set(Value("sum"), Value(s.sum));
+      h->set(Value("mean"), Value(s.mean()));
+      h->set(Value("min"), Value(s.min));
+      h->set(Value("max"), Value(s.max));
+      h->set(Value("p50"), Value(s.p50));
+      h->set(Value("p95"), Value(s.p95));
+      h->set(Value("p99"), Value(s.p99));
+      histograms->set(Value(name), Value(std::move(h)));
+    }
+  }
+  auto t = Table::make();
+  t->set(Value("counters"), Value(std::move(counters)));
+  t->set(Value("gauges"), Value(std::move(gauges)));
+  t->set(Value("histograms"), Value(std::move(histograms)));
+  return Value(std::move(t));
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":";
+    json_number(out, gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    const Histogram::Snapshot s = histogram->snapshot();
+    out += "\"" + name + "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + std::to_string(s.sum);
+    out += ",\"min\":" + std::to_string(s.min);
+    out += ",\"max\":" + std::to_string(s.max);
+    out += ",\"p50\":";
+    json_number(out, s.p50);
+    out += ",\"p95\":";
+    json_number(out, s.p95);
+    out += ",\"p99\":";
+    json_number(out, s.p99);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked on purpose: ORBs and monitors may record during static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace adapt::obs

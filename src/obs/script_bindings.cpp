@@ -1,0 +1,145 @@
+#include "obs/script_bindings.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace adapt::obs {
+
+namespace {
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Luma handle around a detached span. Methods take the handle as arg 1
+/// (method-call syntax), so real arguments start at index 1.
+Value make_span_handle(std::shared_ptr<ScopedSpan> span) {
+  auto t = Table::make();
+  t->set(Value("annotate"), Value(NativeFunction::make("span.annotate",
+      [span](const ValueList& a) -> ValueList {
+        span->annotate(a.at(1).as_string(), a.at(2).str());
+        return {};
+      })));
+  t->set(Value("fail"), Value(NativeFunction::make("span.fail",
+      [span](const ValueList& a) -> ValueList {
+        span->set_error(a.size() > 1 ? a[1].str() : "error");
+        return {};
+      })));
+  t->set(Value("finish"), Value(NativeFunction::make("span.finish",
+      [span](const ValueList&) -> ValueList {
+        span->finish();
+        return {};
+      })));
+  t->set(Value("trace_id"), Value(span->context().trace_id_hex()));
+  return Value(std::move(t));
+}
+
+}  // namespace
+
+Value span_to_value(const Span& span) {
+  auto t = Table::make();
+  t->set(Value("trace"), Value(span.trace_id_hex()));
+  t->set(Value("span"), Value(hex16(span.span_id)));
+  t->set(Value("parent"), Value(hex16(span.parent_id)));
+  t->set(Value("name"), Value(span.name));
+  t->set(Value("kind"), Value(span_kind_name(span.kind)));
+  t->set(Value("start_ns"), Value(span.start_ns));
+  t->set(Value("duration_ns"), Value(span.duration_ns));
+  t->set(Value("ok"), Value(span.ok));
+  if (!span.status.empty()) t->set(Value("status"), Value(span.status));
+  if (!span.annotations.empty()) {
+    auto ann = Table::make();
+    for (const auto& [key, value] : span.annotations) ann->set(Value(key), Value(value));
+    t->set(Value("annotations"), Value(std::move(ann)));
+  }
+  return Value(std::move(t));
+}
+
+void install_obs_bindings(script::ScriptEngine& engine, Tracer* tracer,
+                          MetricsRegistry* registry) {
+  Tracer* tr = tracer != nullptr ? tracer : &default_tracer();
+  MetricsRegistry* reg = registry != nullptr ? registry : &metrics();
+
+  auto trace = Table::make();
+  trace->set(Value("span"), Value(NativeFunction::make("trace.span",
+      [tr](const ValueList& a) -> ValueList {
+        SpanOptions options;
+        options.tracer = tr;
+        options.detached = true;  // script spans may finish in any order
+        auto span = std::make_shared<ScopedSpan>(a.at(0).as_string(), options);
+        if (a.size() > 1 && a[1].is_table()) {
+          for (const auto& [key, value] : *a[1].as_table()) {
+            span->annotate(key.to_value().str(), value.str());
+          }
+        }
+        return {make_span_handle(std::move(span))};
+      })));
+  trace->set(Value("current"), Value(NativeFunction::make("trace.current",
+      [](const ValueList&) -> ValueList {
+        const TraceContext ctx = current_context();
+        return {Value(ctx.valid() ? ctx.trace_id_hex() : std::string())};
+      })));
+  trace->set(Value("recent"), Value(NativeFunction::make("trace.recent",
+      [tr](const ValueList& a) -> ValueList {
+        const size_t n = !a.empty() && a[0].is_number()
+                             ? static_cast<size_t>(a[0].as_int())
+                             : 32;
+        auto list = Table::make();
+        for (const Span& span : tr->recent(n)) list->append(span_to_value(span));
+        return {Value(std::move(list))};
+      })));
+  trace->set(Value("dump"), Value(NativeFunction::make("trace.dump",
+      [tr](const ValueList& a) -> ValueList {
+        const size_t n = !a.empty() && a[0].is_number()
+                             ? static_cast<size_t>(a[0].as_int())
+                             : 32;
+        for (const Span& span : tr->recent(n)) {
+          std::fputs(span_to_json(span).c_str(), stdout);
+          std::fputc('\n', stdout);
+        }
+        return {};
+      })));
+  trace->set(Value("clear"), Value(NativeFunction::make("trace.clear",
+      [tr](const ValueList&) -> ValueList {
+        tr->clear();
+        return {};
+      })));
+  trace->set(Value("enable"), Value(NativeFunction::make("trace.enable",
+      [tr](const ValueList& a) -> ValueList {
+        tr->set_enabled(a.empty() || a[0].truthy());
+        return {};
+      })));
+  engine.set_global("trace", Value(std::move(trace)));
+
+  auto m = Table::make();
+  m->set(Value("counter"), Value(NativeFunction::make("metrics.counter",
+      [reg](const ValueList& a) -> ValueList {
+        Counter& c = reg->counter(a.at(0).as_string());
+        c.add(a.size() > 1 && a[1].is_number() ? static_cast<uint64_t>(a[1].as_int()) : 1);
+        return {Value(c.value())};
+      })));
+  m->set(Value("gauge"), Value(NativeFunction::make("metrics.gauge",
+      [reg](const ValueList& a) -> ValueList {
+        Gauge& g = reg->gauge(a.at(0).as_string());
+        if (a.size() > 1 && a[1].is_number()) g.set(a[1].as_number());
+        return {Value(g.value())};
+      })));
+  m->set(Value("histogram"), Value(NativeFunction::make("metrics.histogram",
+      [reg](const ValueList& a) -> ValueList {
+        reg->histogram(a.at(0).as_string())
+            .record(static_cast<uint64_t>(a.at(1).as_number()));
+        return {};
+      })));
+  m->set(Value("snapshot"), Value(NativeFunction::make("metrics.snapshot",
+      [reg](const ValueList&) -> ValueList { return {reg->to_value()}; })));
+  m->set(Value("reset"), Value(NativeFunction::make("metrics.reset",
+      [reg](const ValueList&) -> ValueList {
+        reg->reset();
+        return {};
+      })));
+  engine.set_global("metrics", Value(std::move(m)));
+}
+
+}  // namespace adapt::obs

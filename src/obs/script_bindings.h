@@ -1,0 +1,40 @@
+// Luma bindings for the observability subsystem.
+//
+// Installs two globals:
+//
+//   trace.span(name [, annotations])  -- opens a span (child of the current
+//                                        context); returns a handle table
+//                                        with :annotate(k, v), :fail(msg)
+//                                        and :finish()
+//   trace.current()                   -- current trace id hex ("" when none)
+//   trace.recent([n])                 -- newest n spans (default 32) as an
+//                                        array of tables
+//   trace.dump([n])                   -- prints newest n spans as JSON lines
+//   trace.clear()                     -- empties the ring
+//   trace.enable(bool)                -- toggles the tracer
+//
+//   metrics.counter(name [, delta])   -- increments (default 1), returns value
+//   metrics.gauge(name [, value])     -- sets when value given; returns value
+//   metrics.histogram(name, sample)   -- records one sample
+//   metrics.snapshot()                -- { counters, gauges, histograms }
+//   metrics.reset()                   -- zeroes every instrument
+//
+// Adaptation strategies, aspect evaluators and monitor scripts use these to
+// make their own decisions observable in the same trace/registry as the ORB.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "script/engine.h"
+
+namespace adapt::obs {
+
+/// Null tracer/registry bind the process-wide defaults.
+void install_obs_bindings(script::ScriptEngine& engine, Tracer* tracer = nullptr,
+                          MetricsRegistry* registry = nullptr);
+
+/// One span as a Luma table (trace, span, parent, name, kind, start_ns,
+/// duration_ns, ok, status, annotations).
+[[nodiscard]] Value span_to_value(const Span& span);
+
+}  // namespace adapt::obs

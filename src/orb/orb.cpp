@@ -19,6 +19,14 @@ double steady_now() {
       .count();
 }
 
+uint64_t steady_ns() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+/// Wire metadata key carrying the trace context (see obs::TraceContext).
+
 /// Backoff before retry number `retry_index` (0-based), with jitter.
 double backoff_delay(const RetryPolicy& policy, int retry_index) {
   double delay = policy.initial_backoff;
@@ -91,6 +99,8 @@ Orb::Orb(OrbConfig config) : config_(std::move(config)) {
   inproc_endpoint_ = "inproc://" + name_;
   interfaces_ = config_.interfaces ? config_.interfaces
                                    : std::make_shared<InterfaceRepository>();
+  tracer_ = config_.tracer ? config_.tracer : obs::default_tracer_ptr();
+  stats_ = std::make_shared<OrbStatsCounters>(&obs::metrics(), "orb." + name_ + ".");
   PoolConfig pool_config;
   pool_config.timeout = config_.request_timeout;
   pool_config.max_idle_per_endpoint = config_.pool_max_idle_per_endpoint;
@@ -180,6 +190,36 @@ ObjectRef Orb::make_ref(const std::string& object_id) const {
 
 ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
   stats_->add_request_served();
+
+  // Server span: adopt the caller's context from the wire so this dispatch
+  // (and anything the servant invokes from this thread) joins the caller's
+  // trace; a context-free request roots a fresh trace.
+  obs::TraceContext remote;
+  if (!req.traceparent.empty()) {
+    if (const auto parsed = obs::TraceContext::from_header(req.traceparent)) {
+      remote = *parsed;
+    }
+  }
+  obs::SpanOptions span_options;
+  span_options.kind = obs::SpanKind::Server;
+  span_options.remote_parent = remote.valid() ? &remote : nullptr;
+  span_options.tracer = tracer_.get();
+  obs::ScopedSpan span(req.operation, span_options);
+  // Mirror of the client-side single-annotation rule: the serving ORB is
+  // identified by the parent client span's "peer" annotation; the object id
+  // is what distinguishes spans within one ORB.
+  if (span.active()) span.annotate("object", req.object_id);
+  // With an active span the dispatch histogram reuses the span's clock reads.
+  const uint64_t started = span.active() ? 0 : steady_ns();
+  const auto record_dispatch = [&] {
+    if (span.active()) {
+      span.finish();
+      stats_->record_dispatch_ns(span.duration_ns());
+    } else {
+      stats_->record_dispatch_ns(steady_ns() - started);
+    }
+  };
+
   ReplyMessage rep;
   rep.request_id = req.request_id;
   const ServantPtr servant = find_servant(req.object_id);
@@ -187,6 +227,8 @@ ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
     rep.status = ReplyStatus::SystemError;
     rep.result = make_error_payload("object-not-found",
                                     "no such object: " + req.object_id + " at " + name_);
+    span.set_error("object-not-found");
+    record_dispatch();
     return rep;
   }
   try {
@@ -203,13 +245,17 @@ ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
   } catch (const BadOperation& e) {
     rep.status = ReplyStatus::SystemError;
     rep.result = make_error_payload("bad-operation", e.what());
+    span.set_error(e.what());
   } catch (const Error& e) {
     rep.status = ReplyStatus::UserError;
     rep.result = make_error_payload("error", e.what());
+    span.set_error(e.what());
   } catch (const std::exception& e) {
     rep.status = ReplyStatus::UserError;
     rep.result = make_error_payload("error", std::string("servant failure: ") + e.what());
+    span.set_error(e.what());
   }
+  record_dispatch();
   return rep;
 }
 
@@ -274,7 +320,11 @@ void Orb::invoke_oneway(const ObjectRef& ref, const std::string& operation,
 std::future<Value> Orb::invoke_async(const ObjectRef& ref, const std::string& operation,
                                      const ValueList& args) {
   auto self = shared_from_this();
-  return std::async(std::launch::async, [self, ref, operation, args] {
+  // Deferred calls join the trace that issued them: capture the caller's
+  // context here and re-install it on the worker thread.
+  const obs::TraceContext ctx = obs::current_context();
+  return std::async(std::launch::async, [self, ref, operation, args, ctx] {
+    obs::ContextGuard guard(ctx);
     return self->invoke_impl(ref, operation, args, /*oneway=*/false, InvokeOptions{});
   });
 }
@@ -309,12 +359,50 @@ Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
   if (ref.empty()) throw OrbError("invoke: empty object reference");
   validate(ref, operation);
 
+  // Client span: one per logical invocation (covers every retry attempt);
+  // the span's context rides the wire so the server dispatch parents under
+  // it. Near-free when the tracer is disabled.
+  obs::SpanOptions span_options;
+  span_options.kind = obs::SpanKind::Client;
+  span_options.tracer = tracer_.get();
+  obs::ScopedSpan span(operation, span_options);
+  // One annotation, not several: each annotate costs two string constructions
+  // on the per-invocation hot path. The object id is visible on the matching
+  // server span; the peer endpoint only the client knows.
+  if (span.active()) span.annotate("peer", ref.endpoint);
+  // With an active span the invoke histogram reuses the span's clock reads.
+  const uint64_t started = span.active() ? 0 : steady_ns();
+  try {
+    const Value result = invoke_traced(ref, operation, args, oneway, options, span);
+    if (span.active()) {
+      span.finish();
+      stats_->record_invoke_ns(span.duration_ns());
+    } else {
+      stats_->record_invoke_ns(steady_ns() - started);
+    }
+    return result;
+  } catch (const Error& e) {
+    if (span.active()) {
+      span.set_error(e.what());
+      span.finish();
+      stats_->record_invoke_ns(span.duration_ns());
+    } else {
+      stats_->record_invoke_ns(steady_ns() - started);
+    }
+    throw;
+  }
+}
+
+Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
+                         const ValueList& args, bool oneway, const InvokeOptions& options,
+                         obs::ScopedSpan& span) {
   RequestMessage req;
   req.request_id = next_request_id_++;
   req.oneway = oneway;
   req.object_id = ref.object_id;
   req.operation = operation;
   req.args = args;
+  if (span.active()) req.traceparent = span.context().to_header();
 
   // Local dispatch — our own endpoint, either name.
   const bool is_self =
@@ -388,6 +476,7 @@ Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
                 "), retrying in ", delay, "s");
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       stats_->add_retry();
+      span.annotate("retry", std::to_string(attempt + 1));
     }
   }
 }

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "base/value.h"
+#include "obs/trace.h"
 #include "orb/errors.h"
 #include "orb/interface_repo.h"
 #include "orb/servant.h"
@@ -95,6 +96,11 @@ struct OrbConfig {
   size_t pool_max_idle_per_endpoint = 8;
   /// Idle TCP connections older than this are reaped, seconds.
   double pool_max_idle_age = 30.0;
+
+  /// Destination ring for this ORB's spans; the process-wide
+  /// obs::default_tracer() when null (so one query API sees every ORB of an
+  /// in-process deployment). Disable via tracer->set_enabled(false).
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 class Orb : public std::enable_shared_from_this<Orb> {
@@ -160,12 +166,27 @@ class Orb : public std::enable_shared_from_this<Orb> {
   /// Luma via install_orb_bindings).
   [[nodiscard]] OrbStats stats() const { return stats_->snapshot(); }
 
+  /// Zeroes the stats window (snapshot deltas; see OrbStatsCounters::reset)
+  /// so benches and tests can measure from a clean baseline. Also exposed to
+  /// Luma as orb.stats_reset().
+  void stats_reset() { stats_->reset(); }
+
+  /// The ring this ORB's spans land in (the process default unless
+  /// OrbConfig::tracer overrode it).
+  [[nodiscard]] obs::Tracer& tracer() const { return *tracer_; }
+
  private:
   explicit Orb(OrbConfig config);
   void start();
 
   Value invoke_impl(const ObjectRef& ref, const std::string& operation,
                     const ValueList& args, bool oneway, const InvokeOptions& options);
+  /// invoke_impl after the client span is open: builds the request (stamping
+  /// the span's context into the wire metadata) and runs the local or TCP
+  /// path.
+  Value invoke_traced(const ObjectRef& ref, const std::string& operation,
+                      const ValueList& args, bool oneway, const InvokeOptions& options,
+                      obs::ScopedSpan& span);
   /// One TCP round trip with the given remaining budget. `idempotent`
   /// lets the pool redial a stale connection even after the request was
   /// fully written (re-execution is safe for idempotent operations only).
@@ -190,7 +211,8 @@ class Orb : public std::enable_shared_from_this<Orb> {
   std::map<std::string, ServantPtr> servants_;
   std::atomic<uint64_t> next_object_id_{1};
   std::atomic<uint64_t> next_request_id_{1};
-  std::shared_ptr<OrbStatsCounters> stats_ = std::make_shared<OrbStatsCounters>();
+  std::shared_ptr<OrbStatsCounters> stats_;
+  std::shared_ptr<obs::Tracer> tracer_;
   std::atomic<bool> shut_down_{false};
 
   std::unique_ptr<TcpListener> listener_;

@@ -14,6 +14,11 @@ void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb) {
       [need](const ValueList&) -> ValueList {
         return {stats_to_value(need()->stats())};
       })));
+  t->set(Value("stats_reset"), Value(NativeFunction::make("orb.stats_reset",
+      [need](const ValueList&) -> ValueList {
+        need()->stats_reset();
+        return {};
+      })));
   t->set(Value("requests_served"), Value(NativeFunction::make("orb.requests_served",
       [need](const ValueList&) -> ValueList {
         return {Value(need()->requests_served())};

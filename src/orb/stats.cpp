@@ -2,21 +2,73 @@
 
 namespace adapt::orb {
 
+namespace {
+
+constexpr const char* kFieldNames[] = {
+    "requests",          "replies",       "retries",
+    "redials",           "timeouts",      "transport_errors",
+    "bytes_sent",        "bytes_received", "connections_opened",
+    "connections_reused", "requests_served",
+};
+
+}  // namespace
+
+OrbStatsCounters::OrbStatsCounters(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  obs::MetricsRegistry* reg = registry;
+  if (reg == nullptr && prefix.empty()) {
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    reg = owned_.get();
+  } else if (reg == nullptr) {
+    reg = &obs::metrics();
+  }
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    counters_[i] = &reg->counter(prefix + kFieldNames[i]);
+  }
+  invoke_ns_ = &reg->histogram(prefix + "invoke_ns");
+  dispatch_ns_ = &reg->histogram(prefix + "dispatch_ns");
+  reset();
+}
+
+void OrbStatsCounters::reset() {
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    baselines_[i].store(counters_[i]->value(), std::memory_order_relaxed);
+  }
+}
+
 OrbStats OrbStatsCounters::snapshot() const {
   OrbStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.replies = replies_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.redials = redials_.load(std::memory_order_relaxed);
-  s.timeouts = timeouts_.load(std::memory_order_relaxed);
-  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
-  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
-  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
-  s.connections_reused = connections_reused_.load(std::memory_order_relaxed);
-  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  s.requests = get(kRequests);
+  s.replies = get(kReplies);
+  s.retries = get(kRetries);
+  s.redials = get(kRedials);
+  s.timeouts = get(kTimeouts);
+  s.transport_errors = get(kTransportErrors);
+  s.bytes_sent = get(kBytesSent);
+  s.bytes_received = get(kBytesReceived);
+  s.connections_opened = get(kConnectionsOpened);
+  s.connections_reused = get(kConnectionsReused);
+  s.requests_served = get(kRequestsServed);
+  s.invoke_ns = invoke_ns_->snapshot();
+  s.dispatch_ns = dispatch_ns_->snapshot();
   return s;
 }
+
+namespace {
+
+Value histogram_to_value(const obs::Histogram::Snapshot& s) {
+  auto t = Table::make();
+  t->set(Value("count"), Value(s.count));
+  t->set(Value("mean"), Value(s.mean()));
+  t->set(Value("min"), Value(s.min));
+  t->set(Value("max"), Value(s.max));
+  t->set(Value("p50"), Value(s.p50));
+  t->set(Value("p95"), Value(s.p95));
+  t->set(Value("p99"), Value(s.p99));
+  return Value(std::move(t));
+}
+
+}  // namespace
 
 Value stats_to_value(const OrbStats& stats) {
   auto t = Table::make();
@@ -31,6 +83,8 @@ Value stats_to_value(const OrbStats& stats) {
   t->set(Value("connections_opened"), Value(stats.connections_opened));
   t->set(Value("connections_reused"), Value(stats.connections_reused));
   t->set(Value("requests_served"), Value(stats.requests_served));
+  t->set(Value("invoke_ns"), histogram_to_value(stats.invoke_ns));
+  t->set(Value("dispatch_ns"), histogram_to_value(stats.dispatch_ns));
   return Value(std::move(t));
 }
 

@@ -6,17 +6,31 @@
 // "_stats" builtin operation, or the Luma `orb.stats()` binding, so that
 // transport health (retries, redials, timeouts) is itself an input to
 // adaptation decisions.
+//
+// The counters are re-expressed on top of the obs::MetricsRegistry: each
+// field is a registry Counter (plus invoke/dispatch latency Histograms)
+// named "<prefix><field>", so the same numbers appear in metrics.snapshot(),
+// the registry's JSON export and the BENCH_*.json files. An ORB registers
+// under "orb.<name>."; the default constructor uses a private registry (for
+// standalone pools in tests). reset() is baseline-based: the registry keeps
+// raw process-lifetime totals while snapshot() reports deltas since the last
+// reset, so benches and tests can take clean measurements.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "base/value.h"
+#include "obs/metrics.h"
 
 namespace adapt::orb {
 
-/// Point-in-time snapshot of an ORB's transport counters. Client-side
-/// counters cover both the TCP and the in-process path unless noted.
+/// Point-in-time snapshot of an ORB's transport counters (since the last
+/// reset). Client-side counters cover both the TCP and the in-process path
+/// unless noted.
 struct OrbStats {
   uint64_t requests = 0;          ///< requests sent (each retry attempt counts)
   uint64_t replies = 0;           ///< replies successfully received
@@ -29,58 +43,82 @@ struct OrbStats {
   uint64_t connections_opened = 0;  ///< fresh dials
   uint64_t connections_reused = 0;  ///< pool hits
   uint64_t requests_served = 0;     ///< server side: dispatched requests
+  /// Client-side invoke latency (since construction; not reset-windowed).
+  obs::Histogram::Snapshot invoke_ns;
+  /// Server-side dispatch latency (since construction; not reset-windowed).
+  obs::Histogram::Snapshot dispatch_ns;
 };
 
-/// Live counters. Increments use relaxed atomics: the numbers are
-/// diagnostics, torn only across fields, never within one.
+/// Live counters backed by obs::MetricsRegistry instruments. Increments are
+/// relaxed atomics: the numbers are diagnostics, torn only across fields,
+/// never within one.
 class OrbStatsCounters {
  public:
-  void add_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
-  void add_reply() { replies_.fetch_add(1, std::memory_order_relaxed); }
-  void add_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
-  void add_redial() { redials_.fetch_add(1, std::memory_order_relaxed); }
-  void add_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
-  void add_transport_error() {
-    transport_errors_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void add_bytes_sent(uint64_t n) { bytes_sent_.fetch_add(n, std::memory_order_relaxed); }
-  void add_bytes_received(uint64_t n) {
-    bytes_received_.fetch_add(n, std::memory_order_relaxed);
-  }
-  void add_connection_opened() {
-    connections_opened_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void add_connection_reused() {
-    connections_reused_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void add_request_served() {
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Standalone block on a private registry (tests, bare pools).
+  OrbStatsCounters() : OrbStatsCounters(nullptr, "") {}
+  /// Registers instruments "<prefix><field>" in `registry` (the process
+  /// default registry when null). Baselines start at the instruments'
+  /// current values, so a fresh block always reads zero even when the
+  /// prefix was used by an earlier ORB incarnation.
+  OrbStatsCounters(obs::MetricsRegistry* registry, const std::string& prefix);
 
-  [[nodiscard]] uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] uint64_t redials() const {
-    return redials_.load(std::memory_order_relaxed);
-  }
+  void add_request() { add(kRequests); }
+  void add_reply() { add(kReplies); }
+  void add_retry() { add(kRetries); }
+  void add_redial() { add(kRedials); }
+  void add_timeout() { add(kTimeouts); }
+  void add_transport_error() { add(kTransportErrors); }
+  void add_bytes_sent(uint64_t n) { add(kBytesSent, n); }
+  void add_bytes_received(uint64_t n) { add(kBytesReceived, n); }
+  void add_connection_opened() { add(kConnectionsOpened); }
+  void add_connection_reused() { add(kConnectionsReused); }
+  void add_request_served() { add(kRequestsServed); }
+
+  void record_invoke_ns(uint64_t ns) { invoke_ns_->record(ns); }
+  void record_dispatch_ns(uint64_t ns) { dispatch_ns_->record(ns); }
+
+  [[nodiscard]] uint64_t requests_served() const { return get(kRequestsServed); }
+  [[nodiscard]] uint64_t redials() const { return get(kRedials); }
 
   [[nodiscard]] OrbStats snapshot() const;
 
+  /// Re-baselines every counter so the next snapshot starts from zero (the
+  /// underlying registry instruments keep their raw totals). Latency
+  /// histograms are left untouched.
+  void reset();
+
  private:
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> replies_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> redials_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  std::atomic<uint64_t> transport_errors_{0};
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> bytes_received_{0};
-  std::atomic<uint64_t> connections_opened_{0};
-  std::atomic<uint64_t> connections_reused_{0};
-  std::atomic<uint64_t> requests_served_{0};
+  enum Field : size_t {
+    kRequests = 0,
+    kReplies,
+    kRetries,
+    kRedials,
+    kTimeouts,
+    kTransportErrors,
+    kBytesSent,
+    kBytesReceived,
+    kConnectionsOpened,
+    kConnectionsReused,
+    kRequestsServed,
+    kFieldCount,
+  };
+
+  void add(Field f, uint64_t n = 1) { counters_[f]->add(n); }
+  [[nodiscard]] uint64_t get(Field f) const {
+    const uint64_t raw = counters_[f]->value();
+    const uint64_t base = baselines_[f].load(std::memory_order_relaxed);
+    return raw >= base ? raw - base : 0;
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> owned_;  // set for standalone blocks
+  std::array<obs::Counter*, kFieldCount> counters_{};
+  std::array<std::atomic<uint64_t>, kFieldCount> baselines_{};
+  obs::Histogram* invoke_ns_ = nullptr;
+  obs::Histogram* dispatch_ns_ = nullptr;
 };
 
-/// Converts a snapshot to a Luma table (keys match the field names).
+/// Converts a snapshot to a Luma table (keys match the field names; latency
+/// histograms appear as nested "invoke_ns"/"dispatch_ns" tables).
 [[nodiscard]] Value stats_to_value(const OrbStats& stats);
 
 }  // namespace adapt::orb

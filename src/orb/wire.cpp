@@ -108,6 +108,20 @@ Bytes encode_request(const RequestMessage& req) {
   w.str(req.operation);
   w.u32(static_cast<uint32_t>(req.args.size()));
   for (const Value& arg : req.args) encode_value(w, arg);
+  if (req.has_context()) {
+    // v2 optional tail (see RequestMessage::context). Omitted when empty so
+    // context-free requests stay bit-identical to the v1 encoding.
+    const uint32_t extra = static_cast<uint32_t>(req.context.size());
+    w.u32(extra + (req.traceparent.empty() ? 0 : 1));
+    if (!req.traceparent.empty()) {
+      w.str(RequestMessage::kTraceparentKey);
+      w.str(req.traceparent);
+    }
+    for (const auto& [key, value] : req.context) {
+      w.str(key);
+      w.str(value);
+    }
+  }
   return w.take();
 }
 
@@ -142,6 +156,14 @@ RequestMessage decode_request(const Bytes& payload) {
   const uint32_t argc = r.u32();
   req.args.reserve(argc);
   for (uint32_t i = 0; i < argc; ++i) req.args.push_back(decode_value(r));
+  if (!r.done()) {
+    // v2 optional tail; a v1 frame ends right after the args.
+    const uint32_t entries = r.u32();
+    for (uint32_t i = 0; i < entries; ++i) {
+      std::string key = r.str();
+      req.set_context(key, r.str());
+    }
+  }
   if (!r.done()) throw SerializationError("trailing bytes in request");
   return req;
 }

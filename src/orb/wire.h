@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "base/bytes.h"
 #include "base/value.h"
@@ -37,6 +40,40 @@ struct RequestMessage {
   std::string object_id;
   std::string operation;
   ValueList args;
+  /// v2 extension: out-of-band request metadata. Encoded only when non-empty,
+  /// as an optional key/value tail after the args — a v1 decoder never sees
+  /// it for context-free requests, and the v2 decoder accepts v1 frames (no
+  /// tail) unchanged, so mixed-version peers interoperate. On the wire every
+  /// entry is a (key, value) string pair; in memory the one key every traced
+  /// request carries ("traceparent") has a dedicated field so the
+  /// per-invocation hot path never allocates the vector.
+  std::string traceparent;
+  /// Context entries other than "traceparent" (rare; reserved for future
+  /// keys). Same wire representation as traceparent, just generic.
+  std::vector<std::pair<std::string, std::string>> context;
+
+  [[nodiscard]] bool has_context() const {
+    return !traceparent.empty() || !context.empty();
+  }
+  /// Context value stored under `key`, or nullptr.
+  [[nodiscard]] const std::string* find_context(std::string_view key) const {
+    if (key == kTraceparentKey) return traceparent.empty() ? nullptr : &traceparent;
+    for (const auto& [k, v] : context) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  /// Stores `value` under `key`, routing "traceparent" to its field.
+  void set_context(std::string_view key, std::string value) {
+    if (key == kTraceparentKey) {
+      traceparent = std::move(value);
+    } else {
+      context.emplace_back(std::string(key), std::move(value));
+    }
+  }
+
+  /// The distributed-tracing context key (W3C traceparent analog).
+  static constexpr std::string_view kTraceparentKey = "traceparent";
 };
 
 struct ReplyMessage {

@@ -1,0 +1,239 @@
+// Unit tests for the metrics registry (src/obs/metrics.*) and its ORB /
+// Luma integration: counters, gauges, log-bucketed histogram percentiles,
+// snapshot export, and the stats-reset window on Orb.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/script_bindings.h"
+#include "orb/orb.h"
+#include "orb/script_bindings.h"
+#include "script/engine.h"
+
+using namespace adapt;
+using namespace adapt::obs;
+
+namespace {
+
+TEST(CounterTest, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(HistogramTest, ExactStatsAndBucketedPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // Buckets are power-of-two wide: estimates are within one octave of the
+  // exact percentile.
+  EXPECT_GE(s.p50, 250.0);
+  EXPECT_LE(s.p50, 1000.0);
+  EXPECT_GE(s.p95, 475.0);
+  EXPECT_LE(s.p99, 2000.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(0);  // zero lands in the first bucket, must not underflow
+  h.record(1u << 20);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1u << 20);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(100);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(RegistryTest, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Distinct instrument kinds may share a name without clashing.
+  reg.gauge("x").set(1.0);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+}
+
+TEST(RegistryTest, NamesAndSnapshotValue) {
+  MetricsRegistry reg;
+  reg.counter("requests").add(5);
+  reg.gauge("load").set(0.75);
+  reg.histogram("latency").record(128);
+
+  EXPECT_EQ(reg.counter_names(), std::vector<std::string>{"requests"});
+  EXPECT_EQ(reg.gauge_names(), std::vector<std::string>{"load"});
+  EXPECT_EQ(reg.histogram_names(), std::vector<std::string>{"latency"});
+
+  const Value v = reg.to_value();
+  ASSERT_TRUE(v.is_table());
+  const Value counters = v.as_table()->get(Value("counters"));
+  ASSERT_TRUE(counters.is_table());
+  EXPECT_EQ(counters.as_table()->get(Value("requests")).as_number(), 5.0);
+  const Value hists = v.as_table()->get(Value("histograms"));
+  ASSERT_TRUE(hists.is_table());
+  const Value lat = hists.as_table()->get(Value("latency"));
+  ASSERT_TRUE(lat.is_table());
+  EXPECT_EQ(lat.as_table()->get(Value("count")).as_number(), 1.0);
+}
+
+TEST(RegistryTest, ToJsonContainsInstruments) {
+  MetricsRegistry reg;
+  reg.counter("hits").add(7);
+  reg.histogram("ns").record(42);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"hits\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistration) {
+  MetricsRegistry reg;
+  reg.counter("c").add(9);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h").record(10);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h").snapshot().count, 0u);
+  EXPECT_EQ(reg.counter_names().size(), 1u);
+}
+
+TEST(RegistryTest, ConcurrentCreateAndUpdate) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("shared").add();
+        reg.histogram("lat").record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(), static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_EQ(reg.histogram("lat").snapshot().count,
+            static_cast<uint64_t>(kThreads * kIters));
+}
+
+TEST(OrbStatsIntegration, StatsResetGivesCleanWindow) {
+  auto server = orb::Orb::create({.name = "metrics-test-server"});
+  auto servant = orb::FunctionServant::make("Echo");
+  servant->on("echo", [](const ValueList& args) {
+    return args.empty() ? Value() : args[0];
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  auto client = orb::Orb::create({.name = "metrics-test-client"});
+
+  client->invoke(ref, "echo", {Value(1.0)});
+  client->invoke(ref, "echo", {Value(2.0)});
+  EXPECT_GE(client->stats().requests, 2u);
+  EXPECT_GE(client->stats().replies, 2u);
+
+  client->stats_reset();
+  const orb::OrbStats after = client->stats();
+  EXPECT_EQ(after.requests, 0u);
+  EXPECT_EQ(after.replies, 0u);
+
+  // The window restarts: the next call counts from zero.
+  client->invoke(ref, "echo", {Value(3.0)});
+  EXPECT_EQ(client->stats().requests, 1u);
+
+  // The backing registry instruments keep raw totals across the reset.
+  EXPECT_GE(metrics().counter("orb.metrics-test-client.requests").value(), 3u);
+}
+
+TEST(OrbStatsIntegration, InvokeLatencyHistogramPopulated) {
+  auto server = orb::Orb::create({.name = "metrics-lat-server"});
+  auto servant = orb::FunctionServant::make("Echo");
+  servant->on("echo", [](const ValueList& args) {
+    return args.empty() ? Value() : args[0];
+  });
+  const ObjectRef ref = server->register_servant(servant);
+  auto client = orb::Orb::create({.name = "metrics-lat-client"});
+
+  for (int i = 0; i < 5; ++i) client->invoke(ref, "echo", {Value(1.0)});
+  const orb::OrbStats stats = client->stats();
+  EXPECT_GE(stats.invoke_ns.count, 5u);
+  EXPECT_GT(stats.invoke_ns.p50, 0.0);
+  EXPECT_GE(server->stats().dispatch_ns.count, 5u);
+}
+
+TEST(LumaBindings, MetricsAndStatsReset) {
+  script::ScriptEngine engine;
+  install_obs_bindings(engine);
+
+  engine.eval("metrics.counter('luma.test.hits', 3)");
+  EXPECT_EQ(metrics().counter("luma.test.hits").value(), 3u);
+  engine.eval("metrics.gauge('luma.test.load', 0.5)");
+  EXPECT_DOUBLE_EQ(metrics().gauge("luma.test.load").value(), 0.5);
+  engine.eval("metrics.histogram('luma.test.ns', 250)");
+  EXPECT_EQ(metrics().histogram("luma.test.ns").snapshot().count, 1u);
+
+  const Value snap = engine.eval1("return metrics.snapshot()");
+  ASSERT_TRUE(snap.is_table());
+  ASSERT_TRUE(snap.as_table()->get(Value("counters")).is_table());
+
+  // orb.stats_reset() through the ORB bindings.
+  auto orb = orb::Orb::create({.name = "metrics-luma-orb"});
+  auto servant = orb::FunctionServant::make("Echo");
+  servant->on("echo", [](const ValueList& args) {
+    return args.empty() ? Value() : args[0];
+  });
+  const ObjectRef ref = orb->register_servant(servant);
+  orb->invoke(ref, "echo", {Value(1.0)});
+  EXPECT_GE(orb->stats().requests, 1u);
+
+  script::ScriptEngine env2;
+  orb::install_orb_bindings(env2, orb);
+  env2.eval("orb.stats_reset()");
+  EXPECT_EQ(orb->stats().requests, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// End-to-end trace propagation across ORB hops, plus wire-format
+// compatibility for the v2 context tail: a two-hop call client -> A -> B
+// must produce ONE trace whose spans are parented across all three ORBs,
+// and v1 (context-free) request frames must keep decoding unchanged.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "orb/orb.h"
+#include "orb/wire.h"
+
+using namespace adapt;
+using obs::Span;
+using obs::SpanKind;
+
+namespace {
+
+/// Three-ORB chain (client -> relay -> leaf) recording into one dedicated
+/// tracer, so assertions see exactly this test's spans.
+struct Chain {
+  explicit Chain(bool tcp, const std::string& tag) {
+    tracer = std::make_shared<obs::Tracer>(256);
+
+    orb::OrbConfig leaf_cfg;
+    leaf_cfg.name = tag + "-leaf";
+    leaf_cfg.listen_tcp = tcp;
+    leaf_cfg.tracer = tracer;
+    leaf = orb::Orb::create(leaf_cfg);
+    auto leaf_servant = orb::FunctionServant::make("Leaf");
+    leaf_servant->on("leaf_op", [](const ValueList&) { return Value(std::string("leaf")); });
+    leaf_ref = leaf->register_servant(leaf_servant);
+
+    orb::OrbConfig relay_cfg;
+    relay_cfg.name = tag + "-relay";
+    relay_cfg.listen_tcp = tcp;
+    relay_cfg.tracer = tracer;
+    relay = orb::Orb::create(relay_cfg);
+    auto relay_servant = orb::FunctionServant::make("Relay");
+    relay_servant->on("relay_op", [this](const ValueList&) {
+      // Second hop: invoked from inside the relay's dispatch, so the
+      // outgoing request must carry the relay's server-span context.
+      return relay->invoke(leaf_ref, "leaf_op");
+    });
+    relay_ref = relay->register_servant(relay_servant);
+
+    orb::OrbConfig client_cfg;
+    client_cfg.name = tag + "-client";
+    client_cfg.tracer = tracer;
+    client = orb::Orb::create(client_cfg);
+  }
+
+  [[nodiscard]] const Span* find(const std::string& name, SpanKind kind) const {
+    for (const Span& s : spans) {
+      if (s.name == name && s.kind == kind) return &s;
+    }
+    return nullptr;
+  }
+
+  void run_and_collect() {
+    const Value result = client->invoke(relay_ref, "relay_op");
+    EXPECT_EQ(result.str(), "leaf");
+    spans = tracer->recent();
+  }
+
+  std::shared_ptr<obs::Tracer> tracer;
+  orb::OrbPtr leaf, relay, client;
+  ObjectRef leaf_ref, relay_ref;
+  std::vector<Span> spans;
+};
+
+void expect_single_parented_trace(const Chain& chain) {
+  ASSERT_EQ(chain.spans.size(), 4u) << "client + 2x(server+client) spans expected";
+
+  const Span* c_relay = chain.find("relay_op", SpanKind::Client);
+  const Span* s_relay = chain.find("relay_op", SpanKind::Server);
+  const Span* c_leaf = chain.find("leaf_op", SpanKind::Client);
+  const Span* s_leaf = chain.find("leaf_op", SpanKind::Server);
+  ASSERT_NE(c_relay, nullptr);
+  ASSERT_NE(s_relay, nullptr);
+  ASSERT_NE(c_leaf, nullptr);
+  ASSERT_NE(s_leaf, nullptr);
+
+  // One trace id across all three ORBs.
+  const std::string trace_id = c_relay->trace_id_hex();
+  EXPECT_EQ(s_relay->trace_id_hex(), trace_id);
+  EXPECT_EQ(c_leaf->trace_id_hex(), trace_id);
+  EXPECT_EQ(s_leaf->trace_id_hex(), trace_id);
+
+  // Parent chain: client(relay) <- server(relay) <- client(leaf) <- server(leaf).
+  EXPECT_EQ(c_relay->parent_id, 0u) << "client span is the trace root";
+  EXPECT_EQ(s_relay->parent_id, c_relay->span_id);
+  EXPECT_EQ(c_leaf->parent_id, s_relay->span_id);
+  EXPECT_EQ(s_leaf->parent_id, c_leaf->span_id);
+
+  // The query API reconstructs the same trace.
+  const auto trace = chain.tracer->find_trace(trace_id);
+  EXPECT_EQ(trace.size(), 4u);
+}
+
+TEST(TracePropagation, TwoHopOverTcp) {
+  Chain chain(/*tcp=*/true, "prop-tcp");
+  chain.run_and_collect();
+  expect_single_parented_trace(chain);
+}
+
+TEST(TracePropagation, TwoHopInProcess) {
+  Chain chain(/*tcp=*/false, "prop-inproc");
+  chain.run_and_collect();
+  expect_single_parented_trace(chain);
+}
+
+TEST(TracePropagation, AsyncInvokeJoinsCallersTrace) {
+  auto tracer = std::make_shared<obs::Tracer>(64);
+
+  orb::OrbConfig server_cfg;
+  server_cfg.name = "prop-async-server";
+  server_cfg.tracer = tracer;
+  auto server = orb::Orb::create(server_cfg);
+  auto servant = orb::FunctionServant::make("Echo");
+  servant->on("echo", [](const ValueList& args) {
+    return args.empty() ? Value() : args[0];
+  });
+  const ObjectRef ref = server->register_servant(servant);
+
+  orb::OrbConfig client_cfg;
+  client_cfg.name = "prop-async-client";
+  client_cfg.tracer = tracer;
+  auto client = orb::Orb::create(client_cfg);
+
+  std::string trace_id;
+  {
+    obs::SpanOptions opts;
+    opts.tracer = tracer.get();
+    obs::ScopedSpan outer("caller", opts);
+    trace_id = outer.context().trace_id_hex();
+    auto future = client->invoke_async(ref, "echo", {Value(7.0)});
+    EXPECT_EQ(future.get().as_number(), 7.0);
+  }
+
+  // Every span of the async call — the worker-thread client span and the
+  // server span — belongs to the caller's trace.
+  const auto trace = tracer->find_trace(trace_id);
+  ASSERT_EQ(trace.size(), 3u);  // caller + client(echo) + server(echo)
+  const Span* outer_span = nullptr;
+  const Span* client_span = nullptr;
+  const Span* server_span = nullptr;
+  for (const Span& s : trace) {
+    if (s.name == "caller") outer_span = &s;
+    if (s.name == "echo" && s.kind == SpanKind::Client) client_span = &s;
+    if (s.name == "echo" && s.kind == SpanKind::Server) server_span = &s;
+  }
+  ASSERT_NE(outer_span, nullptr);
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  EXPECT_EQ(client_span->parent_id, outer_span->span_id);
+  EXPECT_EQ(server_span->parent_id, client_span->span_id);
+}
+
+TEST(TracePropagation, FailedInvokeSpanCarriesError) {
+  auto tracer = std::make_shared<obs::Tracer>(64);
+  orb::OrbConfig cfg;
+  cfg.name = "prop-fail-client";
+  cfg.tracer = tracer;
+  auto client = orb::Orb::create(cfg);
+
+  ObjectRef bogus;
+  bogus.endpoint = "inproc://no-such-orb";
+  bogus.object_id = "ghost";
+  EXPECT_THROW(client->invoke(bogus, "op"), orb::OrbError);
+
+  const auto spans = tracer->recent();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().name, "op");
+  EXPECT_FALSE(spans.back().ok);
+  EXPECT_FALSE(spans.back().status.empty());
+}
+
+// ---- wire compatibility ----------------------------------------------------
+
+/// Hand-assembled v1 request frame: exactly the pre-context encoding
+/// (type, id, oneway, object, operation, args) with no tail.
+Bytes make_v1_frame(uint64_t request_id, const std::string& object_id,
+                    const std::string& operation, const ValueList& args) {
+  ByteWriter w;
+  w.u8(1);  // MsgType::Request
+  w.u64(request_id);
+  w.u8(0);  // not oneway
+  w.str(object_id);
+  w.str(operation);
+  w.u32(static_cast<uint32_t>(args.size()));
+  for (const Value& arg : args) orb::encode_value(w, arg);
+  return w.take();
+}
+
+TEST(WireCompat, OldFormatRequestStillDecodes) {
+  const Bytes v1 = make_v1_frame(42, "obj-1", "echo", {Value(3.5), Value(std::string("hi"))});
+  const orb::RequestMessage req = orb::decode_request(v1);
+  EXPECT_EQ(req.request_id, 42u);
+  EXPECT_EQ(req.object_id, "obj-1");
+  EXPECT_EQ(req.operation, "echo");
+  ASSERT_EQ(req.args.size(), 2u);
+  EXPECT_EQ(req.args[0].as_number(), 3.5);
+  EXPECT_EQ(req.args[1].as_string(), "hi");
+  EXPECT_FALSE(req.has_context());
+  EXPECT_TRUE(req.traceparent.empty());
+  EXPECT_EQ(req.find_context("traceparent"), nullptr);
+}
+
+TEST(WireCompat, ContextFreeEncodingIsBitIdenticalToV1) {
+  orb::RequestMessage req;
+  req.request_id = 7;
+  req.object_id = "obj-2";
+  req.operation = "query";
+  req.args = {Value(true)};
+  const Bytes encoded = orb::encode_request(req);
+  const Bytes v1 = make_v1_frame(7, "obj-2", "query", {Value(true)});
+  EXPECT_EQ(encoded, v1) << "a context-free v2 frame must match the v1 encoding "
+                            "byte for byte (old decoders reject trailing bytes)";
+}
+
+TEST(WireCompat, ContextTailRoundTrips) {
+  orb::RequestMessage req;
+  req.request_id = 9;
+  req.object_id = "obj-3";
+  req.operation = "echo";
+  req.args = {Value(1.0)};
+  req.set_context(orb::RequestMessage::kTraceparentKey,
+                  "0123456789abcdeffedcba9876543210-deadbeefcafef00d");
+  req.set_context("tenant", "blue");
+  EXPECT_TRUE(req.has_context());
+
+  const orb::RequestMessage out = orb::decode_request(orb::encode_request(req));
+  EXPECT_EQ(out.request_id, 9u);
+  EXPECT_EQ(out.traceparent, "0123456789abcdeffedcba9876543210-deadbeefcafef00d");
+  const std::string* tp = out.find_context("traceparent");
+  ASSERT_NE(tp, nullptr);
+  EXPECT_EQ(*tp, out.traceparent);
+  const std::string* tenant = out.find_context("tenant");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(*tenant, "blue");
+  EXPECT_EQ(out.find_context("missing"), nullptr);
+}
+
+TEST(WireCompat, TracedRequestCarriesHeaderOnTheWire) {
+  // A real traced invoke must put a parseable traceparent into the frame.
+  auto tracer = std::make_shared<obs::Tracer>(64);
+  orb::OrbConfig server_cfg;
+  server_cfg.name = "wire-compat-server";
+  server_cfg.tracer = tracer;
+  auto server = orb::Orb::create(server_cfg);
+  auto servant = orb::FunctionServant::make("Sink");
+  servant->on("sink", [](const ValueList&) { return Value(); });
+  const ObjectRef ref = server->register_servant(servant);
+
+  orb::OrbConfig client_cfg;
+  client_cfg.name = "wire-compat-client";
+  client_cfg.tracer = tracer;
+  auto client = orb::Orb::create(client_cfg);
+  client->invoke(ref, "sink");
+
+  const auto spans = tracer->recent();
+  const Span* server_span = nullptr;
+  const Span* client_span = nullptr;
+  for (const Span& s : spans) {
+    if (s.name != "sink") continue;
+    if (s.kind == SpanKind::Server) server_span = &s;
+    if (s.kind == SpanKind::Client) client_span = &s;
+  }
+  ASSERT_NE(server_span, nullptr);
+  ASSERT_NE(client_span, nullptr);
+  // The server adopted the wire context rather than rooting a new trace.
+  EXPECT_EQ(server_span->trace_id_hex(), client_span->trace_id_hex());
+  EXPECT_EQ(server_span->parent_id, client_span->span_id);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// Unit tests for the tracing substrate (src/obs/trace.*): header codec,
+// span nesting / thread-local context, ring-buffer retention, exporter
+// callback, and the in-process query API.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace adapt::obs;
+
+namespace {
+
+TEST(TraceContext, HeaderRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.span_id = 0xdeadbeefcafef00dULL;
+
+  const std::string header = ctx.to_header();
+  EXPECT_EQ(header, "0123456789abcdeffedcba9876543210-deadbeefcafef00d");
+
+  const auto parsed = TraceContext::from_header(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed->trace_lo, ctx.trace_lo);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+}
+
+TEST(TraceContext, FromHeaderRejectsMalformed) {
+  EXPECT_FALSE(TraceContext::from_header("").has_value());
+  EXPECT_FALSE(TraceContext::from_header("not-a-header").has_value());
+  // Wrong separator position.
+  EXPECT_FALSE(TraceContext::from_header(std::string(16, 'a') + "-" + std::string(32, 'b'))
+                   .has_value());
+  // Non-hex digits in the right shape.
+  EXPECT_FALSE(TraceContext::from_header(std::string(32, 'g') + "-" + std::string(16, '0'))
+                   .has_value());
+  // Truncated.
+  auto good = TraceContext{.trace_hi = 1, .trace_lo = 2, .span_id = 3}.to_header();
+  good.pop_back();
+  EXPECT_FALSE(TraceContext::from_header(good).has_value());
+}
+
+TEST(TraceContext, ValidityAndHex) {
+  TraceContext zero;
+  EXPECT_FALSE(zero.valid());
+  TraceContext ctx{.trace_hi = 0, .trace_lo = 5, .span_id = 0};
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id_hex(), "00000000000000000000000000000005");
+}
+
+TEST(ScopedSpanTest, RootSpanGetsFreshTrace) {
+  Tracer tracer(16);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  {
+    ScopedSpan span("root", opts);
+    ASSERT_TRUE(span.active());
+    EXPECT_TRUE(span.context().valid());
+    EXPECT_EQ(current_context().span_id, span.context().span_id);
+  }
+  // After the span closes, no context remains on the thread.
+  EXPECT_FALSE(current_context().valid());
+
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_TRUE(spans[0].ok);
+}
+
+TEST(ScopedSpanTest, ChildParentsUnderEnclosingSpan) {
+  Tracer tracer(16);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  uint64_t parent_id = 0;
+  {
+    ScopedSpan parent("parent", opts);
+    parent_id = parent.context().span_id;
+    ScopedSpan child("child", opts);
+    EXPECT_EQ(child.context().trace_hi, parent.context().trace_hi);
+    EXPECT_EQ(child.context().trace_lo, parent.context().trace_lo);
+    EXPECT_NE(child.context().span_id, parent.context().span_id);
+  }
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 2u);  // child recorded first (closed first)
+  EXPECT_EQ(spans[0].name, "child");
+  EXPECT_EQ(spans[0].parent_id, parent_id);
+  EXPECT_EQ(spans[1].name, "parent");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(ScopedSpanTest, RemoteParentOverridesThreadContext) {
+  Tracer tracer(16);
+  const TraceContext remote{.trace_hi = 7, .trace_lo = 8, .span_id = 9};
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  opts.remote_parent = &remote;
+  {
+    ScopedSpan span("server", opts);
+    EXPECT_EQ(span.context().trace_hi, 7u);
+    EXPECT_EQ(span.context().trace_lo, 8u);
+  }
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, 9u);
+}
+
+TEST(ScopedSpanTest, DisabledTracerMakesSpanInert) {
+  Tracer tracer(16);
+  tracer.set_enabled(false);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  ScopedSpan span("noop", opts);
+  EXPECT_FALSE(span.active());
+  span.annotate("k", "v");  // must not crash
+  span.set_error("nope");
+  span.finish();
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(ScopedSpanTest, ErrorAndAnnotationsRecorded) {
+  Tracer tracer(16);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  {
+    ScopedSpan span("failing", opts);
+    span.annotate("operation", "frobnicate");
+    span.set_error("it broke");
+  }
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_EQ(spans[0].status, "it broke");
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].first, "operation");
+  EXPECT_EQ(spans[0].annotations[0].second, "frobnicate");
+}
+
+TEST(ScopedSpanTest, FinishIsIdempotentAndExposesDuration) {
+  Tracer tracer(16);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  ScopedSpan span("once", opts);
+  span.finish();
+  const uint64_t d = span.duration_ns();
+  span.finish();  // second finish must not re-record
+  EXPECT_EQ(span.duration_ns(), d);
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(ScopedSpanTest, DeepNestingBeyondContextStackCapacity) {
+  // The thread-local context stack stores at most 64 frames but tracks
+  // logical depth beyond that; opening and closing 100 nested spans must
+  // neither crash nor corrupt the stack.
+  Tracer tracer(256);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  std::vector<std::unique_ptr<ScopedSpan>> spans;
+  for (int i = 0; i < 100; ++i) {
+    spans.push_back(std::make_unique<ScopedSpan>("deep", opts));
+  }
+  while (!spans.empty()) spans.pop_back();
+  EXPECT_FALSE(current_context().valid());
+  EXPECT_EQ(tracer.recorded(), 100u);
+}
+
+TEST(ContextGuardTest, CarriesContextOntoScope) {
+  const TraceContext ctx{.trace_hi = 1, .trace_lo = 2, .span_id = 3};
+  {
+    ContextGuard guard(ctx);
+    EXPECT_EQ(current_context().span_id, 3u);
+  }
+  EXPECT_FALSE(current_context().valid());
+  {
+    ContextGuard noop(TraceContext{});  // invalid context: no-op
+    EXPECT_FALSE(current_context().valid());
+  }
+}
+
+TEST(TracerTest, RingWrapKeepsNewestSpans) {
+  Tracer tracer(4);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("span-" + std::to_string(i), opts);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first: the surviving spans are 6..9.
+  EXPECT_EQ(spans.front().name, "span-6");
+  EXPECT_EQ(spans.back().name, "span-9");
+  // recent(max) trims from the old end.
+  const auto last_two = tracer.recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].name, "span-8");
+  EXPECT_EQ(last_two[1].name, "span-9");
+}
+
+TEST(TracerTest, ClearEmptiesRingButKeepsTotals) {
+  Tracer tracer(8);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  { ScopedSpan s("a", opts); }
+  { ScopedSpan s("b", opts); }
+  tracer.clear();
+  EXPECT_TRUE(tracer.recent().empty());
+  EXPECT_EQ(tracer.recorded(), 2u);
+  { ScopedSpan s("c", opts); }
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "c");
+}
+
+TEST(TracerTest, TraceQueryFiltersAndSorts) {
+  Tracer tracer(32);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  TraceContext first_trace;
+  {
+    ScopedSpan root("wanted-root", opts);
+    first_trace = root.context();
+    ScopedSpan child("wanted-child", opts);
+  }
+  { ScopedSpan other("unrelated", opts); }
+
+  const auto by_id = tracer.trace(first_trace.trace_hi, first_trace.trace_lo);
+  ASSERT_EQ(by_id.size(), 2u);
+  // Sorted by start time: root started before child.
+  EXPECT_EQ(by_id[0].name, "wanted-root");
+  EXPECT_EQ(by_id[1].name, "wanted-child");
+
+  const auto by_hex = tracer.find_trace(first_trace.trace_id_hex());
+  ASSERT_EQ(by_hex.size(), 2u);
+  EXPECT_EQ(by_hex[0].trace_id_hex(), first_trace.trace_id_hex());
+}
+
+TEST(TracerTest, ExporterSeesEveryFinishedSpan) {
+  Tracer tracer(8);
+  std::vector<std::string> exported;
+  tracer.set_exporter([&](const Span& span) { exported.push_back(span.name); });
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  { ScopedSpan s("one", opts); }
+  { ScopedSpan s("two", opts); }
+  tracer.set_exporter(nullptr);
+  { ScopedSpan s("three", opts); }  // after detach: not exported
+  ASSERT_EQ(exported.size(), 2u);
+  EXPECT_EQ(exported[0], "one");
+  EXPECT_EQ(exported[1], "two");
+}
+
+TEST(TracerTest, SpanToJsonContainsCoreFields) {
+  Tracer tracer(8);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  {
+    ScopedSpan span("jsonable", opts);
+    span.annotate("key", "val\"ue");  // quote must be escaped
+    span.set_error("bad");
+  }
+  const auto spans = tracer.recent();
+  ASSERT_EQ(spans.size(), 1u);
+  const std::string json = span_to_json(spans[0]);
+  EXPECT_NE(json.find("\"name\":\"jsonable\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":\"" + spans[0].trace_id_hex() + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("val\\\"ue"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // JSON-lines: single line
+}
+
+TEST(TracerTest, ConcurrentRecordingIsSafeAndLossless) {
+  Tracer tracer(4096);
+  SpanOptions opts;
+  opts.tracer = &tracer;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan span("worker", opts);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.recorded(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer.recent().size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
