@@ -36,7 +36,12 @@ struct Setup {
     });
     ref = server->register_servant(servant);
 
-    client = orb::Orb::create({.name = "bench-transport-client"});
+    // Opt into wire-context emission so the traced cases measure the full
+    // path (span + header encode + context tail), not just the span cost.
+    orb::OrbConfig client_cfg;
+    client_cfg.name = "bench-transport-client";
+    client_cfg.propagate_wire_context = true;
+    client = orb::Orb::create(client_cfg);
 
     listener = std::make_unique<orb::TcpListener>(
         "127.0.0.1", 0, [](const Bytes& payload) -> std::optional<Bytes> {

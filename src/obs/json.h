@@ -1,0 +1,35 @@
+// Minimal JSON string escaping shared by the obs exporters (span JSON lines,
+// metrics registry dump). Not a JSON library — just enough to keep
+// arbitrary strings (span names/annotations, script-chosen instrument
+// names) from breaking the emitted documents.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adapt::obs {
+
+/// Appends `s` to `out`, escaping quotes, backslashes and control
+/// characters per JSON string rules.
+inline void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* digits = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(digits[(c >> 4) & 0xF]);
+          out.push_back(digits[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace adapt::obs

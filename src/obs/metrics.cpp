@@ -3,18 +3,24 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/json.h"
+
 namespace adapt::obs {
 
 namespace {
 
-/// Bucket index for a sample: its bit width (0 for value 0).
+/// Bucket index for a sample: its bit width (0 for value 0). The maximum,
+/// 64, is a valid index — Histogram::kBuckets covers widths 0 through 64.
 size_t bucket_index(uint64_t value) {
   return value == 0 ? 0 : static_cast<size_t>(64 - std::countl_zero(value));
 }
+static_assert(Histogram::kBuckets == 65, "one bucket per bit width 0..64");
 
-/// Inclusive lower bound of bucket i's value range.
+/// Inclusive lower bound of bucket i's value range. Bucket 0 holds only the
+/// value 0; bucket i >= 1 holds [2^(i-1), 2^i) — in particular bucket 1
+/// starts at 1, not 0, so small-sample percentiles never dip below 1.
 double bucket_lower(size_t i) {
-  return i <= 1 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
 }
 
 /// Exclusive upper bound of bucket i's value range.
@@ -34,6 +40,14 @@ void atomic_min(std::atomic<uint64_t>& target, uint64_t value) {
   while (observed > value &&
          !target.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
   }
+}
+
+/// Appends `"name":` — instrument names are script-controllable, so they go
+/// through json_escape like span fields do.
+void json_key(std::string& out, const std::string& name) {
+  out.push_back('"');
+  json_escape(out, name);
+  out += "\":";
 }
 
 void json_number(std::string& out, double v) {
@@ -198,14 +212,15 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, counter] : counters_) {
     if (!first) out.push_back(',');
     first = false;
-    out += "\"" + name + "\":" + std::to_string(counter->value());
+    json_key(out, name);
+    out += std::to_string(counter->value());
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
     if (!first) out.push_back(',');
     first = false;
-    out += "\"" + name + "\":";
+    json_key(out, name);
     json_number(out, gauge->value());
   }
   out += "},\"histograms\":{";
@@ -214,7 +229,8 @@ std::string MetricsRegistry::to_json() const {
     if (!first) out.push_back(',');
     first = false;
     const Histogram::Snapshot s = histogram->snapshot();
-    out += "\"" + name + "\":{\"count\":" + std::to_string(s.count);
+    json_key(out, name);
+    out += "{\"count\":" + std::to_string(s.count);
     out += ",\"sum\":" + std::to_string(s.sum);
     out += ",\"min\":" + std::to_string(s.min);
     out += ",\"max\":" + std::to_string(s.max);

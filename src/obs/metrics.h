@@ -55,7 +55,9 @@ class Gauge {
 /// [2^(i-1), 2^i); percentiles interpolate linearly inside the bucket.
 class Histogram {
  public:
-  static constexpr size_t kBuckets = 64;
+  /// One bucket per possible bit width, 0 through 64 — bucket 64 holds
+  /// values with the top bit set, so record(UINT64_MAX) stays in range.
+  static constexpr size_t kBuckets = 65;
 
   struct Snapshot {
     uint64_t count = 0;

@@ -1,7 +1,10 @@
 #include "obs/script_bindings.h"
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
+
+#include "base/error.h"
 
 namespace adapt::obs {
 
@@ -128,8 +131,17 @@ void install_obs_bindings(script::ScriptEngine& engine, Tracer* tracer,
       })));
   m->set(Value("histogram"), Value(NativeFunction::make("metrics.histogram",
       [reg](const ValueList& a) -> ValueList {
+        // Scripts can pass anything; a negative or non-finite double makes
+        // the uint64 cast undefined, so reject those here. Finite values
+        // beyond the uint64 range clamp to the top bucket.
+        const double sample = a.at(1).as_number();
+        if (!std::isfinite(sample) || sample < 0.0) {
+          throw Error("metrics.histogram: sample must be a finite non-negative number");
+        }
+        constexpr double kUint64Max = 18446744073709551616.0;  // 2^64
         reg->histogram(a.at(0).as_string())
-            .record(static_cast<uint64_t>(a.at(1).as_number()));
+            .record(sample >= kUint64Max ? UINT64_MAX
+                                         : static_cast<uint64_t>(sample));
         return {};
       })));
   m->set(Value("snapshot"), Value(NativeFunction::make("metrics.snapshot",

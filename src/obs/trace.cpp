@@ -5,6 +5,8 @@
 #include <random>
 #include <type_traits>
 
+#include "obs/json.h"
+
 namespace adapt::obs {
 
 namespace {
@@ -87,27 +89,6 @@ struct ContextStack {
 };
 static_assert(std::is_trivially_destructible_v<ContextStack>);
 thread_local ContextStack t_context_stack;
-
-void json_escape(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* digits = "0123456789abcdef";
-          out += "\\u00";
-          out.push_back(digits[(c >> 4) & 0xF]);
-          out.push_back(digits[c & 0xF]);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-}
 
 }  // namespace
 

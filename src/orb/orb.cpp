@@ -254,6 +254,10 @@ ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
     rep.status = ReplyStatus::UserError;
     rep.result = make_error_payload("error", std::string("servant failure: ") + e.what());
     span.set_error(e.what());
+  } catch (...) {
+    rep.status = ReplyStatus::UserError;
+    rep.result = make_error_payload("error", "servant failure: unknown exception");
+    span.set_error("unknown exception");
   }
   record_dispatch();
   return rep;
@@ -372,23 +376,29 @@ Value Orb::invoke_impl(const ObjectRef& ref, const std::string& operation,
   if (span.active()) span.annotate("peer", ref.endpoint);
   // With an active span the invoke histogram reuses the span's clock reads.
   const uint64_t started = span.active() ? 0 : steady_ns();
+  const auto record_invoke = [&] {
+    if (span.active()) {
+      span.finish();
+      stats_->record_invoke_ns(span.duration_ns());
+    } else {
+      stats_->record_invoke_ns(steady_ns() - started);
+    }
+  };
+  // Every exit path — including non-adapt exceptions like bad_alloc from
+  // servant or transport code — must mark the span failed and land in the
+  // latency histogram; otherwise failed invokes trace as ok and vanish
+  // from the percentiles.
   try {
     const Value result = invoke_traced(ref, operation, args, oneway, options, span);
-    if (span.active()) {
-      span.finish();
-      stats_->record_invoke_ns(span.duration_ns());
-    } else {
-      stats_->record_invoke_ns(steady_ns() - started);
-    }
+    record_invoke();
     return result;
-  } catch (const Error& e) {
-    if (span.active()) {
-      span.set_error(e.what());
-      span.finish();
-      stats_->record_invoke_ns(span.duration_ns());
-    } else {
-      stats_->record_invoke_ns(steady_ns() - started);
-    }
+  } catch (const std::exception& e) {
+    span.set_error(e.what());
+    record_invoke();
+    throw;
+  } catch (...) {
+    span.set_error("unknown exception");
+    record_invoke();
     throw;
   }
 }
@@ -402,7 +412,6 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
   req.object_id = ref.object_id;
   req.operation = operation;
   req.args = args;
-  if (span.active()) req.traceparent = span.context().to_header();
 
   // Local dispatch — our own endpoint, either name.
   const bool is_self =
@@ -417,6 +426,13 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
       stats_->add_transport_error();
       throw TransportError("inproc endpoint not reachable: " + ref.endpoint);
     }
+  }
+
+  // Context propagation: an in-process peer is this binary, so the v2 tail
+  // is always safe; a TCP peer may predate it, so emission there is gated
+  // by OrbConfig::propagate_wire_context (a v1 decoder rejects the tail).
+  if (span.active() && (target != nullptr || config_.propagate_wire_context)) {
+    req.traceparent = span.context().to_header();
   }
 
   if (target) {

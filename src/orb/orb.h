@@ -101,6 +101,15 @@ struct OrbConfig {
   /// obs::default_tracer() when null (so one query API sees every ORB of an
   /// in-process deployment). Disable via tracer->set_enabled(false).
   std::shared_ptr<obs::Tracer> tracer;
+
+  /// Emit the trace-context tail on outgoing *TCP* requests. Opt-in because
+  /// a pre-context (v1) peer rejects frames carrying the tail ("trailing
+  /// bytes in request"): enable only once every remote peer runs a release
+  /// whose decoder accepts the tail. In-process invocations always
+  /// propagate context — both ends live in this binary, so there is no
+  /// version skew to defend against. Tracing itself stays on either way;
+  /// with propagation off, each TCP hop simply roots its own trace.
+  bool propagate_wire_context = false;
 };
 
 class Orb : public std::enable_shared_from_this<Orb> {

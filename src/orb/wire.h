@@ -41,12 +41,16 @@ struct RequestMessage {
   std::string operation;
   ValueList args;
   /// v2 extension: out-of-band request metadata. Encoded only when non-empty,
-  /// as an optional key/value tail after the args — a v1 decoder never sees
-  /// it for context-free requests, and the v2 decoder accepts v1 frames (no
-  /// tail) unchanged, so mixed-version peers interoperate. On the wire every
-  /// entry is a (key, value) string pair; in memory the one key every traced
-  /// request carries ("traceparent") has a dedicated field so the
-  /// per-invocation hot path never allocates the vector.
+  /// as an optional key/value tail after the args. Compatibility is
+  /// one-directional: the v2 decoder accepts v1 frames (no tail) unchanged
+  /// and a context-free v2 frame is byte-identical to v1, but a v1 decoder
+  /// *rejects* frames that do carry the tail ("trailing bytes"). The ORB
+  /// therefore emits the tail over TCP only when
+  /// OrbConfig::propagate_wire_context opts in (in-process calls, which
+  /// cannot hit an old decoder, always carry it). On the wire every entry is
+  /// a (key, value) string pair; in memory the one key every traced request
+  /// carries ("traceparent") has a dedicated field so the per-invocation hot
+  /// path never allocates the vector.
   std::string traceparent;
   /// Context entries other than "traceparent" (rare; reserved for future
   /// keys). Same wire representation as traceparent, just generic.

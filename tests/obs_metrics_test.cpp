@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "orb/orb.h"
 #include "orb/script_bindings.h"
 #include "script/engine.h"
+#include "script/errors.h"
 
 using namespace adapt;
 using namespace adapt::obs;
@@ -76,6 +78,32 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_EQ(s.max, 1u << 20);
 }
 
+TEST(HistogramTest, TopBitSamplesStayInRange) {
+  // Values with the top bit set (bit width 64) land in the last bucket;
+  // before kBuckets grew to 65 this was an out-of-bounds atomic write.
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(1ull << 63);
+  h.record((1ull << 63) - 1);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_GE(s.p99, std::ldexp(1.0, 62));
+  EXPECT_LE(s.p99, std::ldexp(1.0, 64));
+}
+
+TEST(HistogramTest, SmallSamplePercentilesNeverDipBelowBucketFloor) {
+  // Bucket 1 holds exactly the value 1 (range [1, 2)); percentiles must
+  // interpolate within [1, 2), not [0, 2).
+  Histogram h;
+  for (int i = 0; i < 8; ++i) h.record(1);
+  const auto s = h.snapshot();
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LT(s.p50, 2.0);
+  EXPECT_GE(s.p99, 1.0);
+  EXPECT_LE(s.p99, 2.0);  // top rank interpolates to the exclusive bound
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.record(100);
@@ -127,6 +155,21 @@ TEST(RegistryTest, ToJsonContainsInstruments) {
   EXPECT_NE(json.find("\"hits\":7"), std::string::npos);
   EXPECT_NE(json.find("\"ns\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(RegistryTest, ToJsonEscapesInstrumentNames) {
+  // Names are script-controllable (metrics.counter/... in Luma); quotes and
+  // backslashes must not produce malformed JSON.
+  MetricsRegistry reg;
+  reg.counter("bad\"name\\").add(1);
+  reg.gauge("tab\tname").set(2.0);
+  reg.histogram("line\nname").record(3);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"bad\\\"name\\\\\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\tname\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"line\\nname\""), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
   EXPECT_EQ(json.find('\n'), std::string::npos);
 }
 
@@ -215,6 +258,14 @@ TEST(LumaBindings, MetricsAndStatsReset) {
   EXPECT_DOUBLE_EQ(metrics().gauge("luma.test.load").value(), 0.5);
   engine.eval("metrics.histogram('luma.test.ns', 250)");
   EXPECT_EQ(metrics().histogram("luma.test.ns").snapshot().count, 1u);
+
+  // Samples the uint64 cast cannot represent are rejected (negative,
+  // non-finite) or clamped (finite overflow) instead of hitting UB.
+  EXPECT_THROW(engine.eval("metrics.histogram('luma.test.bad', -1)"),
+               script::ScriptError);
+  EXPECT_EQ(metrics().histogram("luma.test.bad").snapshot().count, 0u);
+  engine.eval("metrics.histogram('luma.test.big', 1e20)");  // > 2^64
+  EXPECT_EQ(metrics().histogram("luma.test.big").snapshot().max, UINT64_MAX);
 
   const Value snap = engine.eval1("return metrics.snapshot()");
   ASSERT_TRUE(snap.is_table());

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
 #include "orb/orb.h"
+#include "orb/tcp_transport.h"
 #include "orb/wire.h"
 
 using namespace adapt;
@@ -37,6 +40,7 @@ struct Chain {
     relay_cfg.name = tag + "-relay";
     relay_cfg.listen_tcp = tcp;
     relay_cfg.tracer = tracer;
+    relay_cfg.propagate_wire_context = tcp;  // TCP context emission is opt-in
     relay = orb::Orb::create(relay_cfg);
     auto relay_servant = orb::FunctionServant::make("Relay");
     relay_servant->on("relay_op", [this](const ValueList&) {
@@ -49,6 +53,7 @@ struct Chain {
     orb::OrbConfig client_cfg;
     client_cfg.name = tag + "-client";
     client_cfg.tracer = tracer;
+    client_cfg.propagate_wire_context = tcp;
     client = orb::Orb::create(client_cfg);
   }
 
@@ -274,6 +279,79 @@ TEST(WireCompat, TracedRequestCarriesHeaderOnTheWire) {
   // The server adopted the wire context rather than rooting a new trace.
   EXPECT_EQ(server_span->trace_id_hex(), client_span->trace_id_hex());
   EXPECT_EQ(server_span->parent_id, client_span->span_id);
+}
+
+/// Raw wire-speaking echo listener that keeps the last request payload, so
+/// tests can assert on the exact bytes a TCP peer receives.
+struct CapturingListener {
+  CapturingListener()
+      : listener("127.0.0.1", 0, [this](const Bytes& payload) -> std::optional<Bytes> {
+          {
+            std::scoped_lock lock(mu);
+            captured = payload;
+          }
+          const orb::RequestMessage req = orb::decode_request(payload);
+          orb::ReplyMessage rep;
+          rep.request_id = req.request_id;
+          rep.status = orb::ReplyStatus::Ok;
+          rep.result = Value(true);
+          return orb::encode_reply(rep);
+        }) {}
+
+  [[nodiscard]] Bytes last_payload() {
+    std::scoped_lock lock(mu);
+    return captured;
+  }
+
+  std::mutex mu;
+  Bytes captured;
+  orb::TcpListener listener;
+};
+
+TEST(WireCompat, TcpContextEmissionIsOptIn) {
+  // With tracing on but propagate_wire_context left at its default (off),
+  // the TCP frame must stay byte-identical to v1 — a pre-context peer
+  // would reject any frame carrying the tail.
+  auto tracer = std::make_shared<obs::Tracer>(64);
+  CapturingListener sink;
+  orb::OrbConfig cfg;
+  cfg.name = "wire-optin-default-client";
+  cfg.tracer = tracer;
+  auto client = orb::Orb::create(cfg);
+  ObjectRef ref;
+  ref.endpoint = sink.listener.endpoint();
+  ref.object_id = "obj";
+  client->invoke(ref, "echo", {Value(1.0)});
+
+  const Bytes payload = sink.last_payload();
+  ASSERT_FALSE(payload.empty());
+  const orb::RequestMessage seen = orb::decode_request(payload);
+  EXPECT_FALSE(seen.has_context());
+  EXPECT_EQ(payload, make_v1_frame(seen.request_id, "obj", "echo", {Value(1.0)}));
+}
+
+TEST(WireCompat, TcpContextEmissionWhenOptedIn) {
+  auto tracer = std::make_shared<obs::Tracer>(64);
+  CapturingListener sink;
+  orb::OrbConfig cfg;
+  cfg.name = "wire-optin-enabled-client";
+  cfg.tracer = tracer;
+  cfg.propagate_wire_context = true;
+  auto client = orb::Orb::create(cfg);
+  ObjectRef ref;
+  ref.endpoint = sink.listener.endpoint();
+  ref.object_id = "obj";
+  client->invoke(ref, "echo", {Value(1.0)});
+
+  const orb::RequestMessage seen = orb::decode_request(sink.last_payload());
+  ASSERT_TRUE(seen.has_context());
+  const auto ctx = obs::TraceContext::from_header(seen.traceparent);
+  ASSERT_TRUE(ctx.has_value()) << "traceparent on the wire must parse: "
+                               << seen.traceparent;
+  // It is the client span's context that rode the wire.
+  const auto spans = tracer->recent();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().trace_id_hex(), ctx->trace_id_hex());
 }
 
 }  // namespace
