@@ -59,9 +59,46 @@ print(f"    {path}: {len(cases)} cases OK")
 EOF
 }
 
+# Extracts every R"LUMA(...)LUMA" block embedded in examples/ and tests/
+# sources and runs the Luma static analyzer over it (shell policy, full
+# native catalog). Any diagnostic at all fails the check: the in-repo
+# corpus is required to lint clean.
+run_luma_lint() {
+  local build_dir="build"
+  if [[ ! -x "${build_dir}/tools/lumalint" ]]; then
+    echo "==> lumalint: binary missing — skipped"
+    return 0
+  fi
+  echo "==> lumalint (embedded Luma blocks)"
+  python3 - "${build_dir}" <<'EOF'
+import pathlib, re, subprocess, sys, tempfile
+build = sys.argv[1]
+pattern = re.compile(r'R"LUMA\((.*?)\)LUMA"', re.S)
+blocks = 0
+dirty = 0
+for src in sorted(pathlib.Path("examples").glob("*.cpp")) + sorted(
+        pathlib.Path("tests").glob("*.cpp")):
+    for i, code in enumerate(pattern.findall(src.read_text())):
+        blocks += 1
+        with tempfile.NamedTemporaryFile("w", suffix=".luma", delete=False) as f:
+            f.write(code)
+            path = f.name
+        proc = subprocess.run([f"{build}/tools/lumalint", "--policy=shell", path],
+                              capture_output=True, text=True)
+        report = (proc.stdout + proc.stderr).strip()
+        if report:
+            dirty += 1
+            print(f"    {src} block {i}:")
+            print("      " + report.replace(path + ":", "").replace("\n", "\n      "))
+print(f"    {blocks} embedded Luma blocks linted, {dirty} with diagnostics")
+sys.exit(1 if dirty else 0)
+EOF
+}
+
 case "${1:-default}" in
   default)
     run_preset default
+    run_luma_lint
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     ;;
@@ -70,6 +107,7 @@ case "${1:-default}" in
     ;;
   all)
     run_preset default
+    run_luma_lint
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     run_preset tsan

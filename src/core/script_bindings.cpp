@@ -177,6 +177,33 @@ void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructur
   // so adaptation code can open spans and bump metrics (`trace.span{...}`,
   // `metrics.counter(...)`) alongside infra/proxy calls.
   obs::install_obs_bindings(engine);
+
+  declare_infrastructure_signatures(engine.natives());
+}
+
+void declare_infrastructure_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("infra.add_type", 1, 1);
+  reg.declare("infra.make_host", 1, 1);
+  reg.declare("infra.host", 1, 1);
+  reg.declare("infra.deploy", 3, 4);
+  reg.declare("infra.make_proxy", 1, 1);
+  reg.declare("infra.run_for", 1, 1);
+  reg.declare("infra.now", 0, 0);
+  reg.tag("infra", "infra");
+}
+
+void declare_agent_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("agent.export", 2, 3);
+  reg.declare("agent.withdraw", 1, 1);
+  reg.declare_global("agent");  // also carries agent.name (a string)
+  reg.tag("agent", "agent");
+}
+
+void declare_smartproxy_signatures(script::analysis::NativeRegistry& reg) {
+  // Host-injected handle; methods are invoked method-style, so only the
+  // global itself needs declaring.
+  reg.declare_global("smartproxy");
+  reg.tag("smartproxy", "proxy");
 }
 
 }  // namespace adapt::core

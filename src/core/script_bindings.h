@@ -36,4 +36,17 @@ namespace adapt::core {
 /// `infra` must outlive the engine's use of these globals.
 void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructure& infra);
 
+/// Declares the infra natives (arities + "infra" capability tag) into a
+/// registry without a live Infrastructure — used by
+/// install_infrastructure_bindings and the standalone `lumalint` catalog.
+void declare_infrastructure_signatures(script::analysis::NativeRegistry& reg);
+
+/// Declares the host-injected globals a ServiceAgent engine carries
+/// (`agent` table, "agent" capability) for standalone lint catalogs.
+void declare_agent_signatures(script::analysis::NativeRegistry& reg);
+
+/// Declares the host-injected `smartproxy` global a SmartProxy strategy
+/// script sees ("proxy" capability) for standalone lint catalogs.
+void declare_smartproxy_signatures(script::analysis::NativeRegistry& reg);
+
 }  // namespace adapt::core

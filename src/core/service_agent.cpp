@@ -1,7 +1,9 @@
 #include "core/service_agent.h"
 
 #include "base/logging.h"
+#include "obs/lint_gate.h"
 #include "obs/metrics.h"
+#include "script/analysis/policy.h"
 
 namespace adapt::core {
 
@@ -49,6 +51,12 @@ ServiceAgent::ServiceAgent(orb::OrbPtr orb, ObjectRef register_ref,
         return {};
       })));
   engine_->set_global("agent", Value(std::move(agent_table)));
+
+  // Arity + capability declarations for the analyzer gating run_script.
+  auto& reg = engine_->natives();
+  reg.declare("agent.export", 2, 3);
+  reg.declare("agent.withdraw", 1, 1);
+  reg.tag("agent", "agent");
 }
 
 ServiceAgent::~ServiceAgent() {
@@ -213,7 +221,19 @@ void ServiceAgent::disable_heartbeat() {
 }
 
 ValueList ServiceAgent::run_script(const std::string& code) {
-  return engine_->eval(code, "agent:" + config_.name);
+  // Remotely-uploaded agent strategies are verified before any of the code
+  // executes: error-severity diagnostics (including capability violations
+  // under the strategy policy) refuse the upload, and the refusal is
+  // recorded via obs (`luma.lint.rejected` counter + `luma.lint.reject`
+  // span) so traces show why an adaptation never took effect.
+  const std::string chunk_name = "agent:" + config_.name;
+  const auto diags =
+      engine_->analyze(code, chunk_name, &script::analysis::strategy_policy());
+  if (const auto* err = script::analysis::first_error(diags)) {
+    const std::string detail = obs::record_lint_rejection(chunk_name, *err);
+    throw Error(chunk_name + ": script rejected by static analysis: " + detail);
+  }
+  return engine_->eval(code, chunk_name);
 }
 
 }  // namespace adapt::core

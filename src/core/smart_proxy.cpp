@@ -3,15 +3,29 @@
 #include <atomic>
 
 #include "base/logging.h"
+#include "obs/lint_gate.h"
 #include "obs/metrics.h"
 #include "obs/script_bindings.h"
 #include "obs/trace.h"
 #include "orb/script_bindings.h"
+#include "script/analysis/policy.h"
 
 namespace adapt::core {
 
 namespace {
 std::atomic<uint64_t> g_proxy_counter{1};
+
+/// Pre-execution gate for strategy code shipped to this proxy: refuses the
+/// script — before compiling or running any of it — when static analysis
+/// under the strategy capability policy reports an error. The refusal is
+/// recorded via obs (`luma.lint.rejected` + `luma.lint.reject` span).
+void reject_on_lint_error(const std::vector<script::analysis::Diagnostic>& diags,
+                          const std::string& chunk_name) {
+  if (const auto* err = script::analysis::first_error(diags)) {
+    const std::string detail = obs::record_lint_rejection(chunk_name, *err);
+    throw Error(chunk_name + ": script rejected by static analysis: " + detail);
+  }
+}
 }  // namespace
 
 SmartProxyPtr SmartProxy::create(orb::OrbPtr orb, ObjectRef lookup, SmartProxyConfig config,
@@ -62,6 +76,11 @@ void SmartProxy::init() {
   // Strategies are first-class observable: trace.span / metrics.counter etc.
   // record into the same tracer/registry as the ORB's automatic spans.
   obs::install_obs_bindings(*engine_, &orb_->tracer());
+
+  // The host-injected `smartproxy` global strategy scripts see; declared so
+  // the analyzer knows it (and its "proxy" capability) before it is set.
+  engine_->natives().declare_global("smartproxy");
+  engine_->natives().tag("smartproxy", "proxy");
 
   // Script-facing self table.
   auto self = Table::make();
@@ -115,7 +134,11 @@ void SmartProxy::set_strategy(const std::string& event_id, NativeStrategy strate
 }
 
 void SmartProxy::set_strategy_code(const std::string& event_id, const std::string& code) {
-  const Value fn = engine_->compile_function(code, "strategy:" + event_id);
+  const std::string chunk_name = "strategy:" + event_id;
+  reject_on_lint_error(engine_->analyze_function(
+                           code, chunk_name, &script::analysis::strategy_policy()),
+                       chunk_name);
+  const Value fn = engine_->compile_function(code, chunk_name);
   std::scoped_lock engine_lock(engine_->mutex());
   self_.as_table()->get(Value("_strategies")).as_table()->set(Value(event_id), fn);
 }
@@ -123,6 +146,9 @@ void SmartProxy::set_strategy_code(const std::string& event_id, const std::strin
 void SmartProxy::eval_strategy_script(const std::string& chunk) {
   std::scoped_lock engine_lock(engine_->mutex());
   engine_->set_global("smartproxy", self_);
+  reject_on_lint_error(
+      engine_->analyze(chunk, "strategy-script", &script::analysis::strategy_policy()),
+      "strategy-script");
   engine_->eval(chunk, "strategy-script");
 }
 

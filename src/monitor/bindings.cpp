@@ -119,6 +119,17 @@ void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
   auto basic_table = Table::make();
   basic_table->set(Value("new"), Value(basic_ctor));
   engine.set_global("BasicMonitor", Value(std::move(basic_table)));
+
+  declare_monitor_signatures(engine.natives());
+}
+
+void declare_monitor_signatures(script::analysis::NativeRegistry& reg) {
+  // Constructors are invoked method-style (EventMonitor:new(...)), which the
+  // arity pass skips; declaring them still records the globals + capability.
+  reg.declare_global("EventMonitor");
+  reg.declare_global("BasicMonitor");
+  reg.tag("EventMonitor", "monitor");
+  reg.tag("BasicMonitor", "monitor");
 }
 
 }  // namespace adapt::monitor

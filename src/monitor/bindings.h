@@ -40,4 +40,9 @@ std::shared_ptr<EventMonitor> create_event_monitor(
     const orb::OrbPtr& orb, const std::shared_ptr<TimerService>& timers,
     Value update_fn, double period, ObjectRef* out_ref = nullptr);
 
+/// Declares the monitor natives ("monitor" capability tag) into a registry
+/// without live monitors — used by install_monitor_bindings and the
+/// standalone `lumalint` catalog.
+void declare_monitor_signatures(script::analysis::NativeRegistry& reg);
+
 }  // namespace adapt::monitor

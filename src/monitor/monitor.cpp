@@ -3,10 +3,31 @@
 #include <chrono>
 
 #include "base/logging.h"
+#include "obs/lint_gate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "script/analysis/policy.h"
 
 namespace adapt::monitor {
+
+namespace {
+
+/// Pre-execution gate for remotely-supplied monitor code (aspects, update
+/// functions, event predicates): statically analyzes the shipped source
+/// under the monitor capability policy and refuses it — before any of it
+/// runs — when an error-severity diagnostic fires. Refusals are recorded
+/// via obs (`luma.lint.rejected` counter + `luma.lint.reject` span).
+void verify_monitor_function(script::ScriptEngine& engine, const std::string& code,
+                             const std::string& chunk_name) {
+  const auto diags = engine.analyze_function(code, chunk_name,
+                                             &script::analysis::monitor_policy());
+  if (const auto* err = script::analysis::first_error(diags)) {
+    const std::string detail = obs::record_lint_rejection(chunk_name, *err);
+    throw MonitorError(chunk_name + ": script rejected by static analysis: " + detail);
+  }
+}
+
+}  // namespace
 
 BasicMonitor::BasicMonitor(std::string property_name,
                            std::shared_ptr<script::ScriptEngine> engine)
@@ -34,6 +55,7 @@ void BasicMonitor::setvalue(Value v) {
 }
 
 void BasicMonitor::defineAspect(const std::string& name, const std::string& update_code) {
+  verify_monitor_function(*engine_, update_code, "aspect:" + name);
   Value fn = engine_->compile_function(update_code, "aspect:" + name);
   std::scoped_lock lock(mu_);
   Aspect aspect;
@@ -75,6 +97,7 @@ void BasicMonitor::removeAspect(const std::string& name) {
 }
 
 void BasicMonitor::set_update_code(const std::string& code) {
+  verify_monitor_function(*engine_, code, "update:" + property_name_);
   Value fn = engine_->compile_function(code, "update:" + property_name_);
   std::scoped_lock lock(mu_);
   update_fn_ = std::move(fn);
@@ -291,6 +314,7 @@ std::string EventMonitor::attachEventObserver(const ObjectRef& observer,
                                               const std::string& event_id,
                                               const std::string& predicate_code,
                                               bool edge_triggered) {
+  verify_monitor_function(*engine(), predicate_code, "event:" + event_id);
   Value predicate = engine()->compile_function(predicate_code, "event:" + event_id);
   Observer entry;
   entry.id = "observer-" + std::to_string(next_observer_++);

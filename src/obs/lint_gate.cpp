@@ -1,0 +1,19 @@
+#include "obs/lint_gate.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adapt::obs {
+
+std::string record_lint_rejection(const std::string& chunk_name,
+                                  const script::analysis::Diagnostic& err) {
+  const std::string detail = script::analysis::format(err);
+  metrics().counter("luma.lint.rejected").add();
+  ScopedSpan span("luma.lint.reject");
+  span.annotate("chunk", chunk_name);
+  span.annotate("diagnostic.code", err.code);
+  span.set_error(detail);
+  return detail;
+}
+
+}  // namespace adapt::obs

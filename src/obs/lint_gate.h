@@ -1,0 +1,25 @@
+// Observability hook for the Luma static-analysis gate.
+//
+// Every remote-evaluation ingestion point (monitor aspect/update/predicate
+// installation, SmartProxy strategy binding, ServiceAgent strategy upload)
+// runs the analyzer before compiling the shipped code. When an
+// error-severity diagnostic refuses a script, the refusal itself is an
+// adaptation-relevant event: record_lint_rejection bumps the
+// `luma.lint.rejected` counter and emits a `luma.lint.reject` span carrying
+// the chunk name and the first error, so traces show *why* an adaptation
+// never took effect.
+#pragma once
+
+#include "script/analysis/diagnostics.h"
+
+#include <string>
+
+namespace adapt::obs {
+
+/// Records one refused script in the default metrics registry and tracer.
+/// Returns the formatted first error ("line:col: error [code] message") for
+/// the caller to embed in its own exception.
+std::string record_lint_rejection(const std::string& chunk_name,
+                                  const script::analysis::Diagnostic& err);
+
+}  // namespace adapt::obs

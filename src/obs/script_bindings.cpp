@@ -152,6 +152,25 @@ void install_obs_bindings(script::ScriptEngine& engine, Tracer* tracer,
         return {};
       })));
   engine.set_global("metrics", Value(std::move(m)));
+
+  declare_obs_signatures(engine.natives());
+}
+
+void declare_obs_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("trace.span", 1, 2);
+  reg.declare("trace.current", 0, 0);
+  reg.declare("trace.recent", 0, 1);
+  reg.declare("trace.dump", 0, 1);
+  reg.declare("trace.clear", 0, 0);
+  reg.declare("trace.enable", 0, 1);
+  reg.tag("trace", "obs");
+
+  reg.declare("metrics.counter", 1, 2);
+  reg.declare("metrics.gauge", 1, 2);
+  reg.declare("metrics.histogram", 2, 2);
+  reg.declare("metrics.snapshot", 0, 0);
+  reg.declare("metrics.reset", 0, 0);
+  reg.tag("metrics", "obs");
 }
 
 }  // namespace adapt::obs

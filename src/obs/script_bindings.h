@@ -33,6 +33,11 @@ namespace adapt::obs {
 void install_obs_bindings(script::ScriptEngine& engine, Tracer* tracer = nullptr,
                           MetricsRegistry* registry = nullptr);
 
+/// Declares the obs natives (arities + "obs" capability tag) into a
+/// registry. Called by install_obs_bindings and by the standalone
+/// `lumalint` catalog.
+void declare_obs_signatures(script::analysis::NativeRegistry& reg);
+
 /// One span as a Luma table (trace, span, parent, name, kind, start_ns,
 /// duration_ns, ok, status, annotations).
 [[nodiscard]] Value span_to_value(const Span& span);

@@ -32,6 +32,17 @@ void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb) {
         return {Value(need()->name())};
       })));
   engine.set_global("orb", Value(std::move(t)));
+
+  declare_orb_signatures(engine.natives());
+}
+
+void declare_orb_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("orb.stats", 0, 0);
+  reg.declare("orb.stats_reset", 0, 0);
+  reg.declare("orb.requests_served", 0, 0);
+  reg.declare("orb.endpoint", 0, 0);
+  reg.declare("orb.name", 0, 0);
+  reg.tag("orb", "orb");
 }
 
 }  // namespace adapt::orb

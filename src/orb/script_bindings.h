@@ -19,4 +19,9 @@ namespace adapt::orb {
 
 void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb);
 
+/// Declares the orb natives (arities + "orb" capability tag) into a
+/// registry without a live ORB — used by install_orb_bindings and the
+/// standalone `lumalint` catalog.
+void declare_orb_signatures(script::analysis::NativeRegistry& reg);
+
 }  // namespace adapt::orb

@@ -1,0 +1,444 @@
+#include "script/analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "script/errors.h"
+
+namespace adapt::script::analysis {
+
+namespace {
+
+bool exempt_name(const std::string& name) {
+  // `_`-prefixed names are deliberately-unused by convention; `self` is the
+  // implicit method receiver.
+  return name.empty() || name[0] == '_' || name == "self";
+}
+
+std::string describe_arity(const NativeSignature& sig) {
+  if (sig.max_args < 0) {
+    return "at least " + std::to_string(sig.min_args) + " argument" +
+           (sig.min_args == 1 ? "" : "s");
+  }
+  if (sig.min_args == sig.max_args) {
+    return std::to_string(sig.min_args) + " argument" + (sig.min_args == 1 ? "" : "s");
+  }
+  return std::to_string(sig.min_args) + ".." + std::to_string(sig.max_args) + " arguments";
+}
+
+const char* constant_kind_name(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::Nil: return "nil";
+    case Expr::Kind::True:
+    case Expr::Kind::False: return "boolean";
+    case Expr::Kind::Number: return "number";
+    case Expr::Kind::String: return "string";
+    case Expr::Kind::Table: return "table";
+    default: return nullptr;  // not a constant we can judge
+  }
+}
+
+class Analyzer {
+ public:
+  Analyzer(const NativeRegistry& natives, const AnalyzeOptions& opts)
+      : natives_(natives), opts_(opts) {
+    extra_globals_.insert(opts.extra_globals.begin(), opts.extra_globals.end());
+  }
+
+  std::vector<Diagnostic> run(const Chunk& chunk) {
+    collect_assigned_globals(chunk.body);
+    // The top-level chunk does not bind `...` (see Interpreter::call_script:
+    // only vararg *functions* get one).
+    fn_stack_.push_back(FnCtx{false});
+    walk_block(chunk.body, /*trailing_cond=*/nullptr);
+    fn_stack_.pop_back();
+    std::stable_sort(diags_.begin(), diags_.end(), [](const Diagnostic& a, const Diagnostic& b) {
+      return a.line != b.line ? a.line < b.line : a.col < b.col;
+    });
+    return std::move(diags_);
+  }
+
+ private:
+  struct LocalInfo {
+    int line = 0;
+    int col = 0;
+    bool used = false;
+    bool is_param = false;
+  };
+
+  struct Scope {
+    std::map<std::string, LocalInfo> locals;
+    // Locals declared later in this block; reading one before its
+    // declaration resolves to the (probably nil) global at runtime.
+    std::map<std::string, std::pair<int, int>> pending;
+  };
+
+  struct FnCtx {
+    bool is_vararg = false;
+  };
+
+  void report(Severity sev, const char* code, int line, int col, std::string msg) {
+    diags_.push_back(Diagnostic{sev, code, line, col, std::move(msg)});
+  }
+
+  // ---- pass 1: chunk-assigned globals -----------------------------------
+  // Any `name = ...` assignment target anywhere in the chunk counts as a
+  // defined global for resolution purposes (over-approximate but safe:
+  // it only ever suppresses undefined-global errors, never adds one).
+
+  void collect_assigned_globals(const Block& block) {
+    for (const auto& s : block) collect_stmt(*s);
+  }
+
+  void collect_stmt(const Stmt& s) {
+    if (s.kind == Stmt::Kind::Assign) {
+      for (const auto& t : s.targets) {
+        if (t->kind == Expr::Kind::Name) assigned_globals_.insert(t->text);
+      }
+    }
+    for (const auto& e : s.targets) collect_expr(*e);
+    for (const auto& e : s.exprs) collect_expr(*e);
+    for (const auto& e : s.conds) collect_expr(*e);
+    if (s.call) collect_expr(*s.call);
+    for (const auto& b : s.blocks) collect_assigned_globals(b);
+    collect_assigned_globals(s.else_block);
+  }
+
+  void collect_expr(const Expr& e) {
+    if (e.kind == Expr::Kind::Function && e.def) collect_assigned_globals(e.def->body);
+    if (e.obj) collect_expr(*e.obj);
+    if (e.key) collect_expr(*e.key);
+    if (e.fn) collect_expr(*e.fn);
+    if (e.lhs) collect_expr(*e.lhs);
+    if (e.rhs) collect_expr(*e.rhs);
+    for (const auto& a : e.args) collect_expr(*a);
+    for (const auto& i : e.items) collect_expr(*i);
+    for (const auto& [k, v] : e.fields) {
+      collect_expr(*k);
+      collect_expr(*v);
+    }
+  }
+
+  // ---- pass 2: scoped walk ----------------------------------------------
+
+  LocalInfo* find_local(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (const auto f = it->locals.find(name); f != it->locals.end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  const std::pair<int, int>* find_pending(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (const auto f = it->pending.find(name); f != it->pending.end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  /// A statement after which control never reaches the next statement of the
+  /// same block. The parser already forbids code directly after `return`, so
+  /// in practice this fires after `break` and after terminating if/do shapes.
+  bool terminates(const Stmt& s) const {
+    switch (s.kind) {
+      case Stmt::Kind::Return:
+      case Stmt::Kind::Break:
+        return true;
+      case Stmt::Kind::Do:
+        return block_terminates(s.blocks[0]);
+      case Stmt::Kind::If: {
+        if (s.else_block.empty()) return false;
+        for (const auto& b : s.blocks) {
+          if (!block_terminates(b)) return false;
+        }
+        return block_terminates(s.else_block);
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool block_terminates(const Block& b) const { return !b.empty() && terminates(*b.back()); }
+
+  void walk_block(const Block& block, const Expr* trailing_cond,
+                  const FunctionDef* def = nullptr) {
+    scopes_.emplace_back();
+    Scope& scope = scopes_.back();
+    if (def != nullptr) {
+      for (const auto& p : def->params) {
+        scope.locals[p] = LocalInfo{def->line, def->col, exempt_name(p), true};
+      }
+      // Lua-4 vararg convention (see Interpreter::bind_args): the extra
+      // arguments arrive in an implicit local table named `arg`.
+      if (def->has_varargs) scope.locals["arg"] = LocalInfo{def->line, def->col, true, true};
+    }
+    for (const auto& s : block) {
+      if (s->kind == Stmt::Kind::Local) {
+        for (const auto& n : s->names) {
+          scope.pending.emplace(n, std::make_pair(s->line, s->col));
+        }
+      }
+    }
+    bool reported_unreachable = false;
+    bool dead = false;
+    for (const auto& s : block) {
+      if (dead && !reported_unreachable) {
+        report(Severity::Warning, codes::kUnreachableCode, s->line, s->col,
+               "statement is unreachable");
+        reported_unreachable = true;
+      }
+      walk_stmt(*s);
+      if (terminates(*s)) dead = true;
+    }
+    if (trailing_cond != nullptr) walk_expr(*trailing_cond);
+    close_scope();
+  }
+
+  void close_scope() {
+    for (const auto& [name, info] : scopes_.back().locals) {
+      if (info.used || exempt_name(name)) continue;
+      if (info.is_param) {
+        report(Severity::Hint, codes::kUnusedParam, info.line, info.col,
+               "parameter '" + name + "' is never used");
+      } else {
+        report(Severity::Warning, codes::kUnusedLocal, info.line, info.col,
+               "local '" + name + "' is never used");
+      }
+    }
+    scopes_.pop_back();
+  }
+
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::Local: {
+        for (const auto& e : s.exprs) walk_expr(*e);
+        Scope& scope = scopes_.back();
+        for (const auto& n : s.names) {
+          scope.pending.erase(n);
+          scope.locals[n] = LocalInfo{s.line, s.col, false, false};
+        }
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        for (const auto& e : s.exprs) walk_expr(*e);
+        for (const auto& t : s.targets) walk_assign_target(*t);
+        return;
+      }
+      case Stmt::Kind::Call:
+        walk_expr(*s.call);
+        return;
+      case Stmt::Kind::If: {
+        for (size_t i = 0; i < s.conds.size(); ++i) {
+          walk_expr(*s.conds[i]);
+          walk_block(s.blocks[i], nullptr);
+        }
+        walk_block(s.else_block, nullptr);
+        return;
+      }
+      case Stmt::Kind::While:
+        walk_expr(*s.conds[0]);
+        walk_block(s.blocks[0], nullptr);
+        return;
+      case Stmt::Kind::Repeat:
+        // Lua scoping: the until-condition sees the body's locals.
+        walk_block(s.blocks[0], s.conds[0].get());
+        return;
+      case Stmt::Kind::NumericFor:
+      case Stmt::Kind::GenericFor: {
+        for (const auto& e : s.exprs) walk_expr(*e);
+        scopes_.emplace_back();
+        for (const auto& n : s.names) {
+          // Loop variables are host-introduced; not flagged when unused
+          // (`for i = 1, n do work() end` is idiomatic).
+          scopes_.back().locals[n] = LocalInfo{s.line, s.col, true, false};
+        }
+        walk_block(s.blocks[0], nullptr);
+        close_scope();
+        return;
+      }
+      case Stmt::Kind::Return:
+        for (const auto& e : s.exprs) walk_expr(*e);
+        return;
+      case Stmt::Kind::Break:
+        return;
+      case Stmt::Kind::Do:
+        walk_block(s.blocks[0], nullptr);
+        return;
+    }
+  }
+
+  void walk_assign_target(const Expr& t) {
+    if (t.kind == Expr::Kind::Name) {
+      if (find_local(t.text) != nullptr) return;  // local write
+      check_policy(t.text, t.line, t.col, "assignment to");
+      return;
+    }
+    if (t.kind == Expr::Kind::Index) {
+      walk_expr(*t.obj);
+      walk_expr(*t.key);
+    }
+  }
+
+  /// Policy gate for a privileged base global; no-op when unprivileged or
+  /// when no policy is active.
+  void check_policy(const std::string& base, int line, int col, const char* what) {
+    if (opts_.policy == nullptr) return;
+    const std::string* cap = natives_.capability_of(base);
+    if (cap == nullptr || opts_.policy->allows(*cap)) return;
+    report(Severity::Error, codes::kPolicyViolation, line, col,
+           std::string(what) + " global '" + base + "' (capability '" + *cap +
+               "') is not allowed by policy '" + opts_.policy->name + "'");
+  }
+
+  void walk_name_read(const Expr& e) {
+    if (LocalInfo* local = find_local(e.text)) {
+      local->used = true;
+      return;
+    }
+    if (const auto* pending = find_pending(e.text)) {
+      report(Severity::Warning, codes::kUseBeforeDecl, e.line, e.col,
+             "local '" + e.text + "' is used before its declaration (line " +
+                 std::to_string(pending->first) + ")");
+      return;
+    }
+    check_policy(e.text, e.line, e.col, "read of");
+    const bool known = natives_.knows_global(e.text) || extra_globals_.count(e.text) != 0 ||
+                       assigned_globals_.count(e.text) != 0;
+    if (!known) {
+      report(Severity::Error, codes::kUndefinedGlobal, e.line, e.col,
+             "read of undefined global '" + e.text + "'");
+    }
+  }
+
+  /// "math.floor"-style dotted path for a callee, or "" when the expression
+  /// is not a plain name / constant-string index chain.
+  std::string dotted_path(const Expr& e) const {
+    if (e.kind == Expr::Kind::Name) return e.text;
+    if (e.kind == Expr::Kind::Index && e.key->kind == Expr::Kind::String) {
+      const std::string prefix = dotted_path(*e.obj);
+      if (!prefix.empty()) return prefix + "." + e.key->text;
+    }
+    return {};
+  }
+
+  void walk_call(const Expr& e) {
+    if (!e.is_method) {
+      if (const char* kind = constant_kind_name(e.fn->kind)) {
+        report(Severity::Error, codes::kNotCallable, e.fn->line, e.fn->col,
+               std::string("attempt to call a ") + kind + " constant");
+      }
+      const std::string dotted = dotted_path(*e.fn);
+      if (!dotted.empty()) {
+        const std::string base = dotted.substr(0, dotted.find('.'));
+        // A shadowing local means the call no longer hits the native.
+        if (find_local(base) == nullptr) {
+          if (const NativeSignature* sig = natives_.lookup(dotted)) {
+            check_arity(e, dotted, *sig);
+          }
+        }
+      }
+    }
+    walk_expr(*e.fn);
+    for (const auto& a : e.args) walk_expr(*a);
+  }
+
+  void check_arity(const Expr& call, const std::string& dotted, const NativeSignature& sig) {
+    const int n = static_cast<int>(call.args.size());
+    const bool expandable_last =
+        !call.args.empty() && (call.args.back()->kind == Expr::Kind::Call ||
+                               call.args.back()->kind == Expr::Kind::Vararg);
+    if (expandable_last) {
+      // The last argument may expand to many values; only an already-
+      // overfull fixed prefix is provably wrong.
+      if (sig.max_args >= 0 && n - 1 > sig.max_args) {
+        report(Severity::Error, codes::kArityMismatch, call.line, call.col,
+               "'" + dotted + "' expects " + describe_arity(sig) + ", got more than " +
+                   std::to_string(n - 1));
+      }
+      return;
+    }
+    if (n < sig.min_args || (sig.max_args >= 0 && n > sig.max_args)) {
+      report(Severity::Error, codes::kArityMismatch, call.line, call.col,
+             "'" + dotted + "' expects " + describe_arity(sig) + ", got " +
+                 std::to_string(n));
+    }
+  }
+
+  void walk_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Nil:
+      case Expr::Kind::True:
+      case Expr::Kind::False:
+      case Expr::Kind::Number:
+      case Expr::Kind::String:
+        return;
+      case Expr::Kind::Name:
+        walk_name_read(e);
+        return;
+      case Expr::Kind::Index:
+        walk_expr(*e.obj);
+        walk_expr(*e.key);
+        return;
+      case Expr::Kind::Call:
+        walk_call(e);
+        return;
+      case Expr::Kind::Function: {
+        fn_stack_.push_back(FnCtx{e.def->has_varargs});
+        walk_block(e.def->body, nullptr, e.def.get());
+        fn_stack_.pop_back();
+        return;
+      }
+      case Expr::Kind::Table:
+        for (const auto& i : e.items) walk_expr(*i);
+        for (const auto& [k, v] : e.fields) {
+          walk_expr(*k);
+          walk_expr(*v);
+        }
+        return;
+      case Expr::Kind::Binary:
+        walk_expr(*e.lhs);
+        walk_expr(*e.rhs);
+        return;
+      case Expr::Kind::Unary:
+        walk_expr(*e.lhs);
+        return;
+      case Expr::Kind::Vararg:
+        if (fn_stack_.empty() || !fn_stack_.back().is_vararg) {
+          report(Severity::Error, codes::kVarargOutsideFunction, e.line, e.col,
+                 "cannot use '...' outside a vararg function");
+        }
+        return;
+    }
+  }
+
+  const NativeRegistry& natives_;
+  const AnalyzeOptions& opts_;
+  std::set<std::string> extra_globals_;
+  std::set<std::string> assigned_globals_;
+  std::vector<Scope> scopes_;
+  std::vector<FnCtx> fn_stack_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> analyze(const Chunk& chunk, const NativeRegistry& natives,
+                                const AnalyzeOptions& opts) {
+  return Analyzer(natives, opts).run(chunk);
+}
+
+std::vector<Diagnostic> analyze_source(std::string_view source,
+                                       const std::string& chunk_name,
+                                       const NativeRegistry& natives,
+                                       const AnalyzeOptions& opts) {
+  ChunkPtr chunk;
+  try {
+    chunk = parse(source, chunk_name);
+  } catch (const ParseError& e) {
+    return {Diagnostic{Severity::Error, codes::kParseError, e.line(), e.col(), e.what()}};
+  }
+  return analyze(*chunk, natives, opts);
+}
+
+}  // namespace adapt::script::analysis

@@ -1,0 +1,46 @@
+// AST-walking resolver + linter for Luma chunks.
+//
+// Runs over a parsed (never executed) chunk and emits structured
+// diagnostics: undefined-global reads, arity mismatches on direct calls to
+// known natives, use of a local before its declaration, unused
+// locals/params, unreachable statements, calls on non-callable constants,
+// `...` outside vararg functions, and capability-policy violations.
+//
+// The analysis is deliberately flow-insensitive where Lua semantics demand
+// it: a global assigned anywhere in the chunk counts as defined (remote
+// scripts routinely publish results by assigning globals the host reads
+// back), and unprivileged globals the analyzer has never heard of are only
+// an error when *read* without any assignment in sight.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "script/analysis/diagnostics.h"
+#include "script/analysis/policy.h"
+#include "script/analysis/registry.h"
+#include "script/parser.h"
+
+namespace adapt::script::analysis {
+
+struct AnalyzeOptions {
+  /// Capability policy to enforce; nullptr skips the policy pass.
+  const CapabilityPolicy* policy = nullptr;
+  /// Additional known globals (e.g. a live engine's root environment, which
+  /// includes host-injected values like `source` or `monitor`).
+  std::vector<std::string> extra_globals;
+};
+
+/// Analyzes a parsed chunk. Diagnostics are ordered by source position.
+std::vector<Diagnostic> analyze(const Chunk& chunk, const NativeRegistry& natives,
+                                const AnalyzeOptions& opts = {});
+
+/// Parses and analyzes source; a syntax error becomes a single
+/// parse-error diagnostic instead of a thrown ParseError.
+std::vector<Diagnostic> analyze_source(std::string_view source,
+                                       const std::string& chunk_name,
+                                       const NativeRegistry& natives,
+                                       const AnalyzeOptions& opts = {});
+
+}  // namespace adapt::script::analysis

@@ -1,0 +1,38 @@
+#include "script/analysis/diagnostics.h"
+
+namespace adapt::script::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Hint: return "hint";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string format(const Diagnostic& d) {
+  std::string out = std::to_string(d.line);
+  out += ":";
+  out += std::to_string(d.col);
+  out += ": ";
+  out += severity_name(d.severity);
+  out += " [";
+  out += d.code;
+  out += "] ";
+  out += d.message;
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return first_error(diags) != nullptr;
+}
+
+const Diagnostic* first_error(const std::vector<Diagnostic>& diags) {
+  for (const auto& d : diags) {
+    if (d.severity == Severity::Error) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace adapt::script::analysis

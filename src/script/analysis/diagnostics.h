@@ -1,0 +1,52 @@
+// Structured diagnostics emitted by the Luma static analyzer.
+//
+// A Diagnostic is a machine-consumable finding about a compiled-but-not-
+// executed chunk: severity, a stable code string, a source position, and a
+// human-readable message. Error-severity diagnostics are the ones ingestion
+// points (monitors, agents, smart proxies) reject remote scripts on;
+// warnings and hints are advisory and surface through `lumalint`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adapt::script::analysis {
+
+enum class Severity { Hint, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  std::string code;  // stable identifier, e.g. "undefined-global"
+  int line = 0;
+  int col = 0;  // 1-based; 0 = unknown
+  std::string message;
+};
+
+// Stable diagnostic codes. Error severity (rejects remote scripts):
+namespace codes {
+inline constexpr const char* kParseError = "parse-error";
+inline constexpr const char* kUndefinedGlobal = "undefined-global";
+inline constexpr const char* kArityMismatch = "arity-mismatch";
+inline constexpr const char* kNotCallable = "not-callable";
+inline constexpr const char* kVarargOutsideFunction = "vararg-outside-function";
+inline constexpr const char* kPolicyViolation = "policy-violation";
+// Warning severity (advisory):
+inline constexpr const char* kUseBeforeDecl = "use-before-decl";
+inline constexpr const char* kUnusedLocal = "unused-local";
+inline constexpr const char* kUnreachableCode = "unreachable-code";
+// Hint severity (style; the paper's own listings trip these):
+inline constexpr const char* kUnusedParam = "unused-param";
+}  // namespace codes
+
+const char* severity_name(Severity s);
+
+/// "chunk:3:7: error [undefined-global] ..." without the chunk prefix;
+/// callers prepend the chunk name when they have one.
+std::string format(const Diagnostic& d);
+
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// First error-severity diagnostic, or nullptr.
+const Diagnostic* first_error(const std::vector<Diagnostic>& diags);
+
+}  // namespace adapt::script::analysis

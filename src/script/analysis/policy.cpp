@@ -1,0 +1,30 @@
+#include "script/analysis/policy.h"
+
+namespace adapt::script::analysis {
+
+const CapabilityPolicy& monitor_policy() {
+  static const CapabilityPolicy p{"monitor", false, {"monitor", "obs", "io"}};
+  return p;
+}
+
+const CapabilityPolicy& strategy_policy() {
+  static const CapabilityPolicy p{
+      "strategy",
+      false,
+      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra"}};
+  return p;
+}
+
+const CapabilityPolicy& shell_policy() {
+  static const CapabilityPolicy p{"shell", true, {}};
+  return p;
+}
+
+const CapabilityPolicy* find_policy(std::string_view name) {
+  if (name == "monitor") return &monitor_policy();
+  if (name == "strategy") return &strategy_policy();
+  if (name == "shell") return &shell_policy();
+  return nullptr;
+}
+
+}  // namespace adapt::script::analysis

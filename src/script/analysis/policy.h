@@ -1,0 +1,40 @@
+// Capability policies for remotely-supplied Luma code.
+//
+// A policy names the set of privileged capability tags (see
+// NativeRegistry::tag) a script may touch. Unprivileged globals — the
+// stdlib, user-defined globals, host-injected plain values — are always
+// allowed; policies only gate privileged namespaces like `orb` or `trading`.
+//
+// Built-in policies, matching the ingestion points in the paper (§III):
+//   monitor   aspect evaluators and event predicates: monitor bindings,
+//             obs, io — but no raw orb/trading/infrastructure access.
+//   strategy  agent strategies and smart-proxy scripts: everything the
+//             adaptation layer exposes (monitor, orb, trading, agent,
+//             proxy, infra, obs, io).
+//   shell     interactive/trusted code: everything.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace adapt::script::analysis {
+
+struct CapabilityPolicy {
+  std::string name;
+  bool allow_all = false;
+  std::set<std::string> allowed;  // capability tags
+
+  [[nodiscard]] bool allows(const std::string& capability) const {
+    return allow_all || allowed.count(capability) != 0;
+  }
+};
+
+const CapabilityPolicy& monitor_policy();
+const CapabilityPolicy& strategy_policy();
+const CapabilityPolicy& shell_policy();
+
+/// Lookup by name ("monitor" | "strategy" | "shell"); nullptr when unknown.
+const CapabilityPolicy* find_policy(std::string_view name);
+
+}  // namespace adapt::script::analysis

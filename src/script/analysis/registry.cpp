@@ -1,0 +1,44 @@
+#include "script/analysis/registry.h"
+
+namespace adapt::script::analysis {
+
+namespace {
+std::string base_of(const std::string& dotted) {
+  const auto dot = dotted.find('.');
+  return dot == std::string::npos ? dotted : dotted.substr(0, dot);
+}
+}  // namespace
+
+void NativeRegistry::declare(const std::string& dotted, int min_args, int max_args) {
+  sigs_[dotted] = NativeSignature{min_args, max_args};
+  globals_.insert(base_of(dotted));
+}
+
+void NativeRegistry::declare_global(const std::string& name) {
+  globals_.insert(base_of(name));
+}
+
+void NativeRegistry::tag(const std::string& base_global, const std::string& capability) {
+  caps_[base_global] = capability;
+  globals_.insert(base_global);
+}
+
+const NativeSignature* NativeRegistry::lookup(const std::string& dotted) const {
+  const auto it = sigs_.find(dotted);
+  return it == sigs_.end() ? nullptr : &it->second;
+}
+
+bool NativeRegistry::knows_global(const std::string& base) const {
+  return globals_.count(base) != 0;
+}
+
+const std::string* NativeRegistry::capability_of(const std::string& base) const {
+  const auto it = caps_.find(base);
+  return it == caps_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> NativeRegistry::globals() const {
+  return {globals_.begin(), globals_.end()};
+}
+
+}  // namespace adapt::script::analysis

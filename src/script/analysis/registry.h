@@ -1,0 +1,48 @@
+// Native-signature registry: what the host exposes to Luma, with arity
+// metadata and capability tags.
+//
+// Bindings modules declare their surface here (each exports a
+// declare_*_signatures(NativeRegistry&) helper), which gives the analyzer a
+// catalog of known globals and callable signatures without needing live
+// ORB/monitor objects — `lumalint` builds the catalog standalone.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace adapt::script::analysis {
+
+struct NativeSignature {
+  int min_args = 0;
+  int max_args = -1;  // -1 = unbounded
+};
+
+class NativeRegistry {
+ public:
+  /// Declares a callable native under a dotted path ("math.floor", "print").
+  /// The base global (up to the first '.') becomes a known global.
+  void declare(const std::string& dotted, int min_args, int max_args);
+
+  /// Declares a known global with no callable signature (tables holding
+  /// constants, host-injected values like `monitor` or `self`).
+  void declare_global(const std::string& name);
+
+  /// Tags a base global with a capability ("orb", "monitor", "io", ...).
+  /// Untagged globals are unprivileged and allowed under every policy.
+  void tag(const std::string& base_global, const std::string& capability);
+
+  [[nodiscard]] const NativeSignature* lookup(const std::string& dotted) const;
+  [[nodiscard]] bool knows_global(const std::string& base) const;
+  /// Capability tag of a base global, or nullptr when unprivileged.
+  [[nodiscard]] const std::string* capability_of(const std::string& base) const;
+  [[nodiscard]] std::vector<std::string> globals() const;
+
+ private:
+  std::map<std::string, NativeSignature> sigs_;  // dotted path -> signature
+  std::set<std::string> globals_;                // known base globals
+  std::map<std::string, std::string> caps_;      // base global -> capability
+};
+
+}  // namespace adapt::script::analysis

@@ -34,6 +34,7 @@ struct FunctionDef {
   Block body;
   std::string name = "?";  // for diagnostics
   int line = 0;
+  int col = 0;
 };
 using FunctionDefPtr = std::shared_ptr<FunctionDef>;
 
@@ -43,9 +44,10 @@ struct Expr {
     Binary, Unary, Vararg,
   };
 
-  explicit Expr(Kind k, int ln) : kind(k), line(ln) {}
+  explicit Expr(Kind k, int ln, int cl = 0) : kind(k), line(ln), col(cl) {}
   Kind kind;
   int line;
+  int col;  // 1-based column; 0 when unknown
 
   // Number / String
   double number = 0;
@@ -80,9 +82,10 @@ struct Stmt {
     Return, Break, Do,
   };
 
-  explicit Stmt(Kind k, int ln) : kind(k), line(ln) {}
+  explicit Stmt(Kind k, int ln, int cl = 0) : kind(k), line(ln), col(cl) {}
   Kind kind;
   int line;
+  int col;  // 1-based column; 0 when unknown
 
   // Local: names = exprs; Assign: targets = exprs.
   std::vector<std::string> names;

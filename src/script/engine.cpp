@@ -45,8 +45,11 @@ Value ScriptEngine::compile_function(std::string_view code, const std::string& c
   const std::string wrapped = "return (" + std::string(code) + "\n)";
   Value v = eval1(wrapped, chunk_name);
   if (!v.is_function()) {
-    throw ScriptError("compile_function: source did not produce a function: " +
-                      std::string(code.substr(0, 60)));
+    // Match compile/parse errors: carry the chunk name and a position.
+    throw ScriptError(chunk_name + ": source did not produce a function (got " +
+                          std::string(v.type_name()) + "): " +
+                          std::string(code.substr(0, 60)),
+                      1);
   }
   return v;
 }
@@ -73,7 +76,34 @@ Value ScriptEngine::get_global(const std::string& name) {
 
 void ScriptEngine::register_function(const std::string& name,
                                      std::function<ValueList(const ValueList&)> fn) {
+  std::scoped_lock lock(mu_);
+  natives_.declare_global(name);
   set_global(name, Value(NativeFunction::make(name, std::move(fn))));
+}
+
+void ScriptEngine::register_function(const std::string& name, int min_args, int max_args,
+                                     std::function<ValueList(const ValueList&)> fn) {
+  std::scoped_lock lock(mu_);
+  natives_.declare(name, min_args, max_args);
+  set_global(name, Value(NativeFunction::make(name, std::move(fn))));
+}
+
+std::vector<analysis::Diagnostic> ScriptEngine::analyze(
+    std::string_view code, const std::string& chunk_name,
+    const analysis::CapabilityPolicy* policy) {
+  std::scoped_lock lock(mu_);
+  analysis::AnalyzeOptions opts;
+  opts.policy = policy;
+  opts.extra_globals = globals_->names();
+  return analysis::analyze_source(code, chunk_name, natives_, opts);
+}
+
+std::vector<analysis::Diagnostic> ScriptEngine::analyze_function(
+    std::string_view code, const std::string& chunk_name,
+    const analysis::CapabilityPolicy* policy) {
+  // Must match compile_function's wrapping so line numbers agree.
+  const std::string wrapped = "return (" + std::string(code) + "\n)";
+  return analyze(wrapped, chunk_name, policy);
 }
 
 void ScriptEngine::set_print_sink(std::function<void(const std::string&)> sink) {

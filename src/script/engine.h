@@ -16,6 +16,7 @@
 
 #include "base/clock.h"
 #include "base/value.h"
+#include "script/analysis/analyzer.h"
 #include "script/env.h"
 #include "script/interpreter.h"
 
@@ -54,6 +55,34 @@ class ScriptEngine {
   void register_function(const std::string& name,
                          std::function<ValueList(const ValueList&)> fn);
 
+  /// Like register_function, but also declares the function's arity in the
+  /// native-signature registry so the static analyzer can check call sites
+  /// (max_args = -1 means unbounded).
+  void register_function(const std::string& name, int min_args, int max_args,
+                         std::function<ValueList(const ValueList&)> fn);
+
+  /// The native-signature registry backing Engine::analyze. Bindings
+  /// modules declare their exposed natives (and capability tags) here as
+  /// they install themselves.
+  analysis::NativeRegistry& natives() { return natives_; }
+
+  /// Statically analyzes `code` against this engine's known globals and
+  /// native signatures without executing it. Pass a capability policy to
+  /// additionally gate privileged namespaces (see analysis/policy.h);
+  /// nullptr runs the resolver/lint passes only. Never throws on bad input:
+  /// syntax errors come back as a parse-error diagnostic.
+  std::vector<analysis::Diagnostic> analyze(
+      std::string_view code, const std::string& chunk_name = "=analyze",
+      const analysis::CapabilityPolicy* policy = nullptr);
+
+  /// Analyzes `code` exactly as compile_function would see it (wrapped into
+  /// a `return (...)` chunk so a bare `function(...) ... end` literal
+  /// parses). Line numbers in diagnostics match compile_function's runtime
+  /// errors. Use at every ingestion point that feeds compile_function.
+  std::vector<analysis::Diagnostic> analyze_function(
+      std::string_view code, const std::string& chunk_name = "=fn",
+      const analysis::CapabilityPolicy* policy = nullptr);
+
   /// Redirects print() output (default: stdout). Used by tests.
   void set_print_sink(std::function<void(const std::string&)> sink);
 
@@ -75,6 +104,7 @@ class ScriptEngine {
 
   ClockPtr clock_;
   EnvPtr globals_;
+  analysis::NativeRegistry natives_;
   Interpreter interp_;
   std::recursive_mutex mu_;
   std::mt19937 rng_{12345};
@@ -89,5 +119,10 @@ class ScriptEngine {
 /// readfrom/read file-input compatibility functions used by the paper's
 /// Fig. 3 listing) into the engine's globals.
 void install_stdlib(ScriptEngine& engine);
+
+/// Declares the stdlib's native signatures (names, arities, capability
+/// tags) into a registry without needing a live engine — used by both
+/// install_stdlib and the standalone `lumalint` catalog.
+void declare_stdlib_signatures(analysis::NativeRegistry& reg);
 
 }  // namespace adapt::script

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "base/value.h"
 
@@ -48,6 +49,15 @@ class Environment : public std::enable_shared_from_this<Environment> {
 
   [[nodiscard]] bool has_local(const std::string& name) const {
     return vars_.count(name) != 0;
+  }
+
+  /// Names bound directly in this scope (used by the static analyzer to
+  /// snapshot an engine's globals).
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(vars_.size());
+    for (const auto& [k, v] : vars_) out.push_back(k);
+    return out;
   }
 
   static EnvPtr make() { return std::make_shared<Environment>(); }

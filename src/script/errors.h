@@ -7,23 +7,35 @@
 
 namespace adapt::script {
 
+namespace detail {
+/// " (line N)" or " (line N, col C)" — col 0 means "unknown".
+inline std::string position_suffix(int line, int col) {
+  std::string out = " (line " + std::to_string(line);
+  if (col > 0) out += ", col " + std::to_string(col);
+  out += ")";
+  return out;
+}
+}  // namespace detail
+
 /// Syntax error while lexing/parsing Luma source.
 class ParseError : public Error {
  public:
-  ParseError(const std::string& msg, int line)
-      : Error(msg + " (line " + std::to_string(line) + ")"), line_(line) {}
+  ParseError(const std::string& msg, int line, int col = 0)
+      : Error(msg + detail::position_suffix(line, col)), line_(line), col_(col) {}
   [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
 
  private:
   int line_;
+  int col_;
 };
 
 /// Run-time error raised while executing Luma code (including `error()`).
 class ScriptError : public Error {
  public:
   explicit ScriptError(const std::string& msg) : Error(msg) {}
-  ScriptError(const std::string& msg, int line)
-      : Error(msg + " (line " + std::to_string(line) + ")") {}
+  ScriptError(const std::string& msg, int line, int col = 0)
+      : Error(msg + detail::position_suffix(line, col)) {}
 };
 
 }  // namespace adapt::script

@@ -10,10 +10,10 @@ namespace {
 /// RAII recursion-depth guard.
 class DepthGuard {
  public:
-  DepthGuard(int& depth, int line) : depth_(depth) {
+  DepthGuard(int& depth, int line, int col = 0) : depth_(depth) {
     if (++depth_ > Interpreter::kMaxDepth) {
       --depth_;
-      throw ScriptError("stack overflow (too much recursion)", line);
+      throw ScriptError("stack overflow (too much recursion)", line, col);
     }
   }
   ~DepthGuard() { --depth_; }
@@ -52,7 +52,7 @@ ValueList Interpreter::call(const CallablePtr& fn, const ValueList& args) {
 }
 
 ValueList Interpreter::call_script(const ScriptFunction& fn, const ValueList& args) {
-  DepthGuard guard(depth_, fn.def().line);
+  DepthGuard guard(depth_, fn.def().line, fn.def().col);
   EnvPtr env = Environment::make_child(fn.closure());
   const auto& params = fn.def().params;
   for (size_t i = 0; i < params.size(); ++i) {
@@ -132,12 +132,12 @@ Interpreter::Flow Interpreter::exec_stmt(const Stmt& s, const EnvPtr& env, Value
       return Flow::Normal;
     }
     case Stmt::Kind::NumericFor: {
-      const double start = to_number(eval(*s.exprs[0], env), s.line, "'for' initial value");
-      const double stop = to_number(eval(*s.exprs[1], env), s.line, "'for' limit");
+      const double start = to_number(eval(*s.exprs[0], env), s.line, s.col, "'for' initial value");
+      const double stop = to_number(eval(*s.exprs[1], env), s.line, s.col, "'for' limit");
       const double step = s.exprs.size() > 2
-                              ? to_number(eval(*s.exprs[2], env), s.line, "'for' step")
+                              ? to_number(eval(*s.exprs[2], env), s.line, s.col, "'for' step")
                               : 1.0;
-      if (step == 0) throw ScriptError("'for' step is zero", s.line);
+      if (step == 0) throw ScriptError("'for' step is zero", s.line, s.col);
       for (double i = start; step > 0 ? i <= stop : i >= stop; i += step) {
         EnvPtr inner = Environment::make_child(env);
         inner->define(s.names[0], Value(i));
@@ -155,7 +155,7 @@ Interpreter::Flow Interpreter::exec_stmt(const Stmt& s, const EnvPtr& env, Value
       if (!iter.is_function()) {
         throw ScriptError("'for ... in' expects an iterator function, got " +
                               std::string(iter.type_name()),
-                          s.line);
+                          s.line, s.col);
       }
       for (;;) {
         ValueList vals = call(iter, {});
@@ -180,7 +180,7 @@ Interpreter::Flow Interpreter::exec_stmt(const Stmt& s, const EnvPtr& env, Value
       return exec_block(s.blocks[0], inner, ret);
     }
   }
-  throw ScriptError("internal: unknown statement kind", s.line);
+  throw ScriptError("internal: unknown statement kind", s.line, s.col);
 }
 
 ValueList Interpreter::eval_expr_list(const std::vector<ExprPtr>& list, const EnvPtr& env) {
@@ -202,7 +202,7 @@ ValueList Interpreter::eval_multi(const Expr& e, const EnvPtr& env) {
   if (e.kind == Expr::Kind::Vararg) {
     const Value extras = env->get("...");
     if (!extras.is_table()) {
-      throw ScriptError("cannot use '...' outside a vararg function", e.line);
+      throw ScriptError("cannot use '...' outside a vararg function", e.line, e.col);
     }
     ValueList out;
     const Table& t = *extras.as_table();
@@ -223,7 +223,7 @@ Value Interpreter::eval(const Expr& e, const EnvPtr& env) {
     case Expr::Kind::Index: {
       const Value obj = eval(*e.obj, env);
       const Value key = eval(*e.key, env);
-      if (obj.is_table()) return table_index(obj.as_table(), key, e.line);
+      if (obj.is_table()) return table_index(obj.as_table(), key, e.line, e.col);
       if (obj.is_string() && key.is_number()) {
         // convenience: s[i] yields the i-th character (1-based)
         const auto& s = obj.as_string();
@@ -234,7 +234,7 @@ Value Interpreter::eval(const Expr& e, const EnvPtr& env) {
         return {};
       }
       throw ScriptError("attempt to index a " + std::string(obj.type_name()) + " value",
-                        e.line);
+                        e.line, e.col);
     }
     case Expr::Kind::Call:
       return first_or_nil(eval_call(e, env));
@@ -249,11 +249,11 @@ Value Interpreter::eval(const Expr& e, const EnvPtr& env) {
     case Expr::Kind::Unary:
       return eval_unary(e, env);
   }
-  throw ScriptError("internal: unknown expression kind", e.line);
+  throw ScriptError("internal: unknown expression kind", e.line, e.col);
 }
 
 ValueList Interpreter::eval_call(const Expr& e, const EnvPtr& env) {
-  DepthGuard guard(depth_, e.line);
+  DepthGuard guard(depth_, e.line, e.col);
   Value fn;
   ValueList args;
   if (e.is_method) {
@@ -261,11 +261,11 @@ ValueList Interpreter::eval_call(const Expr& e, const EnvPtr& env) {
     if (!self.is_table()) {
       throw ScriptError("attempt to call method '" + e.text + "' on a " +
                             std::string(self.type_name()) + " value",
-                        e.line);
+                        e.line, e.col);
     }
-    fn = table_index(self.as_table(), Value(e.text), e.line);
+    fn = table_index(self.as_table(), Value(e.text), e.line, e.col);
     if (fn.is_nil()) {
-      throw ScriptError("method '" + e.text + "' is nil", e.line);
+      throw ScriptError("method '" + e.text + "' is nil", e.line, e.col);
     }
     args.push_back(self);
   } else {
@@ -276,7 +276,7 @@ ValueList Interpreter::eval_call(const Expr& e, const EnvPtr& env) {
               std::make_move_iterator(extra.end()));
   if (!fn.is_function()) {
     throw ScriptError("attempt to call a " + std::string(fn.type_name()) + " value",
-                      e.line);
+                      e.line, e.col);
   }
   try {
     return call(fn.as_function(), args);
@@ -286,7 +286,7 @@ ValueList Interpreter::eval_call(const Expr& e, const EnvPtr& env) {
     throw;
   } catch (const Error& err) {
     // Surface native-layer failures as script errors with a call-site line.
-    throw ScriptError(err.what(), e.line);
+    throw ScriptError(err.what(), e.line, e.col);
   }
 }
 
@@ -306,13 +306,13 @@ Value Interpreter::eval_table(const Expr& e, const EnvPtr& env) {
   for (const auto& [key_expr, val_expr] : e.fields) {
     const Value key = eval(*key_expr, env);
     Value val = eval(*val_expr, env);
-    if (key.is_nil()) throw ScriptError("table key is nil", e.line);
+    if (key.is_nil()) throw ScriptError("table key is nil", e.line, e.col);
     t->set(key, std::move(val));
   }
   return Value(std::move(t));
 }
 
-double Interpreter::to_number(const Value& v, int line, const char* what) {
+double Interpreter::to_number(const Value& v, int line, int col, const char* what) {
   if (v.is_number()) return v.as_number();
   if (v.is_string()) {
     const std::string& s = v.as_string();
@@ -320,14 +320,14 @@ double Interpreter::to_number(const Value& v, int line, const char* what) {
     const double n = std::strtod(s.c_str(), &end);
     if (end != s.c_str() && *end == '\0') return n;
   }
-  throw ScriptError(std::string(what) + " must be a number, got " + v.type_name(), line);
+  throw ScriptError(std::string(what) + " must be a number, got " + v.type_name(), line, col);
 }
 
-std::string Interpreter::to_concat_string(const Value& v, int line) {
+std::string Interpreter::to_concat_string(const Value& v, int line, int col) {
   if (v.is_string()) return v.as_string();
   if (v.is_number()) return v.str();
   throw ScriptError("attempt to concatenate a " + std::string(v.type_name()) + " value",
-                    line);
+                    line, col);
 }
 
 Value Interpreter::eval_binary(const Expr& e, const EnvPtr& env) {
@@ -344,20 +344,20 @@ Value Interpreter::eval_binary(const Expr& e, const EnvPtr& env) {
   const Value l = eval(*e.lhs, env);
   const Value r = eval(*e.rhs, env);
   switch (e.bin_op) {
-    case BinOp::Add: return Value(to_number(l, e.line, "operand") + to_number(r, e.line, "operand"));
-    case BinOp::Sub: return Value(to_number(l, e.line, "operand") - to_number(r, e.line, "operand"));
-    case BinOp::Mul: return Value(to_number(l, e.line, "operand") * to_number(r, e.line, "operand"));
-    case BinOp::Div: return Value(to_number(l, e.line, "operand") / to_number(r, e.line, "operand"));
+    case BinOp::Add: return Value(to_number(l, e.line, e.col, "operand") + to_number(r, e.line, e.col, "operand"));
+    case BinOp::Sub: return Value(to_number(l, e.line, e.col, "operand") - to_number(r, e.line, e.col, "operand"));
+    case BinOp::Mul: return Value(to_number(l, e.line, e.col, "operand") * to_number(r, e.line, e.col, "operand"));
+    case BinOp::Div: return Value(to_number(l, e.line, e.col, "operand") / to_number(r, e.line, e.col, "operand"));
     case BinOp::Mod: {
-      const double a = to_number(l, e.line, "operand");
-      const double b = to_number(r, e.line, "operand");
+      const double a = to_number(l, e.line, e.col, "operand");
+      const double b = to_number(r, e.line, e.col, "operand");
       // Lua modulo: result has the sign of the divisor.
       return Value(a - std::floor(a / b) * b);
     }
     case BinOp::Pow:
-      return Value(std::pow(to_number(l, e.line, "operand"), to_number(r, e.line, "operand")));
+      return Value(std::pow(to_number(l, e.line, e.col, "operand"), to_number(r, e.line, e.col, "operand")));
     case BinOp::Concat:
-      return Value(to_concat_string(l, e.line) + to_concat_string(r, e.line));
+      return Value(to_concat_string(l, e.line, e.col) + to_concat_string(r, e.line, e.col));
     case BinOp::Eq: return Value(l == r);
     case BinOp::Ne: return Value(!(l == r));
     case BinOp::Lt:
@@ -374,7 +374,7 @@ Value Interpreter::eval_binary(const Expr& e, const EnvPtr& env) {
       } else {
         throw ScriptError("attempt to compare " + std::string(l.type_name()) + " with " +
                               r.type_name(),
-                          e.line);
+                          e.line, e.col);
       }
       switch (e.bin_op) {
         case BinOp::Lt: return Value(cmp < 0);
@@ -384,25 +384,25 @@ Value Interpreter::eval_binary(const Expr& e, const EnvPtr& env) {
       }
     }
     default:
-      throw ScriptError("internal: unknown binary operator", e.line);
+      throw ScriptError("internal: unknown binary operator", e.line, e.col);
   }
 }
 
 Value Interpreter::eval_unary(const Expr& e, const EnvPtr& env) {
   const Value v = eval(*e.lhs, env);
   switch (e.un_op) {
-    case UnOp::Neg: return Value(-to_number(v, e.line, "operand"));
+    case UnOp::Neg: return Value(-to_number(v, e.line, e.col, "operand"));
     case UnOp::Not: return Value(!v.truthy());
     case UnOp::Len:
       if (v.is_string()) return Value(static_cast<double>(v.as_string().size()));
       if (v.is_table()) return Value(static_cast<double>(v.as_table()->length()));
       throw ScriptError("attempt to get length of a " + std::string(v.type_name()) + " value",
-                        e.line);
+                        e.line, e.col);
   }
-  throw ScriptError("internal: unknown unary operator", e.line);
+  throw ScriptError("internal: unknown unary operator", e.line, e.col);
 }
 
-Value Interpreter::table_index(const TablePtr& table, const Value& key, int line) {
+Value Interpreter::table_index(const TablePtr& table, const Value& key, int line, int col) {
   TablePtr current = table;
   for (int depth = 0; depth < 100; ++depth) {
     Value raw = current->get(key);
@@ -419,12 +419,12 @@ Value Interpreter::table_index(const TablePtr& table, const Value& key, int line
       current = handler.as_table();
       continue;
     }
-    throw ScriptError("__index must be a table or function", line);
+    throw ScriptError("__index must be a table or function", line, col);
   }
-  throw ScriptError("'__index' chain too long; possible loop", line);
+  throw ScriptError("'__index' chain too long; possible loop", line, col);
 }
 
-void Interpreter::table_newindex(const TablePtr& table, const Value& key, Value v, int line) {
+void Interpreter::table_newindex(const TablePtr& table, const Value& key, Value v, int line, int col) {
   TablePtr current = table;
   for (int depth = 0; depth < 100; ++depth) {
     if (!current->get(key).is_nil()) {
@@ -449,9 +449,9 @@ void Interpreter::table_newindex(const TablePtr& table, const Value& key, Value 
       current = handler.as_table();
       continue;
     }
-    throw ScriptError("__newindex must be a table or function", line);
+    throw ScriptError("__newindex must be a table or function", line, col);
   }
-  throw ScriptError("'__newindex' chain too long; possible loop", line);
+  throw ScriptError("'__newindex' chain too long; possible loop", line, col);
 }
 
 void Interpreter::assign_to(const Expr& target, Value v, const EnvPtr& env) {
@@ -464,12 +464,12 @@ void Interpreter::assign_to(const Expr& target, Value v, const EnvPtr& env) {
     const Value key = eval(*target.key, env);
     if (!obj.is_table()) {
       throw ScriptError("attempt to index a " + std::string(obj.type_name()) + " value",
-                        target.line);
+                        target.line, target.col);
     }
-    table_newindex(obj.as_table(), key, std::move(v), target.line);
+    table_newindex(obj.as_table(), key, std::move(v), target.line, target.col);
     return;
   }
-  throw ScriptError("cannot assign to this expression", target.line);
+  throw ScriptError("cannot assign to this expression", target.line, target.col);
 }
 
 }  // namespace adapt::script

@@ -69,9 +69,10 @@ class Interpreter {
 
  public:
   /// Table read honoring __index metamethods (table or function chains).
-  Value table_index(const TablePtr& table, const Value& key, int line = 0);
+  Value table_index(const TablePtr& table, const Value& key, int line = 0, int col = 0);
   /// Table write honoring __newindex metamethods.
-  void table_newindex(const TablePtr& table, const Value& key, Value v, int line = 0);
+  void table_newindex(const TablePtr& table, const Value& key, Value v, int line = 0,
+                      int col = 0);
 
  private:
   Value eval_binary(const Expr& e, const EnvPtr& env);
@@ -79,8 +80,8 @@ class Interpreter {
   Value eval_table(const Expr& e, const EnvPtr& env);
   void assign_to(const Expr& target, Value v, const EnvPtr& env);
 
-  static double to_number(const Value& v, int line, const char* what);
-  static std::string to_concat_string(const Value& v, int line);
+  static double to_number(const Value& v, int line, int col, const char* what);
+  static std::string to_concat_string(const Value& v, int line, int col);
 
   EnvPtr globals_;
   int depth_ = 0;

@@ -98,7 +98,12 @@ char Lexer::peek(size_t ahead) const {
 
 char Lexer::advance() {
   const char c = peek();
-  if (c == '\n') ++line_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
   if (pos_ < src_.size()) ++pos_;
   return c;
 }
@@ -109,7 +114,7 @@ bool Lexer::match(char c) {
   return true;
 }
 
-void Lexer::fail(const std::string& msg) const { throw ParseError(msg, line_); }
+void Lexer::fail(const std::string& msg) const { throw ParseError(msg, line_, col_); }
 
 void Lexer::skip_whitespace_and_comments() {
   for (;;) {
@@ -221,24 +226,34 @@ Token Lexer::read_long_string() {
 Token Lexer::next_token() {
   skip_whitespace_and_comments();
   const int line = line_;
+  const int col = col_;
+  // Every path below produces a token whose first character sits at
+  // (line, col); stamping once here keeps the helpers position-agnostic.
+  auto at = [line, col](Token t) {
+    t.line = line;
+    t.col = col;
+    return t;
+  };
   const char c = peek();
-  if (c == '\0') return Token{Tok::Eof, "", 0, line};
+  if (c == '\0') return Token{Tok::Eof, "", 0, line, col};
   if (std::isdigit(static_cast<unsigned char>(c)) ||
       (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
-    return read_number();
+    return at(read_number());
   }
-  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return read_name_or_keyword();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return at(read_name_or_keyword());
+  }
   if (c == '"' || c == '\'') {
     advance();
-    return read_short_string(c);
+    return at(read_short_string(c));
   }
   if (c == '[' && peek(1) == '[') {
     advance();
     advance();
-    return read_long_string();
+    return at(read_long_string());
   }
   advance();
-  auto simple = [&](Tok t) { return Token{t, std::string(1, c), 0, line}; };
+  auto simple = [&](Tok t) { return Token{t, std::string(1, c), 0, line, col}; };
   switch (c) {
     case '+': return simple(Tok::Plus);
     case '-': return simple(Tok::Minus);
@@ -257,18 +272,18 @@ Token Lexer::next_token() {
     case ':': return simple(Tok::Colon);
     case ',': return simple(Tok::Comma);
     case '=':
-      return match('=') ? Token{Tok::Eq, "==", 0, line} : simple(Tok::Assign);
+      return match('=') ? Token{Tok::Eq, "==", 0, line, col} : simple(Tok::Assign);
     case '~':
-      if (match('=')) return Token{Tok::Ne, "~=", 0, line};
+      if (match('=')) return Token{Tok::Ne, "~=", 0, line, col};
       fail("unexpected '~'");
     case '<':
-      return match('=') ? Token{Tok::Le, "<=", 0, line} : simple(Tok::Lt);
+      return match('=') ? Token{Tok::Le, "<=", 0, line, col} : simple(Tok::Lt);
     case '>':
-      return match('=') ? Token{Tok::Ge, ">=", 0, line} : simple(Tok::Gt);
+      return match('=') ? Token{Tok::Ge, ">=", 0, line, col} : simple(Tok::Gt);
     case '.':
       if (match('.')) {
-        if (match('.')) return Token{Tok::Ellipsis, "...", 0, line};
-        return Token{Tok::Concat, "..", 0, line};
+        if (match('.')) return Token{Tok::Ellipsis, "...", 0, line, col};
+        return Token{Tok::Concat, "..", 0, line, col};
       }
       return simple(Tok::Dot);
     default:

@@ -32,6 +32,7 @@ class Lexer {
   std::string src_;
   size_t pos_ = 0;
   int line_ = 1;
+  int col_ = 1;
 };
 
 }  // namespace adapt::script

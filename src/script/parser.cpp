@@ -6,25 +6,33 @@ namespace adapt::script {
 
 namespace {
 
-ExprPtr make_expr(Expr::Kind k, int line) { return std::make_unique<Expr>(k, line); }
+ExprPtr make_expr(Expr::Kind k, int line, int col) {
+  return std::make_unique<Expr>(k, line, col);
+}
 
-ExprPtr make_name(std::string name, int line) {
-  auto e = make_expr(Expr::Kind::Name, line);
+ExprPtr make_expr(Expr::Kind k, const Token& t) { return make_expr(k, t.line, t.col); }
+
+ExprPtr make_name(std::string name, const Token& t) {
+  auto e = make_expr(Expr::Kind::Name, t);
   e->text = std::move(name);
   return e;
 }
 
-ExprPtr make_string(std::string s, int line) {
-  auto e = make_expr(Expr::Kind::String, line);
+ExprPtr make_string(std::string s, const Token& t) {
+  auto e = make_expr(Expr::Kind::String, t);
   e->text = std::move(s);
   return e;
 }
 
-ExprPtr make_index(ExprPtr obj, ExprPtr key, int line) {
-  auto e = make_expr(Expr::Kind::Index, line);
+ExprPtr make_index(ExprPtr obj, ExprPtr key, const Token& t) {
+  auto e = make_expr(Expr::Kind::Index, t);
   e->obj = std::move(obj);
   e->key = std::move(key);
   return e;
+}
+
+StmtPtr make_stmt(Stmt::Kind k, const Token& t) {
+  return std::make_unique<Stmt>(k, t.line, t.col);
 }
 
 /// Binary operator precedence (higher binds tighter); -1 = not a binop.
@@ -96,7 +104,7 @@ const Token& Parser::expect(Tok t, const char* context) {
 }
 
 void Parser::fail(const std::string& msg) const {
-  throw ParseError(chunk_name_ + ": " + msg, cur().line);
+  throw ParseError(chunk_name_ + ": " + msg, cur().line, cur().col);
 }
 
 Parser::DepthGuard::DepthGuard(Parser& parser) : parser_(parser) {
@@ -147,13 +155,10 @@ StmtPtr Parser::parse_statement() {
     case Tok::For: return parse_for();
     case Tok::Function: return parse_function_decl();
     case Tok::Return: return parse_return();
-    case Tok::Break: {
-      const int line = advance().line;
-      return std::make_unique<Stmt>(Stmt::Kind::Break, line);
-    }
+    case Tok::Break:
+      return make_stmt(Stmt::Kind::Break, advance());
     case Tok::Do: {
-      const int line = advance().line;
-      auto s = std::make_unique<Stmt>(Stmt::Kind::Do, line);
+      auto s = make_stmt(Stmt::Kind::Do, advance());
       s->blocks.push_back(parse_block());
       expect(Tok::End, "to close 'do' block");
       return s;
@@ -164,19 +169,19 @@ StmtPtr Parser::parse_statement() {
 }
 
 StmtPtr Parser::parse_local() {
-  const int line = expect(Tok::Local, "").line;
+  const Token& kw = expect(Tok::Local, "");
   if (check(Tok::Function)) {
     // local function f(...) ... end — the name is in scope inside the body.
     advance();
     const Token& name = expect(Tok::Name, "after 'local function'");
-    auto s = std::make_unique<Stmt>(Stmt::Kind::Local, line);
+    auto s = make_stmt(Stmt::Kind::Local, kw);
     s->names.push_back(name.text);
     auto fn = parse_function_literal(/*is_method=*/false);
     fn->def->name = name.text;
     s->exprs.push_back(std::move(fn));
     return s;
   }
-  auto s = std::make_unique<Stmt>(Stmt::Kind::Local, line);
+  auto s = make_stmt(Stmt::Kind::Local, kw);
   s->names.push_back(expect(Tok::Name, "in local declaration").text);
   while (accept(Tok::Comma)) s->names.push_back(expect(Tok::Name, "in local declaration").text);
   if (accept(Tok::Assign)) s->exprs = parse_expr_list();
@@ -184,8 +189,7 @@ StmtPtr Parser::parse_local() {
 }
 
 StmtPtr Parser::parse_if() {
-  const int line = expect(Tok::If, "").line;
-  auto s = std::make_unique<Stmt>(Stmt::Kind::If, line);
+  auto s = make_stmt(Stmt::Kind::If, expect(Tok::If, ""));
   s->conds.push_back(parse_expr());
   expect(Tok::Then, "after 'if' condition");
   s->blocks.push_back(parse_block());
@@ -200,8 +204,7 @@ StmtPtr Parser::parse_if() {
 }
 
 StmtPtr Parser::parse_while() {
-  const int line = expect(Tok::While, "").line;
-  auto s = std::make_unique<Stmt>(Stmt::Kind::While, line);
+  auto s = make_stmt(Stmt::Kind::While, expect(Tok::While, ""));
   s->conds.push_back(parse_expr());
   expect(Tok::Do, "after 'while' condition");
   s->blocks.push_back(parse_block());
@@ -210,8 +213,7 @@ StmtPtr Parser::parse_while() {
 }
 
 StmtPtr Parser::parse_repeat() {
-  const int line = expect(Tok::Repeat, "").line;
-  auto s = std::make_unique<Stmt>(Stmt::Kind::Repeat, line);
+  auto s = make_stmt(Stmt::Kind::Repeat, expect(Tok::Repeat, ""));
   s->blocks.push_back(parse_block());
   expect(Tok::Until, "to close 'repeat'");
   s->conds.push_back(parse_expr());
@@ -219,12 +221,12 @@ StmtPtr Parser::parse_repeat() {
 }
 
 StmtPtr Parser::parse_for() {
-  const int line = expect(Tok::For, "").line;
+  const Token& kw = expect(Tok::For, "");
   std::vector<std::string> names;
   names.push_back(expect(Tok::Name, "after 'for'").text);
   if (check(Tok::Assign)) {
     advance();
-    auto s = std::make_unique<Stmt>(Stmt::Kind::NumericFor, line);
+    auto s = make_stmt(Stmt::Kind::NumericFor, kw);
     s->names = std::move(names);
     s->exprs.push_back(parse_expr());
     expect(Tok::Comma, "in numeric for");
@@ -237,7 +239,7 @@ StmtPtr Parser::parse_for() {
   }
   while (accept(Tok::Comma)) names.push_back(expect(Tok::Name, "in for name list").text);
   expect(Tok::In, "in generic for");
-  auto s = std::make_unique<Stmt>(Stmt::Kind::GenericFor, line);
+  auto s = make_stmt(Stmt::Kind::GenericFor, kw);
   s->names = std::move(names);
   s->exprs.push_back(parse_expr());
   expect(Tok::Do, "after 'for' header");
@@ -248,19 +250,19 @@ StmtPtr Parser::parse_for() {
 
 StmtPtr Parser::parse_function_decl() {
   // function a.b.c(...) / function a:m(...) — sugar for assignment.
-  const int line = expect(Tok::Function, "").line;
+  const Token& kw = expect(Tok::Function, "");
   const Token& first = expect(Tok::Name, "after 'function'");
-  ExprPtr target = make_name(first.text, first.line);
+  ExprPtr target = make_name(first.text, first);
   std::string fn_name = first.text;
   bool is_method = false;
   for (;;) {
     if (accept(Tok::Dot)) {
       const Token& part = expect(Tok::Name, "after '.'");
-      target = make_index(std::move(target), make_string(part.text, part.line), part.line);
+      target = make_index(std::move(target), make_string(part.text, part), part);
       fn_name += "." + part.text;
     } else if (accept(Tok::Colon)) {
       const Token& part = expect(Tok::Name, "after ':'");
-      target = make_index(std::move(target), make_string(part.text, part.line), part.line);
+      target = make_index(std::move(target), make_string(part.text, part), part);
       fn_name += ":" + part.text;
       is_method = true;
       break;
@@ -270,25 +272,26 @@ StmtPtr Parser::parse_function_decl() {
   }
   auto fn = parse_function_literal(is_method);
   fn->def->name = fn_name;
-  auto s = std::make_unique<Stmt>(Stmt::Kind::Assign, line);
+  auto s = make_stmt(Stmt::Kind::Assign, kw);
   s->targets.push_back(std::move(target));
   s->exprs.push_back(std::move(fn));
   return s;
 }
 
 StmtPtr Parser::parse_return() {
-  const int line = expect(Tok::Return, "").line;
-  auto s = std::make_unique<Stmt>(Stmt::Kind::Return, line);
+  auto s = make_stmt(Stmt::Kind::Return, expect(Tok::Return, ""));
   if (!block_ends() && !check(Tok::Semi)) s->exprs = parse_expr_list();
   accept(Tok::Semi);
   return s;
 }
 
 StmtPtr Parser::parse_expr_statement() {
-  const int line = cur().line;
+  const Token& start = cur();
+  const int line = start.line;
+  const int col = start.col;
   ExprPtr first = parse_postfix(parse_primary());
   if (check(Tok::Assign) || check(Tok::Comma)) {
-    auto s = std::make_unique<Stmt>(Stmt::Kind::Assign, line);
+    auto s = std::make_unique<Stmt>(Stmt::Kind::Assign, line, col);
     s->targets.push_back(std::move(first));
     while (accept(Tok::Comma)) s->targets.push_back(parse_postfix(parse_primary()));
     expect(Tok::Assign, "in assignment");
@@ -301,7 +304,7 @@ StmtPtr Parser::parse_expr_statement() {
     return s;
   }
   if (first->kind != Expr::Kind::Call) fail("syntax error: expression is not a statement");
-  auto s = std::make_unique<Stmt>(Stmt::Kind::Call, line);
+  auto s = std::make_unique<Stmt>(Stmt::Kind::Call, line, col);
   s->call = std::move(first);
   return s;
 }
@@ -324,10 +327,10 @@ ExprPtr Parser::parse_binary(int min_prec) {
     const Tok op = cur().kind;
     const int prec = bin_prec(op);
     if (prec < 0 || prec < min_prec) return lhs;
-    const int line = advance().line;
+    const Token& op_tok = advance();
     const int next_min = right_assoc(op) ? prec : prec + 1;
     ExprPtr rhs = parse_binary(next_min);
-    auto e = make_expr(Expr::Kind::Binary, line);
+    auto e = make_expr(Expr::Kind::Binary, op_tok);
     e->bin_op = to_binop(op);
     e->lhs = std::move(lhs);
     e->rhs = std::move(rhs);
@@ -339,8 +342,7 @@ ExprPtr Parser::parse_unary() {
   DepthGuard guard(*this);  // `not not ...` chains bypass parse_expr
   const Tok t = cur().kind;
   if (t == Tok::Not || t == Tok::Minus || t == Tok::Hash) {
-    const int line = advance().line;
-    auto e = make_expr(Expr::Kind::Unary, line);
+    auto e = make_expr(Expr::Kind::Unary, advance());
     e->un_op = t == Tok::Not ? UnOp::Not : (t == Tok::Minus ? UnOp::Neg : UnOp::Len);
     e->lhs = parse_binary(7);  // unary binds tighter than all binops except ^
     return e;
@@ -351,29 +353,29 @@ ExprPtr Parser::parse_unary() {
 ExprPtr Parser::parse_primary() {
   const Token& t = cur();
   switch (t.kind) {
-    case Tok::Nil: advance(); return make_expr(Expr::Kind::Nil, t.line);
-    case Tok::True: advance(); return make_expr(Expr::Kind::True, t.line);
-    case Tok::False: advance(); return make_expr(Expr::Kind::False, t.line);
+    case Tok::Nil: advance(); return make_expr(Expr::Kind::Nil, t);
+    case Tok::True: advance(); return make_expr(Expr::Kind::True, t);
+    case Tok::False: advance(); return make_expr(Expr::Kind::False, t);
     case Tok::Number: {
       advance();
-      auto e = make_expr(Expr::Kind::Number, t.line);
+      auto e = make_expr(Expr::Kind::Number, t);
       e->number = t.number;
       return e;
     }
     case Tok::String: {
       advance();
-      return make_string(t.text, t.line);
+      return make_string(t.text, t);
     }
     case Tok::Name: {
       advance();
-      return make_name(t.text, t.line);
+      return make_name(t.text, t);
     }
     case Tok::Function:
       advance();
       return parse_function_literal(/*is_method=*/false);
     case Tok::Ellipsis:
       advance();
-      return make_expr(Expr::Kind::Vararg, t.line);
+      return make_expr(Expr::Kind::Vararg, t);
     case Tok::LBrace:
       return parse_table();
     case Tok::LParen: {
@@ -394,20 +396,20 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
       case Tok::Dot: {
         advance();
         const Token& name = expect(Tok::Name, "after '.'");
-        base = make_index(std::move(base), make_string(name.text, name.line), name.line);
+        base = make_index(std::move(base), make_string(name.text, name), name);
         break;
       }
       case Tok::LBracket: {
         advance();
         ExprPtr key = parse_expr();
         expect(Tok::RBracket, "to close '['");
-        base = make_index(std::move(base), std::move(key), t.line);
+        base = make_index(std::move(base), std::move(key), t);
         break;
       }
       case Tok::Colon: {
         advance();
         const Token& name = expect(Tok::Name, "after ':'");
-        auto e = make_expr(Expr::Kind::Call, name.line);
+        auto e = make_expr(Expr::Kind::Call, name);
         e->fn = std::move(base);
         e->is_method = true;
         e->text = name.text;
@@ -418,7 +420,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
       case Tok::LParen:
       case Tok::String:
       case Tok::LBrace: {
-        auto e = make_expr(Expr::Kind::Call, t.line);
+        auto e = make_expr(Expr::Kind::Call, t);
         e->fn = std::move(base);
         e->args = parse_call_args();
         base = std::move(e);
@@ -435,7 +437,7 @@ std::vector<ExprPtr> Parser::parse_call_args() {
   const Token& t = cur();
   if (t.kind == Tok::String) {
     advance();
-    args.push_back(make_string(t.text, t.line));
+    args.push_back(make_string(t.text, t));
     return args;
   }
   if (t.kind == Tok::LBrace) {
@@ -449,8 +451,8 @@ std::vector<ExprPtr> Parser::parse_call_args() {
 }
 
 ExprPtr Parser::parse_table() {
-  const int line = expect(Tok::LBrace, "").line;
-  auto e = make_expr(Expr::Kind::Table, line);
+  const Token& open = expect(Tok::LBrace, "");
+  auto e = make_expr(Expr::Kind::Table, open);
   while (!check(Tok::RBrace)) {
     if (check(Tok::LBracket)) {
       advance();
@@ -461,7 +463,7 @@ ExprPtr Parser::parse_table() {
     } else if (check(Tok::Name) && peek().kind == Tok::Assign) {
       const Token& name = advance();
       advance();  // '='
-      e->fields.emplace_back(make_string(name.text, name.line), parse_expr());
+      e->fields.emplace_back(make_string(name.text, name), parse_expr());
     } else {
       e->items.push_back(parse_expr());
     }
@@ -473,9 +475,10 @@ ExprPtr Parser::parse_table() {
 
 ExprPtr Parser::parse_function_literal(bool is_method) {
   // 'function' has already been consumed (or implied by declaration sugar).
-  const int line = cur().line;
+  const Token& start = cur();
   auto def = std::make_shared<FunctionDef>();
-  def->line = line;
+  def->line = start.line;
+  def->col = start.col;
   if (is_method) def->params.push_back("self");
   expect(Tok::LParen, "in function definition");
   if (!check(Tok::RParen)) {
@@ -491,7 +494,7 @@ ExprPtr Parser::parse_function_literal(bool is_method) {
   expect(Tok::RParen, "to close parameter list");
   def->body = parse_block();
   expect(Tok::End, "to close function body");
-  auto e = make_expr(Expr::Kind::Function, line);
+  auto e = make_expr(Expr::Kind::Function, start.line, start.col);
   e->def = std::move(def);
   return e;
 }

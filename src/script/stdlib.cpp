@@ -622,6 +622,93 @@ void install_stdlib(ScriptEngine& engine) {
     }
     return out;
   });
+
+  declare_stdlib_signatures(engine.natives());
+}
+
+void declare_stdlib_signatures(analysis::NativeRegistry& reg) {
+  // Basic functions. Arities mirror how the implementations above read
+  // their arguments (max -1 = unbounded).
+  reg.declare("print", 0, -1);
+  reg.declare("type", 1, 1);
+  reg.declare("tostring", 1, 1);
+  reg.declare("tonumber", 1, 1);
+  reg.declare("error", 1, 1);
+  reg.declare("assert", 1, -1);
+  reg.declare("pcall", 1, -1);
+  reg.declare("pairs", 1, 1);
+  reg.declare("ipairs", 1, 1);
+  reg.declare("setmetatable", 2, 2);
+  reg.declare("getmetatable", 1, 1);
+  reg.declare("rawget", 2, 2);
+  reg.declare("rawset", 3, 3);
+  reg.declare("rawequal", 2, 2);
+  reg.declare("unpack", 1, 1);
+
+  // string library
+  reg.declare("string.len", 1, 1);
+  reg.declare("string.sub", 2, 3);
+  reg.declare("string.upper", 1, 1);
+  reg.declare("string.lower", 1, 1);
+  reg.declare("string.rep", 2, 2);
+  reg.declare("string.find", 2, 4);
+  reg.declare("string.match", 2, 3);
+  reg.declare("string.gmatch", 2, 2);
+  reg.declare("string.gsub", 3, 4);
+  reg.declare("string.format", 1, -1);
+  reg.declare("string.byte", 1, 2);
+  reg.declare("string.char", 0, -1);
+
+  // math library (huge/pi are plain constants, covered by the base global)
+  reg.declare("math.floor", 1, 1);
+  reg.declare("math.ceil", 1, 1);
+  reg.declare("math.abs", 1, 1);
+  reg.declare("math.sqrt", 1, 1);
+  reg.declare("math.exp", 1, 1);
+  reg.declare("math.log", 1, 1);
+  reg.declare("math.sin", 1, 1);
+  reg.declare("math.cos", 1, 1);
+  reg.declare("math.pow", 2, 2);
+  reg.declare("math.max", 1, -1);
+  reg.declare("math.min", 1, -1);
+  reg.declare("math.random", 0, 2);
+  reg.declare("math.randomseed", 1, 1);
+
+  // table library
+  reg.declare("table.insert", 2, 3);
+  reg.declare("table.remove", 1, 2);
+  reg.declare("table.concat", 1, 2);
+  reg.declare("table.getn", 1, 1);
+  reg.declare("table.sort", 1, 2);
+
+  // os library
+  reg.declare("os.time", 0, 0);
+  reg.declare("os.clock", 0, 0);
+
+  // Lua-4 top-level aliases (the paper's vintage)
+  reg.declare("strlen", 1, 1);
+  reg.declare("strsub", 2, 3);
+  reg.declare("strupper", 1, 1);
+  reg.declare("strlower", 1, 1);
+  reg.declare("strrep", 2, 2);
+  reg.declare("strfind", 2, 4);
+  reg.declare("format", 1, -1);
+  reg.declare("floor", 1, 1);
+  reg.declare("abs", 1, 1);
+  reg.declare("random", 0, 2);
+  reg.declare("randomseed", 1, 1);
+  reg.declare("tinsert", 2, 3);
+  reg.declare("tremove", 1, 2);
+  reg.declare("getn", 1, 1);
+  reg.declare("clock", 0, 0);
+
+  // Lua-4 io compatibility; capability-gated so policies can withhold
+  // filesystem access if they choose (monitor/strategy both allow it —
+  // the paper's Fig. 3 aspect reads its source file via readfrom/read).
+  reg.declare("readfrom", 0, 1);
+  reg.declare("read", 0, -1);
+  reg.tag("readfrom", "io");
+  reg.tag("read", "io");
 }
 
 }  // namespace adapt::script

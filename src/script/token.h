@@ -23,6 +23,7 @@ struct Token {
   std::string text;   // identifier name or string contents
   double number = 0;  // numeric literal value
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 };
 
 /// Human-readable token name for diagnostics.

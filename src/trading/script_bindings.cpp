@@ -140,6 +140,20 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
       })));
 
   engine.set_global("trading", Value(std::move(t)));
+
+  declare_trading_signatures(engine.natives());
+}
+
+void declare_trading_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("trading.query", 1, 4);
+  reg.declare("trading.select", 1, 3);
+  reg.declare("trading.export", 2, 4);
+  reg.declare("trading.withdraw", 1, 1);
+  reg.declare("trading.modify", 2, 2);
+  reg.declare("trading.refresh", 2, 2);
+  reg.declare("trading.add_type", 1, 3);
+  reg.declare("trading.types", 0, 0);
+  reg.tag("trading", "trading");
 }
 
 }  // namespace adapt::trading

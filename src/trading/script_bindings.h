@@ -43,4 +43,9 @@ void install_trading_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
 /// Convenience: all three refs of a local Trader.
 TraderRefs trader_refs(const Trader& trader);
 
+/// Declares the trading natives (arities + "trading" capability tag) into a
+/// registry without a live trader — used by install_trading_bindings and
+/// the standalone `lumalint` catalog.
+void declare_trading_signatures(script::analysis::NativeRegistry& reg);
+
 }  // namespace adapt::trading

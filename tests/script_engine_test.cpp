@@ -95,6 +95,30 @@ TEST(EngineTest, CompileFunctionRejectsNonFunction) {
   EXPECT_THROW(eng.compile_function("42"), ScriptError);
 }
 
+TEST(EngineTest, CompileFunctionErrorsCarryChunkNameAndPosition) {
+  ScriptEngine eng;
+  // Non-function source: the error names the chunk, the offending type and
+  // a position, so a remote sender can locate the bad upload.
+  try {
+    eng.compile_function("42", "aspect:increasing");
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("aspect:increasing"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("number"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+  // Parse errors inside the shipped code carry the chunk name too.
+  try {
+    eng.compile_function("function(self oops", "event:LoadIncrease");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("event:LoadIncrease"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+}
+
 TEST(EngineTest, CompiledFunctionsSeeLaterGlobals) {
   ScriptEngine eng;
   Value fn = eng.compile_function("function() return shared_state end");

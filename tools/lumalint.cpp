@@ -1,0 +1,171 @@
+// lumalint: standalone static analysis for Luma adaptation code.
+//
+// Runs the same resolver/lint/capability passes the runtime applies at every
+// remote-evaluation ingestion point (Engine::analyze), against the full
+// native-signature catalog of the infrastructure — stdlib, obs, orb,
+// monitor, trading, infra, agent, smartproxy — without needing any live
+// objects. Lets operators verify adaptation scripts *before* shipping them
+// to an agent, monitor or smart proxy.
+//
+//   lumalint [options] file...        ("-" reads stdin)
+//     --policy=monitor|strategy|shell   capability policy (default: shell)
+//     --function                        treat input as a function literal,
+//                                       wrapped exactly like compile_function
+//     --globals=a,b,c                   extra globals assumed defined
+//     --json                            machine-readable diagnostics
+//
+// Exit status: 0 = no error-severity diagnostics, 1 = at least one error,
+// 2 = usage / IO problem.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/script_bindings.h"
+#include "monitor/bindings.h"
+#include "obs/script_bindings.h"
+#include "orb/script_bindings.h"
+#include "script/analysis/analyzer.h"
+#include "script/analysis/policy.h"
+#include "script/engine.h"
+#include "trading/script_bindings.h"
+
+namespace {
+
+using namespace adapt;
+using script::analysis::Diagnostic;
+
+/// The full catalog: every native the infrastructure can inject.
+script::analysis::NativeRegistry full_catalog() {
+  script::analysis::NativeRegistry reg;
+  script::declare_stdlib_signatures(reg);
+  obs::declare_obs_signatures(reg);
+  orb::declare_orb_signatures(reg);
+  monitor::declare_monitor_signatures(reg);
+  trading::declare_trading_signatures(reg);
+  core::declare_infrastructure_signatures(reg);
+  core::declare_agent_signatures(reg);
+  core::declare_smartproxy_signatures(reg);
+  return reg;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(std::ostream& os, const std::string& file,
+                const std::vector<Diagnostic>& diags, bool& first) {
+  for (const auto& d : diags) {
+    os << (first ? "" : ",\n") << "  {\"file\":\"" << json_escape(file)
+       << "\",\"line\":" << d.line << ",\"col\":" << d.col << ",\"severity\":\""
+       << script::analysis::severity_name(d.severity) << "\",\"code\":\"" << d.code
+       << "\",\"message\":\"" << json_escape(d.message) << "\"}";
+    first = false;
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--policy=monitor|strategy|shell] [--function] [--globals=a,b,c]"
+               " [--json] file...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const script::analysis::CapabilityPolicy* policy = &script::analysis::shell_policy();
+  bool as_function = false;
+  bool json = false;
+  std::vector<std::string> extra_globals;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--policy=", 0) == 0) {
+      policy = script::analysis::find_policy(arg.substr(9));
+      if (policy == nullptr) {
+        std::cerr << "lumalint: unknown policy '" << arg.substr(9) << "'\n";
+        return 2;
+      }
+    } else if (arg == "--function") {
+      as_function = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--globals=", 0) == 0) {
+      std::stringstream ss(arg.substr(10));
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) extra_globals.push_back(name);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "lumalint: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  const script::analysis::NativeRegistry catalog = full_catalog();
+  script::analysis::AnalyzeOptions opts;
+  opts.policy = policy;
+  opts.extra_globals = extra_globals;
+
+  bool any_error = false;
+  bool first_json = true;
+  if (json) std::cout << "[\n";
+  for (const std::string& file : files) {
+    std::string source;
+    if (file == "-") {
+      std::stringstream buf;
+      buf << std::cin.rdbuf();
+      source = buf.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "lumalint: cannot read " << file << "\n";
+        return 2;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+    }
+    if (as_function) source = "return (" + source + "\n)";
+    const auto diags =
+        script::analysis::analyze_source(source, file, catalog, opts);
+    any_error = any_error || script::analysis::has_errors(diags);
+    if (json) {
+      print_json(std::cout, file, diags, first_json);
+    } else {
+      for (const auto& d : diags) {
+        std::cout << file << ":" << script::analysis::format(d) << "\n";
+      }
+    }
+  }
+  if (json) std::cout << (first_json ? "" : "\n") << "]\n";
+  return any_error ? 1 : 0;
+}
