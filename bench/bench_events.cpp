@@ -1,0 +1,123 @@
+// bench_events — publish-side cost: direct oneway loop vs event channel.
+//
+// The paper's EventMonitor notifies observers point-to-point: one oneway RPC
+// per observer inside the update cycle, so the publisher pays O(n) per
+// event. The EventChannel decouples that: publish() enqueues into a bounded
+// inbox and returns; router + per-subscriber delivery threads do the fan-out
+// off the publisher's thread. This bench pins both sides at 10/100/1000
+// subscribers:
+//
+//   direct_oneway_N     loop of N inproc oneway notifyEvent calls
+//                       (what EventMonitor::on_updated pays per firing event)
+//   channel_publish_N   one EventChannel::publish with N live subscribers
+//
+// The acceptance claim: channel_publish stays roughly flat from 10 -> 1000
+// while direct_oneway grows ~linearly.
+//
+// `--json[=PATH] [--quick]` emits BENCH_events.json via bench_json.h.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "events/event_channel.h"
+#include "orb/orb.h"
+
+using namespace adapt;
+
+namespace {
+
+/// A server ORB holding `n` no-op EventObserver servants.
+struct Observers {
+  explicit Observers(size_t n) {
+    orb::OrbConfig cfg;
+    cfg.name = "bench-events-observers";
+    orb = orb::Orb::create(cfg);
+    refs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto servant = orb::FunctionServant::make("EventObserver");
+      servant->on("notifyEvent", [](const ValueList&) { return Value(); });
+      servant->on("notifyEvents", [](const ValueList&) { return Value(); });
+      refs.push_back(orb->register_servant(servant));
+    }
+  }
+  ~Observers() { orb->shutdown(); }
+
+  orb::OrbPtr orb;
+  std::vector<ObjectRef> refs;
+};
+
+/// The direct loop: what the monitor's update cycle pays per firing event.
+void direct_fanout(Observers& obs) {
+  for (const ObjectRef& ref : obs.refs) {
+    obs.orb->invoke_oneway(ref, "notifyEvent", {Value("evid")});
+  }
+}
+
+void BM_DirectOneway(benchmark::State& state) {
+  Observers obs(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) direct_fanout(obs);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DirectOneway)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ChannelPublish(benchmark::State& state) {
+  Observers obs(static_cast<size_t>(state.range(0)));
+  auto channel = events::EventChannel::create(obs.orb);
+  for (const ObjectRef& ref : obs.refs) {
+    // Small drop-oldest queues: publish never blocks on slow delivery.
+    channel->subscribe(ref, events::SubscribeOptions{.queue_capacity = 64});
+  }
+  for (auto _ : state) channel->publish("evid", Value());
+  channel->shutdown();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPublish)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    std::vector<adapt::benchjson::Case> cases;
+    // Per-case state, built in setup and torn down after timing so each size
+    // measures a fresh channel and observer population.
+    std::shared_ptr<Observers> obs;
+    events::EventChannelPtr channel;
+    for (const size_t n : {10, 100, 1000}) {
+      cases.push_back({
+          .name = "direct_oneway_" + std::to_string(n),
+          .fn = [&] { direct_fanout(*obs); },
+          .setup = [&, n] { obs = std::make_shared<Observers>(n); },
+          .teardown = [&] { obs.reset(); },
+      });
+    }
+    for (const size_t n : {10, 100, 1000}) {
+      cases.push_back({
+          .name = "channel_publish_" + std::to_string(n),
+          .fn = [&] { channel->publish("evid", Value()); },
+          .setup =
+              [&, n] {
+                obs = std::make_shared<Observers>(n);
+                channel = events::EventChannel::create(obs->orb);
+                for (const ObjectRef& ref : obs->refs) {
+                  channel->subscribe(ref,
+                                     events::SubscribeOptions{.queue_capacity = 64});
+                }
+              },
+          .teardown =
+              [&] {
+                channel->shutdown();
+                channel.reset();
+                obs.reset();
+              },
+      });
+    }
+    return adapt::benchjson::run_json_cases(*opts, "events", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

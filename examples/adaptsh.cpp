@@ -10,6 +10,8 @@
 //                            spans as JSON lines (one trace tree per trace id)
 //   adaptsh metrics [script] run the script (or demo), then dump the process
 //                            metrics registry as JSON
+//   adaptsh events [script]  run the script (or an event-channel demo), then
+//                            dump the channel statistics as JSON
 //   adaptsh                  run the built-in demo script
 //
 // Scripts see the `infra` table (hosts, Luma servers, smart proxies, virtual
@@ -23,6 +25,7 @@
 #include <string>
 
 #include "core/script_bindings.h"
+#include "monitor/bindings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "trading/script_bindings.h"
@@ -75,6 +78,29 @@ print("rebinds: " .. proxy:rebinds())
 assert(proxy:rebinds() >= 2, "expected a migration")
 )LUMA";
 
+constexpr const char* kEventsDemoScript = R"LUMA(
+print("adaptsh events demo: decoupled pub/sub for monitor events")
+infra.event_channel()
+
+-- publishers and subscribers never see each other: the channel decouples
+-- them in space and time.
+events.publish("deploy.start", { region = "eu" })
+events.publish("load.high", 87)
+events.publish("load.high", 92)
+
+print("last load.high: " .. tostring(events.last("load.high")))
+local s = events.stats()
+print(string.format("published=%d subscribers=%d", s.published, s.subscribers))
+
+-- a monitor publishing through the channel: the predicate runs once per
+-- update no matter how many subscribers the channel fans out to
+local mon = EventMonitor:new("Temp", function() return 80 end)
+mon:setEventChannel(infra.event_channel())
+mon:defineChannelEvent("Overheat", [[function(o, v, m) return v > 70 end]])
+mon:update()
+print("channel publishes from monitor: " .. events.stats().published)
+)LUMA";
+
 /// Dumps every retained span in recording order (children finish before
 /// their parents) as JSON lines on stdout.
 void dump_traces() {
@@ -94,7 +120,7 @@ int main(int argc, char** argv) {
   int script_arg = 1;
   if (argc > 1) {
     const std::string mode = argv[1];
-    if (mode == "trace" || mode == "metrics") {
+    if (mode == "trace" || mode == "metrics" || mode == "events") {
       dump_mode = mode;
       script_arg = 2;
     }
@@ -107,9 +133,10 @@ int main(int argc, char** argv) {
   const orb::OrbPtr shell_orb = infra.make_orb("shell-client");
   trading::install_trading_bindings(engine, shell_orb,
                                     trading::trader_refs(infra.trader()));
+  monitor::install_monitor_bindings(engine, shell_orb, infra.timers());
 
   try {
-    std::string source = kDemoScript;
+    std::string source = dump_mode == "events" ? kEventsDemoScript : kDemoScript;
     std::string chunk_name = "demo";
     if (argc > script_arg) {
       chunk_name = argv[script_arg];
@@ -139,6 +166,14 @@ int main(int argc, char** argv) {
     dump_traces();
   } else if (dump_mode == "metrics") {
     std::cout << obs::metrics().to_json() << '\n';
+  } else if (dump_mode == "events") {
+    if (infra.has_event_channel()) {
+      std::cout << infra.event_channel()->stats().to_json() << '\n';
+    } else {
+      std::cout << "{}\n";
+      std::cerr << "adaptsh: no event channel was created "
+                   "(call infra.event_channel() in the script)\n";
+    }
   }
   return 0;
 }

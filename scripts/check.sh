@@ -101,6 +101,7 @@ case "${1:-default}" in
     run_luma_lint
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
+    run_bench_json bench_events events
     ;;
   tsan|asan)
     run_preset "$1"
@@ -110,6 +111,7 @@ case "${1:-default}" in
     run_luma_lint
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
+    run_bench_json bench_events events
     run_preset tsan
     run_preset asan
     ;;

@@ -26,9 +26,30 @@ Infrastructure::Infrastructure(InfrastructureOptions options)
 }
 
 Infrastructure::~Infrastructure() {
+  // The channel's delivery threads invoke through ORBs; stop them while
+  // every ORB is still alive.
+  if (channel_) channel_->shutdown();
   // Agents withdraw their offers before the trader goes away.
   agents_.clear();
   for (auto& [name, host] : hosts_) host->stop();
+}
+
+const events::EventChannelPtr& Infrastructure::event_channel() {
+  if (!channel_) {
+    events::define_event_interfaces(*interfaces_);
+    channel_ = events::EventChannel::create(trader_orb_,
+                                            events::EventChannelConfig{
+                                                .name = options_.name + "/events",
+                                            });
+    channel_ref_ = trader_orb_->register_servant(channel_, "services/events");
+    naming_->bind("services/events", channel_ref_);
+  }
+  return channel_;
+}
+
+ObjectRef Infrastructure::event_channel_ref() {
+  (void)event_channel();
+  return channel_ref_;
 }
 
 orb::OrbPtr Infrastructure::make_orb(const std::string& name) {

@@ -11,6 +11,7 @@
 
 #include "core/service_agent.h"
 #include "core/smart_proxy.h"
+#include "events/event_channel.h"
 #include "monitor/monitor.h"
 #include "orb/naming.h"
 #include "orb/orb.h"
@@ -91,6 +92,18 @@ class Infrastructure {
   ObjectRef deploy_server(const std::string& host_name, const std::string& service_type,
                           orb::ServantPtr servant, trading::PropertyMap extra_props = {});
 
+  // ---- events -----------------------------------------------------------
+  /// The deployment's event channel, created lazily as a servant of the
+  /// trader ORB (so it is reachable from every host, like the trader) and
+  /// bound under "services/events" in the naming service. Monitors publish
+  /// adaptation signals here once; the channel fans them out to any number
+  /// of subscribed proxies.
+  [[nodiscard]] const events::EventChannelPtr& event_channel();
+  /// The channel's ObjectRef (creates the channel on first use).
+  ObjectRef event_channel_ref();
+  /// True when event_channel() has been created (no side effect).
+  [[nodiscard]] bool has_event_channel() const { return channel_ != nullptr; }
+
   [[nodiscard]] std::shared_ptr<ServiceAgent> agent(const std::string& host_name) const;
   [[nodiscard]] const InfrastructureOptions& options() const { return options_; }
 
@@ -102,6 +115,8 @@ class Infrastructure {
   orb::OrbPtr trader_orb_;
   std::unique_ptr<trading::Trader> trader_;
   std::unique_ptr<orb::NamingService> naming_;
+  events::EventChannelPtr channel_;  // lazy; see event_channel()
+  ObjectRef channel_ref_;
 
   std::map<std::string, sim::HostPtr> hosts_;
   std::map<std::string, orb::OrbPtr> host_orbs_;

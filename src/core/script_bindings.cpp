@@ -1,5 +1,6 @@
 #include "core/script_bindings.h"
 
+#include "events/script_bindings.h"
 #include "obs/script_bindings.h"
 
 namespace adapt::core {
@@ -87,6 +88,18 @@ Value make_proxy_wrapper(const SmartProxyPtr& proxy) {
   method("pending_events", [proxy](const ValueList&) -> ValueList {
     return {Value(static_cast<double>(proxy->pending_events()))};
   });
+  method("subscribe_channel", [proxy](const ValueList& a) -> ValueList {
+    std::vector<std::string> events;
+    if (a.size() > 2 && a[2].is_table()) {
+      const Table& list = *a[2].as_table();
+      for (int64_t i = 1; i <= list.length(); ++i) events.push_back(list.geti(i).as_string());
+    }
+    return {Value(proxy->subscribe_channel(a.at(1).as_object(), events))};
+  });
+  method("unsubscribe_channel", [proxy](const ValueList&) -> ValueList {
+    proxy->unsubscribe_channel();
+    return {};
+  });
   return Value(std::move(t));
 }
 
@@ -171,6 +184,16 @@ void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructur
   t->set(Value("now"), Value(NativeFunction::make("infra.now",
       [inf](const ValueList&) -> ValueList { return {Value(inf->now())}; })));
 
+  t->set(Value("event_channel"), Value(NativeFunction::make("infra.event_channel",
+      [inf, eng](const ValueList&) -> ValueList {
+        // First call creates the channel and installs the `events.*` global
+        // bound to it; subsequent calls just return the ref.
+        const bool fresh = !inf->has_event_channel();
+        const ObjectRef ref = inf->event_channel_ref();
+        if (fresh) events::install_events_bindings(*eng, inf->event_channel());
+        return {Value(ref)};
+      })));
+
   engine.set_global("infra", Value(std::move(t)));
 
   // Scripts driving the infrastructure get the observability globals too,
@@ -189,7 +212,12 @@ void declare_infrastructure_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("infra.make_proxy", 1, 1);
   reg.declare("infra.run_for", 1, 1);
   reg.declare("infra.now", 0, 0);
+  reg.declare("infra.event_channel", 0, 0);
   reg.tag("infra", "infra");
+  // The `events.*` natives the channel binding installs are part of the
+  // infrastructure surface; declare them so analysis of shell scripts that
+  // call infra.event_channel() then events.publish(...) stays clean.
+  events::declare_events_signatures(reg);
 }
 
 void declare_agent_signatures(script::analysis::NativeRegistry& reg) {

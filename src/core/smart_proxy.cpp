@@ -53,7 +53,50 @@ SmartProxy::~SmartProxy() {
   } catch (const Error&) {
     // best effort: the monitor may already be gone
   }
+  try {
+    unsubscribe_channel();
+  } catch (const Error&) {
+    // best effort: the channel may already be gone
+  }
   if (!observer_ref_.empty()) orb_->unregister_servant(observer_ref_.object_id);
+}
+
+std::string SmartProxy::subscribe_channel(const ObjectRef& channel,
+                                          const std::vector<std::string>& events) {
+  if (channel.empty()) throw Error("subscribe_channel: empty channel reference");
+  unsubscribe_channel();
+  auto opts = Table::make();
+  if (!events.empty()) {
+    auto list = Table::make();
+    for (const auto& evid : events) list->append(Value(evid));
+    opts->set(Value("events"), Value(std::move(list)));
+  }
+  const Value id =
+      orb_->invoke(channel, "subscribe", {Value(observer_ref_), Value(std::move(opts))});
+  std::scoped_lock lock(mu_);
+  channel_ref_ = channel;
+  channel_subscription_ = id.as_string();
+  return channel_subscription_;
+}
+
+void SmartProxy::unsubscribe_channel() {
+  ObjectRef channel;
+  std::string subscription;
+  {
+    std::scoped_lock lock(mu_);
+    channel = channel_ref_;
+    subscription.swap(channel_subscription_);
+    channel_ref_ = {};
+  }
+  if (channel.empty() || subscription.empty()) return;
+  // wait=true: after this returns, no channel delivery to this proxy's
+  // observer is in flight (so the destructor can safely unregister it).
+  orb_->invoke(channel, "unsubscribe", {Value(subscription), Value(true)});
+}
+
+bool SmartProxy::channel_subscribed() const {
+  std::scoped_lock lock(mu_);
+  return !channel_subscription_.empty();
 }
 
 void SmartProxy::init() {

@@ -151,6 +151,19 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   /// allowed; cycles are cut by a depth limit).
   void add_method_alternative(const std::string& operation, const std::string& alternative);
 
+  // ---- event channel (decoupled pub/sub) --------------------------------
+  /// Subscribes this proxy's observer to an EventChannel servant (same
+  /// process or remote); delivered events enter the same queue as direct
+  /// monitor notifications, so strategies fire identically for both paths.
+  /// `events` filters event ids (empty = all). Replaces any prior channel
+  /// subscription. Returns the subscription id.
+  std::string subscribe_channel(const ObjectRef& channel,
+                                const std::vector<std::string>& events = {});
+  /// Drops the channel subscription (no-op when none). Called by the
+  /// destructor.
+  void unsubscribe_channel();
+  [[nodiscard]] bool channel_subscribed() const;
+
   // ---- event path --------------------------------------------------------
   /// Delivery entry (called by the proxy's EventObserver servant; public
   /// for tests and for explicit strategy activation, paper SIV-A).
@@ -237,6 +250,8 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   Value self_;  // script self table (created in init)
   std::shared_ptr<monitor::CallbackObserver> observer_;
   ObjectRef observer_ref_;
+  ObjectRef channel_ref_;            // guarded by mu_
+  std::string channel_subscription_; // guarded by mu_
 };
 
 using SmartProxyPtr = std::shared_ptr<SmartProxy>;

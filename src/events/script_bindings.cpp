@@ -1,0 +1,57 @@
+#include "events/script_bindings.h"
+
+#include "base/error.h"
+
+namespace adapt::events {
+
+void install_events_bindings(script::ScriptEngine& engine, EventChannelPtr channel) {
+  if (!channel) throw EventChannelError("install_events_bindings: null channel");
+
+  auto ev = Table::make();
+  ev->set(Value("publish"), Value(NativeFunction::make("events.publish",
+      [channel](const ValueList& a) -> ValueList {
+        return {Value(channel->publish(a.at(0).as_string(),
+                                       a.size() > 1 ? a[1] : Value()))};
+      })));
+  ev->set(Value("subscribe"), Value(NativeFunction::make("events.subscribe",
+      [channel](const ValueList& a) -> ValueList {
+        return {Value(channel->subscribe(
+            a.at(0).as_object(),
+            SubscribeOptions::from_value(a.size() > 1 ? a[1] : Value())))};
+      })));
+  ev->set(Value("unsubscribe"), Value(NativeFunction::make("events.unsubscribe",
+      [channel](const ValueList& a) -> ValueList {
+        // wait=false: the script engine's lock is held here, and the delivery
+        // thread needs that lock to notify a ScriptServant observer — joining
+        // it would deadlock.
+        channel->unsubscribe(a.at(0).as_string(), /*wait=*/false);
+        return {};
+      })));
+  ev->set(Value("last"), Value(NativeFunction::make("events.last",
+      [channel](const ValueList& a) -> ValueList {
+        return {channel->last_value(a.at(0).as_string())};
+      })));
+  ev->set(Value("stats"), Value(NativeFunction::make("events.stats",
+      [channel](const ValueList&) -> ValueList {
+        return {channel->stats().to_value()};
+      })));
+  ev->set(Value("subscriber_count"), Value(NativeFunction::make("events.subscriber_count",
+      [channel](const ValueList&) -> ValueList {
+        return {Value(static_cast<double>(channel->subscriber_count()))};
+      })));
+  engine.set_global("events", Value(std::move(ev)));
+
+  declare_events_signatures(engine.natives());
+}
+
+void declare_events_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("events.publish", 1, 2);
+  reg.declare("events.subscribe", 1, 2);
+  reg.declare("events.unsubscribe", 1, 1);
+  reg.declare("events.last", 1, 1);
+  reg.declare("events.stats", 0, 0);
+  reg.declare("events.subscriber_count", 0, 0);
+  reg.tag("events", "events");
+}
+
+}  // namespace adapt::events

@@ -1,0 +1,39 @@
+// Luma bindings for the event-channel subsystem.
+//
+// Installs one global bound to a specific channel:
+//
+//   events.publish(evid [, payload])   -- O(1) enqueue; returns false when
+//                                         the channel is shut down
+//   events.subscribe(observer [, opts])-- registers an EventObserver ref;
+//                                         opts = { capacity=N,
+//                                         policy="drop_oldest"|"drop_newest"
+//                                         |"block", events={...}, replay=bool,
+//                                         max_failures=N }; returns the
+//                                         subscription id
+//   events.unsubscribe(id)             -- removes a subscription (does not
+//                                         wait for in-flight delivery: the
+//                                         caller holds the engine lock a
+//                                         delivering ScriptServant may need)
+//   events.last(evid)                  -- last published payload (nil if none)
+//   events.stats()                     -- { published, delivered, dropped,
+//                                         evicted, batches, subscribers,
+//                                         queued, inbox_depth }
+//   events.subscriber_count()          -- live subscription count
+//
+// Monitor scripts publish adaptation signals here instead of notifying
+// observers point-to-point; strategy scripts subscribe smart proxies.
+#pragma once
+
+#include "events/event_channel.h"
+#include "script/engine.h"
+
+namespace adapt::events {
+
+void install_events_bindings(script::ScriptEngine& engine, EventChannelPtr channel);
+
+/// Declares the events natives (arities + "events" capability tag) into a
+/// registry. Called by install_events_bindings and by the standalone
+/// `lumalint` catalog.
+void declare_events_signatures(script::analysis::NativeRegistry& reg);
+
+}  // namespace adapt::events

@@ -25,6 +25,26 @@ Value make_owning_wrapper(const std::shared_ptr<EventMonitor>& mon, const Object
                mon->detachEventObserver(a.at(1).as_string());
                return {};
              })));
+  t->set(Value("setEventChannel"),
+         Value(NativeFunction::make("monitor.setEventChannel",
+             [mon](const ValueList& a) -> ValueList {
+               mon->set_event_channel_ref(
+                   a.size() > 1 && a[1].is_object() ? a[1].as_object() : ObjectRef{});
+               return {};
+             })));
+  t->set(Value("defineChannelEvent"),
+         Value(NativeFunction::make("monitor.defineChannelEvent",
+             [mon](const ValueList& a) -> ValueList {
+               mon->defineChannelEvent(a.at(1).as_string(), a.at(2).as_string(),
+                                       a.size() > 3 && a[3].truthy());
+               return {};
+             })));
+  t->set(Value("removeChannelEvent"),
+         Value(NativeFunction::make("monitor.removeChannelEvent",
+             [mon](const ValueList& a) -> ValueList {
+               mon->removeChannelEvent(a.at(1).as_string());
+               return {};
+             })));
   t->set(Value("stop"), Value(NativeFunction::make("monitor.stop",
              [mon](const ValueList&) -> ValueList {
                mon->stop();

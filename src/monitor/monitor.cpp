@@ -344,13 +344,106 @@ size_t EventMonitor::observer_count() const {
   return observers_.size();
 }
 
+void EventMonitor::set_observer_failure_limit(int limit) {
+  if (limit < 1) throw MonitorError("observer failure limit must be >= 1");
+  std::scoped_lock lock(mu_);
+  observer_failure_limit_ = limit;
+}
+
+int EventMonitor::observer_failure_limit() const {
+  std::scoped_lock lock(mu_);
+  return observer_failure_limit_;
+}
+
+void EventMonitor::record_notify_failure(const std::string& observer_id) {
+  std::scoped_lock lock(mu_);
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->id != observer_id) continue;
+    if (++it->consecutive_failures >= observer_failure_limit_) {
+      log_warn("monitor ", property_name(), ": observer ", it->id, " (",
+               it->ref.str(), ") evicted after ", it->consecutive_failures,
+               " consecutive notify failures");
+      observers_.erase(it);
+      ++evictions_;
+      adapt::obs::metrics().counter("monitor.observer.evicted").add();
+    }
+    return;
+  }
+}
+
+void EventMonitor::set_event_channel(ChannelPublisher publish) {
+  std::scoped_lock lock(mu_);
+  channel_publish_ = std::move(publish);
+}
+
+void EventMonitor::set_event_channel_ref(const ObjectRef& channel) {
+  ChannelPublisher publish;
+  if (!channel.empty()) {
+    std::weak_ptr<orb::Orb> weak_orb = orb_;
+    publish = [weak_orb, channel](const std::string& event_id, const Value& payload) {
+      auto orb = weak_orb.lock();
+      // Fire-and-forget like the direct notify loop: the monitor's update
+      // cycle must not block on (or fail with) a slow remote channel.
+      return orb && orb->invoke_oneway(channel, "publish", {Value(event_id), payload});
+    };
+  }
+  std::scoped_lock lock(mu_);
+  channel_publish_ = std::move(publish);
+}
+
+bool EventMonitor::has_event_channel() const {
+  std::scoped_lock lock(mu_);
+  return static_cast<bool>(channel_publish_);
+}
+
+void EventMonitor::defineChannelEvent(const std::string& event_id,
+                                      const std::string& predicate_code,
+                                      bool edge_triggered) {
+  verify_monitor_function(*engine(), predicate_code, "channel-event:" + event_id);
+  Value predicate = engine()->compile_function(predicate_code, "channel-event:" + event_id);
+  std::scoped_lock lock(mu_);
+  if (!channel_publish_) {
+    throw MonitorError("defineChannelEvent: no event channel configured (call "
+                       "set_event_channel / setEventChannel first)");
+  }
+  for (ChannelEvent& existing : channel_events_) {
+    if (existing.event_id == event_id) {
+      existing.predicate = std::move(predicate);
+      existing.edge_triggered = edge_triggered;
+      existing.was_true = false;
+      return;
+    }
+  }
+  channel_events_.push_back(ChannelEvent{event_id, std::move(predicate), edge_triggered});
+}
+
+void EventMonitor::removeChannelEvent(const std::string& event_id) {
+  std::scoped_lock lock(mu_);
+  for (auto it = channel_events_.begin(); it != channel_events_.end(); ++it) {
+    if (it->event_id == event_id) {
+      channel_events_.erase(it);
+      return;
+    }
+  }
+  throw MonitorError("no such channel event: " + event_id);
+}
+
+size_t EventMonitor::channel_event_count() const {
+  std::scoped_lock lock(mu_);
+  return channel_events_.size();
+}
+
 void EventMonitor::on_updated(const Value& new_value) {
   std::vector<Observer> snapshot;
+  std::vector<ChannelEvent> channel_snapshot;
+  ChannelPublisher publish;
   {
     std::scoped_lock lock(mu_);
     snapshot = observers_;
+    channel_snapshot = channel_events_;
+    publish = channel_publish_;
   }
-  if (snapshot.empty()) return;
+  if (snapshot.empty() && channel_snapshot.empty()) return;
   const Value wrapper = script_wrapper();
   for (const Observer& obs : snapshot) {
     bool fired = false;
@@ -380,7 +473,50 @@ void EventMonitor::on_updated(const Value& new_value) {
       if (auto orb = orb_.lock()) {
         ++notifications_;
         adapt::obs::metrics().counter("monitor.notifications").add();
-        orb->invoke_oneway(obs.ref, "notifyEvent", {Value(obs.event_id)});
+        if (orb->invoke_oneway(obs.ref, "notifyEvent", {Value(obs.event_id)})) {
+          std::scoped_lock lock(mu_);
+          for (Observer& live : observers_) {
+            if (live.id == obs.id) {
+              live.consecutive_failures = 0;
+              break;
+            }
+          }
+        } else {
+          record_notify_failure(obs.id);
+        }
+      }
+    }
+  }
+
+  // Channel mode: each declared event's predicate runs ONCE per update and a
+  // firing event publishes ONCE — fan-out is the channel's job, so update
+  // cost no longer scales with the subscriber population.
+  if (publish && !channel_snapshot.empty()) {
+    for (const ChannelEvent& ev : channel_snapshot) {
+      bool fired = false;
+      try {
+        const Value verdict = engine()->call1(ev.predicate, {Value(), new_value, wrapper});
+        fired = verdict.truthy();
+        adapt::obs::metrics().counter("monitor.predicate_evals").add();
+      } catch (const Error& e) {
+        log_warn("monitor ", property_name(), ": channel event predicate '",
+                 ev.event_id, "' failed: ", e.what());
+        continue;
+      }
+      bool emit = fired;
+      if (ev.edge_triggered) {
+        emit = fired && !ev.was_true;
+        std::scoped_lock lock(mu_);
+        for (ChannelEvent& live : channel_events_) {
+          if (live.event_id == ev.event_id) {
+            live.was_true = fired;
+            break;
+          }
+        }
+      }
+      if (emit && publish(ev.event_id, new_value)) {
+        ++channel_publishes_;
+        adapt::obs::metrics().counter("monitor.channel_publishes").add();
       }
     }
   }
@@ -398,6 +534,23 @@ Value EventMonitor::dispatch(const std::string& operation, const ValueList& args
     return {};
   }
   if (operation == "observerCount") return Value(static_cast<double>(observer_count()));
+  if (operation == "setEventChannel") {
+    // Remote attach: an empty/nil argument detaches the channel.
+    set_event_channel_ref(arg(0).is_object() ? arg(0).as_object() : ObjectRef{});
+    return {};
+  }
+  if (operation == "defineChannelEvent") {
+    defineChannelEvent(arg(0).as_string(), arg(1).as_string(),
+                       args.size() > 2 && arg(2).truthy());
+    return {};
+  }
+  if (operation == "removeChannelEvent") {
+    removeChannelEvent(arg(0).as_string());
+    return {};
+  }
+  if (operation == "channelEventCount") {
+    return Value(static_cast<double>(channel_event_count()));
+  }
   return BasicMonitor::dispatch(operation, args);
 }
 

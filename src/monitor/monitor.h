@@ -125,8 +125,26 @@ class BasicMonitor : public orb::Servant,
 
 /// EventMonitor (Fig. 2): BasicMonitor + observer registration and
 /// event-driven notification.
+///
+/// Two publication modes coexist:
+///  * Direct (default, the paper's semantics): every update runs each
+///    attached observer's predicate and sends a oneway notifyEvent per
+///    firing observer — O(observers) per update.
+///  * Channel (opt-in via defineChannelEvent + set_event_channel /
+///    setEventChannel): the predicate runs once per update and a firing
+///    event is published to an EventChannel exactly once, regardless of how
+///    many subscribers that channel fans out to. Direct observers are
+///    unaffected; the two modes can run side by side.
+///
+/// Unlike the paper's listing, observers whose notifyEvent delivery fails
+/// `observer_failure_limit()` times in a row are auto-detached (the direct
+/// loop otherwise taxes every update with a dead endpoint forever); each
+/// eviction bumps the `monitor.observer.evicted` counter.
 class EventMonitor : public BasicMonitor {
  public:
+  /// Channel publication hook: (event_id, payload) -> accepted.
+  using ChannelPublisher = std::function<bool(const std::string&, const Value&)>;
+
   /// `orb` delivers notifyEvent oneways to observers.
   EventMonitor(std::string property_name, std::shared_ptr<script::ScriptEngine> engine,
                orb::OrbPtr orb);
@@ -147,6 +165,35 @@ class EventMonitor : public BasicMonitor {
   /// Total notifications sent (diagnostics/benchmarks).
   [[nodiscard]] uint64_t notifications_sent() const { return notifications_.load(); }
 
+  // ---- dead-observer reaping ------------------------------------------
+  /// Consecutive notifyEvent failures before an observer is auto-detached.
+  void set_observer_failure_limit(int limit);
+  [[nodiscard]] int observer_failure_limit() const;
+  /// Observers auto-detached so far.
+  [[nodiscard]] uint64_t observers_evicted() const { return evictions_.load(); }
+
+  // ---- channel publication mode (opt-in) ------------------------------
+  /// Routes firing channel events through `publish` (an in-process
+  /// EventChannel::publish, typically). Null disables the mode.
+  void set_event_channel(ChannelPublisher publish);
+  /// Remote form: publish via oneway `publish(evid, payload)` invocations on
+  /// `channel` (an EventChannel servant, possibly on another host). An empty
+  /// ref disables the mode.
+  void set_event_channel_ref(const ObjectRef& channel);
+  [[nodiscard]] bool has_event_channel() const;
+
+  /// Declares a channel event: `predicate_code` (same Fig. 2 calling
+  /// convention, with a nil observer argument) runs ONCE per update; when it
+  /// fires, (event_id, current value) is published to the channel. Replaces
+  /// an existing declaration of the same event id. Throws MonitorError when
+  /// no channel is configured.
+  void defineChannelEvent(const std::string& event_id, const std::string& predicate_code,
+                          bool edge_triggered = false);
+  void removeChannelEvent(const std::string& event_id);
+  [[nodiscard]] size_t channel_event_count() const;
+  /// Total channel publishes issued (diagnostics/benchmarks).
+  [[nodiscard]] uint64_t channel_publishes() const { return channel_publishes_.load(); }
+
   Value dispatch(const std::string& operation, const ValueList& args) override;
   [[nodiscard]] std::string interface_name() const override { return "EventMonitor"; }
 
@@ -160,8 +207,19 @@ class EventMonitor : public BasicMonitor {
     std::string event_id;
     Value predicate;
     bool edge_triggered = false;
-    bool was_true = false;  // last predicate outcome (edge detection)
+    bool was_true = false;          // last predicate outcome (edge detection)
+    int consecutive_failures = 0;   // notifyEvent delivery failures in a row
   };
+
+  struct ChannelEvent {
+    std::string event_id;
+    Value predicate;
+    bool edge_triggered = false;
+    bool was_true = false;
+  };
+
+  /// Bumps the live observer's failure count; detaches it at the limit.
+  void record_notify_failure(const std::string& observer_id);
 
   /// Weak: this monitor is typically a servant *of* `orb`, so a strong
   /// ref would cycle (orb -> servants_ -> monitor -> orb) and leak the ORB
@@ -169,27 +227,56 @@ class EventMonitor : public BasicMonitor {
   std::weak_ptr<orb::Orb> orb_;
   std::atomic<uint64_t> next_observer_{1};
   std::atomic<uint64_t> notifications_{0};
-  std::vector<Observer> observers_;  // guarded by mu_
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> channel_publishes_{0};
+  std::vector<Observer> observers_;       // guarded by mu_
+  std::vector<ChannelEvent> channel_events_;  // guarded by mu_
+  ChannelPublisher channel_publish_;      // guarded by mu_
+  int observer_failure_limit_ = 3;        // guarded by mu_
 };
 
 /// EventObserver servant adapter: forwards notifyEvent into a callback.
 /// Smart proxies register one of these and enqueue the events it receives.
+/// Also accepts the batched v2 form, `notifyEvents(list)` where each entry
+/// is { event = <id> [, payload = <value>] }, invoking the callback once per
+/// entry (payloads are surfaced through the optional payload callback).
 class CallbackObserver : public orb::Servant {
  public:
   using Callback = std::function<void(const std::string& event_id)>;
+  using PayloadCallback = std::function<void(const std::string& event_id, const Value& payload)>;
+
   explicit CallbackObserver(Callback cb) : cb_(std::move(cb)) {}
 
+  /// Also receive event payloads (channel deliveries carry them; the
+  /// monitor's direct notifyEvent does not, so payload is nil there).
+  void on_payload(PayloadCallback cb) { payload_cb_ = std::move(cb); }
+
   Value dispatch(const std::string& operation, const ValueList& args) override {
-    if (operation != "notifyEvent") {
-      throw orb::BadOperation("EventObserver only implements notifyEvent");
+    if (operation == "notifyEvent") {
+      notify(args.empty() ? std::string() : args.at(0).as_string(), Value());
+      return {};
     }
-    cb_(args.empty() ? std::string() : args.at(0).as_string());
-    return {};
+    if (operation == "notifyEvents") {
+      const TablePtr& list = args.at(0).as_table();
+      for (int64_t i = 1; i <= list->length(); ++i) {
+        const Value entry = list->geti(i);
+        if (!entry.is_table()) continue;
+        notify(entry.as_table()->get(Value("event")).as_string(),
+               entry.as_table()->get(Value("payload")));
+      }
+      return {};
+    }
+    throw orb::BadOperation("EventObserver only implements notifyEvent/notifyEvents");
   }
   [[nodiscard]] std::string interface_name() const override { return "EventObserver"; }
 
  private:
+  void notify(const std::string& event_id, const Value& payload) {
+    cb_(event_id);
+    if (payload_cb_) payload_cb_(event_id, payload);
+  }
   Callback cb_;
+  PayloadCallback payload_cb_;
 };
 
 }  // namespace adapt::monitor

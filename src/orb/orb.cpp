@@ -312,12 +312,14 @@ Value Orb::invoke(const ObjectRef& ref, const std::string& operation,
   return invoke_impl(ref, operation, args, /*oneway=*/false, options);
 }
 
-void Orb::invoke_oneway(const ObjectRef& ref, const std::string& operation,
+bool Orb::invoke_oneway(const ObjectRef& ref, const std::string& operation,
                         const ValueList& args) {
   try {
     invoke_impl(ref, operation, args, /*oneway=*/true, InvokeOptions{});
+    return true;
   } catch (const Error& e) {
     log_debug("oneway ", operation, " to ", ref.str(), " failed: ", e.what());
+    return false;
   }
 }
 

@@ -153,7 +153,11 @@ class Orb : public std::enable_shared_from_this<Orb> {
                const ValueList& args, const InvokeOptions& options);
 
   /// Best-effort oneway request: no reply, errors are swallowed (logged).
-  void invoke_oneway(const ObjectRef& ref, const std::string& operation,
+  /// Returns false when the request could not even be handed off (transport
+  /// failure, unknown object, validation) — callers tracking observer health
+  /// (EventMonitor, EventChannel) use this to spot dead endpoints; everyone
+  /// else may ignore it.
+  bool invoke_oneway(const ObjectRef& ref, const std::string& operation,
                      const ValueList& args = {});
 
   /// Deferred-synchronous request (CORBA DII send_deferred analog): runs on
@@ -244,9 +248,9 @@ class ObjectHandle {
     require();
     return orb_->invoke(ref_, operation, args);
   }
-  void call_oneway(const std::string& operation, const ValueList& args = {}) const {
+  bool call_oneway(const std::string& operation, const ValueList& args = {}) const {
     require();
-    orb_->invoke_oneway(ref_, operation, args);
+    return orb_->invoke_oneway(ref_, operation, args);
   }
   [[nodiscard]] bool ping() const { return valid() && orb_->ping(ref_); }
 

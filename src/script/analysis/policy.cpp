@@ -3,7 +3,9 @@
 namespace adapt::script::analysis {
 
 const CapabilityPolicy& monitor_policy() {
-  static const CapabilityPolicy p{"monitor", false, {"monitor", "obs", "io"}};
+  // "events": monitor scripts publish adaptation signals to an event channel
+  // (the channel-publication mode of EventMonitor).
+  static const CapabilityPolicy p{"monitor", false, {"monitor", "obs", "io", "events"}};
   return p;
 }
 
@@ -11,7 +13,7 @@ const CapabilityPolicy& strategy_policy() {
   static const CapabilityPolicy p{
       "strategy",
       false,
-      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra"}};
+      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra", "events"}};
   return p;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/script_bindings.h"
+#include "events/script_bindings.h"
 #include "monitor/bindings.h"
 #include "obs/script_bindings.h"
 #include "orb/script_bindings.h"
@@ -42,6 +43,7 @@ script::analysis::NativeRegistry full_catalog() {
   script::declare_stdlib_signatures(reg);
   obs::declare_obs_signatures(reg);
   orb::declare_orb_signatures(reg);
+  events::declare_events_signatures(reg);
   monitor::declare_monitor_signatures(reg);
   trading::declare_trading_signatures(reg);
   core::declare_infrastructure_signatures(reg);
