@@ -18,16 +18,16 @@
 // ops_per_sec is the best repetition; the ns stats pool all samples.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <vector>
-
-#include "obs/metrics.h"
 
 namespace adapt::benchjson {
 
@@ -36,6 +36,10 @@ struct Case {
   std::function<void()> fn = nullptr;        // one iteration
   std::function<void()> setup = nullptr;     // optional, once before warmup
   std::function<void()> teardown = nullptr;  // optional, once after timing
+  // Per-case overrides for expensive iterations (a multi-client batch is one
+  // "iteration" but hundreds of RPCs); 0 keeps the harness defaults.
+  size_t warmup = 0;
+  size_t iters = 0;
 };
 
 struct Options {
@@ -64,8 +68,8 @@ inline std::optional<Options> parse_json_mode(int argc, char** argv) {
 
 inline int run_json_cases(const Options& opts, const std::string& bench_name,
                           const std::vector<Case>& cases) {
-  const size_t warmup = opts.quick ? 50 : 500;
-  const size_t iters = opts.quick ? 250 : 1000;
+  const size_t default_warmup = opts.quick ? 50 : 500;
+  const size_t default_iters = opts.quick ? 250 : 1000;
   // ops_per_sec is best-of-reps (the gbench convention): a single scheduler
   // preemption costs milliseconds against microsecond operations, so a
   // one-shot mean is dominated by luck on a busy machine. Short repetitions
@@ -80,9 +84,16 @@ inline int run_json_cases(const Options& opts, const std::string& bench_name,
   out += ",\"cases\":[";
   bool first = true;
   for (const Case& c : cases) {
+    const size_t warmup = c.warmup ? c.warmup : default_warmup;
+    const size_t iters = c.iters ? c.iters : default_iters;
     if (c.setup) c.setup();
     for (size_t i = 0; i < warmup; ++i) c.fn();
-    obs::Histogram hist;
+    // Exact per-iteration samples: CI gates compare percentiles across cases
+    // with margins of a few percent, so latencies are pooled raw and ranked
+    // rather than pushed through a log-bucketed telemetry histogram (whose
+    // power-of-two buckets quantize microsecond-scale p50s far too coarsely).
+    std::vector<uint64_t> ns;
+    ns.reserve(iters * reps);
     double best_ops = 0.0;
     for (size_t rep = 0; rep < reps; ++rep) {
       const auto run_start = std::chrono::steady_clock::now();
@@ -90,7 +101,7 @@ inline int run_json_cases(const Options& opts, const std::string& bench_name,
         const auto t0 = std::chrono::steady_clock::now();
         c.fn();
         const auto t1 = std::chrono::steady_clock::now();
-        hist.record(static_cast<uint64_t>(
+        ns.push_back(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
       }
       const double total_s =
@@ -101,7 +112,14 @@ inline int run_json_cases(const Options& opts, const std::string& bench_name,
     }
     if (c.teardown) c.teardown();
 
-    const obs::Histogram::Snapshot s = hist.snapshot();
+    std::sort(ns.begin(), ns.end());
+    const auto pct = [&ns](double q) {
+      const size_t rank = static_cast<size_t>(q * static_cast<double>(ns.size() - 1));
+      return static_cast<double>(ns[rank]);
+    };
+    const double mean =
+        static_cast<double>(std::accumulate(ns.begin(), ns.end(), uint64_t{0})) /
+        static_cast<double>(ns.size());
     const double ops = best_ops;
     const size_t samples = iters * reps;
     char buf[512];
@@ -109,16 +127,17 @@ inline int run_json_cases(const Options& opts, const std::string& bench_name,
                   "{\"name\":\"%s\",\"iterations\":%zu,\"ops_per_sec\":%.1f,"
                   "\"ns\":{\"mean\":%.1f,\"min\":%llu,\"max\":%llu,"
                   "\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}",
-                  c.name.c_str(), samples, ops, s.mean(),
-                  static_cast<unsigned long long>(s.min),
-                  static_cast<unsigned long long>(s.max), s.p50, s.p95, s.p99);
+                  c.name.c_str(), samples, ops, mean,
+                  static_cast<unsigned long long>(ns.front()),
+                  static_cast<unsigned long long>(ns.back()), pct(0.50), pct(0.95),
+                  pct(0.99));
     if (!first) out += ',';
     first = false;
     out += buf;
     std::cerr << bench_name << '/' << c.name << ": " << std::fixed
               << static_cast<uint64_t>(ops) << " ops/s, p50 "
-              << static_cast<uint64_t>(s.p50) << " ns, p99 "
-              << static_cast<uint64_t>(s.p99) << " ns\n";
+              << static_cast<uint64_t>(pct(0.50)) << " ns, p99 "
+              << static_cast<uint64_t>(pct(0.99)) << " ns\n";
   }
   out += "]}";
 

@@ -13,7 +13,23 @@
 // (bench_json.h) and emits BENCH_transport.json; the JSON case list adds an
 // invoke_small variant with the tracer disabled so the tracing overhead is
 // directly visible as invoke_small vs invoke_small_notrace.
+//
+// `--reactor --json[=PATH] [--quick]` instead runs the concurrent-client
+// serving sweep (emitting BENCH_reactor.json): an in-bench thread-per-
+// connection echo server — the serving model the reactor replaced — against
+// the real epoll-reactor TcpListener, at 1, 8 and 64 clients with pipelined
+// batches. scripts/check.sh gates on the resulting ratios: reactor 64-client
+// throughput >= 3x threaded, single-client p50 within 10%.
 #include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <barrier>
+#include <thread>
 
 #include "bench_json.h"
 #include "obs/trace.h"
@@ -120,10 +136,255 @@ void BM_StatsSnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_StatsSnapshot);
 
+// ---- reactor sweep ---------------------------------------------------------
+
+/// The serving model the reactor replaced, reconstructed as the bench
+/// baseline: blocking accept loop, one thread per connection running
+/// read_frame/handle/write_frame until EOF. Kept faithful (TCP_NODELAY, same
+/// frame helpers) so the sweep compares serving models, not socket tuning.
+class ThreadedEchoServer {
+ public:
+  using Handler = std::function<std::optional<Bytes>(const Bytes&)>;
+
+  explicit ThreadedEchoServer(Handler handler) : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw orb::TransportError("bench server: socket failed");
+    const int one = 1;
+    (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 256) < 0) {
+      ::close(listen_fd_);
+      throw orb::TransportError("bench server: bind/listen failed");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~ThreadedEchoServer() { stop(); }
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  void stop() {
+    if (stopping_.exchange(true)) return;
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<int> fds;
+    std::vector<std::thread> threads;
+    {
+      std::scoped_lock lock(mu_);
+      fds.swap(conn_fds_);
+      threads.swap(conn_threads_);
+    }
+    for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    for (const int fd : fds) ::close(fd);
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listen socket closed: stopping
+      const int one = 1;
+      (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::scoped_lock lock(mu_);
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { serve(fd); });
+    }
+  }
+
+  void serve(int fd) {
+    try {
+      for (;;) {
+        const auto request = orb::read_frame(fd);
+        if (!request) return;  // orderly EOF
+        const auto reply = handler_(*request);
+        if (reply) orb::write_frame(fd, *reply);
+      }
+    } catch (const Error&) {
+      // Torn connection / shutdown — the thread just ends.
+    }
+  }
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+int dial_nodelay(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    throw orb::TransportError("bench client: dial failed");
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+/// N persistent client threads driven in lock-step batches: each run_batch()
+/// releases every client to ship `pipeline` pipelined frames (one send) and
+/// bulk-read the echoed replies back, then waits for all of them. One batch
+/// = N * pipeline RPCs. Client I/O is deliberately minimal — one send plus a
+/// few large recvs per batch — so the sweep measures the serving model under
+/// load, not client-side syscall churn.
+class SweepClients {
+ public:
+  SweepClients(uint16_t port, size_t n, size_t pipeline)
+      : start_(static_cast<ptrdiff_t>(n + 1)),
+        done_(static_cast<ptrdiff_t>(n + 1)) {
+    const Bytes payload(16, 0x5A);
+    for (size_t k = 0; k < pipeline; ++k) {
+      const uint32_t len = static_cast<uint32_t>(payload.size());
+      batch_.push_back(static_cast<uint8_t>(len));
+      batch_.push_back(static_cast<uint8_t>(len >> 8));
+      batch_.push_back(static_cast<uint8_t>(len >> 16));
+      batch_.push_back(static_cast<uint8_t>(len >> 24));
+      batch_.insert(batch_.end(), payload.begin(), payload.end());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this, port] {
+        const int fd = dial_nodelay(port);
+        std::vector<uint8_t> rx(batch_.size());
+        for (;;) {
+          start_.arrive_and_wait();
+          if (stop_.load(std::memory_order_acquire)) break;
+          // The server echoes, so the reply stream is byte-for-byte the
+          // request batch; read until it has arrived in full.
+          if (::send(fd, batch_.data(), batch_.size(), MSG_NOSIGNAL) !=
+              static_cast<ssize_t>(batch_.size())) {
+            ++errors_;
+          } else {
+            size_t got = 0;
+            while (got < rx.size()) {
+              const ssize_t rc = ::recv(fd, rx.data() + got, rx.size() - got, 0);
+              if (rc <= 0) {
+                ++errors_;
+                break;
+              }
+              got += static_cast<size_t>(rc);
+            }
+          }
+          done_.arrive_and_wait();
+        }
+        ::close(fd);
+        done_.arrive_and_wait();
+      });
+    }
+  }
+
+  ~SweepClients() {
+    stop_.store(true, std::memory_order_release);
+    start_.arrive_and_wait();
+    done_.arrive_and_wait();
+    for (auto& t : threads_) t.join();
+    if (errors_ > 0) {
+      std::cerr << "bench sweep: " << errors_.load() << " client batch errors\n";
+    }
+  }
+
+  void run_batch() {
+    start_.arrive_and_wait();
+    done_.arrive_and_wait();
+  }
+
+ private:
+  Bytes batch_;
+  std::barrier<> start_;
+  std::barrier<> done_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> errors_{0};
+  std::vector<std::thread> threads_;
+};
+
+/// Frames each client keeps in flight per batch in the multi-client sweeps.
+constexpr size_t kPipeline = 32;
+
+int run_reactor_sweep(const adapt::benchjson::Options& opts) {
+  const auto echo = [](const Bytes& request) -> std::optional<Bytes> { return request; };
+  ThreadedEchoServer threaded(echo);
+  orb::TcpListener reactor("127.0.0.1", 0, echo);
+
+  struct Sweep {
+    const char* name;
+    uint16_t port;
+    size_t clients;
+  };
+  const std::vector<Sweep> sweeps = {
+      {"threaded_c1", threaded.port(), 1},  {"reactor_c1", reactor.port(), 1},
+      {"threaded_c8", threaded.port(), 8},  {"reactor_c8", reactor.port(), 8},
+      {"threaded_c64", threaded.port(), 64}, {"reactor_c64", reactor.port(), 64},
+  };
+
+  std::vector<adapt::benchjson::Case> cases;
+  std::shared_ptr<SweepClients> clients;  // alive between setup and teardown
+  int c1_fd = -1;
+  const Bytes c1_payload(16, 0x5A);
+  for (const Sweep& sweep : sweeps) {
+    adapt::benchjson::Case c;
+    c.name = sweep.name;
+    if (sweep.clients == 1) {
+      // Single client, synchronous round trips on the bench thread itself:
+      // p50 here is the per-RPC latency the reactor must hold within 10% of
+      // thread-per-connection.
+      c.setup = [&c1_fd, sweep] { c1_fd = dial_nodelay(sweep.port); };
+      c.fn = [&c1_fd, &c1_payload] {
+        orb::write_frame(c1_fd, c1_payload);
+        (void)orb::read_frame(c1_fd);
+      };
+      c.teardown = [&c1_fd] {
+        ::close(c1_fd);
+        c1_fd = -1;
+      };
+      cases.push_back(std::move(c));
+      continue;
+    }
+    {
+      // One iteration = one pipelined batch across all clients
+      // (clients * kPipeline RPCs), so iteration counts are scaled down.
+      const size_t n = sweep.clients;
+      c.setup = [&clients, sweep, n] {
+        clients = std::make_shared<SweepClients>(sweep.port, n, kPipeline);
+      };
+      c.fn = [&clients] { clients->run_batch(); };
+      c.warmup = 10;
+      c.iters = opts.quick ? (n >= 64 ? 30 : 60) : (n >= 64 ? 100 : 200);
+    }
+    c.teardown = [&clients] { clients.reset(); };
+    cases.push_back(std::move(c));
+  }
+  const int rc = adapt::benchjson::run_json_cases(opts, "reactor", cases);
+  reactor.stop();
+  threaded.stop();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool reactor_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--reactor") reactor_sweep = true;
+  }
   if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    if (reactor_sweep) return run_reactor_sweep(*opts);
     auto& s = Setup::instance();
     orb::TcpConnectionPool pool(5.0);
     const std::vector<adapt::benchjson::Case> cases = {

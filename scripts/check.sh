@@ -28,16 +28,18 @@ run_preset() {
 
 # Runs one bench in quick JSON mode and validates the emitted document:
 # well-formed JSON, expected bench name, non-empty case list, every case
-# with a positive ops_per_sec.
+# with a positive ops_per_sec. Extra arguments are passed to the bench
+# binary (e.g. --reactor to select the serving-model sweep).
 run_bench_json() {
   local bench="$1" name="$2" build_dir="build"
+  shift 2
   if [[ ! -x "${build_dir}/bench/${bench}" ]]; then
     echo "==> bench ${bench}: missing (benchmark library not available?) — skipped"
     return 0
   fi
-  echo "==> bench ${bench} --json --quick"
+  echo "==> bench ${bench} $* --json --quick"
   local out="${build_dir}/BENCH_${name}.json"
-  (cd "${build_dir}" && "bench/${bench}" --json="BENCH_${name}.json" --quick >/dev/null)
+  (cd "${build_dir}" && "bench/${bench}" "$@" --json="BENCH_${name}.json" --quick >/dev/null)
   python3 - "${out}" "${name}" <<'EOF'
 import json, sys
 path, name = sys.argv[1], sys.argv[2]
@@ -56,6 +58,45 @@ for case in cases:
         assert ns[key] >= 0, f"{case['name']}: ns.{key} negative"
     assert ns["min"] <= ns["max"]
 print(f"    {path}: {len(cases)} cases OK")
+EOF
+}
+
+# Serving-model gate: runs the reactor-vs-thread-per-connection sweep (full
+# iteration counts — the ratio gate needs stable percentiles, and --quick
+# medians wobble on a busy machine) and asserts the two bounds the reactor
+# migration promised: 64-client throughput at least 3x the threaded
+# baseline, single-client p50 within 10% of it.
+run_reactor_gate() {
+  local build_dir="build"
+  if [[ ! -x "${build_dir}/bench/bench_transport" ]]; then
+    echo "==> reactor gate: bench_transport missing — skipped"
+    return 0
+  fi
+  echo "==> bench bench_transport --reactor --json (serving-model gate)"
+  (cd "${build_dir}" && bench/bench_transport --reactor --json="BENCH_reactor.json" >/dev/null)
+  python3 - "${build_dir}/BENCH_reactor.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cases = {c["name"]: c for c in doc["cases"]}
+for name in ("threaded_c1", "reactor_c1", "threaded_c64", "reactor_c64"):
+    assert name in cases, f"missing sweep case {name}"
+
+ops_threaded = cases["threaded_c64"]["ops_per_sec"]
+ops_reactor = cases["reactor_c64"]["ops_per_sec"]
+ratio = ops_reactor / ops_threaded
+assert ratio >= 3.0, (
+    f"reactor 64-client throughput only {ratio:.2f}x the threaded baseline "
+    f"({ops_reactor:.0f} vs {ops_threaded:.0f} batches/s), need >= 3x")
+
+p50_threaded = cases["threaded_c1"]["ns"]["p50"]
+p50_reactor = cases["reactor_c1"]["ns"]["p50"]
+regress = p50_reactor / p50_threaded - 1.0
+assert regress < 0.10, (
+    f"reactor single-client p50 regressed {regress * 100:.1f}% "
+    f"({p50_reactor:.0f} vs {p50_threaded:.0f} ns), need < 10%")
+print(f"    reactor gate OK: c64 throughput {ratio:.2f}x threaded, "
+      f"c1 p50 {regress * 100:+.1f}%")
 EOF
 }
 
@@ -102,6 +143,7 @@ case "${1:-default}" in
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
+    run_reactor_gate
     ;;
   tsan|asan)
     run_preset "$1"
@@ -112,6 +154,7 @@ case "${1:-default}" in
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
+    run_reactor_gate
     run_preset tsan
     run_preset asan
     ;;

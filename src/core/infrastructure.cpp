@@ -25,13 +25,22 @@ Infrastructure::Infrastructure(InfrastructureOptions options)
   naming_->bind("services/trader/repository", trader_->repository_ref());
 }
 
-Infrastructure::~Infrastructure() {
+Infrastructure::~Infrastructure() { shutdown(); }
+
+void Infrastructure::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
   // The channel's delivery threads invoke through ORBs; stop them while
   // every ORB is still alive.
   if (channel_) channel_->shutdown();
   // Agents withdraw their offers before the trader goes away.
   agents_.clear();
   for (auto& [name, host] : hosts_) host->stop();
+  // Host ORBs stop before the trader ORB: stopping joins reactor workers,
+  // so any handler still running on a host ORB can complete its nested
+  // trader calls instead of timing out against a dead endpoint.
+  for (auto& [name, orb] : host_orbs_) orb->shutdown();
+  trader_orb_->shutdown();
 }
 
 const events::EventChannelPtr& Infrastructure::event_channel() {

@@ -47,6 +47,14 @@ class Infrastructure {
   Infrastructure(const Infrastructure&) = delete;
   Infrastructure& operator=(const Infrastructure&) = delete;
 
+  /// Ordered teardown of the whole deployment; idempotent, also run by the
+  /// destructor. Stopping an ORB joins its reactor workers, which waits for
+  /// in-flight handlers — and those handlers may invoke *other* ORBs (agents
+  /// call the trader, the channel calls subscribers), so shutdown proceeds
+  /// strictly from leaves to roots: event channel, then agents, then hosts
+  /// and their ORBs, and the trader ORB last.
+  void shutdown();
+
   // ---- time ----------------------------------------------------------
   [[nodiscard]] const ClockPtr& clock() const { return clock_; }
   [[nodiscard]] const std::shared_ptr<TimerService>& timers() const { return timers_; }
@@ -121,6 +129,7 @@ class Infrastructure {
   std::map<std::string, sim::HostPtr> hosts_;
   std::map<std::string, orb::OrbPtr> host_orbs_;
   std::map<std::string, std::shared_ptr<ServiceAgent>> agents_;
+  bool shut_down_ = false;
 };
 
 }  // namespace adapt::core

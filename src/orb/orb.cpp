@@ -118,11 +118,15 @@ void Orb::start() {
       // ~Orb on a serving thread after main() — and the static inproc
       // registry — are gone. Safe because shutdown() stops the listener,
       // joining every serving thread, before any member is torn down.
+      ReactorConfig reactor_config;
+      reactor_config.workers = config_.reactor_workers;
+      reactor_config.write_queue_cap = config_.reactor_write_queue_cap;
       listener_ = std::make_unique<TcpListener>(
           config_.listen_host, config_.listen_port,
           [this](const Bytes& payload) -> std::optional<Bytes> {
             return handle_payload(payload);
-          });
+          },
+          reactor_config);
     } catch (...) {
       InprocRegistry::instance().remove(inproc_endpoint_);
       throw;

@@ -97,6 +97,12 @@ struct OrbConfig {
   /// Idle TCP connections older than this are reaped, seconds.
   double pool_max_idle_age = 30.0;
 
+  /// Server reactor tuning (effective with listen_tcp): core worker threads
+  /// (0 = auto-size to the hardware) and the per-connection pending-write
+  /// cap in bytes (a slow consumer exceeding it is disconnected).
+  size_t reactor_workers = 0;
+  size_t reactor_write_queue_cap = 8u << 20;
+
   /// Destination ring for this ORB's spans; the process-wide
   /// obs::default_tracer() when null (so one query API sees every ORB of an
   /// in-process deployment). Disable via tracer->set_enabled(false).

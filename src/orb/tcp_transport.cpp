@@ -27,9 +27,7 @@ namespace {
 }
 
 void set_timeouts(int fd, double seconds) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  const timeval tv = clamp_socket_timeout(seconds);
   (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
@@ -90,6 +88,22 @@ bool idle_connection_usable(int fd) {
 
 }  // namespace
 
+timeval clamp_socket_timeout(double seconds) {
+  // Floor: SO_RCVTIMEO/SO_SNDTIMEO treat {0,0} as "no timeout", so a budget
+  // that truncates to zero (e.g. deadline - now() ~ 1e-7s) would block
+  // indefinitely instead of expiring immediately. Ceiling: keep the time_t
+  // cast well-defined for absurd budgets (and NaN lands on the floor).
+  constexpr double kMinSeconds = 1e-6;
+  constexpr double kMaxSeconds = 1e8;  // ~3 years
+  if (!(seconds >= kMinSeconds)) seconds = kMinSeconds;
+  if (seconds > kMaxSeconds) seconds = kMaxSeconds;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
 TcpAddress TcpAddress::parse(const std::string& endpoint) {
   const std::string prefix = "tcp://";
   if (endpoint.rfind(prefix, 0) != 0) {
@@ -136,129 +150,25 @@ std::optional<Bytes> read_frame(int fd, size_t* bytes_consumed) {
 }
 
 // ---- TcpListener --------------------------------------------------------
+//
+// Thin facade over the epoll reactor (orb/reactor.h), which owns the listen
+// socket, the worker pool and every connection's frame-reassembly state.
 
 TcpListener::TcpListener(const std::string& host, uint16_t port, Handler handler)
-    : handler_(std::move(handler)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    : TcpListener(host, port, std::move(handler), ReactorConfig{}) {}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw TransportError("bad listen host: " + host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const std::string msg = std::string("bind ") + host + ": " + std::strerror(errno);
-    ::close(listen_fd_);
-    throw TransportError(msg);
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    const std::string msg = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    throw TransportError(msg);
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
-  endpoint_ = "tcp://" + host + ":" + std::to_string(port_);
-  acceptor_ = std::thread([this] { accept_loop(); });
-}
+TcpListener::TcpListener(const std::string& host, uint16_t port, Handler handler,
+                         ReactorConfig config)
+    : reactor_(std::make_unique<EpollReactor>(host, port, std::move(handler),
+                                              config)) {}
 
 TcpListener::~TcpListener() { stop(); }
 
-void TcpListener::stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) return;
-  // Closing the listen socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (acceptor_.joinable()) acceptor_.join();
-  // Keep the Conn objects alive until their threads are joined: each
-  // serving thread dereferences its Conn to close the fd on the way out.
-  std::vector<std::unique_ptr<Conn>> conns;
-  {
-    std::scoped_lock lock(conn_mu_);
-    for (const auto& conn : conns_) {
-      if (!conn->closed) ::shutdown(conn->fd, SHUT_RDWR);
-    }
-    conns.swap(conns_);
-  }
-  for (auto& conn : conns) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-}
+void TcpListener::stop() { reactor_->stop(); }
 
-size_t TcpListener::live_connections() const {
-  std::scoped_lock lock(conn_mu_);
-  size_t live = 0;
-  for (const auto& conn : conns_) {
-    if (!conn->closed) ++live;
-  }
-  return live;
-}
+size_t TcpListener::live_connections() const { return reactor_->live_connections(); }
 
-void TcpListener::reap_finished() {
-  std::vector<std::unique_ptr<Conn>> dead;
-  {
-    std::scoped_lock lock(conn_mu_);
-    auto keep_end = std::partition(conns_.begin(), conns_.end(),
-                                   [](const std::unique_ptr<Conn>& c) { return !c->closed; });
-    for (auto it = keep_end; it != conns_.end(); ++it) dead.push_back(std::move(*it));
-    conns_.erase(keep_end, conns_.end());
-  }
-  // `closed` is the serving thread's last act, so these joins are brief.
-  for (auto& conn : dead) {
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-}
-
-void TcpListener::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_) return;
-      if (errno == EINTR) continue;
-      log_warn("accept failed: ", std::strerror(errno));
-      return;
-    }
-    set_nodelay(fd);
-    reap_finished();
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    Conn* raw = conn.get();
-    std::scoped_lock lock(conn_mu_);
-    conns_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] { serve_connection(raw); });
-  }
-}
-
-void TcpListener::serve_connection(Conn* conn) {
-  try {
-    for (;;) {
-      std::optional<Bytes> request = read_frame(conn->fd);
-      if (!request) break;  // peer closed
-      std::optional<Bytes> reply = handler_(*request);
-      if (reply) write_frame(conn->fd, *reply);
-    }
-  } catch (const Error& e) {
-    if (!stopping_) log_debug("connection error: ", e.what());
-  } catch (const std::exception& e) {
-    // A handler bug (bad_alloc, decode failure, ...) must cost one
-    // connection, not the process.
-    log_warn("connection handler failed: ", e.what());
-  }
-  // Close under the lock and mark the fd dead in the same critical section:
-  // stop() must never shutdown() a descriptor number the kernel may have
-  // already handed to someone else.
-  std::scoped_lock lock(conn_mu_);
-  ::close(conn->fd);
-  conn->closed = true;
-}
+size_t TcpListener::worker_count() const { return reactor_->worker_count(); }
 
 // ---- TcpConnectionPool ----------------------------------------------------
 

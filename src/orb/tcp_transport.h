@@ -1,9 +1,11 @@
 // TCP transport: length-prefixed frames over POSIX sockets (GIOP/IIOP analog).
 //
-// Server side: TcpListener accepts connections and runs one handler thread
-// per connection (requests on a connection are processed in order, matching
-// the synchronous client). Finished connections are reaped as new ones
-// arrive, so neither fd numbers nor thread handles accumulate.
+// Server side: TcpListener serves connections on an epoll reactor (see
+// orb/reactor.h) — a fixed worker pool multiplexed over one epoll instance
+// instead of one OS thread per connection. Requests on a connection are
+// still processed in order (EPOLLONESHOT hands each connection to exactly
+// one worker at a time), closed connections release their fd immediately,
+// and accept failures back off instead of killing the accept path.
 // Client side: TcpConnectionPool keeps idle connections per endpoint
 // (bounded per endpoint, age-reaped) and checks them out for the duration
 // of one call. Checkout probes each pooled fd with a non-blocking peek, so
@@ -14,7 +16,8 @@
 // never after a byte of the reply was consumed.
 #pragma once
 
-#include <atomic>
+#include <sys/time.h>
+
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -22,11 +25,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "base/bytes.h"
 #include "orb/errors.h"
+#include "orb/reactor.h"
 #include "orb/stats.h"
 
 namespace adapt::orb {
@@ -41,48 +44,33 @@ struct TcpAddress {
 class TcpListener {
  public:
   /// Handler consumes a request payload and returns the reply payload, or
-  /// nullopt when no reply should be sent (oneway). Runs on connection
+  /// nullopt when no reply should be sent (oneway). Runs on reactor worker
   /// threads; must be thread-safe.
-  using Handler = std::function<std::optional<Bytes>(const Bytes&)>;
+  using Handler = EpollReactor::Handler;
 
   /// Binds and starts accepting. Port 0 picks an ephemeral port.
   TcpListener(const std::string& host, uint16_t port, Handler handler);
+  /// Same, with explicit reactor tuning (worker pool, write-queue cap, ...).
+  TcpListener(const std::string& host, uint16_t port, Handler handler,
+              ReactorConfig config);
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  [[nodiscard]] uint16_t port() const { return port_; }
-  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  [[nodiscard]] uint16_t port() const { return reactor_->port(); }
+  [[nodiscard]] const std::string& endpoint() const { return reactor_->endpoint(); }
 
-  /// Stops accepting, closes live connections and joins all threads.
+  /// Stops accepting, lets in-flight handlers finish (their replies are
+  /// flushed), joins the worker pool and closes all connections.
   void stop();
 
   /// Connections currently being served (diagnostics/tests).
   [[nodiscard]] size_t live_connections() const;
+  /// Reactor worker threads currently live (diagnostics/tests).
+  [[nodiscard]] size_t worker_count() const;
 
  private:
-  /// One accepted connection: its fd and the thread serving it. `closed`
-  /// is guarded by conn_mu_; the serving thread closes the fd and sets it
-  /// as its last act, so stop() never shutdown()s a recycled descriptor.
-  struct Conn {
-    int fd = -1;
-    std::thread thread;
-    bool closed = false;
-  };
-
-  void accept_loop();
-  void serve_connection(Conn* conn);
-  /// Joins and drops connections whose serving thread has finished.
-  void reap_finished();
-
-  Handler handler_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::string endpoint_;
-  std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
-  mutable std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::unique_ptr<EpollReactor> reactor_;
 };
 
 struct PoolConfig {
@@ -152,6 +140,13 @@ class TcpConnectionPool {
   mutable std::mutex mu_;
   std::map<std::string, std::vector<IdleConn>> idle_;
 };
+
+/// Converts a per-call budget in seconds to the timeval handed to
+/// SO_RCVTIMEO/SO_SNDTIMEO. Clamped to [1µs, ~3 years]: a tiny positive
+/// budget must not truncate to {0,0} — that *disables* the socket timeout
+/// and would turn an almost-expired deadline into an indefinite block — and
+/// a huge budget must not overflow time_t. Exposed for tests.
+timeval clamp_socket_timeout(double seconds);
 
 /// Frame I/O shared by both sides: u32 length prefix + payload. Returns the
 /// number of bytes written (payload + prefix).
