@@ -1,0 +1,195 @@
+// bench_lb — tail latency under a degraded replica, per balancing policy.
+//
+// Four replicas of one service; one of them is slow (it sleeps ~2 ms per
+// call, the healthy ones burn ~15 µs). A client that sticks to a healthy
+// replica never notices; one that round-robins pays the degraded replica's
+// latency on every fourth call, so its p99 *is* the slow replica. The lb
+// layer's claim is that p2c's EWMA steering learns around the degraded
+// replica (its score stays high, so it loses every sampled comparison) and
+// that hedging rescues the picks that do land on it:
+//
+//   sticky                    single bind to the first (healthy) offer
+//   round_robin_degraded      uniform rotation across all four replicas
+//   p2c_degraded              power-of-two-choices over the same four
+//   p2c_healthy               p2c over four healthy replicas (baseline)
+//   round_robin_tcp_degraded  rotation over the same shape behind real TCP
+//   round_robin_tcp_degraded_hedged  same, but idempotent calls hedge at
+//                             ~0.5-1 ms (hedging only targets remote
+//                             replicas, so this pair runs over sockets)
+//
+// Acceptance (gated by scripts/check.sh): p2c_degraded p99 stays within 2x
+// of p2c_healthy p99, and round_robin_degraded p99 is >= 3x p2c_degraded
+// p99 — i.e. p2c absorbs a degraded replica that round-robin surfaces.
+//
+// `--json[=PATH] [--quick]` emits BENCH_lb.json via bench_json.h.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench_json.h"
+#include "core/infrastructure.h"
+#include "orb/orb.h"
+
+using namespace adapt;
+
+namespace {
+
+constexpr double kDegradedSleepS = 0.002;
+
+/// Healthy replicas burn a deterministic ~15 µs so latencies are dominated
+/// by servant work, not dispatch overhead, and the degraded/healthy gap is
+/// unambiguous (2 ms vs 15 µs).
+void spin_for(double seconds) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+orb::ServantPtr make_servant(bool degraded) {
+  auto servant = orb::FunctionServant::make("Svc");
+  servant->on("getvalue", [degraded](const ValueList&) {
+    if (degraded) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(kDegradedSleepS));
+    } else {
+      spin_for(15e-6);
+    }
+    return Value("ok");
+  });
+  return servant;
+}
+
+/// One trader, three service types: "Svc" has three healthy in-proc replicas
+/// plus one degraded, "SvcHealthy" has four healthy ones, and "SvcTcp"
+/// mirrors "Svc" behind real TCP servers for the hedged pair (hedging only
+/// targets remote replicas). Simulated time is frozen during the loops, so
+/// replica-set TTLs never fire mid-measurement.
+struct World {
+  World() {
+    for (const char* type : {"Svc", "SvcHealthy", "SvcTcp"}) {
+      trading::ServiceTypeDef def;
+      def.name = type;
+      infra.trader().types().add(def);
+    }
+    // The degraded replica is exported last: the sticky baseline binds the
+    // first offer, which keeps it an honest healthy-replica baseline.
+    for (int i = 1; i <= 3; ++i) {
+      infra.deploy_server("h" + std::to_string(i), "Svc", make_servant(false));
+    }
+    infra.deploy_server("h4", "Svc", make_servant(true));
+    for (int i = 1; i <= 4; ++i) {
+      infra.deploy_server("g" + std::to_string(i), "SvcHealthy", make_servant(false));
+    }
+    for (int i = 1; i <= 3; ++i) {
+      add_tcp_server("t" + std::to_string(i), /*degraded=*/false);
+    }
+    add_tcp_server("t4", /*degraded=*/true);
+  }
+
+  ~World() {
+    for (const auto& server : tcp_orbs) server->shutdown();
+  }
+
+  void add_tcp_server(const std::string& name, bool degraded) {
+    auto server = orb::Orb::create(
+        orb::OrbConfig{.name = "bench-lb-" + name, .listen_tcp = true});
+    infra.trader().export_offer(
+        "SvcTcp", server->register_servant(make_servant(degraded)), {});
+    tcp_orbs.push_back(std::move(server));
+  }
+
+  core::SmartProxyPtr make_proxy(const std::string& type, const std::string& policy,
+                                 bool hedged = false) {
+    core::SmartProxyConfig cfg;
+    cfg.service_type = type;
+    cfg.lb_policy = policy;
+    if (hedged) {
+      cfg.lb.hedge.enabled = true;
+      // Fire well below the degraded replica's 2 ms but above the healthy
+      // TCP round-trip p99 (~0.1 ms), so hedges only trigger on picks that
+      // actually landed on the slow one.
+      cfg.lb.hedge.min_delay = 0.0003;
+      cfg.lb.hedge.max_delay = 0.0005;
+    }
+    return infra.make_proxy(std::move(cfg));
+  }
+
+  core::Infrastructure infra{core::InfrastructureOptions{.name = "bench-lb"}};
+  std::vector<orb::OrbPtr> tcp_orbs;
+};
+
+// ---- gbench mode -----------------------------------------------------------
+
+World& world() {
+  static World w;
+  return w;
+}
+
+void BM_Sticky(benchmark::State& state) {
+  auto proxy = world().make_proxy("Svc", "sticky");
+  for (auto _ : state) proxy->invoke("getvalue");
+}
+BENCHMARK(BM_Sticky);
+
+void BM_RoundRobinDegraded(benchmark::State& state) {
+  auto proxy = world().make_proxy("Svc", "round_robin");
+  for (auto _ : state) proxy->invoke("getvalue");
+}
+BENCHMARK(BM_RoundRobinDegraded);
+
+void BM_P2cDegraded(benchmark::State& state) {
+  auto proxy = world().make_proxy("Svc", "p2c");
+  for (auto _ : state) proxy->invoke("getvalue");
+}
+BENCHMARK(BM_P2cDegraded);
+
+void BM_P2cHealthy(benchmark::State& state) {
+  auto proxy = world().make_proxy("SvcHealthy", "p2c");
+  for (auto _ : state) proxy->invoke("getvalue");
+}
+BENCHMARK(BM_P2cHealthy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    World w;
+    core::SmartProxyPtr proxy;
+    struct Spec {
+      const char* name;
+      const char* type;
+      const char* policy;
+      bool hedged;
+    };
+    const Spec specs[] = {
+        {"sticky", "Svc", "sticky", false},
+        {"round_robin_degraded", "Svc", "round_robin", false},
+        {"p2c_degraded", "Svc", "p2c", false},
+        {"p2c_healthy", "SvcHealthy", "p2c", false},
+        {"round_robin_tcp_degraded", "SvcTcp", "round_robin", false},
+        {"round_robin_tcp_degraded_hedged", "SvcTcp", "round_robin", true},
+    };
+    std::vector<adapt::benchjson::Case> cases;
+    for (const Spec& s : specs) {
+      cases.push_back({
+          .name = s.name,
+          .fn = [&] { proxy->invoke("getvalue"); },
+          // Fresh proxy per case: EWMA state learned under one policy must
+          // not leak into the next. The harness warmup doubles as p2c's
+          // learning phase for the degraded replica.
+          .setup = [&w, &proxy, s] { proxy = w.make_proxy(s.type, s.policy, s.hedged); },
+          .teardown = [&proxy] { proxy.reset(); },
+      });
+    }
+    return adapt::benchjson::run_json_cases(*opts, "lb", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

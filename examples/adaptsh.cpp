@@ -12,6 +12,8 @@
 //                            metrics registry as JSON
 //   adaptsh events [script]  run the script (or an event-channel demo), then
 //                            dump the channel statistics as JSON
+//   adaptsh lb [script]      run the script (or a replica-balancing demo),
+//                            then dump the process metrics (lb.* counters)
 //   adaptsh                  run the built-in demo script
 //
 // Scripts see the `infra` table (hosts, Luma servers, smart proxies, virtual
@@ -78,6 +80,48 @@ print("rebinds: " .. proxy:rebinds())
 assert(proxy:rebinds() >= 2, "expected a migration")
 )LUMA";
 
+constexpr const char* kLbDemoScript = R"LUMA(
+print("adaptsh lb demo: client-side balancing across a replica group")
+infra.add_type("Worker")
+
+-- three interchangeable replicas of one service
+for i, name in ipairs({"alpha", "beta", "gamma"}) do
+  local server = {}
+  function server:getvalue()
+    return name
+  end
+  infra.deploy(name, "Worker", server, 0.1)
+end
+
+-- a balancing proxy: instead of binding one component, it spreads
+-- invocations over every matching offer (power-of-two-choices on EWMA
+-- latency, per-replica circuit breakers, optional hedging)
+proxy = infra.make_proxy{ type = "Worker", policy = "p2c" }
+local hits = {}
+for i = 1, 30 do
+  local who = proxy:invoke("getvalue")
+  hits[who] = (hits[who] or 0) + 1
+end
+for i, name in ipairs({"alpha", "beta", "gamma"}) do
+  print(string.format("  %s served %d/30", name, hits[name] or 0))
+end
+
+-- the replica set is observable and retunable at runtime
+local stats = proxy:lb_stats()
+print(string.format("policy=%s size=%d healthy=%d",
+      stats.policy, stats.size, stats.healthy))
+for i = 1, #stats.replicas do
+  local r = stats.replicas[i]
+  print(string.format("  replica %s: picks=%d breaker=%s",
+        r.offer_id, r.picks, r.breaker))
+end
+
+proxy:lb_policy("round_robin")
+print("switched to " .. proxy:lb_policy())
+for i = 1, 6 do proxy:invoke("getvalue") end
+assert(proxy:lb_stats().policy == "round_robin")
+)LUMA";
+
 constexpr const char* kEventsDemoScript = R"LUMA(
 print("adaptsh events demo: decoupled pub/sub for monitor events")
 infra.event_channel()
@@ -120,7 +164,7 @@ int main(int argc, char** argv) {
   int script_arg = 1;
   if (argc > 1) {
     const std::string mode = argv[1];
-    if (mode == "trace" || mode == "metrics" || mode == "events") {
+    if (mode == "trace" || mode == "metrics" || mode == "events" || mode == "lb") {
       dump_mode = mode;
       script_arg = 2;
     }
@@ -136,7 +180,9 @@ int main(int argc, char** argv) {
   monitor::install_monitor_bindings(engine, shell_orb, infra.timers());
 
   try {
-    std::string source = dump_mode == "events" ? kEventsDemoScript : kDemoScript;
+    std::string source = kDemoScript;
+    if (dump_mode == "events") source = kEventsDemoScript;
+    if (dump_mode == "lb") source = kLbDemoScript;
     std::string chunk_name = "demo";
     if (argc > script_arg) {
       chunk_name = argv[script_arg];
@@ -164,7 +210,7 @@ int main(int argc, char** argv) {
 
   if (dump_mode == "trace") {
     dump_traces();
-  } else if (dump_mode == "metrics") {
+  } else if (dump_mode == "metrics" || dump_mode == "lb") {
     std::cout << obs::metrics().to_json() << '\n';
   } else if (dump_mode == "events") {
     if (infra.has_event_channel()) {

@@ -100,6 +100,44 @@ print(f"    reactor gate OK: c64 throughput {ratio:.2f}x threaded, "
 EOF
 }
 
+# Balancing gate: runs bench_lb (full iteration counts — the ratio gates
+# compare p99s, which --quick leaves too noisy) and asserts the two bounds
+# the lb subsystem promises with one replica degraded: p2c's p99 stays
+# within 2x of its all-healthy baseline, and round-robin's p99 — which
+# surfaces the degraded replica — is at least 3x worse than p2c's.
+run_lb_gate() {
+  local build_dir="build"
+  if [[ ! -x "${build_dir}/bench/bench_lb" ]]; then
+    echo "==> lb gate: bench_lb missing — skipped"
+    return 0
+  fi
+  echo "==> bench bench_lb --json (balancing gate)"
+  (cd "${build_dir}" && bench/bench_lb --json="BENCH_lb.json" >/dev/null)
+  python3 - "${build_dir}/BENCH_lb.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cases = {c["name"]: c for c in doc["cases"]}
+for name in ("sticky", "round_robin_degraded", "p2c_degraded", "p2c_healthy"):
+    assert name in cases, f"missing lb case {name}"
+
+p99_p2c = cases["p2c_degraded"]["ns"]["p99"]
+p99_healthy = cases["p2c_healthy"]["ns"]["p99"]
+ratio = p99_p2c / p99_healthy
+assert ratio <= 2.0, (
+    f"p2c p99 with one degraded replica is {ratio:.2f}x the all-healthy "
+    f"baseline ({p99_p2c:.0f} vs {p99_healthy:.0f} ns), need <= 2x")
+
+p99_rr = cases["round_robin_degraded"]["ns"]["p99"]
+win = p99_rr / p99_p2c
+assert win >= 3.0, (
+    f"p2c p99 only {win:.2f}x better than round_robin under a degraded "
+    f"replica ({p99_p2c:.0f} vs {p99_rr:.0f} ns), need >= 3x")
+print(f"    lb gate OK: p2c degraded/healthy p99 {ratio:.2f}x, "
+      f"round_robin/p2c p99 {win:.1f}x")
+EOF
+}
+
 # Extracts every R"LUMA(...)LUMA" block embedded in examples/ and tests/
 # sources and runs the Luma static analyzer over it (shell policy, full
 # native catalog). Any diagnostic at all fails the check: the in-repo
@@ -143,7 +181,9 @@ case "${1:-default}" in
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
+    run_bench_json bench_lb lb
     run_reactor_gate
+    run_lb_gate
     ;;
   tsan|asan)
     run_preset "$1"
@@ -154,7 +194,9 @@ case "${1:-default}" in
     run_bench_json bench_transport transport
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
+    run_bench_json bench_lb lb
     run_reactor_gate
+    run_lb_gate
     run_preset tsan
     run_preset asan
     ;;

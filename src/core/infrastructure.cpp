@@ -115,6 +115,9 @@ std::shared_ptr<ServiceAgent> Infrastructure::agent(const std::string& host_name
 SmartProxyPtr Infrastructure::make_proxy(SmartProxyConfig config, orb::OrbPtr client_orb) {
   static std::atomic<uint64_t> counter{1};
   if (!client_orb) client_orb = make_orb("client-" + std::to_string(counter++));
+  // Replica-set TTLs and breaker cooldowns run on the infrastructure clock,
+  // so simulated-time experiments drive them deterministically.
+  if (!config.lb.clock) config.lb.clock = clock_;
   return SmartProxy::create(std::move(client_orb), trader_->lookup_ref(), std::move(config));
 }
 

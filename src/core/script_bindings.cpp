@@ -100,6 +100,15 @@ Value make_proxy_wrapper(const SmartProxyPtr& proxy) {
     proxy->unsubscribe_channel();
     return {};
   });
+  method("lb_policy", [proxy](const ValueList& a) -> ValueList {
+    // proxy:lb_policy() reads, proxy:lb_policy("p2c") switches.
+    if (a.size() > 1 && a[1].is_string()) proxy->set_lb_policy(a[1].as_string());
+    return {Value(proxy->lb_policy())};
+  });
+  method("lb_stats", [proxy](const ValueList&) -> ValueList {
+    lb::ReplicaSetPtr set = proxy->replica_set();
+    return {set ? set->stats_value() : Value()};
+  });
   return Value(std::move(t));
 }
 
@@ -171,6 +180,23 @@ void install_infrastructure_bindings(script::ScriptEngine& engine, Infrastructur
         }
         if (const Value pe = spec.get(Value("postpone_events")); pe.is_bool()) {
           cfg.postpone_events = pe.as_bool();
+        }
+        if (const Value pol = spec.get(Value("policy")); pol.is_string()) {
+          cfg.lb_policy = pol.as_string();
+        }
+        if (const Value hedge = spec.get(Value("hedge")); !hedge.is_nil()) {
+          if (hedge.is_table()) {
+            const Table& h = *hedge.as_table();
+            cfg.lb.hedge.enabled = true;
+            if (const Value mn = h.get(Value("min_delay")); mn.is_number()) {
+              cfg.lb.hedge.min_delay = mn.as_number();
+            }
+            if (const Value mx = h.get(Value("max_delay")); mx.is_number()) {
+              cfg.lb.hedge.max_delay = mx.as_number();
+            }
+          } else {
+            cfg.lb.hedge.enabled = hedge.truthy();
+          }
         }
         return {make_proxy_wrapper(inf->make_proxy(std::move(cfg)))};
       })));

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "base/logging.h"
+#include "lb/script_bindings.h"
 #include "obs/lint_gate.h"
 #include "obs/metrics.h"
 #include "obs/script_bindings.h"
@@ -119,6 +120,12 @@ void SmartProxy::init() {
   // Strategies are first-class observable: trace.span / metrics.counter etc.
   // record into the same tracer/registry as the ORB's automatic spans.
   obs::install_obs_bindings(*engine_, &orb_->tracer());
+  // Replica-group balancing knobs (lb.set_policy / lb.score / lb.stats ...);
+  // the set itself is created on first use.
+  lb::install_lb_bindings(*engine_, [weak](bool ensure) -> lb::ReplicaSetPtr {
+    auto self = weak.lock();
+    return self ? self->replica_set(ensure) : nullptr;
+  });
 
   // The host-injected `smartproxy` global strategy scripts see; declared so
   // the analyzer knows it (and its "proxy" capability) before it is set.
@@ -158,6 +165,8 @@ void SmartProxy::init() {
         return {ref.empty() ? Value() : Value(ref)};
       })));
   self_ = Value(std::move(self));
+
+  if (config_.lb_policy != "sticky") set_lb_policy(config_.lb_policy);
 }
 
 // ---- strategies -----------------------------------------------------------
@@ -229,14 +238,49 @@ std::vector<trading::OfferInfo> SmartProxy::query_offers(const std::string& cons
         offers.push_back(trading::Trader::offer_info_from_value(t.geti(i)));
       }
     }
+  } catch (const orb::TransportError& e) {
+    // An empty vector here would be indistinguishable from a legitimate
+    // no-match; surface the outage as its own error (and counter) instead.
+    obs::metrics().counter("proxy.trader.error").add();
+    log_warn("smartproxy[", config_.service_type, "]: trader unreachable: ", e.what());
+    throw TraderUnavailable("trader query failed for '" + config_.service_type +
+                            "': " + e.what());
+  } catch (const orb::ObjectNotFound& e) {
+    obs::metrics().counter("proxy.trader.error").add();
+    log_warn("smartproxy[", config_.service_type, "]: trader lookup gone: ", e.what());
+    throw TraderUnavailable("trader query failed for '" + config_.service_type +
+                            "': " + e.what());
   } catch (const Error& e) {
+    // The trader answered with an application error (bad constraint, unknown
+    // type): it is alive, so for selection purposes this is a no-match.
+    obs::metrics().counter("proxy.trader.error").add();
     log_warn("smartproxy[", config_.service_type, "]: trader query failed: ", e.what());
   }
   return offers;
 }
 
+std::vector<trading::OfferInfo> SmartProxy::query_offers_all() {
+  auto offers = query_offers(config_.constraint, config_.preference);
+  if (offers.empty() && config_.fallback_to_sorted && !config_.constraint.empty()) {
+    offers = query_offers("", config_.preference);
+  }
+  return offers;
+}
+
 bool SmartProxy::select(const std::string& constraint) {
-  std::vector<trading::OfferInfo> offers = query_offers(constraint, config_.preference);
+  std::vector<trading::OfferInfo> offers;
+  try {
+    offers = query_offers(constraint, config_.preference);
+    std::scoped_lock lock(mu_);
+    trader_unreachable_ = false;
+  } catch (const TraderUnavailable&) {
+    // Keep the paper's select() contract — false, no throw — but remember
+    // the cause so invoke() can report "trader unreachable" rather than the
+    // misleading "no component available".
+    std::scoped_lock lock(mu_);
+    trader_unreachable_ = true;
+    return false;
+  }
 
   // Prefer offers that are not the provider that just failed.
   ObjectRef failed;
@@ -628,8 +672,11 @@ Value SmartProxy::invoke_traced(const std::string& operation, const ValueList& a
       const Value result = forward_to(target, operation, args);
       store();
       return result;
-    } catch (const orb::TransportError&) {
+    } catch (const orb::TransportError& e) {
       if (!config_.auto_failover) throw;
+      // The request may already have run on the failed component; blindly
+      // re-executing a non-idempotent operation elsewhere could double it.
+      if (e.maybe_executed() && !orb_->is_idempotent(operation)) throw;
     } catch (const orb::ObjectNotFound&) {
       if (!config_.auto_failover) throw;
     }
@@ -639,9 +686,13 @@ Value SmartProxy::invoke_traced(const std::string& operation, const ValueList& a
     return result;
   }
 
+  // A non-sticky policy (or a custom scorer) routes un-routed invocations
+  // through the replica set instead of the single bound component.
+  if (lb_active()) return invoke_balanced(operation, args);
+
   if (!bound() && !select()) {
-    throw NoComponentAvailable("no component available for service type '" +
-                               config_.service_type + "'");
+    throw_no_component("no component available for service type '" +
+                       config_.service_type + "'");
   }
   {
     std::scoped_lock lock(mu_);
@@ -651,6 +702,10 @@ Value SmartProxy::invoke_traced(const std::string& operation, const ValueList& a
     return forward(operation, args);
   } catch (const orb::TransportError& e) {
     if (!config_.auto_failover) throw;
+    // After the request was fully written the peer may have executed it:
+    // reselect-and-retry is only safe for idempotent operations (the same
+    // discipline the transport pool applies to its post-write redial).
+    if (e.maybe_executed() && !orb_->is_idempotent(operation)) throw;
     log_warn("smartproxy[", config_.service_type, "]: component unreachable (", e.what(),
              "), failing over");
   } catch (const orb::ObjectNotFound& e) {
@@ -666,10 +721,100 @@ Value SmartProxy::invoke_traced(const std::string& operation, const ValueList& a
     offer_.reset();
   }
   if (!select()) {
-    throw NoComponentAvailable("component failed and no replacement found for '" +
-                               config_.service_type + "'");
+    throw_no_component("component failed and no replacement found for '" +
+                       config_.service_type + "'");
   }
   return forward(operation, args);
+}
+
+void SmartProxy::throw_no_component(const std::string& message) const {
+  bool outage;
+  {
+    std::scoped_lock lock(mu_);
+    outage = trader_unreachable_;
+  }
+  if (outage) throw TraderUnavailable(message + " (trader unreachable)");
+  throw NoComponentAvailable(message);
+}
+
+// ---- load balancing --------------------------------------------------------
+
+bool SmartProxy::lb_active() const {
+  std::scoped_lock lock(mu_);
+  return replica_set_ != nullptr &&
+         (replica_set_->policy() != lb::Policy::Sticky || replica_set_->has_score_fn());
+}
+
+lb::ReplicaSetPtr SmartProxy::replica_set(bool ensure) {
+  {
+    std::scoped_lock lock(mu_);
+    if (replica_set_ != nullptr || !ensure) return replica_set_;
+  }
+  // Built outside mu_ (the constructor only touches the metrics registry).
+  // The query callback throws TraderUnavailable on outage, which is exactly
+  // the throw-on-failure contract ReplicaSet::refresh expects.
+  std::weak_ptr<SmartProxy> weak = weak_from_this();
+  auto set = std::make_shared<lb::ReplicaSet>(
+      "proxy." + config_.service_type, config_.lb, [weak]() {
+        auto self = weak.lock();
+        if (!self) throw lb::LbError("lb refresh: proxy is gone");
+        return self->query_offers_all();
+      });
+  std::scoped_lock lock(mu_);
+  if (replica_set_ == nullptr) replica_set_ = std::move(set);
+  return replica_set_;
+}
+
+void SmartProxy::set_lb_policy(const std::string& policy) {
+  const lb::Policy parsed = lb::policy_from_name(policy);
+  if (parsed == lb::Policy::Sticky) {
+    // Back to single-bind; keep an existing set (and its statistics) around
+    // in case a strategy re-enables balancing later.
+    std::scoped_lock lock(mu_);
+    if (replica_set_ != nullptr) replica_set_->set_policy(parsed);
+    return;
+  }
+  replica_set(/*ensure=*/true)->set_policy(parsed);
+}
+
+std::string SmartProxy::lb_policy() const {
+  std::scoped_lock lock(mu_);
+  return replica_set_ != nullptr ? lb::policy_name(replica_set_->policy()) : "sticky";
+}
+
+Value SmartProxy::invoke_balanced(const std::string& operation, const ValueList& args) {
+  lb::ReplicaSetPtr set;
+  {
+    std::scoped_lock lock(mu_);
+    set = replica_set_;
+    ++invocations_;
+  }
+  const bool idempotent = orb_->is_idempotent(operation);
+  for (int attempt = 0;; ++attempt) {
+    lb::ReplicaPtr replica = set->pick();
+    if (!replica) {
+      if (!set->last_refresh_error().empty()) {
+        throw TraderUnavailable("no replica available for service type '" +
+                                config_.service_type + "' (trader unreachable)");
+      }
+      throw NoComponentAvailable("no replica available for service type '" +
+                                 config_.service_type + "'");
+    }
+    try {
+      return set->invoke(orb_, replica, operation, args, idempotent);
+    } catch (const orb::TransportError& e) {
+      // The breaker already recorded the failure; one reselect-and-retry,
+      // gated on idempotence exactly like the sticky failover path.
+      if (!config_.auto_failover || attempt >= 1) throw;
+      if (e.maybe_executed() && !idempotent) throw;
+      log_warn("smartproxy[", config_.service_type, "]: replica unreachable (", e.what(),
+               "), repicking");
+    } catch (const orb::ObjectNotFound& e) {
+      if (!config_.auto_failover || attempt >= 1) throw;
+      log_warn("smartproxy[", config_.service_type, "]: replica gone (", e.what(),
+               "), repicking");
+    }
+  }
 }
 
 uint64_t SmartProxy::invocations() const {

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "lb/replica_set.h"
 #include "monitor/monitor.h"
 #include "monitor/monitor_client.h"
 #include "orb/orb.h"
@@ -41,6 +42,15 @@ namespace adapt::core {
 class NoComponentAvailable : public Error {
  public:
   using Error::Error;
+};
+
+/// The trader itself was unreachable — distinct from "the trader answered
+/// and nothing matched". A subclass of NoComponentAvailable so callers
+/// handling the generic case keep working; callers that care (retry the
+/// query later vs. relax the constraint) can catch this one specifically.
+class TraderUnavailable : public NoComponentAvailable {
+ public:
+  using NoComponentAvailable::NoComponentAvailable;
 };
 
 struct SmartProxyConfig {
@@ -71,6 +81,15 @@ struct SmartProxyConfig {
   double query_deadline = 0.0;
   /// Overrides the client ORB's retry policy for trader queries.
   std::optional<orb::RetryPolicy> query_retry;
+  /// Initial load-balancing policy: "sticky" (the paper's single-bind
+  /// behavior, default) | "round_robin" | "p2c" | "weighted". Any non-sticky
+  /// policy routes un-routed invocations through a replica set holding
+  /// *every* offer matching the query (src/lb) instead of the single bound
+  /// component. With "sticky" and no lb.* calls, no replica set is ever
+  /// created and the proxy behaves byte-identically to earlier releases.
+  std::string lb_policy = "sticky";
+  /// Replica-set tuning: refresh TTL, circuit breaker, hedging, clock.
+  lb::ReplicaSetConfig lb;
 };
 
 class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
@@ -151,6 +170,18 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   /// allowed; cycles are cut by a depth limit).
   void add_method_alternative(const std::string& operation, const std::string& alternative);
 
+  // ---- load balancing (src/lb) ------------------------------------------
+  /// Switches the replica-selection policy at run time (also exposed to
+  /// strategy scripts as lb.set_policy). A non-sticky policy creates the
+  /// replica set on demand; "sticky" restores the paper's single-bind path
+  /// (an existing set is kept for its statistics but no longer routes).
+  void set_lb_policy(const std::string& policy);
+  [[nodiscard]] std::string lb_policy() const;
+  /// The proxy's replica set; with ensure=true it is created (empty, lazily
+  /// refreshed from the trader on first pick) if missing. Null when the
+  /// proxy has always been sticky and ensure is false.
+  lb::ReplicaSetPtr replica_set(bool ensure = false);
+
   // ---- event channel (decoupled pub/sub) --------------------------------
   /// Subscribes this proxy's observer to an EventChannel servant (same
   /// process or remote); delivered events enter the same queue as direct
@@ -222,9 +253,21 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   /// Selects (or reuses) the component for a routed operation.
   ObjectRef resolve_route(const std::string& operation, OperationRoute& route,
                           bool force_reselect);
-  /// Runs a trader query; returns matching offers (empty on trader failure).
+  /// Runs a trader query; returns matching offers (possibly none). Throws
+  /// TraderUnavailable when the trader itself could not be reached, so
+  /// callers can tell an outage from a legitimate no-match.
   std::vector<trading::OfferInfo> query_offers(const std::string& constraint,
                                                const std::string& preference);
+  /// The replica set's query: primary constraint with the configured
+  /// sorted-query fallback, returning *all* matches in preference order.
+  std::vector<trading::OfferInfo> query_offers_all();
+  /// Throws TraderUnavailable when the last selection failed because of a
+  /// trader outage, NoComponentAvailable otherwise.
+  [[noreturn]] void throw_no_component(const std::string& message) const;
+  /// invoke_traced when a non-sticky policy routes through the replica set.
+  Value invoke_balanced(const std::string& operation, const ValueList& args);
+  /// True when invocations should route through the replica set.
+  [[nodiscard]] bool lb_active() const;
 
   orb::OrbPtr orb_;
   ObjectRef lookup_;
@@ -241,6 +284,8 @@ class SmartProxy : public std::enable_shared_from_this<SmartProxy> {
   std::map<std::string, OperationRoute> routes_;
   std::map<std::string, std::string> method_alternatives_;
   std::deque<std::string> event_queue_;
+  lb::ReplicaSetPtr replica_set_;   // guarded by mu_; created lazily
+  bool trader_unreachable_ = false; // last select() failed on trader outage
   bool handling_events_ = false;
   std::vector<std::string> history_;
   uint64_t invocations_ = 0;

@@ -1,0 +1,108 @@
+#include "lb/script_bindings.h"
+
+namespace adapt::lb {
+
+namespace {
+
+ReplicaSetPtr require_set(const SetProvider& provider) {
+  ReplicaSetPtr set = provider(/*ensure=*/true);
+  if (!set) throw LbError("lb: no replica set available (proxy not initialized?)");
+  return set;
+}
+
+}  // namespace
+
+void install_lb_bindings(script::ScriptEngine& engine, SetProvider provider) {
+  if (!provider) throw LbError("install_lb_bindings: null provider");
+  script::ScriptEngine* eng = &engine;
+
+  auto lb = Table::make();
+  lb->set(Value("set_policy"), Value(NativeFunction::make("lb.set_policy",
+      [provider](const ValueList& a) -> ValueList {
+        Policy p = policy_from_name(a.at(0).as_string());
+        require_set(provider)->set_policy(p);
+        return {Value(policy_name(p))};
+      })));
+  lb->set(Value("policy"), Value(NativeFunction::make("lb.policy",
+      [provider](const ValueList&) -> ValueList {
+        ReplicaSetPtr set = provider(/*ensure=*/false);
+        return {Value(policy_name(set ? set->policy() : Policy::Sticky))};
+      })));
+  lb->set(Value("stats"), Value(NativeFunction::make("lb.stats",
+      [provider](const ValueList&) -> ValueList {
+        ReplicaSetPtr set = provider(/*ensure=*/false);
+        if (!set) {
+          auto t = Table::make();
+          t->set(Value("policy"), Value("sticky"));
+          t->set(Value("size"), Value(0));
+          t->set(Value("healthy"), Value(0));
+          t->set(Value("replicas"), Value(Table::make()));
+          return {Value(t)};
+        }
+        return {set->stats_value()};
+      })));
+  lb->set(Value("score"), Value(NativeFunction::make("lb.score",
+      [provider, eng](const ValueList& a) -> ValueList {
+        ReplicaSetPtr set = require_set(provider);
+        const Value& fn = a.at(0);
+        if (fn.is_nil()) {
+          set->set_score_fn(nullptr);
+          return {Value(false)};
+        }
+        if (!fn.is_function()) throw LbError("lb.score: expected a function or nil");
+        // The scorer runs through the engine (recursive mutex: safe even
+        // when the pick happens inside a strategy already holding it).
+        set->set_score_fn([eng, fn](const ReplicaSnapshot& s) -> double {
+          Value r = eng->call1(fn, {s.to_value()});
+          return r.is_number() ? r.as_number() : 0.0;
+        });
+        return {Value(true)};
+      })));
+  lb->set(Value("refresh"), Value(NativeFunction::make("lb.refresh",
+      [provider](const ValueList&) -> ValueList {
+        require_set(provider)->refresh(/*force=*/true);
+        return {};
+      })));
+  lb->set(Value("hedge"), Value(NativeFunction::make("lb.hedge",
+      [provider](const ValueList& a) -> ValueList {
+        ReplicaSetPtr set = require_set(provider);
+        HedgeConfig h = set->hedge();
+        h.enabled = a.at(0).truthy();
+        if (a.size() > 1 && a[1].is_table()) {
+          const TablePtr& opts = a[1].as_table();
+          Value mn = opts->get(Value("min_delay"));
+          Value mx = opts->get(Value("max_delay"));
+          if (mn.is_number()) h.min_delay = mn.as_number();
+          if (mx.is_number()) h.max_delay = mx.as_number();
+        }
+        set->set_hedge(h);
+        return {Value(h.enabled)};
+      })));
+  lb->set(Value("healthy"), Value(NativeFunction::make("lb.healthy",
+      [provider](const ValueList&) -> ValueList {
+        ReplicaSetPtr set = provider(/*ensure=*/false);
+        return {Value(static_cast<uint64_t>(set ? set->healthy() : 0))};
+      })));
+  lb->set(Value("size"), Value(NativeFunction::make("lb.size",
+      [provider](const ValueList&) -> ValueList {
+        ReplicaSetPtr set = provider(/*ensure=*/false);
+        return {Value(static_cast<uint64_t>(set ? set->size() : 0))};
+      })));
+  engine.set_global("lb", Value(std::move(lb)));
+
+  declare_lb_signatures(engine.natives());
+}
+
+void declare_lb_signatures(script::analysis::NativeRegistry& reg) {
+  reg.declare("lb.set_policy", 1, 1);
+  reg.declare("lb.policy", 0, 0);
+  reg.declare("lb.stats", 0, 0);
+  reg.declare("lb.score", 1, 1);
+  reg.declare("lb.refresh", 0, 0);
+  reg.declare("lb.hedge", 1, 2);
+  reg.declare("lb.healthy", 0, 0);
+  reg.declare("lb.size", 0, 0);
+  reg.tag("lb", "lb");
+}
+
+}  // namespace adapt::lb

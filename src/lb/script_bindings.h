@@ -1,0 +1,47 @@
+// Luma bindings for the replica-group load balancer.
+//
+// Installs one `lb` global bound to a proxy's replica set (created lazily on
+// first use through the SetProvider):
+//
+//   lb.set_policy(name)     -- "sticky" | "round_robin" | "p2c" | "weighted";
+//                              returns the installed policy name
+//   lb.policy()             -- current policy name ("sticky" when no set)
+//   lb.stats()              -- { policy, size, healthy, hedge, custom_score,
+//                              replicas = { {offer_id, provider,
+//                              ewma_latency, in_flight, breaker, ...} } }
+//   lb.score(fn | nil)      -- install a custom scorer (highest score wins;
+//                              called with one replica-snapshot table) or
+//                              nil to restore the configured policy
+//   lb.refresh()            -- force a trader re-query now
+//   lb.hedge(on [, opts])   -- toggle hedged requests; opts =
+//                              { min_delay=s, max_delay=s }
+//   lb.healthy()            -- replicas currently admissible
+//   lb.size()               -- replicas in the set
+//
+// Adaptation strategies use these to retune balancing at run time — the
+// paper's dynamic-reconfiguration loop applied to replica selection.
+#pragma once
+
+#include <functional>
+
+#include "lb/replica_set.h"
+#include "script/engine.h"
+
+namespace adapt::lb {
+
+/// Yields the replica set the bindings operate on. `ensure` asks the owner
+/// (usually a SmartProxy) to create the set if it does not exist yet; with
+/// ensure=false a missing set yields nullptr and the binding answers with
+/// its no-set default instead of forcing a trader query.
+using SetProvider = std::function<ReplicaSetPtr(bool ensure)>;
+
+/// Installs the `lb` global into `engine`. A custom scorer installed via
+/// lb.score runs through `engine`, so the replica set must not outlive it
+/// (SmartProxy guarantees this by owning both).
+void install_lb_bindings(script::ScriptEngine& engine, SetProvider provider);
+
+/// Declares the lb natives (arities + "lb" capability tag) into a registry.
+/// Called by install_lb_bindings and by the standalone `lumalint` catalog.
+void declare_lb_signatures(script::analysis::NativeRegistry& reg);
+
+}  // namespace adapt::lb

@@ -13,9 +13,23 @@ class OrbError : public Error {
 
 /// Could not reach the remote ORB (connect/read/write failure). The standard
 /// failover trigger for smart proxies.
+///
+/// `maybe_executed` records whether the request had been fully written when
+/// the failure struck: before the write completes nothing was delivered and
+/// re-executing is always safe; after it the peer may have executed the
+/// request, so automatic retries (SmartProxy auto-failover, application
+/// wrappers) must be gated on the operation's idempotence — the same
+/// discipline TcpConnectionPool::call applies to its post-write redial.
 class TransportError : public OrbError {
  public:
-  using OrbError::OrbError;
+  explicit TransportError(const std::string& what, bool maybe_executed = false)
+      : OrbError(what), maybe_executed_(maybe_executed) {}
+
+  [[nodiscard]] bool maybe_executed() const { return maybe_executed_; }
+  void set_maybe_executed(bool v) { maybe_executed_ = v; }
+
+ private:
+  bool maybe_executed_ = false;
 };
 
 /// The target ORB is up but no servant is registered under the object id.

@@ -465,9 +465,8 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
   // checkout-time stale detection protects every operation; its riskier
   // post-write redial is enabled only for idempotent ones (the flag below
   // reaches TcpConnectionPool::call).
-  const bool idempotent = options.idempotent.has_value()
-                              ? *options.idempotent
-                              : config_.idempotent_operations.count(operation) > 0;
+  const bool idempotent =
+      options.idempotent.has_value() ? *options.idempotent : is_idempotent(operation);
   const RetryPolicy policy = options.retry ? *options.retry : config_.retry;
   const double budget =
       options.deadline > 0.0 ? options.deadline : config_.request_timeout;

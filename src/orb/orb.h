@@ -175,6 +175,14 @@ class Orb : public std::enable_shared_from_this<Orb> {
   /// Liveness probe: true iff the object answers "_ping".
   bool ping(const ObjectRef& ref);
 
+  /// This ORB's idempotence classification for `operation`
+  /// (OrbConfig::idempotent_operations). Retry layers above the transport —
+  /// SmartProxy auto-failover, the lb hedging path — consult this before
+  /// re-executing a request that may already have run remotely.
+  [[nodiscard]] bool is_idempotent(const std::string& operation) const {
+    return config_.idempotent_operations.count(operation) > 0;
+  }
+
   [[nodiscard]] InterfaceRepository& interfaces() { return *interfaces_; }
   [[nodiscard]] std::shared_ptr<InterfaceRepository> interfaces_ptr() { return interfaces_; }
 

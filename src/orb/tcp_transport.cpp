@@ -350,12 +350,15 @@ Bytes TcpConnectionPool::call(const std::string& endpoint, const Bytes& request,
       }
       // Clean EOF before any reply byte: fall through to the close-and-
       // decide block below.
-    } catch (const TimeoutError&) {
-      // The peer is alive but slow; the deadline is spent either way.
+    } catch (TimeoutError& e) {
+      // The peer is alive but slow; the deadline is spent either way. A
+      // post-write timeout leaves the request possibly executed remotely.
+      if (sent_fully) e.set_maybe_executed(true);
       if (stats_) stats_->add_bytes_received(reply_bytes);
       ::close(co.fd);
       throw;
-    } catch (const TransportError&) {
+    } catch (TransportError& e) {
+      if (sent_fully) e.set_maybe_executed(true);
       if (stats_) stats_->add_bytes_received(reply_bytes);
       ::close(co.fd);
       if (may_redial && reply_bytes == 0 && (!sent_fully || idempotent)) {
@@ -375,7 +378,9 @@ Bytes TcpConnectionPool::call(const std::string& endpoint, const Bytes& request,
       flush_endpoint(endpoint);
       continue;
     }
-    throw TransportError("connection closed before reply");
+    // Clean post-write EOF on a non-redialable call: the peer saw the full
+    // request before closing, so it may have executed it.
+    throw TransportError("connection closed before reply", /*maybe_executed=*/true);
   }
 }
 

@@ -10,10 +10,11 @@ const CapabilityPolicy& monitor_policy() {
 }
 
 const CapabilityPolicy& strategy_policy() {
+  // "lb": strategies may retune replica balancing (lb.set_policy, lb.score).
   static const CapabilityPolicy p{
       "strategy",
       false,
-      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra", "events"}};
+      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra", "events", "lb"}};
   return p;
 }
 

@@ -3,7 +3,7 @@
 // Runs the same resolver/lint/capability passes the runtime applies at every
 // remote-evaluation ingestion point (Engine::analyze), against the full
 // native-signature catalog of the infrastructure — stdlib, obs, orb,
-// monitor, trading, infra, agent, smartproxy — without needing any live
+// events, lb, monitor, trading, infra, agent, smartproxy — without needing any live
 // objects. Lets operators verify adaptation scripts *before* shipping them
 // to an agent, monitor or smart proxy.
 //
@@ -24,6 +24,7 @@
 
 #include "core/script_bindings.h"
 #include "events/script_bindings.h"
+#include "lb/script_bindings.h"
 #include "monitor/bindings.h"
 #include "obs/script_bindings.h"
 #include "orb/script_bindings.h"
@@ -44,6 +45,7 @@ script::analysis::NativeRegistry full_catalog() {
   obs::declare_obs_signatures(reg);
   orb::declare_orb_signatures(reg);
   events::declare_events_signatures(reg);
+  lb::declare_lb_signatures(reg);
   monitor::declare_monitor_signatures(reg);
   trading::declare_trading_signatures(reg);
   core::declare_infrastructure_signatures(reg);
