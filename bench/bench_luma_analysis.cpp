@@ -1,0 +1,143 @@
+// bench_luma_analysis — cost of the pre-execution static-analysis gate.
+//
+// Every remote-code ingestion point (monitor aspect/update install, smart-
+// proxy strategy binding, agent script upload) runs the resolver + dataflow
+// passes before compiling the shipped source, and re-verifies on every
+// reinstall. This bench pins both paths:
+//
+//   analyze_cold_aspect   full analysis (parse + resolver + dataflow) of a
+//                         paper-Fig.3-sized monitor aspect, no cache
+//   analyze_cold_4kb      full analysis of a ~4 KB strategy script — the
+//                         per-KB number CI tracks (ns.mean / 4 = ns per KB)
+//   cache_hit             ScriptEngine::analyze_function_cached serving the
+//                         verdict from the (chunk hash, policy) cache, the
+//                         steady-state cost a monitor pays per reinstall
+//
+// The acceptance gate (scripts/check.sh): the cache-hit path is at least 5x
+// the cold path's throughput, and cold analysis of the 4 KB script stays
+// under 50 ms p50 — the gate is a guardrail against the dataflow pass
+// regressing into the ingestion hot path.
+//
+// `--json[=PATH] [--quick]` emits BENCH_luma_analysis.json via bench_json.h.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "script/analysis/analyzer.h"
+#include "script/analysis/policy.h"
+#include "script/engine.h"
+
+using namespace adapt;
+
+namespace {
+
+// The paper's Fig. 3 aspect shape: bounded loop, io reads, monitor calls.
+const char* kAspectCode = R"LUMA(function(self, currval, monitor)
+  local count = 0
+  readfrom("/proc/loadavg")
+  local line = read("*l")
+  readfrom()
+  if line then
+    count = count + 1
+  end
+  for i = 1, 8 do
+    count = count + i
+  end
+  return count
+end)LUMA";
+
+/// A ~4 KB strategy-flavoured script: locals, tables, closures, loops,
+/// conditionals — shaped like real adaptation code, sized for a per-KB rate.
+std::string make_large_script() {
+  std::string src;
+  src.reserve(4200);
+  src += "local total = 0\nlocal weights = {}\n";
+  for (int i = 0; src.size() < 4000; ++i) {
+    const std::string n = std::to_string(i);
+    src += "local v" + n + " = " + n + " + 1\n";
+    src += "weights[\"k" + n + "\"] = v" + n + " * 2\n";
+    src += "if v" + n + " > 10 then total = total + v" + n + " end\n";
+    src += "local f" + n + " = function(x) return x + v" + n + " end\n";
+    src += "total = total + f" + n + "(" + n + ")\n";
+  }
+  src += "return total\n";
+  return src;
+}
+
+script::analysis::NativeRegistry catalog() {
+  script::analysis::NativeRegistry reg;
+  script::declare_stdlib_signatures(reg);
+  return reg;
+}
+
+void analyze_cold(const std::string& code, const script::analysis::NativeRegistry& reg,
+                  bool as_function) {
+  script::analysis::AnalyzeOptions opts;
+  opts.policy = &script::analysis::monitor_policy();
+  const std::string source =
+      as_function ? "return (" + code + "\n)" : code;
+  auto report = script::analysis::analyze_source_full(source, "=bench", reg, opts);
+  benchmark::DoNotOptimize(report.diags.size());
+}
+
+void BM_AnalyzeColdAspect(benchmark::State& state) {
+  const auto reg = catalog();
+  for (auto _ : state) analyze_cold(kAspectCode, reg, /*as_function=*/true);
+}
+BENCHMARK(BM_AnalyzeColdAspect);
+
+void BM_AnalyzeCold4kb(benchmark::State& state) {
+  const auto reg = catalog();
+  const std::string large = make_large_script();
+  for (auto _ : state) analyze_cold(large, reg, /*as_function=*/false);
+}
+BENCHMARK(BM_AnalyzeCold4kb);
+
+void BM_CacheHit(benchmark::State& state) {
+  script::ScriptEngine engine;
+  engine.analyze_function_cached(kAspectCode, "=warm",
+                                 &script::analysis::monitor_policy());
+  for (auto _ : state) {
+    auto verdict = engine.analyze_function_cached(
+        kAspectCode, "=warm", &script::analysis::monitor_policy());
+    benchmark::DoNotOptimize(verdict.cache_hit);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto json = benchjson::parse_json_mode(argc, argv)) {
+    const auto reg = catalog();
+    const std::string large = make_large_script();
+    auto engine = std::make_shared<script::ScriptEngine>();
+
+    std::vector<benchjson::Case> cases;
+    cases.push_back(benchjson::Case{
+        "analyze_cold_aspect",
+        [&] { analyze_cold(kAspectCode, reg, /*as_function=*/true); }});
+    cases.push_back(benchjson::Case{
+        "analyze_cold_4kb",
+        [&] { analyze_cold(large, reg, /*as_function=*/false); },
+        nullptr, nullptr, /*warmup=*/10, /*iters=*/50});
+    cases.push_back(benchjson::Case{
+        "cache_hit",
+        [&] {
+          auto verdict = engine->analyze_function_cached(
+              kAspectCode, "=warm", &script::analysis::monitor_policy());
+          benchmark::DoNotOptimize(verdict.cache_hit);
+        },
+        /*setup=*/
+        [&] {
+          engine->analyze_function_cached(kAspectCode, "=warm",
+                                          &script::analysis::monitor_policy());
+        }});
+    return benchjson::run_json_cases(*json, "luma_analysis", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

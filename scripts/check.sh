@@ -141,7 +141,9 @@ EOF
 # Extracts every R"LUMA(...)LUMA" block embedded in examples/ and tests/
 # sources and runs the Luma static analyzer over it (shell policy, full
 # native catalog). Any diagnostic at all fails the check: the in-repo
-# corpus is required to lint clean.
+# corpus is required to lint clean. The extracted corpus is kept under
+# build/luma_corpus/ and a SARIF report is emitted to build/lumalint.sarif
+# (CI uploads it to code scanning).
 run_luma_lint() {
   local build_dir="build"
   if [[ ! -x "${build_dir}/tools/lumalint" ]]; then
@@ -150,27 +152,67 @@ run_luma_lint() {
   fi
   echo "==> lumalint (embedded Luma blocks)"
   python3 - "${build_dir}" <<'EOF'
-import pathlib, re, subprocess, sys, tempfile
+import json, pathlib, re, subprocess, sys
 build = sys.argv[1]
+corpus = pathlib.Path(build) / "luma_corpus"
+corpus.mkdir(parents=True, exist_ok=True)
 pattern = re.compile(r'R"LUMA\((.*?)\)LUMA"', re.S)
-blocks = 0
+blocks = []
 dirty = 0
 for src in sorted(pathlib.Path("examples").glob("*.cpp")) + sorted(
         pathlib.Path("tests").glob("*.cpp")):
     for i, code in enumerate(pattern.findall(src.read_text())):
-        blocks += 1
-        with tempfile.NamedTemporaryFile("w", suffix=".luma", delete=False) as f:
-            f.write(code)
-            path = f.name
-        proc = subprocess.run([f"{build}/tools/lumalint", "--policy=shell", path],
+        path = corpus / f"{src.stem}_{i}.luma"
+        path.write_text(code)
+        blocks.append((src, i, str(path)))
+        proc = subprocess.run([f"{build}/tools/lumalint", "--policy=shell", str(path)],
                               capture_output=True, text=True)
         report = (proc.stdout + proc.stderr).strip()
         if report:
             dirty += 1
             print(f"    {src} block {i}:")
-            print("      " + report.replace(path + ":", "").replace("\n", "\n      "))
-print(f"    {blocks} embedded Luma blocks linted, {dirty} with diagnostics")
+            print("      " + report.replace(str(path) + ":", "").replace("\n", "\n      "))
+# One SARIF document over the whole corpus for CI code-scanning upload.
+sarif = pathlib.Path(build) / "lumalint.sarif"
+if blocks:
+    subprocess.run(
+        [f"{build}/tools/lumalint", "--policy=shell", f"--sarif={sarif}"]
+        + [b[2] for b in blocks],
+        capture_output=True, text=True)
+    json.load(open(sarif))  # must be well-formed
+print(f"    {len(blocks)} embedded Luma blocks linted, {dirty} with diagnostics "
+      f"(SARIF: {sarif})")
 sys.exit(1 if dirty else 0)
+EOF
+}
+
+# Static-analysis cost gate: the verdict cache must keep re-verification off
+# the ingestion hot path (cache-hit throughput >= 5x cold analysis), and
+# cold analysis of a ~4 KB script must stay under 50 ms p50.
+run_luma_analysis_gate() {
+  local build_dir="build"
+  if [[ ! -f "${build_dir}/BENCH_luma_analysis.json" ]]; then
+    echo "==> luma analysis gate: BENCH_luma_analysis.json missing — skipped"
+    return 0
+  fi
+  python3 - "${build_dir}/BENCH_luma_analysis.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cases = {c["name"]: c for c in doc["cases"]}
+for name in ("analyze_cold_aspect", "analyze_cold_4kb", "cache_hit"):
+    assert name in cases, f"missing luma_analysis case {name}"
+
+speedup = cases["cache_hit"]["ops_per_sec"] / cases["analyze_cold_aspect"]["ops_per_sec"]
+assert speedup >= 5.0, (
+    f"verdict cache hit only {speedup:.1f}x faster than cold analysis, need >= 5x")
+
+p50_ms = cases["analyze_cold_4kb"]["ns"]["p50"] / 1e6
+assert p50_ms < 50.0, (
+    f"cold analysis of ~4KB script took {p50_ms:.1f} ms p50, need < 50 ms")
+us_per_kb = cases["analyze_cold_4kb"]["ns"]["mean"] / 1e3 / 4.0
+print(f"    luma analysis gate OK: cache hit {speedup:.0f}x cold, "
+      f"~{us_per_kb:.0f} us/KB cold")
 EOF
 }
 
@@ -182,8 +224,10 @@ case "${1:-default}" in
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
     run_bench_json bench_lb lb
+    run_bench_json bench_luma_analysis luma_analysis
     run_reactor_gate
     run_lb_gate
+    run_luma_analysis_gate
     ;;
   tsan|asan)
     run_preset "$1"
@@ -195,8 +239,10 @@ case "${1:-default}" in
     run_bench_json bench_overhead overhead
     run_bench_json bench_events events
     run_bench_json bench_lb lb
+    run_bench_json bench_luma_analysis luma_analysis
     run_reactor_gate
     run_lb_gate
+    run_luma_analysis_gate
     run_preset tsan
     run_preset asan
     ;;

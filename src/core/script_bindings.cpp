@@ -240,6 +240,18 @@ void declare_infrastructure_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("infra.now", 0, 0);
   reg.declare("infra.event_channel", 0, 0);
   reg.tag("infra", "infra");
+  reg.mark_sink("infra.deploy", "deploys an object implementation to a host");
+  // Code-from-string ingestion methods on host wrapper tables: the string
+  // argument becomes executable code on a remote host, so remote data
+  // flowing into it is a tainted-sink error under checking policies.
+  reg.mark_method_sink("defineAspect", "installs monitor aspect code");
+  reg.mark_method_sink("set_update_code", "installs monitor update code");
+  reg.mark_method_sink("attachEventObserver", "installs an event observer");
+  reg.mark_method_sink("defineChannelEvent", "installs a channel event predicate");
+  reg.mark_method_sink("set_strategy_code", "installs smart-proxy strategy code");
+  reg.mark_method_sink("set_strategy", "installs an agent strategy");
+  reg.mark_method_sink("run_script", "executes code in an agent's engine");
+  reg.mark_method_sink("add_interest", "registers adaptation interest code");
   // The `events.*` natives the channel binding installs are part of the
   // infrastructure surface; declare them so analysis of shell scripts that
   // call infra.event_channel() then events.publish(...) stays clean.
@@ -251,6 +263,7 @@ void declare_agent_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("agent.withdraw", 1, 1);
   reg.declare_global("agent");  // also carries agent.name (a string)
   reg.tag("agent", "agent");
+  reg.mark_sink("agent.export", "exports this agent's offer to the trader");
 }
 
 void declare_smartproxy_signatures(script::analysis::NativeRegistry& reg) {

@@ -227,9 +227,10 @@ ValueList ServiceAgent::run_script(const std::string& code) {
   // recorded via obs (`luma.lint.rejected` counter + `luma.lint.reject`
   // span) so traces show why an adaptation never took effect.
   const std::string chunk_name = "agent:" + config_.name;
-  const auto diags =
-      engine_->analyze(code, chunk_name, &script::analysis::strategy_policy());
-  if (const auto* err = script::analysis::first_error(diags)) {
+  const auto verdict =
+      engine_->analyze_cached(code, chunk_name, &script::analysis::strategy_policy());
+  obs::record_lint_analysis(verdict.cache_hit);
+  if (const auto* err = script::analysis::first_error(verdict.diags)) {
     const std::string detail = obs::record_lint_rejection(chunk_name, *err);
     throw Error(chunk_name + ": script rejected by static analysis: " + detail);
   }

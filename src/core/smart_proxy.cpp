@@ -20,9 +20,10 @@ std::atomic<uint64_t> g_proxy_counter{1};
 /// script — before compiling or running any of it — when static analysis
 /// under the strategy capability policy reports an error. The refusal is
 /// recorded via obs (`luma.lint.rejected` + `luma.lint.reject` span).
-void reject_on_lint_error(const std::vector<script::analysis::Diagnostic>& diags,
+void reject_on_lint_error(const script::ScriptEngine::AnalysisVerdict& verdict,
                           const std::string& chunk_name) {
-  if (const auto* err = script::analysis::first_error(diags)) {
+  obs::record_lint_analysis(verdict.cache_hit);
+  if (const auto* err = script::analysis::first_error(verdict.diags)) {
     const std::string detail = obs::record_lint_rejection(chunk_name, *err);
     throw Error(chunk_name + ": script rejected by static analysis: " + detail);
   }
@@ -187,7 +188,7 @@ void SmartProxy::set_strategy(const std::string& event_id, NativeStrategy strate
 
 void SmartProxy::set_strategy_code(const std::string& event_id, const std::string& code) {
   const std::string chunk_name = "strategy:" + event_id;
-  reject_on_lint_error(engine_->analyze_function(
+  reject_on_lint_error(engine_->analyze_function_cached(
                            code, chunk_name, &script::analysis::strategy_policy()),
                        chunk_name);
   const Value fn = engine_->compile_function(code, chunk_name);
@@ -199,7 +200,8 @@ void SmartProxy::eval_strategy_script(const std::string& chunk) {
   std::scoped_lock engine_lock(engine_->mutex());
   engine_->set_global("smartproxy", self_);
   reject_on_lint_error(
-      engine_->analyze(chunk, "strategy-script", &script::analysis::strategy_policy()),
+      engine_->analyze_cached(chunk, "strategy-script",
+                              &script::analysis::strategy_policy()),
       "strategy-script");
   engine_->eval(chunk, "strategy-script");
 }

@@ -52,6 +52,9 @@ void declare_events_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("events.stats", 0, 0);
   reg.declare("events.subscriber_count", 0, 0);
   reg.tag("events", "events");
+  // Event payloads are remote-controlled: whoever published last decides
+  // what events.last returns.
+  reg.mark_taint_source("events.last");
 }
 
 }  // namespace adapt::events

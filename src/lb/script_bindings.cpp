@@ -103,6 +103,11 @@ void declare_lb_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("lb.healthy", 0, 0);
   reg.declare("lb.size", 0, 0);
   reg.tag("lb", "lb");
+  // Remote data must not steer balancing decisions: a strategy that feeds an
+  // event payload into these is rejected pre-execution (tainted-sink).
+  reg.mark_sink("lb.set_policy", "retunes replica balancing policy");
+  reg.mark_sink("lb.score", "overrides replica scoring");
+  reg.mark_sink("lb.hedge", "reconfigures request hedging");
 }
 
 }  // namespace adapt::lb

@@ -19,9 +19,10 @@ namespace {
 /// via obs (`luma.lint.rejected` counter + `luma.lint.reject` span).
 void verify_monitor_function(script::ScriptEngine& engine, const std::string& code,
                              const std::string& chunk_name) {
-  const auto diags = engine.analyze_function(code, chunk_name,
-                                             &script::analysis::monitor_policy());
-  if (const auto* err = script::analysis::first_error(diags)) {
+  const auto verdict = engine.analyze_function_cached(
+      code, chunk_name, &script::analysis::monitor_policy());
+  obs::record_lint_analysis(verdict.cache_hit);
+  if (const auto* err = script::analysis::first_error(verdict.diags)) {
     const std::string detail = obs::record_lint_rejection(chunk_name, *err);
     throw MonitorError(chunk_name + ": script rejected by static analysis: " + detail);
   }

@@ -16,4 +16,9 @@ std::string record_lint_rejection(const std::string& chunk_name,
   return detail;
 }
 
+void record_lint_analysis(bool cache_hit) {
+  metrics().counter("luma.lint.analyzed").add();
+  if (cache_hit) metrics().counter("luma.lint.cache_hit").add();
+}
+
 }  // namespace adapt::obs

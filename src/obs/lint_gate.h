@@ -22,4 +22,9 @@ namespace adapt::obs {
 std::string record_lint_rejection(const std::string& chunk_name,
                                   const script::analysis::Diagnostic& err);
 
+/// Records one analysis request at an ingestion point: bumps
+/// `luma.lint.analyzed`, and `luma.lint.cache_hit` when the engine served
+/// the verdict from its cache instead of re-running the analyzer.
+void record_lint_analysis(bool cache_hit);
+
 }  // namespace adapt::obs

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 #include <utility>
 
+#include "script/analysis/dataflow.h"
 #include "script/errors.h"
 
 namespace adapt::script::analysis {
@@ -212,12 +214,19 @@ class Analyzer {
   void walk_stmt(const Stmt& s) {
     switch (s.kind) {
       case Stmt::Kind::Local: {
-        for (const auto& e : s.exprs) walk_expr(*e);
-        Scope& scope = scopes_.back();
-        for (const auto& n : s.names) {
-          scope.pending.erase(n);
-          scope.locals[n] = LocalInfo{s.line, s.col, false, false};
+        // `local function f` (and `local f = function() ... end`): the name
+        // is in scope inside the literal's own body, so it is declared
+        // *before* walking the initializer — otherwise a self-recursive call
+        // would be flagged as use-before-decl.
+        const bool fn_sugar = s.names.size() == 1 && s.exprs.size() == 1 &&
+                              s.exprs[0]->kind == Expr::Kind::Function;
+        if (fn_sugar) {
+          declare_local(s.names[0], s);
+          walk_expr(*s.exprs[0]);
+          return;
         }
+        for (const auto& e : s.exprs) walk_expr(*e);
+        for (const auto& n : s.names) declare_local(n, s);
         return;
       }
       case Stmt::Kind::Assign: {
@@ -266,6 +275,36 @@ class Analyzer {
         walk_block(s.blocks[0], nullptr);
         return;
     }
+  }
+
+  /// Declares a block-local, reporting shadowing and closing out a
+  /// same-scope redeclaration so its unused-local finding is not lost when
+  /// the map entry is overwritten.
+  void declare_local(const std::string& n, const Stmt& s) {
+    Scope& scope = scopes_.back();
+    scope.pending.erase(n);
+    const auto it = scope.locals.find(n);
+    if (it != scope.locals.end()) {
+      if (!it->second.used && !exempt_name(n)) {
+        report(it->second.is_param ? Severity::Hint : Severity::Warning,
+               it->second.is_param ? codes::kUnusedParam : codes::kUnusedLocal,
+               it->second.line, it->second.col,
+               std::string(it->second.is_param ? "parameter '" : "local '") + n +
+                   "' is never used");
+      }
+      if (!exempt_name(n)) {
+        report(Severity::Warning, codes::kShadowedLocal, s.line, s.col,
+               "local '" + n + "' shadows an earlier declaration (line " +
+                   std::to_string(it->second.line) + ")");
+      }
+    } else if (!exempt_name(n)) {
+      if (const LocalInfo* outer = find_local(n)) {
+        report(Severity::Warning, codes::kShadowedLocal, s.line, s.col,
+               "local '" + n + "' shadows a local from an enclosing block (line " +
+                   std::to_string(outer->line) + ")");
+      }
+    }
+    scope.locals[n] = LocalInfo{s.line, s.col, false, false};
   }
 
   void walk_assign_target(const Expr& t) {
@@ -423,9 +462,51 @@ class Analyzer {
 
 }  // namespace
 
+AnalysisReport analyze_full(const Chunk& chunk, const NativeRegistry& natives,
+                            const AnalyzeOptions& opts) {
+  AnalysisReport out;
+  out.diags = Analyzer(natives, opts).run(chunk);
+
+  DataflowOptions dopts;
+  dopts.policy = opts.policy;
+  dopts.extra_globals = opts.extra_globals;
+  DataflowResult flow = analyze_dataflow(chunk, natives, dopts);
+  out.capabilities = std::move(flow.capabilities);
+  out.sinks = std::move(flow.sinks);
+  out.cost_bounded = flow.cost_bounded;
+
+  // Merge, deduped by (code, position): the resolver and the dataflow pass
+  // overlap on a few checks (e.g. calling a constant).
+  std::set<std::tuple<std::string, int, int>> seen;
+  for (const auto& d : out.diags) seen.emplace(d.code, d.line, d.col);
+  for (auto& d : flow.diags) {
+    if (seen.emplace(d.code, d.line, d.col).second) out.diags.push_back(std::move(d));
+  }
+  std::stable_sort(out.diags.begin(), out.diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line != b.line ? a.line < b.line : a.col < b.col;
+                   });
+  return out;
+}
+
 std::vector<Diagnostic> analyze(const Chunk& chunk, const NativeRegistry& natives,
                                 const AnalyzeOptions& opts) {
-  return Analyzer(natives, opts).run(chunk);
+  return analyze_full(chunk, natives, opts).diags;
+}
+
+AnalysisReport analyze_source_full(std::string_view source, const std::string& chunk_name,
+                                   const NativeRegistry& natives,
+                                   const AnalyzeOptions& opts) {
+  ChunkPtr chunk;
+  try {
+    chunk = parse(source, chunk_name);
+  } catch (const ParseError& e) {
+    AnalysisReport out;
+    out.diags.push_back(
+        Diagnostic{Severity::Error, codes::kParseError, e.line(), e.col(), e.what()});
+    return out;
+  }
+  return analyze_full(*chunk, natives, opts);
 }
 
 std::vector<Diagnostic> analyze_source(std::string_view source,

@@ -13,6 +13,7 @@
 // an error when *read* without any assignment in sight.
 #pragma once
 
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,19 @@ struct AnalyzeOptions {
   std::vector<std::string> extra_globals;
 };
 
+/// Combined result of the resolver and the abstract-interpretation dataflow
+/// pass (dataflow.h): merged position-ordered diagnostics plus the inferred
+/// least-privilege facts lumalint surfaces as a manifest.
+struct AnalysisReport {
+  std::vector<Diagnostic> diags;
+  /// Capability tags the chunk can reach through any data flow.
+  std::set<std::string> capabilities;
+  /// Privileged sinks the chunk invokes (dotted natives, ":method" names).
+  std::set<std::string> sinks;
+  /// False when an unbounded loop or call-graph recursion was certified.
+  bool cost_bounded = true;
+};
+
 /// Analyzes a parsed chunk. Diagnostics are ordered by source position.
 std::vector<Diagnostic> analyze(const Chunk& chunk, const NativeRegistry& natives,
                                 const AnalyzeOptions& opts = {});
@@ -42,5 +56,13 @@ std::vector<Diagnostic> analyze_source(std::string_view source,
                                        const std::string& chunk_name,
                                        const NativeRegistry& natives,
                                        const AnalyzeOptions& opts = {});
+
+/// Full resolver + dataflow report (capability manifest, sinks, cost bound).
+AnalysisReport analyze_full(const Chunk& chunk, const NativeRegistry& natives,
+                            const AnalyzeOptions& opts = {});
+
+AnalysisReport analyze_source_full(std::string_view source, const std::string& chunk_name,
+                                   const NativeRegistry& natives,
+                                   const AnalyzeOptions& opts = {});
 
 }  // namespace adapt::script::analysis

@@ -1,0 +1,1032 @@
+#include "script/analysis/dataflow.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "script/analysis/lattice.h"
+
+namespace adapt::script::analysis {
+
+namespace {
+
+using AV = AbstractValue;
+
+/// "math.floor"-style dotted path of a callee/read chain, or "" when the
+/// expression is not a plain name / constant-string index chain.
+std::string dotted_path(const Expr& e) {
+  if (e.kind == Expr::Kind::Name) return e.text;
+  if (e.kind == Expr::Kind::Index && e.key->kind == Expr::Kind::String) {
+    const std::string prefix = dotted_path(*e.obj);
+    if (!prefix.empty()) return prefix + "." + e.key->text;
+  }
+  return {};
+}
+
+/// Deep taint: a value is taint-bearing when itself tainted or any reachable
+/// table member is (bounded by a visited set against cyclic table models).
+bool carries_taint(const AV& v, std::set<const AbstractTable*>& visited) {
+  if (v.tainted) return true;
+  if (!v.table || !visited.insert(v.table.get()).second) return false;
+  for (const auto& [key, member] : v.table->fields) {
+    if (carries_taint(member, visited)) return true;
+  }
+  return v.table->rest && carries_taint(*v.table->rest, visited);
+}
+
+bool carries_taint(const AV& v) {
+  std::set<const AbstractTable*> visited;
+  return carries_taint(v, visited);
+}
+
+/// True when `block` can leave the enclosing loop: a `break` at this loop's
+/// nesting level or a `return` at any depth (returns exit the whole
+/// function). Nested loops swallow their own breaks; nested function
+/// literals are separate bodies and do not count.
+bool has_loop_exit(const Block& block, bool breaks_count) {
+  for (const auto& s : block) {
+    switch (s->kind) {
+      case Stmt::Kind::Break:
+        if (breaks_count) return true;
+        break;
+      case Stmt::Kind::Return:
+        return true;
+      case Stmt::Kind::If: {
+        for (const auto& b : s->blocks) {
+          if (has_loop_exit(b, breaks_count)) return true;
+        }
+        if (has_loop_exit(s->else_block, breaks_count)) return true;
+        break;
+      }
+      case Stmt::Kind::Do:
+        if (has_loop_exit(s->blocks[0], breaks_count)) return true;
+        break;
+      case Stmt::Kind::While:
+      case Stmt::Kind::Repeat:
+      case Stmt::Kind::NumericFor:
+      case Stmt::Kind::GenericFor:
+        // A nested loop consumes its own breaks but not returns.
+        if (!s->blocks.empty() && has_loop_exit(s->blocks[0], /*breaks_count=*/false)) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+class DataflowEngine {
+ public:
+  DataflowEngine(const NativeRegistry& natives, const DataflowOptions& opts)
+      : natives_(natives), opts_(opts) {
+    extra_globals_.insert(opts.extra_globals.begin(), opts.extra_globals.end());
+    taint_enabled_ = opts.policy != nullptr && opts.policy->reject_tainted_sinks;
+    cost_enabled_ = opts.policy != nullptr && opts.policy->require_bounded_cost;
+  }
+
+  DataflowResult run(const Chunk& chunk) {
+    collect_captured(chunk.body);
+    scopes_.emplace_back();
+    exec_block(chunk.body, nullptr);
+    scopes_.pop_back();
+    detect_recursion();
+    result_.aborted = aborted_;
+    std::stable_sort(result_.diags.begin(), result_.diags.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.line != b.line ? a.line < b.line : a.col < b.col;
+                     });
+    return std::move(result_);
+  }
+
+ private:
+  struct Frame {
+    std::map<std::string, AV> vars;
+  };
+
+  /// Joinable program state: every lexical frame plus the global map.
+  struct State {
+    std::vector<std::map<std::string, AV>> frames;
+    std::map<std::string, AV> globals;
+  };
+
+  // ---- reporting -----------------------------------------------------------
+
+  void report(Severity sev, const char* code, int line, int col, std::string msg) {
+    if (suppress_ > 0) return;
+    if (!reported_.insert(std::make_tuple(std::string(code), line, col)).second) return;
+    result_.diags.push_back(Diagnostic{sev, code, line, col, std::move(msg)});
+  }
+
+  bool step() {
+    if (aborted_) return false;
+    if (++steps_ > opts_.max_steps) {
+      aborted_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  // ---- state snapshots for joins -------------------------------------------
+
+  State snapshot() const {
+    State s;
+    s.frames.reserve(scopes_.size());
+    for (const Frame& f : scopes_) s.frames.push_back(f.vars);
+    s.globals = globals_;
+    return s;
+  }
+
+  void restore(const State& s) {
+    for (size_t i = 0; i < scopes_.size() && i < s.frames.size(); ++i) {
+      scopes_[i].vars = s.frames[i];
+    }
+    globals_ = s.globals;
+  }
+
+  /// Joins `o` into `into`; a binding missing on one side joins as top
+  /// (unknown), which melts constancy but keeps capability/taint bits.
+  static void join_map(std::map<std::string, AV>& into, const std::map<std::string, AV>& o) {
+    for (auto& [name, v] : into) {
+      const auto it = o.find(name);
+      v = it != o.end() ? v.join(it->second) : v.join(AV::top());
+    }
+    for (const auto& [name, v] : o) {
+      if (into.find(name) == into.end()) into[name] = v.join(AV::top());
+    }
+  }
+
+  static void join_state(State& into, const State& o) {
+    for (size_t i = 0; i < into.frames.size() && i < o.frames.size(); ++i) {
+      join_map(into.frames[i], o.frames[i]);
+    }
+    join_map(into.globals, o.globals);
+  }
+
+  /// Interval widening against the pre-loop state so repeated joins
+  /// terminate and loop-carried counters do not look constant.
+  static void widen_state(State& s, const State& pre) {
+    const auto widen_map = [](std::map<std::string, AV>& m,
+                              const std::map<std::string, AV>& base) {
+      for (auto& [name, v] : m) {
+        const auto it = base.find(name);
+        if (it != base.end()) v.range = it->second.range.widen(v.range);
+      }
+    };
+    for (size_t i = 0; i < s.frames.size() && i < pre.frames.size(); ++i) {
+      widen_map(s.frames[i], pre.frames[i]);
+    }
+    widen_map(s.globals, pre.globals);
+  }
+
+  // ---- name resolution -----------------------------------------------------
+
+  AV* find_local(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (const auto f = it->vars.find(name); f != it->vars.end()) return &f->second;
+    }
+    return nullptr;
+  }
+
+  AV read_global(const std::string& name) {
+    if (const auto it = globals_.find(name); it != globals_.end()) {
+      note_caps(it->second);
+      return it->second;
+    }
+    AV v = AV::top();
+    v.origin = name;
+    if (const std::string* cap = natives_.capability_of(name)) {
+      v.caps.insert(*cap);
+      result_.capabilities.insert(*cap);
+    }
+    return v;
+  }
+
+  void note_caps(const AV& v) {
+    result_.capabilities.insert(v.caps.begin(), v.caps.end());
+  }
+
+  // ---- dead-store tracking -------------------------------------------------
+  //
+  // Per-block map of locals whose latest store has not been read yet. Reads
+  // clear the entry everywhere; a second store in the *same* block while the
+  // first is still pending is a definite dead store. Conditional constructs
+  // clear all tracking (a branch store is not a definite overwrite), and
+  // names captured by any closure are never tracked (a call may read them).
+
+  struct StorePos {
+    int line = 0;
+    int col = 0;
+  };
+
+  void note_local_read(const std::string& name) {
+    for (auto* track : store_tracks_) track->erase(name);
+  }
+
+  void note_local_store(const std::string& name, int line, int col, bool track,
+                        bool kill = true) {
+    if (store_tracks_.empty()) return;
+    auto& current = *store_tracks_.back();
+    // A pending store in an enclosing block is not killed here (this block
+    // may be conditional); a pending store in *this* block is overwritten.
+    if (const auto it = current.find(name); kill && it != current.end()) {
+      report(Severity::Warning, codes::kDeadStore, it->second.line, it->second.col,
+             "value assigned to '" + name + "' is never read (overwritten at line " +
+                 std::to_string(line) + ")");
+      current.erase(it);
+    }
+    if (track && !name.empty() && name[0] != '_' && captured_.count(name) == 0) {
+      current[name] = StorePos{line, col};
+    }
+  }
+
+  void clear_store_tracking() {
+    for (auto* track : store_tracks_) track->clear();
+  }
+
+  /// Names read or written inside any function literal: excluded from
+  /// dead-store tracking since any call may touch them as upvalues.
+  void collect_captured(const Block& block) {
+    for (const auto& s : block) collect_captured_stmt(*s, /*inside_fn=*/false);
+  }
+
+  void collect_captured_stmt(const Stmt& s, bool inside_fn) {
+    if (inside_fn) {
+      for (const auto& n : s.names) captured_.insert(n);
+    }
+    for (const auto& e : s.targets) collect_captured_expr(*e, inside_fn);
+    for (const auto& e : s.exprs) collect_captured_expr(*e, inside_fn);
+    for (const auto& e : s.conds) collect_captured_expr(*e, inside_fn);
+    if (s.call) collect_captured_expr(*s.call, inside_fn);
+    for (const auto& b : s.blocks) {
+      for (const auto& inner : b) collect_captured_stmt(*inner, inside_fn);
+    }
+    for (const auto& inner : s.else_block) collect_captured_stmt(*inner, inside_fn);
+  }
+
+  void collect_captured_expr(const Expr& e, bool inside_fn) {
+    if (inside_fn && e.kind == Expr::Kind::Name) captured_.insert(e.text);
+    if (e.kind == Expr::Kind::Function && e.def) {
+      for (const auto& s : e.def->body) collect_captured_stmt(*s, /*inside_fn=*/true);
+    }
+    if (e.obj) collect_captured_expr(*e.obj, inside_fn);
+    if (e.key) collect_captured_expr(*e.key, inside_fn);
+    if (e.fn) collect_captured_expr(*e.fn, inside_fn);
+    if (e.lhs) collect_captured_expr(*e.lhs, inside_fn);
+    if (e.rhs) collect_captured_expr(*e.rhs, inside_fn);
+    for (const auto& a : e.args) collect_captured_expr(*a, inside_fn);
+    for (const auto& i : e.items) collect_captured_expr(*i, inside_fn);
+    for (const auto& [k, v] : e.fields) {
+      collect_captured_expr(*k, inside_fn);
+      collect_captured_expr(*v, inside_fn);
+    }
+  }
+
+  // ---- function bodies -----------------------------------------------------
+
+  struct FnSummary {
+    AV ret = AV::nil();
+    bool saw_return = false;
+  };
+
+  void analyze_function_def(const FunctionDefPtr& def) {
+    if (!def || summaries_.count(def.get()) != 0) return;
+    summaries_[def.get()];  // mark in-progress: recursive calls see nil/top
+    // The body may run zero or many times at unknown points, so side effects
+    // on enclosing state are joined in rather than applied.
+    const State pre = snapshot();
+    fn_stack_.push_back(def.get());
+    scopes_.emplace_back();
+    for (const auto& p : def->params) {
+      AV v = AV::top();
+      v.tainted = taint_enabled_;  // hosts invoke shipped functions with remote data
+      scopes_.back().vars[p] = v;
+    }
+    if (def->has_varargs) {
+      AV v = AV::top();
+      v.tainted = taint_enabled_;
+      scopes_.back().vars["arg"] = v;
+    }
+    exec_block(def->body, nullptr);
+    scopes_.pop_back();
+    fn_stack_.pop_back();
+    State post = snapshot();
+    join_state(post, pre);
+    restore(post);
+  }
+
+  // ---- expressions ---------------------------------------------------------
+
+  AV eval(const Expr& e) {
+    if (!step()) return AV::top();
+    switch (e.kind) {
+      case Expr::Kind::Nil: return AV::nil();
+      case Expr::Kind::True: return AV::boolean(true);
+      case Expr::Kind::False: return AV::boolean(false);
+      case Expr::Kind::Number: return AV::number(e.number);
+      case Expr::Kind::String: return AV::string(e.text);
+      case Expr::Kind::Name: {
+        if (AV* local = find_local(e.text)) {
+          note_local_read(e.text);
+          note_caps(*local);
+          return *local;
+        }
+        return read_global(e.text);
+      }
+      case Expr::Kind::Index: return eval_index(e);
+      case Expr::Kind::Call: return eval_call(e);
+      case Expr::Kind::Function:
+        analyze_function_def(e.def);
+        {
+          AV v = AV::top();
+          v.constancy = AV::Const::Unknown;
+          v.fns.insert(e.def.get());
+          return v;
+        }
+      case Expr::Kind::Table: return eval_table(e);
+      case Expr::Kind::Binary: return eval_binary(e);
+      case Expr::Kind::Unary: return eval_unary(e);
+      case Expr::Kind::Vararg: {
+        AV v = AV::top();
+        v.tainted = taint_enabled_ && !fn_stack_.empty();
+        return v;
+      }
+    }
+    return AV::top();
+  }
+
+  AV eval_index(const Expr& e) {
+    const AV obj = eval(*e.obj);
+    const AV key = eval(*e.key);
+    AV out = AV::top();
+    if (key.constancy == AV::Const::String) {
+      if (!obj.origin.empty()) out.origin = obj.origin + "." + key.str;
+      if (obj.table) {
+        const auto it = obj.table->fields.find(key.str);
+        if (it != obj.table->fields.end()) {
+          out = it->second;
+          if (!obj.origin.empty() && out.origin.empty()) {
+            out.origin = obj.origin + "." + key.str;
+          }
+        } else if (obj.table->rest) {
+          out = out.join(*obj.table->rest);
+        }
+      }
+    } else if (obj.table) {
+      // Dynamic key: join everything the table may hold.
+      for (const auto& [k, v] : obj.table->fields) out = out.join(v);
+      if (obj.table->rest) out = out.join(*obj.table->rest);
+    }
+    out.caps.insert(obj.caps.begin(), obj.caps.end());
+    out.tainted = out.tainted || obj.tainted;
+    note_caps(out);
+    return out;
+  }
+
+  AV eval_table(const Expr& e) {
+    AV out;
+    out.constancy = AV::Const::Unknown;
+    out.table = std::make_shared<AbstractTable>();
+    for (const auto& i : e.items) {
+      const AV item = eval(*i);
+      out.table->rest = out.table->rest
+                            ? std::make_shared<AV>(out.table->rest->join(item))
+                            : std::make_shared<AV>(item);
+    }
+    for (const auto& [k, v] : e.fields) {
+      const AV key = eval(*k);
+      const AV val = eval(*v);
+      if (key.constancy == AV::Const::String) {
+        out.table->fields[key.str] = val;
+      } else {
+        out.table->rest = out.table->rest
+                              ? std::make_shared<AV>(out.table->rest->join(val))
+                              : std::make_shared<AV>(val);
+      }
+    }
+    return out;
+  }
+
+  AV eval_binary(const Expr& e) {
+    // Short-circuit operators first: the right operand may not evaluate.
+    if (e.bin_op == BinOp::And || e.bin_op == BinOp::Or) {
+      const AV lhs = eval(*e.lhs);
+      const int truth = lhs.truthiness();
+      if (e.bin_op == BinOp::And) {
+        if (truth == 0) return lhs;
+        const AV rhs = eval(*e.rhs);
+        if (truth == 1) return rhs;
+        AV out = lhs.join(rhs);
+        out.constancy = AV::Const::Unknown;
+        return out;
+      }
+      if (truth == 1) return lhs;
+      const AV rhs = eval(*e.rhs);
+      if (truth == 0) return rhs;
+      AV out = lhs.join(rhs);
+      out.constancy = AV::Const::Unknown;
+      return out;
+    }
+
+    const AV lhs = eval(*e.lhs);
+    const AV rhs = eval(*e.rhs);
+    AV out = AV::top();
+    out.tainted = lhs.tainted || rhs.tainted;
+
+    const bool both_num =
+        lhs.constancy == AV::Const::Number && rhs.constancy == AV::Const::Number;
+    switch (e.bin_op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul: {
+        if (both_num) {
+          const double v = e.bin_op == BinOp::Add   ? lhs.num + rhs.num
+                           : e.bin_op == BinOp::Sub ? lhs.num - rhs.num
+                                                    : lhs.num * rhs.num;
+          AV c = AV::number(v);
+          c.tainted = out.tainted;
+          return c;
+        }
+        out.range = e.bin_op == BinOp::Add   ? lhs.range.add(rhs.range)
+                    : e.bin_op == BinOp::Sub ? lhs.range.sub(rhs.range)
+                                             : lhs.range.mul(rhs.range);
+        return out;
+      }
+      case BinOp::Div:
+      case BinOp::Mod: {
+        if (rhs.constancy == AV::Const::Number && rhs.num == 0) {
+          report(Severity::Warning, codes::kDivByZero, e.line, e.col,
+                 e.bin_op == BinOp::Div
+                     ? "division by a constant zero (yields inf/nan at runtime)"
+                     : "modulo by a constant zero (yields nan at runtime)");
+        }
+        if (both_num && rhs.num != 0 && e.bin_op == BinOp::Div) {
+          AV c = AV::number(lhs.num / rhs.num);
+          c.tainted = out.tainted;
+          return c;
+        }
+        return out;
+      }
+      case BinOp::Pow:
+      case BinOp::Concat:
+        return out;
+      case BinOp::Eq:
+      case BinOp::Ne: {
+        if (lhs.is_constant() && rhs.is_constant()) {
+          const bool same = lhs.constancy == rhs.constancy &&
+                            (lhs.constancy != AV::Const::Number || lhs.num == rhs.num) &&
+                            (lhs.constancy != AV::Const::String || lhs.str == rhs.str);
+          AV c = AV::boolean(e.bin_op == BinOp::Eq ? same : !same);
+          c.tainted = out.tainted;
+          return c;
+        }
+        out.constancy = AV::Const::Unknown;
+        return out;
+      }
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge: {
+        // Fold through intervals: disjoint ranges decide the comparison even
+        // for non-constant operands (numeric-for induction variables).
+        const Interval& a = e.bin_op == BinOp::Lt || e.bin_op == BinOp::Le ? lhs.range
+                                                                           : rhs.range;
+        const Interval& b = e.bin_op == BinOp::Lt || e.bin_op == BinOp::Le ? rhs.range
+                                                                           : lhs.range;
+        const bool strict = e.bin_op == BinOp::Lt || e.bin_op == BinOp::Gt;
+        if (!a.is_top() || !b.is_top()) {
+          const int verdict = strict ? a.always_lt(b) : a.always_le(b);
+          if (verdict >= 0 && numeric_like(lhs) && numeric_like(rhs)) {
+            AV c = AV::boolean(verdict == 1);
+            c.tainted = out.tainted;
+            return c;
+          }
+        }
+        out.constancy = AV::Const::Unknown;
+        return out;
+      }
+      default:
+        return out;
+    }
+  }
+
+  /// Comparison folding needs both sides to actually be numbers: a top value
+  /// compared against an interval might be a string at runtime.
+  static bool numeric_like(const AV& v) {
+    return v.constancy == AV::Const::Number || !v.range.is_top();
+  }
+
+  AV eval_unary(const Expr& e) {
+    const AV operand = eval(*e.lhs);
+    AV out = AV::top();
+    out.tainted = operand.tainted;
+    switch (e.un_op) {
+      case UnOp::Not: {
+        const int truth = operand.truthiness();
+        if (truth >= 0) {
+          AV c = AV::boolean(truth == 0);
+          c.tainted = out.tainted;
+          return c;
+        }
+        out.constancy = AV::Const::Unknown;
+        return out;
+      }
+      case UnOp::Neg:
+        if (operand.constancy == AV::Const::Number) {
+          AV c = AV::number(-operand.num);
+          c.tainted = out.tainted;
+          return c;
+        }
+        out.range = operand.range.neg();
+        return out;
+      case UnOp::Len:
+        out.range = {0, Interval::kInf};
+        return out;
+    }
+    return out;
+  }
+
+  AV eval_call(const Expr& e) {
+    std::vector<AV> args;
+    args.reserve(e.args.size());
+    AV callee = eval(*e.fn);
+    for (const auto& a : e.args) args.push_back(eval(*a));
+
+    bool args_tainted = false;
+    for (const AV& a : args) args_tainted = args_tainted || carries_taint(a);
+
+    if (e.is_method) {
+      // obj:method(...) — match sinks by method name: the code-from-string
+      // ingestion methods live on host wrapper tables whose receiver the
+      // analyzer cannot name.
+      if (const std::string* what = natives_.method_sink_of(e.text)) {
+        result_.sinks.insert(":" + e.text);
+        if (taint_enabled_ && args_tainted) {
+          report(Severity::Error, codes::kTaintedSink, e.line, e.col,
+                 "remote-controlled value reaches privileged sink ':" + e.text + "' (" +
+                     *what + ")");
+        }
+      }
+      if (!fn_stack_.empty()) calls_by_name_[fn_stack_.back()].insert(":" + e.text);
+      AV out = AV::top();
+      out.tainted = callee.tainted || args_tainted;
+      return out;
+    }
+
+    // Capability gate on what the callee *value* reaches. A direct dotted
+    // read of a privileged *global* is already policy-checked by the
+    // resolver at the read; this fires for laundered values (locals, table
+    // fields, closure returns).
+    const std::string callee_path = dotted_path(*e.fn);
+    const bool direct =
+        !callee_path.empty() &&
+        find_local(callee_path.substr(0, callee_path.find('.'))) == nullptr;
+    if (!direct && opts_.policy != nullptr) {
+      for (const std::string& cap : callee.caps) {
+        if (!opts_.policy->allows(cap)) {
+          report(Severity::Error, codes::kPolicyViolation, e.line, e.col,
+                 "call to a value reaching capability '" + cap +
+                     "' (via data flow) is not allowed by policy '" + opts_.policy->name +
+                     "'");
+        }
+      }
+    }
+
+    // Calling a definite non-function constant can only fail at runtime.
+    if (callee.is_constant() && callee.fns.empty() && !callee.table &&
+        callee.constancy != AV::Const::Unknown) {
+      report(Severity::Error, codes::kNotCallable, e.fn->line, e.fn->col,
+             std::string("attempt to call a ") + callee.constant_kind() +
+                 " value (provable by dataflow)");
+    }
+
+    if (!callee.origin.empty()) {
+      if (const std::string* what = natives_.sink_of(callee.origin)) {
+        result_.sinks.insert(callee.origin);
+        if (taint_enabled_ && args_tainted) {
+          report(Severity::Error, codes::kTaintedSink, e.line, e.col,
+                 "remote-controlled value reaches privileged sink '" + callee.origin +
+                     "' (" + *what + ")");
+        }
+      }
+      // pcall(sink, tainted...) launders the sink through an indirect call.
+      if ((callee.origin == "pcall") && !args.empty() && !args[0].origin.empty()) {
+        if (const std::string* what = natives_.sink_of(args[0].origin)) {
+          result_.sinks.insert(args[0].origin);
+          bool rest_tainted = false;
+          for (size_t i = 1; i < args.size(); ++i) {
+            rest_tainted = rest_tainted || carries_taint(args[i]);
+          }
+          if (taint_enabled_ && rest_tainted) {
+            report(Severity::Error, codes::kTaintedSink, e.line, e.col,
+                   "remote-controlled value reaches privileged sink '" + args[0].origin +
+                       "' through pcall (" + *what + ")");
+          }
+        }
+      }
+    }
+
+    // Call-graph edges for recursion certification.
+    if (!fn_stack_.empty()) {
+      for (const FunctionDef* def : callee.fns) calls_direct_[fn_stack_.back()].insert(def);
+      if (!callee_path.empty()) calls_by_name_[fn_stack_.back()].insert(callee_path);
+    }
+
+    AV out = AV::top();
+    if (callee.fns.size() == 1) {
+      const auto it = summaries_.find(*callee.fns.begin());
+      if (it != summaries_.end()) out = it->second.ret;
+    }
+    if (!callee.origin.empty() && natives_.is_taint_source(callee.origin)) {
+      out.tainted = true;
+    }
+    out.tainted = out.tainted || callee.tainted || args_tainted;
+    return out;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  void exec_block(const Block& block, const Expr* trailing_cond) {
+    scopes_.emplace_back();
+    std::map<std::string, StorePos> stores;
+    store_tracks_.push_back(&stores);
+    for (const auto& s : block) {
+      if (aborted_) break;
+      exec_stmt(*s);
+    }
+    if (trailing_cond != nullptr && !aborted_) {
+      trailing_cond_av_ = eval(*trailing_cond);
+    }
+    store_tracks_.pop_back();
+    scopes_.pop_back();
+  }
+
+  void exec_stmt(const Stmt& s) {
+    if (!step()) return;
+    switch (s.kind) {
+      case Stmt::Kind::Local: return exec_local(s);
+      case Stmt::Kind::Assign: return exec_assign(s);
+      case Stmt::Kind::Call:
+        eval(*s.call);
+        return;
+      case Stmt::Kind::If: return exec_if(s);
+      case Stmt::Kind::While: return exec_while(s);
+      case Stmt::Kind::Repeat: return exec_repeat(s);
+      case Stmt::Kind::NumericFor: return exec_numeric_for(s);
+      case Stmt::Kind::GenericFor: return exec_generic_for(s);
+      case Stmt::Kind::Return: {
+        AV ret = s.exprs.empty() ? AV::nil() : eval(*s.exprs[0]);
+        for (size_t i = 1; i < s.exprs.size(); ++i) eval(*s.exprs[i]);
+        if (!fn_stack_.empty()) {
+          FnSummary& summary = summaries_[fn_stack_.back()];
+          summary.ret = summary.saw_return ? summary.ret.join(ret) : ret;
+          summary.saw_return = true;
+        }
+        return;
+      }
+      case Stmt::Kind::Break:
+        return;
+      case Stmt::Kind::Do:
+        exec_block(s.blocks[0], nullptr);
+        return;
+    }
+  }
+
+  /// Values for a (possibly multi-value) binding list: name i takes expr i;
+  /// names beyond the expr list take the unknown expansion of a trailing
+  /// call/vararg, nil otherwise.
+  std::vector<AV> eval_binding_list(const Stmt& s) {
+    std::vector<AV> vals;
+    vals.reserve(s.exprs.size());
+    for (const auto& e : s.exprs) vals.push_back(eval(*e));
+    const bool expandable =
+        !s.exprs.empty() && (s.exprs.back()->kind == Expr::Kind::Call ||
+                             s.exprs.back()->kind == Expr::Kind::Vararg);
+    while (vals.size() < s.names.size() + s.targets.size()) {
+      if (expandable) {
+        AV v = AV::top();
+        v.tainted = vals.back().tainted;
+        vals.push_back(v);
+      } else {
+        vals.push_back(AV::nil());
+      }
+    }
+    return vals;
+  }
+
+  void exec_local(const Stmt& s) {
+    // `local function f` (and `local f = function() ... end`): pre-bind the
+    // name to the literal so the body's self-reference resolves and
+    // self-recursion becomes a call-graph edge.
+    const bool fn_sugar = s.names.size() == 1 && s.exprs.size() == 1 &&
+                          s.exprs[0]->kind == Expr::Kind::Function;
+    if (fn_sugar) {
+      AV self;
+      self.fns.insert(s.exprs[0]->def.get());
+      scopes_.back().vars[s.names[0]] = self;
+      defs_by_name_[s.names[0]].insert(s.exprs[0]->def.get());
+    }
+    std::vector<AV> vals = eval_binding_list(s);
+    for (size_t i = 0; i < s.names.size(); ++i) {
+      const AV& v = vals[i];
+      const bool has_init = i < s.exprs.size();
+      for (const FunctionDef* def : v.fns) defs_by_name_[s.names[i]].insert(def);
+      // `local x = nil` and function bindings are declarations, not stores
+      // worth tracking for dead-store purposes; a nil (re)declaration also
+      // does not make the previous binding's store dead (idiomatic clear).
+      note_local_store(s.names[i], s.line, s.col,
+                       has_init && v.constancy != AV::Const::Nil && v.fns.empty(),
+                       /*kill=*/v.constancy != AV::Const::Nil);
+      scopes_.back().vars[s.names[i]] = v;
+    }
+  }
+
+  void exec_assign(const Stmt& s) {
+    // Pre-bind `f = function() ... f() end` self-recursion (also covers the
+    // `function f()` statement sugar, which parses to this shape).
+    const bool fn_sugar = s.targets.size() == 1 && s.exprs.size() == 1 &&
+                          s.exprs[0]->kind == Expr::Kind::Function;
+    if (fn_sugar) {
+      const FunctionDef* def = s.exprs[0]->def.get();
+      const std::string path = dotted_path(*s.targets[0]);
+      if (!path.empty()) {
+        defs_by_name_[path].insert(def);
+        const auto dot = path.rfind('.');
+        if (dot != std::string::npos) {
+          // `function t.helper()` / `function t:m()` — callable through the
+          // field; method-call edges match on ":<name>".
+          defs_by_name_[":" + path.substr(dot + 1)].insert(def);
+        }
+        if (s.targets[0]->kind == Expr::Kind::Name) {
+          AV self;
+          self.fns.insert(def);
+          if (AV* local = find_local(path)) {
+            *local = self;
+          } else {
+            globals_[path] = self;
+          }
+        }
+      }
+    }
+    std::vector<AV> vals = eval_binding_list(s);
+    for (size_t i = 0; i < s.targets.size(); ++i) {
+      assign_target(*s.targets[i], vals[i], s.line, s.col);
+    }
+  }
+
+  void assign_target(const Expr& t, const AV& v, int line, int col) {
+    if (t.kind == Expr::Kind::Name) {
+      for (const FunctionDef* def : v.fns) defs_by_name_[t.text].insert(def);
+      if (AV* local = find_local(t.text)) {
+        // `x = nil` is an idiomatic clear: neither a store worth tracking
+        // nor an overwrite that makes the previous store dead.
+        note_local_store(t.text, line, col,
+                         v.fns.empty() && v.constancy != AV::Const::Nil,
+                         /*kill=*/v.constancy != AV::Const::Nil);
+        *local = v;
+      } else {
+        globals_[t.text] = v;
+      }
+      return;
+    }
+    if (t.kind != Expr::Kind::Index) return;
+    const AV obj = eval(*t.obj);
+    const AV key = eval(*t.key);
+    if (key.constancy == AV::Const::String) {
+      for (const FunctionDef* def : v.fns) {
+        defs_by_name_[":" + key.str].insert(def);
+        if (!obj.origin.empty()) defs_by_name_[obj.origin + "." + key.str].insert(def);
+      }
+      if (obj.table) {
+        // Reference semantics: the store is visible through every alias of
+        // the same AbstractTable.
+        obj.table->fields[key.str] = v;
+        return;
+      }
+    }
+    if (obj.table) {
+      obj.table->rest = obj.table->rest ? std::make_shared<AV>(obj.table->rest->join(v))
+                                        : std::make_shared<AV>(v);
+    }
+  }
+
+  void exec_if(const Stmt& s) {
+    clear_store_tracking();
+    std::vector<AV> conds;
+    conds.reserve(s.conds.size());
+    for (const auto& c : s.conds) conds.push_back(eval(*c));
+    for (size_t i = 0; i < conds.size(); ++i) {
+      const int truth = conds[i].truthiness();
+      if (truth >= 0) {
+        report(Severity::Warning, codes::kAlwaysTrueCondition, s.conds[i]->line,
+               s.conds[i]->col,
+               std::string(i == 0 ? "'if'" : "'elseif'") + " condition is always " +
+                   (truth == 1 ? "true" : "false"));
+      }
+    }
+    const State base = snapshot();
+    State joined = base;
+    bool first = true;
+    const auto run_branch = [&](const Block& b) {
+      restore(base);
+      exec_block(b, nullptr);
+      State out = snapshot();
+      if (first) {
+        joined = std::move(out);
+        first = false;
+      } else {
+        join_state(joined, out);
+      }
+    };
+    for (const auto& b : s.blocks) run_branch(b);
+    if (!s.else_block.empty()) {
+      run_branch(s.else_block);
+    } else {
+      // No else: falling through keeps the base state.
+      join_state(joined, base);
+    }
+    restore(joined);
+  }
+
+  /// Runs a loop body to a conservative post state: two suppressed gather
+  /// passes with join+widen (loop-carried constants melt, intervals widen),
+  /// then one reporting pass from the stabilized state.
+  void run_loop_body(const Block& body, const Expr* trailing_cond) {
+    clear_store_tracking();
+    const State pre = snapshot();
+    State merged = pre;
+    for (int pass = 0; pass < 2; ++pass) {
+      ++suppress_;
+      exec_block(body, trailing_cond);
+      --suppress_;
+      State out = snapshot();
+      join_state(merged, out);
+      widen_state(merged, pre);
+      restore(merged);
+    }
+    exec_block(body, trailing_cond);
+    State final_state = snapshot();
+    join_state(final_state, merged);
+    restore(final_state);
+  }
+
+  void exec_while(const Stmt& s) {
+    const AV cond = eval(*s.conds[0]);
+    if (cost_enabled_ && cond.truthiness() == 1 &&
+        !has_loop_exit(s.blocks[0], /*breaks_count=*/true)) {
+      result_.cost_bounded = false;
+      report(Severity::Error, codes::kUnboundedLoop, s.line, s.col,
+             "'while' condition is always true and the body never breaks or "
+             "returns; unbounded loops are not certifiable under policy '" +
+                 opts_.policy->name + "'");
+    }
+    // Zero-iteration case: run_loop_body's merged state already includes the
+    // pre-loop state, so nothing further to join here.
+    run_loop_body(s.blocks[0], nullptr);
+  }
+
+  void exec_repeat(const Stmt& s) {
+    // Lua scoping: the until-condition sees the body's locals, so it is
+    // evaluated inside the body's scope (trailing_cond).
+    run_loop_body(s.blocks[0], s.conds[0].get());
+    if (cost_enabled_ && trailing_cond_av_.truthiness() == 0 &&
+        !has_loop_exit(s.blocks[0], /*breaks_count=*/true)) {
+      result_.cost_bounded = false;
+      report(Severity::Error, codes::kUnboundedLoop, s.line, s.col,
+             "'repeat' condition is always false and the body never breaks or "
+             "returns; unbounded loops are not certifiable under policy '" +
+                 opts_.policy->name + "'");
+    }
+  }
+
+  void exec_numeric_for(const Stmt& s) {
+    const AV start = eval(*s.exprs[0]);
+    const AV stop = eval(*s.exprs[1]);
+    AV step = s.exprs.size() > 2 ? eval(*s.exprs[2]) : AV::number(1);
+    if (cost_enabled_ && step.constancy == AV::Const::Number && step.num == 0) {
+      result_.cost_bounded = false;
+      report(Severity::Error, codes::kUnboundedLoop, s.line, s.col,
+             "numeric 'for' with a constant zero step never advances; "
+             "unbounded loops are not certifiable under policy '" +
+                 opts_.policy->name + "'");
+    }
+    clear_store_tracking();
+    scopes_.emplace_back();
+    AV var = AV::top();
+    // The induction variable ranges over the hull of both bounds; constancy
+    // stays unknown (it varies), but the interval folds comparisons.
+    var.range = start.range.join(stop.range);
+    var.tainted = start.tainted || stop.tainted;
+    scopes_.back().vars[s.names[0]] = var;
+    run_loop_body(s.blocks[0], nullptr);
+    scopes_.pop_back();
+  }
+
+  void exec_generic_for(const Stmt& s) {
+    AV iterated = AV::top();
+    for (const auto& e : s.exprs) iterated = iterated.join(eval(*e));
+    clear_store_tracking();
+    scopes_.emplace_back();
+    for (const auto& n : s.names) {
+      AV v = AV::top();
+      v.tainted = carries_taint(iterated);
+      scopes_.back().vars[n] = v;
+    }
+    run_loop_body(s.blocks[0], nullptr);
+    scopes_.pop_back();
+  }
+
+  // ---- recursion certification ---------------------------------------------
+
+  void detect_recursion() {
+    if (!cost_enabled_ || aborted_) return;
+    // Expand name-based edges against the complete binding map, so mutual
+    // recursion is caught regardless of definition order.
+    std::map<const FunctionDef*, std::set<const FunctionDef*>> graph = calls_direct_;
+    for (const auto& [def, names] : calls_by_name_) {
+      for (const std::string& name : names) {
+        const auto it = defs_by_name_.find(name);
+        if (it == defs_by_name_.end()) continue;
+        graph[def].insert(it->second.begin(), it->second.end());
+      }
+    }
+    // Iterative DFS with tri-color marking; a back edge into the active
+    // stack certifies a cycle.
+    std::map<const FunctionDef*, int> color;  // 0 white, 1 gray, 2 black
+    std::set<const FunctionDef*> recursive;
+    static const std::set<const FunctionDef*> kNoSucc;
+    for (const auto& [root, edges] : graph) {
+      if (color[root] != 0) continue;
+      std::vector<std::pair<const FunctionDef*, size_t>> stack{{root, 0}};
+      color[root] = 1;
+      while (!stack.empty()) {
+        const FunctionDef* node = stack.back().first;
+        const auto eit = graph.find(node);
+        const auto& succ = eit != graph.end() ? eit->second : kNoSucc;
+        if (stack.back().second >= succ.size()) {
+          color[node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        auto sit = succ.begin();
+        std::advance(sit, static_cast<long>(stack.back().second));
+        ++stack.back().second;
+        const FunctionDef* next = *sit;
+        if (color[next] == 1) {
+          // Everything on the stack from `next` up participates in the cycle.
+          bool in_cycle = false;
+          for (const auto& entry : stack) {
+            if (entry.first == next) in_cycle = true;
+            if (in_cycle) recursive.insert(entry.first);
+          }
+        } else if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      }
+    }
+    for (const FunctionDef* def : recursive) {
+      result_.cost_bounded = false;
+      report(Severity::Error, codes::kUnboundedRecursion, def->line, def->col,
+             "function '" + def->name +
+                 "' participates in a call-graph cycle; recursion is not "
+                 "certifiable under policy '" +
+                 opts_.policy->name + "'");
+    }
+  }
+
+  const NativeRegistry& natives_;
+  const DataflowOptions& opts_;
+  std::set<std::string> extra_globals_;
+  bool taint_enabled_ = false;
+  bool cost_enabled_ = false;
+
+  std::vector<Frame> scopes_;
+  std::map<std::string, AV> globals_;
+  std::vector<const FunctionDef*> fn_stack_;
+  std::map<const FunctionDef*, FnSummary> summaries_;
+
+  std::map<const FunctionDef*, std::set<std::string>> calls_by_name_;
+  std::map<const FunctionDef*, std::set<const FunctionDef*>> calls_direct_;
+  std::map<std::string, std::set<const FunctionDef*>> defs_by_name_;
+
+  std::vector<std::map<std::string, StorePos>*> store_tracks_;
+  std::set<std::string> captured_;
+
+  AV trailing_cond_av_;
+  int suppress_ = 0;
+  size_t steps_ = 0;
+  bool aborted_ = false;
+  std::set<std::tuple<std::string, int, int>> reported_;
+  DataflowResult result_;
+};
+
+}  // namespace
+
+DataflowResult analyze_dataflow(const Chunk& chunk, const NativeRegistry& natives,
+                                const DataflowOptions& opts) {
+  return DataflowEngine(natives, opts).run(chunk);
+}
+
+}  // namespace adapt::script::analysis

@@ -1,0 +1,76 @@
+// Abstract-interpretation dataflow pass over the Luma AST.
+//
+// Runs after the name resolver (analyzer.cpp) on the same parsed chunk and
+// executes three analyses on one forward fixpoint engine over the
+// AbstractValue lattice (lattice.h):
+//
+//   capability inference   capability-tagged values are tracked through
+//                          local bindings, table fields, closures and
+//                          returns, so the policy gate fires on what a chunk
+//                          can *reach*, not what it literally names
+//                          (`local f = privileged; f()` is flagged at the
+//                          call, and the inferred capability manifest lists
+//                          every tag the chunk touches for least-privilege
+//                          auditing via lumalint).
+//   taint tracking         values originating from remote data — function
+//                          parameters (hosts call shipped functions with
+//                          event payloads), varargs, and taint-source
+//                          natives (events.last, read, readfrom) — flowing
+//                          into privileged sinks (NativeRegistry::mark_sink
+//                          / mark_method_sink) become error-severity
+//                          `tainted-sink` diagnostics when the policy sets
+//                          reject_tainted_sinks.
+//   cost certification     provably unbounded `while`/`repeat` loops (a
+//                          constant-truthy condition and no break/return on
+//                          any path), zero-step numeric-for loops, and
+//                          call-graph recursion become error-severity
+//                          `unbounded-loop` / `unbounded-recursion`
+//                          diagnostics when the policy sets
+//                          require_bounded_cost.
+//
+// Constant and interval propagation additionally powers the advisory
+// diagnostics `div-by-zero`, `always-true-condition` and `dead-store`.
+//
+// The engine is conservative in the accepting direction: every diagnostic
+// requires a fact provable on all paths, so widening and analysis limits
+// can only suppress findings, never invent them.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "script/analysis/diagnostics.h"
+#include "script/analysis/policy.h"
+#include "script/analysis/registry.h"
+#include "script/parser.h"
+
+namespace adapt::script::analysis {
+
+struct DataflowOptions {
+  /// Policy controlling taint / cost enforcement; nullptr disables both and
+  /// leaves only the policy-independent diagnostics.
+  const CapabilityPolicy* policy = nullptr;
+  /// Additional known globals (a live engine's root environment).
+  std::vector<std::string> extra_globals;
+  /// Hostile-input bailout: the interpreter stops after visiting this many
+  /// AST nodes and reports a conservative (accepting) result.
+  size_t max_steps = 200000;
+};
+
+struct DataflowResult {
+  std::vector<Diagnostic> diags;
+  /// Capability tags the chunk can reach (the inferred manifest).
+  std::set<std::string> capabilities;
+  /// Privileged sinks the chunk invokes (dotted natives and :method names).
+  std::set<std::string> sinks;
+  /// False when an unbounded loop or recursion was certified.
+  bool cost_bounded = true;
+  /// True when max_steps was hit; diagnostics are incomplete but sound.
+  bool aborted = false;
+};
+
+DataflowResult analyze_dataflow(const Chunk& chunk, const NativeRegistry& natives,
+                                const DataflowOptions& opts = {});
+
+}  // namespace adapt::script::analysis

@@ -30,10 +30,18 @@ inline constexpr const char* kArityMismatch = "arity-mismatch";
 inline constexpr const char* kNotCallable = "not-callable";
 inline constexpr const char* kVarargOutsideFunction = "vararg-outside-function";
 inline constexpr const char* kPolicyViolation = "policy-violation";
+// Dataflow pass, error severity (dataflow.cpp):
+inline constexpr const char* kTaintedSink = "tainted-sink";
+inline constexpr const char* kUnboundedLoop = "unbounded-loop";
+inline constexpr const char* kUnboundedRecursion = "unbounded-recursion";
 // Warning severity (advisory):
 inline constexpr const char* kUseBeforeDecl = "use-before-decl";
 inline constexpr const char* kUnusedLocal = "unused-local";
 inline constexpr const char* kUnreachableCode = "unreachable-code";
+inline constexpr const char* kShadowedLocal = "shadowed-local";
+inline constexpr const char* kDivByZero = "div-by-zero";
+inline constexpr const char* kAlwaysTrueCondition = "always-true-condition";
+inline constexpr const char* kDeadStore = "dead-store";
 // Hint severity (style; the paper's own listings trip these):
 inline constexpr const char* kUnusedParam = "unused-param";
 }  // namespace codes

@@ -1,0 +1,189 @@
+// Abstract-value lattice for the Luma dataflow analyzer (dataflow.cpp).
+//
+// One AbstractValue summarizes everything the fixpoint engine knows about a
+// runtime value at a program point, across four largely independent
+// dimensions:
+//
+//   constancy   exact constant (nil/true/false/number/string) or unknown;
+//               numbers additionally carry an Interval so non-constant
+//               values still fold comparisons and certify loop bounds.
+//   capability  the set of capability tags (NativeRegistry::tag) reachable
+//               *through* this value, plus the dotted origin path when the
+//               value is a specific native ("lb.set_policy"). This is what
+//               survives `local f = lb.set_policy`-style aliasing.
+//   taint       whether the value may carry remotely-supplied data (event
+//               payloads, function arguments, readfrom/events.last results).
+//   payloads    function literals this value may hold (for return-value
+//               propagation and call-graph recursion detection) and a table
+//               model for field-sensitive flows through constructors.
+//
+// Join is pointwise: constancy meets to unknown unless equal, intervals
+// join, capability/taint/payload sets union, tables merge per key. The
+// direction is always "know less, allow more" — the analyzer only acts on
+// facts that hold on every path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "script/analysis/interval.h"
+
+namespace adapt::script {
+struct FunctionDef;
+}  // namespace adapt::script
+
+namespace adapt::script::analysis {
+
+struct AbstractTable;
+using AbstractTablePtr = std::shared_ptr<AbstractTable>;
+
+struct AbstractValue {
+  enum class Const {
+    Unknown,  // top of the constancy dimension
+    Nil,
+    True,
+    False,
+    Number,  // exact value in `num`
+    String,  // exact value in `str`
+  };
+
+  Const constancy = Const::Unknown;
+  double num = 0;
+  std::string str;
+  /// Range when the value is (possibly) a number; exactly `num` for
+  /// Const::Number, conservative otherwise.
+  Interval range = Interval::top();
+
+  std::set<std::string> caps;  // capability tags reachable through the value
+  /// Dotted path of the native this value aliases ("lb.set_policy"), or ""
+  /// when it is not a specific native. Survives local/table/closure
+  /// laundering, which is what lets sink checks follow values, not names.
+  std::string origin;
+
+  bool tainted = false;
+
+  /// Function literals this value may hold.
+  std::set<const FunctionDef*> fns;
+  /// Field model when this value may be a table; aliasing a table copies the
+  /// pointer, mirroring reference semantics at runtime.
+  AbstractTablePtr table;
+
+  // ---- constructors --------------------------------------------------------
+
+  static AbstractValue top() { return {}; }
+
+  static AbstractValue nil() {
+    AbstractValue v;
+    v.constancy = Const::Nil;
+    return v;
+  }
+
+  static AbstractValue boolean(bool b) {
+    AbstractValue v;
+    v.constancy = b ? Const::True : Const::False;
+    return v;
+  }
+
+  static AbstractValue number(double d) {
+    AbstractValue v;
+    v.constancy = Const::Number;
+    v.num = d;
+    v.range = Interval::constant(d);
+    return v;
+  }
+
+  static AbstractValue string(std::string s) {
+    AbstractValue v;
+    v.constancy = Const::String;
+    v.str = std::move(s);
+    return v;
+  }
+
+  // ---- predicates ----------------------------------------------------------
+
+  [[nodiscard]] bool is_constant() const { return constancy != Const::Unknown; }
+
+  /// Lua truthiness when statically known: +1 truthy, 0 falsy, -1 unknown.
+  /// Note 0 and "" are truthy in Lua; only nil and false are falsy.
+  [[nodiscard]] int truthiness() const {
+    switch (constancy) {
+      case Const::Unknown: return -1;
+      case Const::Nil:
+      case Const::False: return 0;
+      default: return 1;
+    }
+  }
+
+  /// A human-readable name of the constant's kind (diagnostics).
+  [[nodiscard]] const char* constant_kind() const {
+    switch (constancy) {
+      case Const::Nil: return "nil";
+      case Const::True:
+      case Const::False: return "boolean";
+      case Const::Number: return "number";
+      case Const::String: return "string";
+      case Const::Unknown: return "value";
+    }
+    return "value";
+  }
+
+  [[nodiscard]] AbstractValue join(const AbstractValue& o) const;
+};
+
+/// Field-sensitive table model: constant-string keys map to abstract values;
+/// `rest` summarizes every dynamically-keyed or joined-away field.
+struct AbstractTable {
+  std::map<std::string, AbstractValue> fields;
+  /// Join of values stored under unknown keys (null = none stored).
+  std::shared_ptr<AbstractValue> rest;
+};
+
+inline AbstractValue AbstractValue::join(const AbstractValue& o) const {
+  AbstractValue out;
+  // Constancy: equal constants survive, anything else melts to unknown.
+  const bool same_const =
+      constancy == o.constancy &&
+      (constancy != Const::Number || num == o.num) &&
+      (constancy != Const::String || str == o.str);
+  if (same_const) {
+    out.constancy = constancy;
+    out.num = num;
+    out.str = str;
+  }
+  out.range = range.join(o.range);
+  out.caps = caps;
+  out.caps.insert(o.caps.begin(), o.caps.end());
+  out.origin = origin == o.origin ? origin : std::string();
+  out.tainted = tainted || o.tainted;
+  out.fns = fns;
+  out.fns.insert(o.fns.begin(), o.fns.end());
+  if (table && o.table) {
+    if (table == o.table) {
+      out.table = table;
+    } else {
+      auto merged = std::make_shared<AbstractTable>(*table);
+      for (const auto& [k, v] : o.table->fields) {
+        const auto it = merged->fields.find(k);
+        if (it == merged->fields.end()) {
+          merged->fields.emplace(k, v);
+        } else {
+          it->second = it->second.join(v);
+        }
+      }
+      if (o.table->rest) {
+        merged->rest = merged->rest
+                           ? std::make_shared<AbstractValue>(merged->rest->join(*o.table->rest))
+                           : o.table->rest;
+      }
+      out.table = std::move(merged);
+    }
+  } else {
+    out.table = table ? table : o.table;
+  }
+  return out;
+}
+
+}  // namespace adapt::script::analysis

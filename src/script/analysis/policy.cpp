@@ -4,17 +4,27 @@ namespace adapt::script::analysis {
 
 const CapabilityPolicy& monitor_policy() {
   // "events": monitor scripts publish adaptation signals to an event channel
-  // (the channel-publication mode of EventMonitor).
-  static const CapabilityPolicy p{"monitor", false, {"monitor", "obs", "io", "events"}};
+  // (the channel-publication mode of EventMonitor). Monitor code runs on the
+  // update timer / event hot path, so cost certification is on: an
+  // unbounded loop in an aspect would stall every monitor consumer.
+  static const CapabilityPolicy p{"monitor",
+                                  false,
+                                  {"monitor", "obs", "io", "events"},
+                                  /*reject_tainted_sinks=*/true,
+                                  /*require_bounded_cost=*/true};
   return p;
 }
 
 const CapabilityPolicy& strategy_policy() {
   // "lb": strategies may retune replica balancing (lb.set_policy, lb.score).
+  // Strategies run off the hot path (rebind / event handling), so loops are
+  // allowed — but remote data steering a privileged sink is not.
   static const CapabilityPolicy p{
       "strategy",
       false,
-      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra", "events", "lb"}};
+      {"monitor", "obs", "io", "orb", "trading", "agent", "proxy", "infra", "events", "lb"},
+      /*reject_tainted_sinks=*/true,
+      /*require_bounded_cost=*/false};
   return p;
 }
 

@@ -25,6 +25,19 @@ struct CapabilityPolicy {
   bool allow_all = false;
   std::set<std::string> allowed;  // capability tags
 
+  /// Taint tracking: values originating from remote data (function
+  /// arguments, event payloads, readfrom/events.last results) flowing into a
+  /// privileged sink (NativeRegistry::mark_sink / mark_method_sink) become
+  /// error-severity `tainted-sink` diagnostics.
+  bool reject_tainted_sinks = false;
+
+  /// Cost certification: provably unbounded loops (`while true` with no
+  /// exit, zero-step numeric for) and call-graph recursion become
+  /// error-severity `unbounded-loop` / `unbounded-recursion` diagnostics.
+  /// Set for code that runs on hot paths the host cannot preempt (monitor
+  /// update functions, event predicates).
+  bool require_bounded_cost = false;
+
   [[nodiscard]] bool allows(const std::string& capability) const {
     return allow_all || allowed.count(capability) != 0;
   }

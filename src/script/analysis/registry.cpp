@@ -12,15 +12,33 @@ std::string base_of(const std::string& dotted) {
 void NativeRegistry::declare(const std::string& dotted, int min_args, int max_args) {
   sigs_[dotted] = NativeSignature{min_args, max_args};
   globals_.insert(base_of(dotted));
+  ++version_;
 }
 
 void NativeRegistry::declare_global(const std::string& name) {
   globals_.insert(base_of(name));
+  ++version_;
 }
 
 void NativeRegistry::tag(const std::string& base_global, const std::string& capability) {
   caps_[base_global] = capability;
   globals_.insert(base_global);
+  ++version_;
+}
+
+void NativeRegistry::mark_sink(const std::string& dotted, const std::string& what) {
+  sinks_[dotted] = what;
+  ++version_;
+}
+
+void NativeRegistry::mark_method_sink(const std::string& method, const std::string& what) {
+  method_sinks_[method] = what;
+  ++version_;
+}
+
+void NativeRegistry::mark_taint_source(const std::string& dotted) {
+  taint_sources_.insert(dotted);
+  ++version_;
 }
 
 const NativeSignature* NativeRegistry::lookup(const std::string& dotted) const {
@@ -35,6 +53,20 @@ bool NativeRegistry::knows_global(const std::string& base) const {
 const std::string* NativeRegistry::capability_of(const std::string& base) const {
   const auto it = caps_.find(base);
   return it == caps_.end() ? nullptr : &it->second;
+}
+
+const std::string* NativeRegistry::sink_of(const std::string& dotted) const {
+  const auto it = sinks_.find(dotted);
+  return it == sinks_.end() ? nullptr : &it->second;
+}
+
+const std::string* NativeRegistry::method_sink_of(const std::string& method) const {
+  const auto it = method_sinks_.find(method);
+  return it == method_sinks_.end() ? nullptr : &it->second;
+}
+
+bool NativeRegistry::is_taint_source(const std::string& dotted) const {
+  return taint_sources_.count(dotted) != 0;
 }
 
 std::vector<std::string> NativeRegistry::globals() const {

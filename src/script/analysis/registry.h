@@ -7,6 +7,7 @@
 // ORB/monitor objects — `lumalint` builds the catalog standalone.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -33,16 +34,45 @@ class NativeRegistry {
   /// Untagged globals are unprivileged and allowed under every policy.
   void tag(const std::string& base_global, const std::string& capability);
 
+  /// Marks a dotted native as a privileged sink: calling it with a tainted
+  /// argument is a `tainted-sink` error under taint-checking policies.
+  /// `what` describes the privilege for the diagnostic message
+  /// ("retunes replica balancing", "deploys code").
+  void mark_sink(const std::string& dotted, const std::string& what);
+
+  /// Marks a *method name* as a sink: `obj:name(...)` calls are flagged when
+  /// any argument is tainted, regardless of the receiver. Covers the
+  /// code-from-string ingestion methods on host wrapper tables
+  /// (defineAspect, attachEventObserver, run_script, ...).
+  void mark_method_sink(const std::string& method, const std::string& what);
+
+  /// Marks a dotted native whose *return value* carries remote data
+  /// (events.last, read, readfrom): results are tainted at the call site.
+  void mark_taint_source(const std::string& dotted);
+
   [[nodiscard]] const NativeSignature* lookup(const std::string& dotted) const;
   [[nodiscard]] bool knows_global(const std::string& base) const;
   /// Capability tag of a base global, or nullptr when unprivileged.
   [[nodiscard]] const std::string* capability_of(const std::string& base) const;
+  /// Sink description of a dotted native, or nullptr when not a sink.
+  [[nodiscard]] const std::string* sink_of(const std::string& dotted) const;
+  /// Sink description of a method name, or nullptr when not a method sink.
+  [[nodiscard]] const std::string* method_sink_of(const std::string& method) const;
+  [[nodiscard]] bool is_taint_source(const std::string& dotted) const;
   [[nodiscard]] std::vector<std::string> globals() const;
+
+  /// Monotone catalog version: bumped by every mutation. Verdict caches key
+  /// on it so a binding installed after a verdict was cached invalidates it.
+  [[nodiscard]] uint64_t version() const { return version_; }
 
  private:
   std::map<std::string, NativeSignature> sigs_;  // dotted path -> signature
   std::set<std::string> globals_;                // known base globals
   std::map<std::string, std::string> caps_;      // base global -> capability
+  std::map<std::string, std::string> sinks_;     // dotted path -> privilege
+  std::map<std::string, std::string> method_sinks_;  // method name -> privilege
+  std::set<std::string> taint_sources_;          // dotted paths
+  uint64_t version_ = 0;
 };
 
 }  // namespace adapt::script::analysis

@@ -66,6 +66,7 @@ Value ScriptEngine::call1(const Value& fn, const ValueList& args) {
 
 void ScriptEngine::set_global(const std::string& name, Value v) {
   std::scoped_lock lock(mu_);
+  if (!globals_->has_local(name)) ++env_epoch_;
   globals_->define(name, std::move(v));
 }
 
@@ -104,6 +105,60 @@ std::vector<analysis::Diagnostic> ScriptEngine::analyze_function(
   // Must match compile_function's wrapping so line numbers agree.
   const std::string wrapped = "return (" + std::string(code) + "\n)";
   return analyze(wrapped, chunk_name, policy);
+}
+
+namespace {
+
+uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr size_t kMaxCachedVerdicts = 256;
+
+}  // namespace
+
+ScriptEngine::AnalysisVerdict ScriptEngine::analyze_cached(
+    std::string_view code, const std::string& chunk_name,
+    const analysis::CapabilityPolicy* policy) {
+  std::scoped_lock lock(mu_);
+  const std::string key = std::to_string(fnv1a(code)) + ':' +
+                          std::to_string(code.size()) + ':' +
+                          (policy != nullptr ? policy->name : std::string()) + ':' +
+                          std::to_string(natives_.version()) + ':' +
+                          std::to_string(env_epoch_);
+  if (const auto it = verdicts_.find(key); it != verdicts_.end()) {
+    AnalysisVerdict v = it->second;
+    v.cache_hit = true;
+    return v;
+  }
+  analysis::AnalyzeOptions opts;
+  opts.policy = policy;
+  opts.extra_globals = globals_->names();
+  analysis::AnalysisReport report =
+      analysis::analyze_source_full(code, chunk_name, natives_, opts);
+  AnalysisVerdict v;
+  v.diags = std::move(report.diags);
+  v.capabilities = std::move(report.capabilities);
+  v.sinks = std::move(report.sinks);
+  const bool parse_failed =
+      !v.diags.empty() && v.diags.front().code == analysis::codes::kParseError;
+  if (!parse_failed) {
+    if (verdicts_.size() >= kMaxCachedVerdicts) verdicts_.clear();
+    verdicts_.emplace(key, v);
+  }
+  return v;
+}
+
+ScriptEngine::AnalysisVerdict ScriptEngine::analyze_function_cached(
+    std::string_view code, const std::string& chunk_name,
+    const analysis::CapabilityPolicy* policy) {
+  const std::string wrapped = "return (" + std::string(code) + "\n)";
+  return analyze_cached(wrapped, chunk_name, policy);
 }
 
 void ScriptEngine::set_print_sink(std::function<void(const std::string&)> sink) {

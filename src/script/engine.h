@@ -6,11 +6,14 @@
 // monitor's timer thread and application threads can share one engine.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <random>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -83,6 +86,29 @@ class ScriptEngine {
       std::string_view code, const std::string& chunk_name = "=fn",
       const analysis::CapabilityPolicy* policy = nullptr);
 
+  /// A cached analysis outcome for an ingestion point: the merged
+  /// diagnostics plus the dataflow pass's inferred capability manifest and
+  /// sink list, and whether this call was served from the verdict cache.
+  struct AnalysisVerdict {
+    std::vector<analysis::Diagnostic> diags;
+    std::set<std::string> capabilities;
+    std::set<std::string> sinks;
+    bool cache_hit = false;
+  };
+
+  /// analyze()/analyze_function() with memoized verdicts. Monitors re-verify
+  /// the same aspect/update code on every reinstall and proxies re-analyze
+  /// strategy scripts per event, so ingestion points use these. Keyed by
+  /// (code hash, policy, native-catalog version, root-environment epoch) —
+  /// registering a new native or global invalidates stale verdicts; verdicts
+  /// containing parse errors are never cached (messages embed chunk names).
+  AnalysisVerdict analyze_cached(std::string_view code,
+                                 const std::string& chunk_name = "=analyze",
+                                 const analysis::CapabilityPolicy* policy = nullptr);
+  AnalysisVerdict analyze_function_cached(std::string_view code,
+                                          const std::string& chunk_name = "=fn",
+                                          const analysis::CapabilityPolicy* policy = nullptr);
+
   /// Redirects print() output (default: stdout). Used by tests.
   void set_print_sink(std::function<void(const std::string&)> sink);
 
@@ -110,6 +136,14 @@ class ScriptEngine {
   std::mt19937 rng_{12345};
   std::function<void(const std::string&)> print_sink_;
   std::unique_ptr<Io> io_;
+
+  /// Verdict cache for analyze_cached. Bounded; cleared wholesale when full
+  /// (ingestion points cycle over a small set of code strings in practice).
+  std::map<std::string, AnalysisVerdict> verdicts_;
+  /// Bumped only when set_global introduces a *new* name: rebinding an
+  /// existing global (the smart-proxy handle on every strategy eval) cannot
+  /// change name resolution, so it must not evict hot-path verdicts.
+  uint64_t env_epoch_ = 0;
 
   friend void install_stdlib(ScriptEngine& engine);
 };

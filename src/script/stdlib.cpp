@@ -709,6 +709,10 @@ void declare_stdlib_signatures(analysis::NativeRegistry& reg) {
   reg.declare("read", 0, -1);
   reg.tag("readfrom", "io");
   reg.tag("read", "io");
+  // File contents are external data; a remote-controlled path is a sink.
+  reg.mark_taint_source("read");
+  reg.mark_taint_source("readfrom");
+  reg.mark_sink("readfrom", "opens a host file path");
 }
 
 }  // namespace adapt::script

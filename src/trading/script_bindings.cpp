@@ -154,6 +154,9 @@ void declare_trading_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("trading.add_type", 1, 3);
   reg.declare("trading.types", 0, 0);
   reg.tag("trading", "trading");
+  // Exporting a service offer with remote-controlled properties would let an
+  // event payload forge trader entries.
+  reg.mark_sink("trading.export", "exports a service offer to the trader");
 }
 
 }  // namespace adapt::trading

@@ -79,7 +79,16 @@ INSTANTIATE_TEST_SUITE_P(
                      codes::kVarargOutsideFunction, Severity::Error, 1},
         SeededDefect{"VarargInFixedFunction", "f = function(a)\nreturn ...\nend",
                      codes::kVarargOutsideFunction, Severity::Error, 2},
-        SeededDefect{"ParseError", "function(", codes::kParseError, Severity::Error, 1}),
+        SeededDefect{"ParseError", "function(", codes::kParseError, Severity::Error, 1},
+        SeededDefect{"ShadowedLocal", "f = function()\nlocal a = 1\nlocal a = 2\nreturn a\nend",
+                     codes::kShadowedLocal, Severity::Warning, 3},
+        SeededDefect{"DivByZero", "local d = 0\nreturn 1 / d", codes::kDivByZero,
+                     Severity::Warning, 2},
+        SeededDefect{"DeadStore", "local x = 1\nx = 2\nreturn x", codes::kDeadStore,
+                     Severity::Warning, 1},
+        SeededDefect{"AlwaysTrueCondition",
+                     "local x = 5\nif x > 1 then\nresult = 1\nend\nreturn result",
+                     codes::kAlwaysTrueCondition, Severity::Warning, 2}),
     [](const ::testing::TestParamInfo<SeededDefect>& info) { return info.param.name; });
 
 // ---- resolver details ------------------------------------------------------
@@ -154,6 +163,53 @@ TEST(AnalyzerTest, ParseErrorCarriesPosition) {
   EXPECT_EQ(diags[0].code, codes::kParseError);
   EXPECT_EQ(diags[0].severity, Severity::Error);
   EXPECT_GT(diags[0].line, 0);
+}
+
+TEST(AnalyzerTest, ShadowedLocalFromEnclosingBlockWarned) {
+  ScriptEngine engine;
+  const auto diags = engine.analyze(
+      "f = function()\n"
+      "local a = 1\n"
+      "if a > 0 then\n"
+      "local a = 2\n"
+      "return a\n"
+      "end\n"
+      "return a\n"
+      "end");
+  const Diagnostic* d = find_code(diags, codes::kShadowedLocal);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 4);
+  EXPECT_NE(d->message.find("enclosing"), std::string::npos) << d->message;
+}
+
+TEST(AnalyzerTest, NestedShadowingReportsEachUnusedLocalExactlyOnce) {
+  ScriptEngine engine;
+  // Outer and inner `a` are both unused: one unused-local each, no
+  // duplicates from the shadowing bookkeeping.
+  const auto diags = engine.analyze(
+      "f = function(flag)\n"
+      "local a = 1\n"
+      "if flag then\n"
+      "local a = 2\n"
+      "end\n"
+      "end");
+  const auto unused = std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.code == codes::kUnusedLocal;
+  });
+  EXPECT_EQ(unused, 2);
+  EXPECT_TRUE(has_code(diags, codes::kShadowedLocal));
+}
+
+TEST(AnalyzerTest, ShadowingRedeclarationKeepsUnusedLocalFinding) {
+  ScriptEngine engine;
+  // The first `a` is never read before being redeclared: the scope-map
+  // overwrite must not swallow its unused-local finding.
+  const auto diags = engine.analyze(
+      "f = function()\nlocal a = 1\nlocal a = 2\nreturn a\nend");
+  EXPECT_TRUE(has_code(diags, codes::kShadowedLocal));
+  const Diagnostic* unused = find_code(diags, codes::kUnusedLocal);
+  ASSERT_NE(unused, nullptr);
+  EXPECT_EQ(unused->line, 2) << "the overwritten declaration is the unused one";
 }
 
 // ---- capability policies ---------------------------------------------------
@@ -300,6 +356,37 @@ TEST_F(EnforcementTest, AgentRejectsBadStrategyUploadBeforeExecution) {
   // An accepted upload runs unchanged.
   agent.run_script("marker = 2");
   EXPECT_DOUBLE_EQ(agent.engine()->get_global("marker").as_number(), 2.0);
+}
+
+TEST_F(EnforcementTest, ReinstallServesVerdictFromCacheAndCountsIt) {
+  // Monitors re-verify aspect code on every install; the second install of
+  // identical code must be served from the engine's verdict cache, visible
+  // as a `luma.lint.cache_hit` tick alongside the `luma.lint.analyzed` one.
+  auto mon = std::make_shared<monitor::BasicMonitor>("Load", engine_);
+  const char* code = "function(self, v, m) return v[1] end";
+  const uint64_t analyzed_before = obs::metrics().counter("luma.lint.analyzed").value();
+  const uint64_t hits_before = obs::metrics().counter("luma.lint.cache_hit").value();
+
+  mon->defineAspect("first", code);
+  EXPECT_EQ(obs::metrics().counter("luma.lint.analyzed").value(), analyzed_before + 1);
+  EXPECT_EQ(obs::metrics().counter("luma.lint.cache_hit").value(), hits_before);
+
+  mon->defineAspect("second", code);
+  EXPECT_EQ(obs::metrics().counter("luma.lint.analyzed").value(), analyzed_before + 2);
+  EXPECT_EQ(obs::metrics().counter("luma.lint.cache_hit").value(), hits_before + 1);
+}
+
+TEST_F(EnforcementTest, MonitorRejectsUnboundedAspect) {
+  // Aspect evaluators run on the monitor's update hot path: the monitor
+  // policy certifies cost, so a provably unbounded loop is refused.
+  auto mon = std::make_shared<monitor::BasicMonitor>("Load", engine_);
+  try {
+    mon->defineAspect("spin", "function(self, v, m)\nwhile true do\nv = v\nend\nend");
+    FAIL() << "expected rejection";
+  } catch (const monitor::MonitorError& e) {
+    EXPECT_NE(std::string(e.what()).find("unbounded-loop"), std::string::npos) << e.what();
+  }
+  EXPECT_TRUE(mon->definedAspects().empty());
 }
 
 TEST_F(EnforcementTest, MonitorRejectsUpdateCodeWithParseError) {

@@ -1,0 +1,412 @@
+// Dataflow-pass tests: capability inference through aliases (locals, table
+// fields, closures), taint tracking from remote data into privileged sinks,
+// cost certification (unbounded loops / recursion), the constant/interval
+// diagnostics, the inferred manifest, and the engine's verdict cache.
+#include "script/analysis/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "script/analysis/analyzer.h"
+#include "script/analysis/policy.h"
+#include "script/engine.h"
+
+namespace adapt::script::analysis {
+namespace {
+
+bool has_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+size_t count_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  return static_cast<size_t>(std::count_if(
+      diags.begin(), diags.end(), [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+const Diagnostic* find_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+/// A catalog shaped like a live agent engine: stdlib (read/readfrom are
+/// taint sources), a privileged trading namespace, the lb tuning sink, the
+/// events taint source, and a host wrapper object with a method sink.
+NativeRegistry make_catalog() {
+  NativeRegistry reg;
+  declare_stdlib_signatures(reg);
+  reg.declare("trading.query", 1, 4);
+  reg.tag("trading", "trading");
+  reg.declare("lb.set_policy", 1, 2);
+  reg.tag("lb", "lb");
+  reg.mark_sink("lb.set_policy", "retunes replica balancing policy");
+  reg.declare("events.last", 0, 1);
+  reg.tag("events", "events");
+  reg.mark_taint_source("events.last");
+  reg.declare_global("agent0");
+  reg.mark_method_sink("run_script", "evaluates code on the agent");
+  return reg;
+}
+
+AnalysisReport run(const std::string& source, const CapabilityPolicy* policy) {
+  AnalyzeOptions opts;
+  opts.policy = policy;
+  return analyze_source_full(source, "=test", make_catalog(), opts);
+}
+
+// ---- capability inference through aliases ----------------------------------
+
+TEST(AliasTest, LocalAliasOfPrivilegedNativeFlaggedAtReadAndCall) {
+  const auto report = run("local f = trading.query\nreturn f(\"Svc\")", &monitor_policy());
+  // The resolver flags the privileged *read* (line 1); the dataflow pass
+  // flags the laundered *call* (line 2). Both must be present.
+  EXPECT_GE(count_code(report.diags, codes::kPolicyViolation), 2u);
+  const Diagnostic* d = find_code(report.diags, codes::kPolicyViolation);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+}
+
+TEST(AliasTest, AliasAllowedUnderPermissivePolicy) {
+  const auto report = run("local f = trading.query\nreturn f(\"Svc\")", &strategy_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kPolicyViolation));
+}
+
+TEST(AliasTest, TableFieldAliasFlagged) {
+  const auto report = run(
+      "local t = {}\nt.q = trading.query\nreturn t.q(\"Svc\")", &monitor_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kPolicyViolation));
+}
+
+TEST(AliasTest, ClosureReturnAliasFlagged) {
+  const auto report = run(
+      "local get = function() return trading.query end\n"
+      "local f = get()\n"
+      "return f(\"Svc\")",
+      &monitor_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kPolicyViolation));
+}
+
+TEST(AliasTest, UnprivilegedAliasClean) {
+  const auto report = run(
+      "local f = tostring\nreturn f(42)", &monitor_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kPolicyViolation));
+}
+
+// ---- taint tracking --------------------------------------------------------
+
+TEST(TaintTest, FunctionParamIntoSinkFlagged) {
+  // Hosts call shipped functions with remote event payloads: a parameter
+  // steering a privileged sink is a tainted-sink error.
+  const auto report = run(
+      "handler = function(ev)\n  lb.set_policy(ev)\nend", &strategy_policy());
+  const Diagnostic* d = find_code(report.diags, codes::kTaintedSink);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(TaintTest, TaintSourceResultIntoSinkFlagged) {
+  const auto report = run(
+      "local v = events.last(\"load\")\nlb.set_policy(v)", &strategy_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, ConstantArgumentIntoSinkClean) {
+  const auto report = run("lb.set_policy(\"p2c\")", &strategy_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, TaintThroughTableFieldFlagged) {
+  const auto report = run(
+      "local t = {}\nt.v = events.last(\"load\")\nlb.set_policy(t.v)", &strategy_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, TaintedTablePassedWholeFlagged) {
+  // carries_taint walks table fields: passing the whole table launders
+  // nothing.
+  const auto report = run(
+      "local t = {}\nt.v = events.last(\"load\")\nlb.set_policy(t)", &strategy_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, MethodSinkFlaggedRegardlessOfReceiver) {
+  const auto report = run(
+      "handler = function(ev)\n  agent0:run_script(ev)\nend", &strategy_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, PcallLaunderingFlagged) {
+  const auto report = run(
+      "handler = function(ev)\n  pcall(lb.set_policy, ev)\nend", &strategy_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kTaintedSink));
+}
+
+TEST(TaintTest, NoTaintCheckingUnderShellPolicy) {
+  const auto report = run(
+      "handler = function(ev)\n  lb.set_policy(ev)\nend", &shell_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kTaintedSink));
+}
+
+// ---- cost certification ----------------------------------------------------
+
+TEST(CostTest, WhileTrueWithoutExitFlagged) {
+  const auto report = run(
+      "spin = function()\n"
+      "  local i = 0\n"
+      "  while true do\n"
+      "    i = i + 1\n"
+      "  end\n"
+      "end",
+      &monitor_policy());
+  const Diagnostic* d = find_code(report.diags, codes::kUnboundedLoop);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_FALSE(report.cost_bounded);
+}
+
+TEST(CostTest, WhileTrueWithBreakClean) {
+  const auto report = run(
+      "spin = function()\n"
+      "  local i = 0\n"
+      "  while true do\n"
+      "    i = i + 1\n"
+      "    if i > 10 then break end\n"
+      "  end\n"
+      "  return i\n"
+      "end",
+      &monitor_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kUnboundedLoop));
+  EXPECT_TRUE(report.cost_bounded);
+}
+
+TEST(CostTest, RepeatUntilFalseFlagged) {
+  const auto report = run(
+      "spin = function()\n"
+      "  repeat\n"
+      "    print(\"tick\")\n"
+      "  until false\n"
+      "end",
+      &monitor_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kUnboundedLoop));
+}
+
+TEST(CostTest, ZeroStepNumericForFlagged) {
+  const auto report = run(
+      "f = function()\n"
+      "  for i = 1, 10, 0 do\n"
+      "    print(i)\n"
+      "  end\n"
+      "end",
+      &monitor_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kUnboundedLoop));
+}
+
+TEST(CostTest, BoundedNumericForClean) {
+  const auto report = run(
+      "f = function()\n"
+      "  local total = 0\n"
+      "  for i = 1, 8 do\n"
+      "    total = total + i\n"
+      "  end\n"
+      "  return total\n"
+      "end",
+      &monitor_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kUnboundedLoop));
+  EXPECT_TRUE(report.cost_bounded);
+}
+
+TEST(CostTest, DirectRecursionFlagged) {
+  const auto report = run(
+      "fact = function(n)\n  return fact(n)\nend", &monitor_policy());
+  const Diagnostic* d = find_code(report.diags, codes::kUnboundedRecursion);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_FALSE(report.cost_bounded);
+}
+
+TEST(CostTest, MutualRecursionFlagged) {
+  // ping is defined before pong exists: the call graph is expanded by name
+  // after the pass, so definition order must not hide the cycle.
+  const auto report = run(
+      "ping = function(n)\n  return pong(n)\nend\n"
+      "pong = function(n)\n  return ping(n)\nend",
+      &monitor_policy());
+  EXPECT_TRUE(has_code(report.diags, codes::kUnboundedRecursion));
+}
+
+TEST(CostTest, LoopsAllowedUnderStrategyPolicy) {
+  // Strategies run off the hot path: cost certification is monitor-only.
+  const auto report = run(
+      "spin = function()\n  while true do\n    print(\"x\")\n  end\nend",
+      &strategy_policy());
+  EXPECT_FALSE(has_code(report.diags, codes::kUnboundedLoop));
+}
+
+TEST(CostTest, PaperFig3AspectCleanUnderMonitorPolicy) {
+  // The paper's Fig. 3 load-average aspect — io reads, bounded branches —
+  // must pass the strictest policy unchanged.
+  const auto report = run(
+      "aspect = function(self, currval, monitor)\n"
+      "  if currval[1] > currval[2] then\n"
+      "    return \"yes\"\n"
+      "  else\n"
+      "    return \"no\"\n"
+      "  end\n"
+      "end",
+      &monitor_policy());
+  EXPECT_FALSE(has_errors(report.diags));
+  EXPECT_TRUE(report.cost_bounded);
+}
+
+// ---- constant / interval diagnostics ---------------------------------------
+
+TEST(ConstTest, DivisionByConstantZeroWarned) {
+  const auto report = run("local d = 0\nreturn 1 / d", nullptr);
+  const Diagnostic* d = find_code(report.diags, codes::kDivByZero);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(ConstTest, AlwaysTrueComparisonWarned) {
+  const auto report = run(
+      "local x = 5\nif x > 1 then\n  result = 1\nend\nreturn result", nullptr);
+  EXPECT_TRUE(has_code(report.diags, codes::kAlwaysTrueCondition));
+}
+
+TEST(ConstTest, UnknownComparisonNotWarned) {
+  const auto report = run(
+      "f = function(v)\n  if v > 1 then\n    return 1\n  end\n  return 2\nend", nullptr);
+  EXPECT_FALSE(has_code(report.diags, codes::kAlwaysTrueCondition));
+}
+
+TEST(ConstTest, DeadStoreWarned) {
+  const auto report = run("local x = 1\nx = 2\nreturn x", nullptr);
+  const Diagnostic* d = find_code(report.diags, codes::kDeadStore);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(ConstTest, LoopCarriedValueIsNotDeadStoreOrAlwaysTrue) {
+  const auto report = run(
+      "local x = 0\n"
+      "for i = 1, 3 do\n"
+      "  if x < 2 then\n"
+      "    x = x + 1\n"
+      "  end\n"
+      "end\n"
+      "return x",
+      nullptr);
+  EXPECT_FALSE(has_code(report.diags, codes::kDeadStore));
+  EXPECT_FALSE(has_code(report.diags, codes::kAlwaysTrueCondition));
+}
+
+TEST(ConstTest, NilReassignmentIsNotDeadStore) {
+  // `x = nil` is the idiomatic "release" and must not be flagged.
+  const auto report = run("local x = {}\nx = nil\nreturn x", nullptr);
+  EXPECT_FALSE(has_code(report.diags, codes::kDeadStore));
+}
+
+// ---- inferred manifest -----------------------------------------------------
+
+TEST(ManifestTest, CapabilitiesAndSinksCollected) {
+  const auto report = run(
+      "local offers = trading.query(\"Svc\")\n"
+      "lb.set_policy(\"p2c\")\n"
+      "return offers",
+      &strategy_policy());
+  EXPECT_FALSE(has_errors(report.diags));
+  EXPECT_TRUE(report.capabilities.count("trading"));
+  EXPECT_TRUE(report.capabilities.count("lb"));
+  EXPECT_TRUE(report.sinks.count("lb.set_policy"));
+  EXPECT_TRUE(report.cost_bounded);
+}
+
+TEST(ManifestTest, AliasedCapabilityStillAppears) {
+  const auto report = run(
+      "local f = trading.query\nreturn f(\"Svc\")", &strategy_policy());
+  EXPECT_TRUE(report.capabilities.count("trading"));
+}
+
+TEST(ManifestTest, UnprivilegedChunkHasEmptyManifest) {
+  const auto report = run("return tostring(1 + 2)", &strategy_policy());
+  EXPECT_TRUE(report.capabilities.empty());
+  EXPECT_TRUE(report.sinks.empty());
+}
+
+// ---- verdict cache ---------------------------------------------------------
+
+TEST(VerdictCacheTest, SecondAnalysisHits) {
+  ScriptEngine engine;
+  const std::string code = "return 1 + 1";
+  const auto first = engine.analyze_cached(code);
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = engine.analyze_cached(code);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.diags.size(), second.diags.size());
+}
+
+TEST(VerdictCacheTest, PolicyIsPartOfTheKey) {
+  ScriptEngine engine;
+  engine.natives().declare("trading.query", 1, 4);
+  engine.natives().tag("trading", "trading");
+  const std::string code = "return trading.query(\"Svc\")";
+  EXPECT_FALSE(engine.analyze_cached(code, "=a", &shell_policy()).cache_hit);
+  // Same code, stricter policy: must re-analyze (and find the violation).
+  const auto mon = engine.analyze_cached(code, "=a", &monitor_policy());
+  EXPECT_FALSE(mon.cache_hit);
+  EXPECT_TRUE(has_errors(mon.diags));
+}
+
+TEST(VerdictCacheTest, NewNativeInvalidates) {
+  ScriptEngine engine;
+  const std::string code = "return print";
+  engine.analyze_cached(code);
+  EXPECT_TRUE(engine.analyze_cached(code).cache_hit);
+  engine.natives().declare("late.binding", 0, 0);
+  EXPECT_FALSE(engine.analyze_cached(code).cache_hit);
+}
+
+TEST(VerdictCacheTest, NewGlobalInvalidatesButRebindDoesNot) {
+  ScriptEngine engine;
+  const std::string code = "return print";
+  engine.analyze_cached(code);
+  engine.set_global("fresh", Value(1.0));
+  EXPECT_FALSE(engine.analyze_cached(code).cache_hit) << "new name changes resolution";
+  engine.analyze_cached(code);
+  // Rebinding an existing global (the smart-proxy handle pattern) must not
+  // evict hot-path verdicts.
+  engine.set_global("fresh", Value(2.0));
+  EXPECT_TRUE(engine.analyze_cached(code).cache_hit);
+}
+
+TEST(VerdictCacheTest, ParseErrorsNeverCached) {
+  ScriptEngine engine;
+  const std::string code = "return 1 +";
+  const auto first = engine.analyze_cached(code, "=one");
+  ASSERT_FALSE(first.diags.empty());
+  EXPECT_EQ(first.diags[0].code, codes::kParseError);
+  // The verdict embeds the chunk name, so it must be recomputed per call.
+  const auto second = engine.analyze_cached(code, "=two");
+  EXPECT_FALSE(second.cache_hit);
+}
+
+TEST(VerdictCacheTest, FunctionVariantWrapsLikeCompileFunction) {
+  ScriptEngine engine;
+  const std::string fn = "function(a, b)\n  return a + b\nend";
+  const auto first = engine.analyze_function_cached(fn);
+  EXPECT_FALSE(has_errors(first.diags));
+  EXPECT_TRUE(engine.analyze_function_cached(fn).cache_hit);
+  // The chunk variant sees the same bytes differently (a bare function
+  // literal is not a valid statement), so the two caches cannot collide.
+  const auto chunk = engine.analyze_cached(fn);
+  EXPECT_FALSE(chunk.cache_hit);
+  EXPECT_TRUE(has_errors(chunk.diags));
+}
+
+}  // namespace
+}  // namespace adapt::script::analysis

@@ -1,8 +1,8 @@
 // lumalint: standalone static analysis for Luma adaptation code.
 //
-// Runs the same resolver/lint/capability passes the runtime applies at every
-// remote-evaluation ingestion point (Engine::analyze), against the full
-// native-signature catalog of the infrastructure — stdlib, obs, orb,
+// Runs the same resolver/lint/capability/dataflow passes the runtime applies
+// at every remote-evaluation ingestion point (Engine::analyze), against the
+// full native-signature catalog of the infrastructure — stdlib, obs, orb,
 // events, lb, monitor, trading, infra, agent, smartproxy — without needing any live
 // objects. Lets operators verify adaptation scripts *before* shipping them
 // to an agent, monitor or smart proxy.
@@ -13,11 +13,20 @@
 //                                       wrapped exactly like compile_function
 //     --globals=a,b,c                   extra globals assumed defined
 //     --json                            machine-readable diagnostics
+//     --sarif[=FILE]                    SARIF 2.1.0 report (stdout when no
+//                                       FILE; with FILE, console output is
+//                                       kept alongside)
+//     --manifest                        print the inferred capability
+//                                       manifest (capabilities reached,
+//                                       privileged sinks invoked, cost
+//                                       boundedness) per file
+//     --werror                          warnings fail the run (exit 3)
 //
 // Exit status: 0 = no error-severity diagnostics, 1 = at least one error,
-// 2 = usage / IO problem.
+// 2 = usage / IO problem, 3 = warnings present and --werror given.
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +46,7 @@ namespace {
 
 using namespace adapt;
 using script::analysis::Diagnostic;
+using script::analysis::Severity;
 
 /// The full catalog: every native the infrastructure can inject.
 script::analysis::NativeRegistry full_catalog() {
@@ -88,10 +98,81 @@ void print_json(std::ostream& os, const std::string& file,
   }
 }
 
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Hint: return "note";
+  }
+  return "none";
+}
+
+struct FileResult {
+  std::string file;
+  std::vector<Diagnostic> diags;
+};
+
+/// SARIF 2.1.0: one run, one driver, one result per diagnostic. Rules are
+/// the distinct diagnostic codes seen, so uploads get per-rule grouping.
+void write_sarif(std::ostream& os, const std::vector<FileResult>& results) {
+  std::set<std::string> rules;
+  for (const auto& r : results) {
+    for (const auto& d : r.diags) rules.insert(d.code);
+  }
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n    {\n"
+     << "      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"lumalint\",\n"
+     << "          \"informationUri\": \"https://example.invalid/lumalint\",\n"
+     << "          \"rules\": [";
+  bool first = true;
+  for (const auto& rule : rules) {
+    os << (first ? "" : ",") << "\n            {\"id\": \"" << json_escape(rule) << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n          ") << "]\n        }\n      },\n"
+     << "      \"results\": [";
+  first = true;
+  for (const auto& r : results) {
+    for (const auto& d : r.diags) {
+      os << (first ? "" : ",") << "\n        {\n"
+         << "          \"ruleId\": \"" << json_escape(d.code) << "\",\n"
+         << "          \"level\": \"" << sarif_level(d.severity) << "\",\n"
+         << "          \"message\": {\"text\": \"" << json_escape(d.message) << "\"},\n"
+         << "          \"locations\": [{\"physicalLocation\": {"
+         << "\"artifactLocation\": {\"uri\": \"" << json_escape(r.file) << "\"}, "
+         << "\"region\": {\"startLine\": " << (d.line > 0 ? d.line : 1)
+         << ", \"startColumn\": " << (d.col > 0 ? d.col : 1) << "}}}]\n"
+         << "        }";
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
+}
+
+void print_manifest(std::ostream& os, const std::string& file,
+                    const script::analysis::AnalysisReport& report) {
+  os << "{\"file\":\"" << json_escape(file) << "\",\"capabilities\":[";
+  bool first = true;
+  for (const auto& c : report.capabilities) {
+    os << (first ? "" : ",") << "\"" << json_escape(c) << "\"";
+    first = false;
+  }
+  os << "],\"sinks\":[";
+  first = true;
+  for (const auto& s : report.sinks) {
+    os << (first ? "" : ",") << "\"" << json_escape(s) << "\"";
+    first = false;
+  }
+  os << "],\"cost_bounded\":" << (report.cost_bounded ? "true" : "false") << "}\n";
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--policy=monitor|strategy|shell] [--function] [--globals=a,b,c]"
-               " [--json] file...\n";
+               " [--json] [--sarif[=FILE]] [--manifest] [--werror] file...\n";
   return 2;
 }
 
@@ -101,6 +182,10 @@ int main(int argc, char** argv) {
   const script::analysis::CapabilityPolicy* policy = &script::analysis::shell_policy();
   bool as_function = false;
   bool json = false;
+  bool werror = false;
+  bool manifest = false;
+  bool sarif = false;
+  std::string sarif_path;
   std::vector<std::string> extra_globals;
   std::vector<std::string> files;
 
@@ -116,6 +201,15 @@ int main(int argc, char** argv) {
       as_function = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--manifest") {
+      manifest = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif = true;
+      sarif_path = arg.substr(8);
     } else if (arg.rfind("--globals=", 0) == 0) {
       std::stringstream ss(arg.substr(10));
       std::string name;
@@ -139,8 +233,16 @@ int main(int argc, char** argv) {
   opts.policy = policy;
   opts.extra_globals = extra_globals;
 
+  // SARIF without a path goes to stdout and replaces the console report;
+  // with a path both are produced (CI uploads the file, the log stays
+  // readable).
+  const bool sarif_to_stdout = sarif && sarif_path.empty();
+  const bool console = !json && !sarif_to_stdout;
+
   bool any_error = false;
+  bool any_warning = false;
   bool first_json = true;
+  std::vector<FileResult> results;
   if (json) std::cout << "[\n";
   for (const std::string& file : files) {
     std::string source;
@@ -159,17 +261,36 @@ int main(int argc, char** argv) {
       source = buf.str();
     }
     if (as_function) source = "return (" + source + "\n)";
-    const auto diags =
-        script::analysis::analyze_source(source, file, catalog, opts);
-    any_error = any_error || script::analysis::has_errors(diags);
+    script::analysis::AnalysisReport report =
+        script::analysis::analyze_source_full(source, file, catalog, opts);
+    any_error = any_error || script::analysis::has_errors(report.diags);
+    for (const auto& d : report.diags) {
+      any_warning = any_warning || d.severity == Severity::Warning;
+    }
     if (json) {
-      print_json(std::cout, file, diags, first_json);
-    } else {
-      for (const auto& d : diags) {
+      print_json(std::cout, file, report.diags, first_json);
+    } else if (console) {
+      for (const auto& d : report.diags) {
         std::cout << file << ":" << script::analysis::format(d) << "\n";
       }
     }
+    if (manifest) print_manifest(std::cout, file, report);
+    if (sarif) results.push_back(FileResult{file, std::move(report.diags)});
   }
   if (json) std::cout << (first_json ? "" : "\n") << "]\n";
-  return any_error ? 1 : 0;
+  if (sarif) {
+    if (sarif_to_stdout) {
+      write_sarif(std::cout, results);
+    } else {
+      std::ofstream out(sarif_path);
+      if (!out) {
+        std::cerr << "lumalint: cannot write " << sarif_path << "\n";
+        return 2;
+      }
+      write_sarif(out, results);
+    }
+  }
+  if (any_error) return 1;
+  if (werror && any_warning) return 3;
+  return 0;
 }
