@@ -14,8 +14,11 @@
 // Schema (stable; scripts/check.sh validates it):
 //   { "bench": "<name>", "quick": bool, "cases": [
 //       { "name": "...", "iterations": N, "ops_per_sec": X,
-//         "ns": { "mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":.. } } ] }
-// ops_per_sec is the best repetition; the ns stats pool all samples.
+//         "ns": { "mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":.. },
+//         "extra": { "<key>": Y, ... } } ] }
+// ops_per_sec is the best repetition; the ns stats pool all samples. "extra"
+// appears only for cases that define it (measured rates such as goodput or
+// shed_rate that a per-iteration latency cannot express).
 #pragma once
 
 #include <algorithm>
@@ -40,6 +43,10 @@ struct Case {
   // "iteration" but hundreds of RPCs); 0 keeps the harness defaults.
   size_t warmup = 0;
   size_t iters = 0;
+  // Optional: invoked once after teardown; the returned key/value pairs are
+  // emitted as the case's "extra" object. For measured whole-case rates
+  // (goodput ops/s, shed rate) that per-iteration latencies cannot express.
+  std::function<std::vector<std::pair<std::string, double>>()> extra = nullptr;
 };
 
 struct Options {
@@ -131,9 +138,23 @@ inline int run_json_cases(const Options& opts, const std::string& bench_name,
                   static_cast<unsigned long long>(ns.front()),
                   static_cast<unsigned long long>(ns.back()), pct(0.50), pct(0.95),
                   pct(0.99));
+    std::string entry = buf;
+    if (c.extra) {
+      entry.pop_back();  // reopen the case object
+      entry += ",\"extra\":{";
+      bool first_extra = true;
+      for (const auto& [key, value] : c.extra()) {
+        char kv[128];
+        std::snprintf(kv, sizeof(kv), "%s\"%s\":%.6g", first_extra ? "" : ",",
+                      key.c_str(), value);
+        first_extra = false;
+        entry += kv;
+      }
+      entry += "}}";
+    }
     if (!first) out += ',';
     first = false;
-    out += buf;
+    out += entry;
     std::cerr << bench_name << '/' << c.name << ": " << std::fixed
               << static_cast<uint64_t>(ops) << " ops/s, p50 "
               << static_cast<uint64_t>(pct(0.50)) << " ns, p99 "

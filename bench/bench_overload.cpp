@@ -1,0 +1,324 @@
+// bench_overload — the admission valve under load, and the adaptation loop
+// that closes over it.
+//
+// One in-proc ORB with a bounded dispatch limit and sleep-based servant work
+// (this box may have a single core; sleeping "work" keeps capacity exact).
+// Six cases:
+//
+//   capacity       closed loop at the admission limit (2 clients, 2 slots,
+//                  ~2 ms work): the no-contention goodput baseline
+//   overload_2x    the same server at twice the offered concurrency: the
+//                  queue absorbs the excess, CoDel keeps it from standing,
+//                  and goodput must hold (gate: >= 70% of capacity)
+//   exec_inproc    cost of one admitted ~2 ms request, through admission
+//   shed_inproc    cost of one rejected request (slot saturated, zero
+//                  queue): the whole point of shedding is that a rejection
+//                  is far cheaper than execution (gate: >= 50x cheaper)
+//   adapt_before   1-slot server, 3 greedy clients requesting full-quality
+//                  (~3 ms) renders: sustained standing delay, CoDel sheds
+//   adapt_after    same load, but a Luma strategy runs between bursts: it
+//                  reads orb.overload().shed_rate and downgrades the
+//                  requested quality (~0.3 ms) when the runtime is shedding
+//                  (gate: shed_rate <= 0.5x adapt_before)
+//
+// The goodput/shed-rate numbers are whole-case measurements, emitted through
+// the "extra" object of the JSON schema; scripts/check.sh gates on them.
+//
+// `--json[=PATH] [--quick]` emits BENCH_overload.json via bench_json.h.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "orb/orb.h"
+#include "orb/script_bindings.h"
+#include "script/engine.h"
+
+using namespace adapt;
+
+namespace {
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Shared counters for whole-case goodput/shed-rate measurement.
+struct Meter {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  double start = 0.0;
+
+  void reset() {
+    ok = 0;
+    shed = 0;
+    start = now_s();
+  }
+  [[nodiscard]] double goodput() const {
+    const double elapsed = now_s() - start;
+    return elapsed > 0 ? static_cast<double>(ok.load()) / elapsed : 0.0;
+  }
+  [[nodiscard]] double shed_rate() const {
+    const double total = static_cast<double>(ok.load() + shed.load());
+    return total > 0 ? static_cast<double>(shed.load()) / total : 0.0;
+  }
+};
+
+/// One closed-loop burst: `threads` clients each issue `calls` invocations
+/// back-to-back. Overload rejections count as sheds, not failures.
+void run_burst(const orb::OrbPtr& server, const ObjectRef& ref,
+               const std::string& operation, const ValueList& args, int threads,
+               int calls, Meter& meter) {
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < calls; ++i) {
+        try {
+          server->invoke(ref, operation, args);
+          ++meter.ok;
+        } catch (const orb::RejectedError&) {
+          ++meter.shed;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+}
+
+constexpr double kWorkS = 0.002;
+
+/// Server with 2 dispatch slots and ~2 ms of work per call: capacity is an
+/// exact 1000 ops/s regardless of core count.
+orb::OrbPtr make_work_server(const std::string& name, ObjectRef* out_ref = nullptr) {
+  orb::OrbConfig cfg;
+  cfg.name = name;
+  cfg.max_in_flight_dispatches = 2;
+  cfg.admission_queue_limit = 8;
+  auto server = orb::Orb::create(cfg);
+  auto servant = orb::FunctionServant::make("Work");
+  servant->on("work", [](const ValueList&) {
+    sleep_s(kWorkS);
+    return Value(true);
+  });
+  if (out_ref) {
+    *out_ref = server->register_servant(servant, "work");
+  } else {
+    server->register_servant(servant, "work");
+  }
+  return server;
+}
+
+// ---- gbench mode -----------------------------------------------------------
+
+void BM_ExecAdmitted(benchmark::State& state) {
+  ObjectRef ref;
+  auto server = make_work_server("bench-overload-exec", &ref);
+  for (auto _ : state) server->invoke(ref, "work", {});
+}
+BENCHMARK(BM_ExecAdmitted);
+
+void BM_ShedRejection(benchmark::State& state) {
+  orb::OrbConfig cfg;
+  cfg.name = "bench-overload-shed";
+  cfg.max_in_flight_dispatches = 1;
+  cfg.admission_queue_limit = 0;
+  auto server = orb::Orb::create(cfg);
+  std::atomic<bool> release{false};
+  auto servant = orb::FunctionServant::make("Work");
+  servant->on("hold", [&release](const ValueList&) {
+    while (!release.load()) sleep_s(0.001);
+    return Value(true);
+  });
+  servant->on("work", [](const ValueList&) { return Value(true); });
+  const ObjectRef ref = server->register_servant(servant, "work");
+  std::thread holder([&] { server->invoke(ref, "hold", {}); });
+  while (server->overload().in_flight == 0) sleep_s(0.001);
+  for (auto _ : state) {
+    try {
+      server->invoke(ref, "work", {});
+    } catch (const orb::Overloaded&) {
+    }
+  }
+  release = true;
+  holder.join();
+}
+BENCHMARK(BM_ShedRejection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto opts = adapt::benchjson::parse_json_mode(argc, argv)) {
+    std::vector<adapt::benchjson::Case> cases;
+
+    // -- capacity / overload_2x: goodput under bounded admission ----------
+    ObjectRef work_ref;
+    auto work_server = make_work_server("bench-overload", &work_ref);
+    auto capacity_meter = std::make_shared<Meter>();
+    cases.push_back({
+        .name = "capacity",
+        .fn = [&, capacity_meter] {
+          run_burst(work_server, work_ref, "work", {}, /*threads=*/2,
+                    /*calls=*/20, *capacity_meter);
+        },
+        .setup = [capacity_meter] { capacity_meter->reset(); },
+        .warmup = 2,
+        .iters = 4,
+        .extra = [capacity_meter] {
+          return std::vector<std::pair<std::string, double>>{
+              {"goodput_ops", capacity_meter->goodput()},
+              {"shed_rate", capacity_meter->shed_rate()}};
+        },
+    });
+    auto overload_meter = std::make_shared<Meter>();
+    cases.push_back({
+        .name = "overload_2x",
+        .fn = [&, overload_meter] {
+          run_burst(work_server, work_ref, "work", {}, /*threads=*/4,
+                    /*calls=*/10, *overload_meter);
+        },
+        .setup = [overload_meter] { overload_meter->reset(); },
+        .warmup = 2,
+        .iters = 4,
+        .extra = [overload_meter] {
+          return std::vector<std::pair<std::string, double>>{
+              {"goodput_ops", overload_meter->goodput()},
+              {"shed_rate", overload_meter->shed_rate()}};
+        },
+    });
+
+    // -- exec_inproc: one admitted ~2 ms request through admission --------
+    cases.push_back({
+        .name = "exec_inproc",
+        .fn = [&] { work_server->invoke(work_ref, "work", {}); },
+        .warmup = 20,
+        .iters = 100,
+    });
+
+    // -- shed_inproc: one rejection against a saturated, queue-less ORB ---
+    orb::OrbConfig shed_cfg;
+    shed_cfg.name = "bench-overload-shed";
+    shed_cfg.max_in_flight_dispatches = 1;
+    shed_cfg.admission_queue_limit = 0;
+    auto shed_server = orb::Orb::create(shed_cfg);
+    ObjectRef shed_ref;
+    auto release = std::make_shared<std::atomic<bool>>(false);
+    {
+      auto servant = orb::FunctionServant::make("Work");
+      servant->on("hold", [release](const ValueList&) {
+        while (!release->load()) sleep_s(0.001);
+        return Value(true);
+      });
+      servant->on("work", [](const ValueList&) { return Value(true); });
+      shed_ref = shed_server->register_servant(servant, "work");
+    }
+    auto holder = std::make_shared<std::thread>();
+    cases.push_back({
+        .name = "shed_inproc",
+        .fn = [&] {
+          try {
+            shed_server->invoke(shed_ref, "work", {});
+          } catch (const orb::Overloaded&) {
+          }
+        },
+        .setup = [&, holder] {
+          *holder = std::thread([&] { shed_server->invoke(shed_ref, "hold", {}); });
+          while (shed_server->overload().in_flight == 0) sleep_s(0.001);
+        },
+        .teardown = [&, holder, release] {
+          *release = true;
+          holder->join();
+        },
+    });
+
+    // -- adapt_before / adapt_after: the strategy loop over shed_rate -----
+    // 1-slot renderer; "high" quality costs ~3 ms, "low" ~0.3 ms. Three
+    // greedy clients at high quality stand the queue above CoDel's target.
+    orb::OrbConfig adapt_cfg;
+    adapt_cfg.name = "bench-overload-adapt";
+    adapt_cfg.max_in_flight_dispatches = 1;
+    adapt_cfg.admission_queue_limit = 4;
+    adapt_cfg.codel_target = 0.001;
+    adapt_cfg.codel_interval = 0.02;
+    auto adapt_server = orb::Orb::create(adapt_cfg);
+    ObjectRef render_ref;
+    {
+      auto servant = orb::FunctionServant::make("Render");
+      servant->on("render", [](const ValueList& args) {
+        const bool low = !args.empty() && args[0].str() == "low";
+        sleep_s(low ? 0.0003 : 0.003);
+        return Value(true);
+      });
+      render_ref = adapt_server->register_servant(servant, "render");
+    }
+
+    auto before_meter = std::make_shared<Meter>();
+    cases.push_back({
+        .name = "adapt_before",
+        .fn = [&, before_meter] {
+          run_burst(adapt_server, render_ref, "render", {Value("high")},
+                    /*threads=*/3, /*calls=*/10, *before_meter);
+        },
+        .setup = [before_meter] { before_meter->reset(); },
+        .warmup = 2,
+        .iters = 4,
+        .extra = [before_meter] {
+          return std::vector<std::pair<std::string, double>>{
+              {"shed_rate", before_meter->shed_rate()}};
+        },
+    });
+
+    // The strategy is Luma observing the ORB's own overload aspect — the
+    // paper's adaptation loop closed over the runtime's admission valve.
+    // The `degraded` flag (an engine global, persistent across bursts) is a
+    // one-way ratchet: without it the strategy oscillates, because a
+    // degraded burst sheds nothing and the next window looks healthy again.
+    auto engine = std::make_shared<script::ScriptEngine>();
+    orb::install_orb_bindings(*engine, adapt_server);
+    constexpr const char* kStrategy = R"(
+      local o = orb.overload()
+      orb.stats_reset()
+      if o.shed_rate > 0.02 then degraded = true end
+      if degraded then return "low" end
+      return "high")";
+    auto quality = std::make_shared<std::string>("high");
+    auto after_meter = std::make_shared<Meter>();
+    cases.push_back({
+        .name = "adapt_after",
+        .fn = [&, quality, after_meter] {
+          run_burst(adapt_server, render_ref, "render", {Value(*quality)},
+                    /*threads=*/3, /*calls=*/10, *after_meter);
+          *quality = engine->eval1(kStrategy, "strategy").str();
+        },
+        .setup = [&, quality, after_meter] {
+          *quality = "high";
+          engine->eval("degraded = false", "strategy-reset");
+          adapt_server->stats_reset();
+          after_meter->reset();
+        },
+        .warmup = 2,
+        .iters = 4,
+        .extra = [after_meter] {
+          return std::vector<std::pair<std::string, double>>{
+              {"shed_rate", after_meter->shed_rate()}};
+        },
+    });
+
+    return adapt::benchjson::run_json_cases(*opts, "overload", cases);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -138,6 +138,57 @@ print(f"    lb gate OK: p2c degraded/healthy p99 {ratio:.2f}x, "
 EOF
 }
 
+# Overload gate: runs bench_overload (full iteration counts) and asserts the
+# three bounds the admission/deadline work promises: goodput at 2x offered
+# load stays >= 70% of the at-capacity baseline (the queue absorbs, CoDel
+# sheds, goodput must not collapse), shedding a request is >= 50x cheaper
+# than executing one (~2 ms of work vs a pre-dispatch rejection), and the
+# Luma strategy that watches orb.overload().shed_rate and downgrades request
+# quality cuts the shed rate to <= 50% of the no-adaptation baseline.
+run_overload_gate() {
+  local build_dir="build"
+  if [[ ! -x "${build_dir}/bench/bench_overload" ]]; then
+    echo "==> overload gate: bench_overload missing — skipped"
+    return 0
+  fi
+  echo "==> bench bench_overload --json (overload gate)"
+  (cd "${build_dir}" && bench/bench_overload --json="BENCH_overload.json" >/dev/null)
+  python3 - "${build_dir}/BENCH_overload.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cases = {c["name"]: c for c in doc["cases"]}
+for name in ("capacity", "overload_2x", "exec_inproc", "shed_inproc",
+             "adapt_before", "adapt_after"):
+    assert name in cases, f"missing overload case {name}"
+
+goodput = cases["overload_2x"]["extra"]["goodput_ops"]
+capacity = cases["capacity"]["extra"]["goodput_ops"]
+ratio = goodput / capacity
+assert ratio >= 0.70, (
+    f"goodput at 2x offered load is only {ratio * 100:.0f}% of capacity "
+    f"({goodput:.0f} vs {capacity:.0f} ops/s), need >= 70%")
+
+exec_ns = cases["exec_inproc"]["ns"]["mean"]
+shed_ns = cases["shed_inproc"]["ns"]["mean"]
+cheaper = exec_ns / shed_ns
+assert cheaper >= 50.0, (
+    f"shedding only {cheaper:.0f}x cheaper than executing "
+    f"({shed_ns:.0f} vs {exec_ns:.0f} ns), need >= 50x")
+
+before = cases["adapt_before"]["extra"]["shed_rate"]
+after = cases["adapt_after"]["extra"]["shed_rate"]
+assert before > 0.02, (
+    f"adapt_before shed rate {before:.3f} too low to demonstrate overload")
+assert after <= 0.5 * before, (
+    f"strategy only cut shed rate from {before:.3f} to {after:.3f}, "
+    f"need <= 50%")
+print(f"    overload gate OK: 2x goodput {ratio * 100:.0f}% of capacity, "
+      f"shed {cheaper:.0f}x cheaper than exec, "
+      f"strategy shed rate {before:.3f} -> {after:.3f}")
+EOF
+}
+
 # Extracts every R"LUMA(...)LUMA" block embedded in examples/ and tests/
 # sources and runs the Luma static analyzer over it (shell policy, full
 # native catalog). Any diagnostic at all fails the check: the in-repo
@@ -225,9 +276,11 @@ case "${1:-default}" in
     run_bench_json bench_events events
     run_bench_json bench_lb lb
     run_bench_json bench_luma_analysis luma_analysis
+    run_bench_json bench_overload overload
     run_reactor_gate
     run_lb_gate
     run_luma_analysis_gate
+    run_overload_gate
     ;;
   tsan|asan)
     run_preset "$1"
@@ -240,9 +293,11 @@ case "${1:-default}" in
     run_bench_json bench_events events
     run_bench_json bench_lb lb
     run_bench_json bench_luma_analysis luma_analysis
+    run_bench_json bench_overload overload
     run_reactor_gate
     run_lb_gate
     run_luma_analysis_gate
+    run_overload_gate
     run_preset tsan
     run_preset asan
     ;;

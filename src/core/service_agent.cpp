@@ -187,9 +187,16 @@ void ServiceAgent::enable_heartbeat(double period, double lease) {
     lease_ = lease;
     ids = offer_ids_;
   }
+  // Heartbeats are the control traffic admission control exists to protect:
+  // losing a lease renewal during overload would withdraw a healthy offer
+  // exactly when clients need every replica. Mark them critical so the
+  // trader's ORB never sheds them. ("refresh" is also in the default
+  // critical_operations set — this covers traders with a custom set.)
+  orb::InvokeOptions critical_call;
+  critical_call.critical = true;
   // Put existing offers on the lease right away.
   for (const std::string& id : ids) {
-    orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)});
+    orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)}, critical_call);
   }
   heartbeat_task_ = timers_->schedule_every(period, [this] {
     std::vector<std::string> ids;
@@ -199,9 +206,11 @@ void ServiceAgent::enable_heartbeat(double period, double lease) {
       ids = offer_ids_;
       lease = lease_;
     }
+    orb::InvokeOptions critical_call;
+    critical_call.critical = true;
     for (const std::string& id : ids) {
       try {
-        orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)});
+        orb_->invoke(register_ref_, "refresh", {Value(id), Value(lease)}, critical_call);
         ++heartbeats_;
         obs::metrics().counter("agent.heartbeats").add();
       } catch (const Error& e) {

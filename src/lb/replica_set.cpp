@@ -179,16 +179,31 @@ double Replica::opened_at() const {
 
 Value Replica::invoke(const orb::OrbPtr& orb, const std::string& operation,
                       const ValueList& args, const orb::InvokeOptions& options) {
+  orb::InvokeOptions opts = options;
   {
     std::lock_guard lk(mu_);
     ++in_flight_;
     ++picks_;
+    // A half-open probe is control traffic: it exists to prove the replica
+    // back alive, so it must not be shed by the replica's own admission
+    // control — mark it critical unless the caller already decided.
+    if (state_ == BreakerState::HalfOpen && probe_in_flight_ &&
+        !opts.critical.has_value()) {
+      opts.critical = true;
+    }
   }
   const double start = steady_now_s();
   try {
-    Value result = orb->invoke(provider_, operation, args, options);
+    Value result = orb->invoke(provider_, operation, args, opts);
     on_success(steady_now_s() - start);
     return result;
+  } catch (const orb::RejectedError&) {
+    // Overloaded / DeadlineExceeded: the replica is *up* — it answered, fast,
+    // with a pre-dispatch rejection — so this must not trip the breaker the
+    // way a transport failure does. It is a distinct soft-failure signal:
+    // steer selection away (EWMA penalty) and keep the breaker state sane.
+    on_overload();
+    throw;
   } catch (const orb::TransportError&) {
     on_failure();
     throw;
@@ -210,6 +225,27 @@ void Replica::on_success(double latency_s) {
   ++successes_;
   consecutive_failures_ = 0;
   ewma_latency_ = ewma_alpha_ * latency_s + (1.0 - ewma_alpha_) * ewma_latency_;
+  ewma_gauge_->set(ewma_latency_ * 1e9);
+  if (state_ == BreakerState::HalfOpen) {
+    state_ = BreakerState::Closed;
+    probe_in_flight_ = false;
+    obs::metrics().counter("lb.breaker.close").add();
+  }
+}
+
+void Replica::on_overload() {
+  obs::metrics().counter("lb.overload").add();
+  std::lock_guard lk(mu_);
+  --in_flight_;
+  ++failures_;
+  // Alive-but-busy: reset the consecutive-failure streak (the replica
+  // answered) and close out a half-open probe as a success — tripping to
+  // Open would take a loaded-but-healthy replica out of rotation entirely,
+  // the opposite of backing off. The EWMA penalty makes p2c/weighted
+  // selection drain away from the overloaded replica instead: inflate the
+  // estimate as if a sample twice the current one had been observed.
+  consecutive_failures_ = 0;
+  ewma_latency_ *= 1.0 + ewma_alpha_;
   ewma_gauge_->set(ewma_latency_ * 1e9);
   if (state_ == BreakerState::HalfOpen) {
     state_ = BreakerState::Closed;
@@ -524,6 +560,14 @@ Value ReplicaSet::invoke_hedged(const orb::OrbPtr& orb, const ReplicaPtr& primar
 
   ReplicaPtr second = pick_hedge(primary);
   if (!second) return fut1.get();
+
+  // Hedges draw from the same per-endpoint retry budget as the ORB's own
+  // retries: under a server brown-out the bucket drains and hedging stops,
+  // instead of doubling the offered load exactly when it hurts most.
+  if (!orb->try_spend_retry_token(second->provider().endpoint)) {
+    obs::metrics().counter("lb.hedge.suppressed").add();
+    return fut1.get();
+  }
 
   obs::metrics().counter("lb.hedge.fired").add();
   auto fut2 = std::async(std::launch::async, [orb, second, operation, args] {

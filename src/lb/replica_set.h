@@ -27,7 +27,7 @@
 //     attempt at the p95 latency budget and take the first response.
 //
 // Observability: `lb.pick`, `lb.breaker.open/close/probe`,
-// `lb.hedge.fired/won`, `lb.refresh`, `lb.refresh.error`,
+// `lb.hedge.fired/won/suppressed`, `lb.overload`, `lb.refresh`, `lb.refresh.error`,
 // `lb.requery.lowwater` counters; per-set `lb.<set>.size` / `lb.<set>.healthy`
 // gauges; per-replica `lb.<set>.ewma_ns.<object>` gauges; and a
 // `lb.<set>.latency_ns` histogram whose p95 is the hedge trigger budget.
@@ -166,6 +166,9 @@ class Replica {
  private:
   void on_success(double latency_s);
   void on_failure();
+  /// Overloaded/DeadlineExceeded outcome: pre-dispatch rejection from a
+  /// live replica. EWMA penalty (steer away), no breaker trip.
+  void on_overload();
 
   const std::string set_name_;
   const ObjectRef provider_;

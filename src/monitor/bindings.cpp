@@ -143,6 +143,21 @@ void install_monitor_bindings(script::ScriptEngine& engine, const orb::OrbPtr& o
   declare_monitor_signatures(engine.natives());
 }
 
+void install_overload_aspect(const std::shared_ptr<BasicMonitor>& monitor,
+                             const orb::OrbPtr& orb) {
+  // Weak capture, same reasoning as the monitor bindings: the monitor is a
+  // servant of `orb`, so a strong capture would cycle and leak the ORB.
+  std::weak_ptr<orb::Orb> weak = orb;
+  monitor->defineAspectFn(
+      "overload",
+      Value(NativeFunction::make("aspect.overload",
+          [weak](const ValueList&) -> ValueList {
+            auto o = weak.lock();
+            if (!o) return {Value()};
+            return {orb::overload_to_value(o->overload())};
+          })));
+}
+
 void declare_monitor_signatures(script::analysis::NativeRegistry& reg) {
   // Constructors are invoked method-style (EventMonitor:new(...)), which the
   // arity pass skips; declaring them still records the globals + capability.

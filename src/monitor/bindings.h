@@ -40,6 +40,16 @@ std::shared_ptr<EventMonitor> create_event_monitor(
     const orb::OrbPtr& orb, const std::shared_ptr<TimerService>& timers,
     Value update_fn, double period, ObjectRef* out_ref = nullptr);
 
+/// Defines an "overload" aspect on `monitor` reporting `orb`'s current
+/// overload state (Orb::overload() as a table: in_flight, queued, shed,
+/// shed_rate, ...). Remote observers read it through the ordinary
+/// getAspectValue operation, closing the paper's adaptation loop over the
+/// runtime's own overload condition. Holds `orb` weakly (the monitor is
+/// typically a servant of that ORB); the aspect reports nil once the ORB is
+/// gone.
+void install_overload_aspect(const std::shared_ptr<BasicMonitor>& monitor,
+                             const orb::OrbPtr& orb);
+
 /// Declares the monitor natives ("monitor" capability tag) into a registry
 /// without live monitors — used by install_monitor_bindings and the
 /// standalone `lumalint` catalog.

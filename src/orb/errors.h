@@ -56,4 +56,30 @@ class BadOperation : public OrbError {
   using OrbError::OrbError;
 };
 
+/// The server rejected the request *before* servant dispatch (admission
+/// control). The servant never ran, so — unlike TransportError after a
+/// completed write — re-issuing is safe for any operation, idempotent or not.
+class RejectedError : public OrbError {
+ public:
+  using OrbError::OrbError;
+};
+
+/// The server shed the request under overload (in-flight limit or CoDel
+/// queue-delay shed). Retriable for every operation because the rejection is
+/// guaranteed pre-dispatch, but retries must be paced: clients spend a
+/// retry-budget token and back off, and lb treats it as a soft-failure signal
+/// (steer away, don't trip the breaker — the replica is up, just busy).
+class Overloaded : public RejectedError {
+ public:
+  using RejectedError::RejectedError;
+};
+
+/// The request's propagated deadline had already expired when the server was
+/// about to dispatch it (expired on arrival, or while queued for admission).
+/// Not worth retrying — the budget that expired is the caller's own.
+class DeadlineExceeded : public RejectedError {
+ public:
+  using RejectedError::RejectedError;
+};
+
 }  // namespace adapt::orb

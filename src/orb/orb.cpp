@@ -94,13 +94,29 @@ OrbPtr Orb::create(OrbConfig config) {
   return orb;
 }
 
-Orb::Orb(OrbConfig config) : config_(std::move(config)) {
+Orb::Orb(OrbConfig config)
+    : config_(std::move(config)),
+      retry_budget_(RetryBudget::Config{config_.retry_budget_ratio,
+                                        config_.retry_budget_cap}) {
   name_ = config_.name.empty() ? "orb-" + std::to_string(g_orb_counter++) : config_.name;
   inproc_endpoint_ = "inproc://" + name_;
   interfaces_ = config_.interfaces ? config_.interfaces
                                    : std::make_shared<InterfaceRepository>();
   tracer_ = config_.tracer ? config_.tracer : obs::default_tracer_ptr();
   stats_ = std::make_shared<OrbStatsCounters>(&obs::metrics(), "orb." + name_ + ".");
+  AdmissionConfig admission_config;
+  admission_config.max_in_flight = config_.max_in_flight_dispatches;
+  admission_config.max_queue = config_.admission_queue_limit;
+  admission_config.codel_target = config_.codel_target;
+  admission_config.codel_interval = config_.codel_interval;
+  admission_config.max_queue_wait = config_.admission_max_queue_wait;
+  admission_ = std::make_unique<AdmissionController>(admission_config);
+  if (admission_->enabled()) {
+    const std::string prefix = "orb." + name_ + ".admission.";
+    admission_in_flight_gauge_ = &obs::metrics().gauge(prefix + "in_flight");
+    admission_queued_gauge_ = &obs::metrics().gauge(prefix + "queued");
+    admission_wait_ns_ = &obs::metrics().histogram(prefix + "queue_ns");
+  }
   PoolConfig pool_config;
   pool_config.timeout = config_.request_timeout;
   pool_config.max_idle_per_endpoint = config_.pool_max_idle_per_endpoint;
@@ -142,6 +158,10 @@ void Orb::shutdown() {
   bool expected = false;
   if (!shut_down_.compare_exchange_strong(expected, true)) return;
   InprocRegistry::instance().remove(inproc_endpoint_);
+  // Close admission before stopping the listener: stop() joins reactor
+  // workers, and a worker blocked in AdmissionController::acquire would
+  // deadlock the join. close() sheds every waiter first.
+  admission_->close();
   if (listener_) listener_->stop();
   pool_->clear();
   log_debug("orb ", name_, " shut down");
@@ -194,6 +214,70 @@ ObjectRef Orb::make_ref(const std::string& object_id) const {
 
 ReplyMessage Orb::dispatch_request(const RequestMessage& req) {
   stats_->add_request_served();
+
+  // Admission control + deadline enforcement, both strictly *pre-dispatch*:
+  // a rejected request is guaranteed never to have reached the servant, so
+  // clients may re-issue even non-idempotent operations. The shed path is
+  // deliberately lean (no span, no servant lookup) — rejecting must stay
+  // orders of magnitude cheaper than executing.
+  const double entry = steady_now();
+  const bool critical = req.critical || is_critical(req.operation);
+  bool hold_slot = false;
+  if (admission_->enabled()) {
+    const auto decision = admission_->acquire(critical, req.deadline);
+    if (admission_wait_ns_) {
+      admission_wait_ns_->record(
+          static_cast<uint64_t>((steady_now() - entry) * 1e9));
+      admission_in_flight_gauge_->set(static_cast<double>(admission_->in_flight()));
+      admission_queued_gauge_->set(static_cast<double>(admission_->queued()));
+    }
+    if (decision == AdmissionController::Decision::Shed) {
+      stats_->add_request_shed();
+      ReplyMessage rep;
+      rep.request_id = req.request_id;
+      rep.status = ReplyStatus::SystemError;
+      rep.result = make_error_payload(
+          "overloaded", "request shed by admission control at " + name_);
+      return rep;
+    }
+    hold_slot = decision == AdmissionController::Decision::Admitted;
+    if (decision == AdmissionController::Decision::Expired) {
+      stats_->add_request_expired();
+      ReplyMessage rep;
+      rep.request_id = req.request_id;
+      rep.status = ReplyStatus::SystemError;
+      rep.result = make_error_payload(
+          "deadline-exceeded",
+          "deadline expired while queued for admission at " + name_);
+      return rep;
+    }
+  }
+  // Every admitted acquire must be released, on all exit paths below.
+  struct SlotRelease {
+    AdmissionController* a;
+    ~SlotRelease() {
+      if (a) a->release();
+    }
+  } slot_release{hold_slot ? admission_.get() : nullptr};
+
+  // Expired on arrival (or while queued, re-checked after the wait): the
+  // caller's propagated budget is already gone, so executing the servant
+  // would only produce a reply nobody reads.
+  const double dispatch_remaining =
+      req.deadline > 0.0 ? req.deadline - (steady_now() - entry) : 0.0;
+  if (req.deadline > 0.0 && dispatch_remaining <= 0.0) {
+    stats_->add_request_expired();
+    ReplyMessage rep;
+    rep.request_id = req.request_id;
+    rep.status = ReplyStatus::SystemError;
+    rep.result = make_error_payload(
+        "deadline-exceeded", "deadline expired before dispatch of '" +
+                                 req.operation + "' at " + name_);
+    return rep;
+  }
+  // Nested invokes made by the servant on this thread inherit what is left
+  // of the caller's budget (see Orb::invoke_traced).
+  DispatchDeadlineScope deadline_scope(dispatch_remaining);
 
   // Server span: adopt the caller's context from the wire so this dispatch
   // (and anything the servant invokes from this thread) joins the caller's
@@ -303,6 +387,8 @@ Value Orb::reply_to_result(const ReplyMessage& rep) {
   }
   if (code == "object-not-found") throw ObjectNotFound(message);
   if (code == "bad-operation") throw BadOperation(message);
+  if (code == "overloaded") throw Overloaded(message);
+  if (code == "deadline-exceeded") throw DeadlineExceeded(message);
   throw RemoteError(message);
 }
 
@@ -434,17 +520,41 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
     }
   }
 
+  const bool idempotent =
+      options.idempotent.has_value() ? *options.idempotent : is_idempotent(operation);
+  const bool critical =
+      options.critical.has_value() ? *options.critical : is_critical(operation);
+  const RetryPolicy policy = options.retry ? *options.retry : config_.retry;
+  double budget =
+      options.deadline > 0.0 ? options.deadline : config_.request_timeout;
+  // Deadline inheritance: an invoke made from inside a servant dispatch
+  // whose request carried a deadline may not outlive what the upstream
+  // caller has left — each hop's budget shrinks by the time already spent.
+  if (const auto inherited = current_dispatch_remaining()) {
+    if (*inherited <= 0.0) {
+      stats_->add_timeout();
+      throw TimeoutError("caller deadline already exhausted before invoking '" +
+                         operation + "' on " + ref.str());
+    }
+    budget = std::min(budget, *inherited);
+  }
+
   // Context propagation: an in-process peer is this binary, so the v2 tail
   // is always safe; a TCP peer may predate it, so emission there is gated
   // by OrbConfig::propagate_wire_context (a v1 decoder rejects the tail).
-  if (span.active() && (target != nullptr || config_.propagate_wire_context)) {
+  const bool emit_context = target != nullptr || config_.propagate_wire_context;
+  if (span.active() && emit_context) {
     req.traceparent = span.context().to_header();
   }
+  if (emit_context) req.critical = critical;
 
   if (target) {
     // In-process path: still round-trip through the wire codec so the call
     // is bit-for-bit what a TCP peer would see. No retry loop here — an
-    // unreachable inproc peer is definitively gone, not transiently flaky.
+    // unreachable inproc peer is definitively gone, not transiently flaky,
+    // and an Overloaded rejection surfaces directly (the caller shares the
+    // overloaded process; re-queueing locally would not help).
+    req.deadline = budget;
     const Bytes encoded = encode_request(req);
     const RequestMessage decoded = decode_request(encoded);
     stats_->add_request();
@@ -457,21 +567,40 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
     }
     const Bytes rep_bytes = encode_reply(rep);
     stats_->add_reply();
-    return reply_to_result(decode_reply(rep_bytes));
+    try {
+      return reply_to_result(decode_reply(rep_bytes));
+    } catch (const RejectedError&) {
+      stats_->add_overload();
+      throw;
+    }
   }
 
   // TCP path: idempotent operations are retried with backoff under one
-  // overall deadline; everything else gets a single attempt. The pool's
-  // checkout-time stale detection protects every operation; its riskier
-  // post-write redial is enabled only for idempotent ones (the flag below
-  // reaches TcpConnectionPool::call).
-  const bool idempotent =
-      options.idempotent.has_value() ? *options.idempotent : is_idempotent(operation);
-  const RetryPolicy policy = options.retry ? *options.retry : config_.retry;
-  const double budget =
-      options.deadline > 0.0 ? options.deadline : config_.request_timeout;
+  // overall deadline; everything else gets a single attempt — except for
+  // Overloaded rejections, which are guaranteed pre-dispatch and therefore
+  // safe to retry for *any* operation. Either retry class spends a
+  // per-endpoint retry-budget token so a server brown-out cannot be
+  // amplified into a retry storm. The pool's checkout-time stale detection
+  // protects every operation; its riskier post-write redial is enabled only
+  // for idempotent ones (the flag below reaches TcpConnectionPool::call).
   const int max_attempts = (idempotent && !oneway) ? std::max(1, policy.max_attempts) : 1;
+  const int overload_attempts = oneway ? 1 : std::max(1, policy.max_attempts);
   const double start = steady_now();
+  retry_budget_.on_attempt(ref.endpoint);
+
+  // Backoff sleeps are clamped to the remaining budget: the last exponential
+  // sleep must not overshoot the caller's deadline. Returns false (without
+  // sleeping) when nothing of the budget is left.
+  const auto backoff_within_budget = [&](int attempt) {
+    double delay = backoff_delay(policy, attempt);
+    const double left = budget - (steady_now() - start);
+    if (left <= 0.0) return false;
+    delay = std::min(delay, left);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    stats_->add_retry();
+    span.annotate("retry", std::to_string(attempt + 1));
+    return true;
+  };
 
   for (int attempt = 0;; ++attempt) {
     const double remaining = budget - (steady_now() - start);
@@ -481,25 +610,70 @@ Value Orb::invoke_traced(const ObjectRef& ref, const std::string& operation,
     }
     try {
       // Fresh request id per attempt: a late reply to an abandoned attempt
-      // can then never be mistaken for the current one.
+      // can then never be mistaken for the current one. The propagated
+      // deadline is re-stamped per attempt with what is actually left.
       if (attempt > 0) req.request_id = next_request_id_++;
+      if (emit_context) req.deadline = remaining;
       return invoke_tcp_once(ref, req, oneway, remaining, idempotent);
     } catch (const TimeoutError&) {
       // The per-attempt socket timeout already was the remaining budget.
       stats_->add_timeout();
       throw;
+    } catch (const DeadlineExceeded&) {
+      // The server measured *our* budget as expired; retrying re-spends a
+      // budget that is already gone.
+      stats_->add_overload();
+      throw;
+    } catch (const Overloaded& e) {
+      stats_->add_overload();
+      if (attempt + 1 >= overload_attempts) throw;
+      if (!retry_budget_.try_spend(ref.endpoint)) throw;
+      log_debug("invoke '", operation, "' on ", ref.str(), " shed (", e.what(),
+                "), retrying");
+      if (!backoff_within_budget(attempt)) throw;
     } catch (const TransportError& e) {
       stats_->add_transport_error();
       if (attempt + 1 >= max_attempts) throw;
-      const double delay = backoff_delay(policy, attempt);
-      if (steady_now() - start + delay >= budget) throw;
+      if (!retry_budget_.try_spend(ref.endpoint)) throw;
       log_debug("invoke '", operation, "' on ", ref.str(), " failed (", e.what(),
-                "), retrying in ", delay, "s");
-      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-      stats_->add_retry();
-      span.annotate("retry", std::to_string(attempt + 1));
+                "), retrying");
+      if (!backoff_within_budget(attempt)) throw;
     }
   }
+}
+
+bool Orb::try_spend_retry_token(const std::string& endpoint) {
+  return retry_budget_.try_spend(endpoint);
+}
+
+OverloadStats Orb::overload() const {
+  OverloadStats o;
+  o.in_flight = admission_->in_flight();
+  o.queued = admission_->queued();
+  o.max_in_flight = admission_->config().max_in_flight;
+  o.queue_limit = admission_->config().max_queue;
+  o.admitted = admission_->admitted();
+  o.shed = admission_->shed();
+  o.expired = admission_->expired();
+  const OrbStats s = stats_->snapshot();
+  if (s.requests_served > 0) {
+    o.shed_rate = static_cast<double>(s.requests_shed) /
+                  static_cast<double>(s.requests_served);
+  }
+  return o;
+}
+
+Value overload_to_value(const OverloadStats& o) {
+  auto t = Table::make();
+  t->set(Value("in_flight"), Value(static_cast<uint64_t>(o.in_flight)));
+  t->set(Value("queued"), Value(static_cast<uint64_t>(o.queued)));
+  t->set(Value("max_in_flight"), Value(static_cast<uint64_t>(o.max_in_flight)));
+  t->set(Value("queue_limit"), Value(static_cast<uint64_t>(o.queue_limit)));
+  t->set(Value("admitted"), Value(o.admitted));
+  t->set(Value("shed"), Value(o.shed));
+  t->set(Value("expired"), Value(o.expired));
+  t->set(Value("shed_rate"), Value(o.shed_rate));
+  return Value(std::move(t));
 }
 
 }  // namespace adapt::orb

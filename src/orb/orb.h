@@ -24,6 +24,7 @@
 
 #include "base/value.h"
 #include "obs/trace.h"
+#include "orb/admission.h"
 #include "orb/errors.h"
 #include "orb/interface_repo.h"
 #include "orb/servant.h"
@@ -59,6 +60,10 @@ struct InvokeOptions {
   std::optional<bool> idempotent;
   /// Overrides the ORB's retry policy for this call.
   std::optional<RetryPolicy> retry;
+  /// Overrides the operation-name criticality classification
+  /// (OrbConfig::critical_operations): critical requests bypass the remote
+  /// peer's admission control so control-plane traffic survives overload.
+  std::optional<bool> critical;
 };
 
 struct OrbConfig {
@@ -97,6 +102,36 @@ struct OrbConfig {
   /// Idle TCP connections older than this are reaped, seconds.
   double pool_max_idle_age = 30.0;
 
+  /// Server-side admission control: concurrent servant dispatches allowed
+  /// before arrivals queue (and queued work is shed by queue delay). 0
+  /// disables admission entirely — the default, so existing deployments see
+  /// zero behavior change. Applies to every dispatch regardless of
+  /// transport (TCP and in-process both funnel through dispatch_request).
+  size_t max_in_flight_dispatches = 0;
+  /// Arrivals beyond this many queued dispatches are shed immediately.
+  size_t admission_queue_limit = 64;
+  /// CoDel target sojourn time / control interval, seconds (see
+  /// AdmissionConfig). Queue delay above target for a full interval starts
+  /// shedding; successive sheds tighten as interval/sqrt(n).
+  double codel_target = 0.005;
+  double codel_interval = 0.1;
+  /// Hard cap on time a dispatch may wait for admission, seconds.
+  double admission_max_queue_wait = 1.0;
+
+  /// Control-plane operations that admission control never sheds: liveness
+  /// probes and reflection builtins, service-agent heartbeat renewal
+  /// ("refresh") and trader lookups — exactly the traffic adaptation needs
+  /// alive *during* overload. Per-call overridable via InvokeOptions.
+  std::set<std::string> critical_operations = {
+      "_ping", "_interface", "_stats", "refresh", "resolve", "query", "list"};
+
+  /// Client-side retry/hedge budget (token bucket per endpoint): each first
+  /// attempt earns `ratio` tokens up to `cap`, each retry or hedge spends
+  /// one, so sustained failure caps retry amplification at ~ratio of
+  /// offered load instead of multiplying it by max_attempts.
+  double retry_budget_ratio = 0.1;
+  double retry_budget_cap = 10.0;
+
   /// Server reactor tuning (effective with listen_tcp): core worker threads
   /// (0 = auto-size to the hardware) and the per-connection pending-write
   /// cap in bytes (a slow consumer exceeding it is disconnected).
@@ -117,6 +152,26 @@ struct OrbConfig {
   /// with propagation off, each TCP hop simply roots its own trace.
   bool propagate_wire_context = false;
 };
+
+/// Point-in-time view of an ORB's overload state: the adaptation input the
+/// paper's loop needs (exposed via obs gauges, Orb::overload(), the Luma
+/// `orb.overload()` binding and the BasicMonitor "overload" aspect).
+struct OverloadStats {
+  size_t in_flight = 0;     ///< dispatches currently executing
+  size_t queued = 0;        ///< dispatches waiting for admission
+  size_t max_in_flight = 0; ///< configured limit (0 = admission disabled)
+  size_t queue_limit = 0;   ///< configured queue bound
+  uint64_t admitted = 0;    ///< process-lifetime admissions
+  uint64_t shed = 0;        ///< process-lifetime sheds (overload)
+  uint64_t expired = 0;     ///< process-lifetime expired-in-queue rejections
+  /// Shed fraction over the current stats window (requests_shed /
+  /// requests_served since the last stats_reset): the primary signal for
+  /// strategy scripts — reset the window, observe, adapt.
+  double shed_rate = 0.0;
+};
+
+/// OverloadStats as a Luma table (keys match the field names).
+[[nodiscard]] Value overload_to_value(const OverloadStats& o);
 
 class Orb : public std::enable_shared_from_this<Orb> {
  public:
@@ -183,6 +238,17 @@ class Orb : public std::enable_shared_from_this<Orb> {
     return config_.idempotent_operations.count(operation) > 0;
   }
 
+  /// This ORB's criticality classification for `operation`
+  /// (OrbConfig::critical_operations).
+  [[nodiscard]] bool is_critical(const std::string& operation) const {
+    return config_.critical_operations.count(operation) > 0;
+  }
+
+  /// Spends one retry-budget token for `endpoint` if available. The lb
+  /// hedging path consults this before firing a hedge so hedges and retries
+  /// draw from one amplification budget per endpoint.
+  bool try_spend_retry_token(const std::string& endpoint);
+
   [[nodiscard]] InterfaceRepository& interfaces() { return *interfaces_; }
   [[nodiscard]] std::shared_ptr<InterfaceRepository> interfaces_ptr() { return interfaces_; }
 
@@ -197,6 +263,10 @@ class Orb : public std::enable_shared_from_this<Orb> {
   /// so benches and tests can measure from a clean baseline. Also exposed to
   /// Luma as orb.stats_reset().
   void stats_reset() { stats_->reset(); }
+
+  /// Current overload state (admission gauges + windowed shed rate). Cheap;
+  /// safe to poll from strategy scripts.
+  [[nodiscard]] OverloadStats overload() const;
 
   /// The ring this ORB's spans land in (the process default unless
   /// OrbConfig::tracer overrode it).
@@ -241,6 +311,12 @@ class Orb : public std::enable_shared_from_this<Orb> {
   std::shared_ptr<OrbStatsCounters> stats_;
   std::shared_ptr<obs::Tracer> tracer_;
   std::atomic<bool> shut_down_{false};
+
+  std::unique_ptr<AdmissionController> admission_;
+  RetryBudget retry_budget_;
+  obs::Gauge* admission_in_flight_gauge_ = nullptr;
+  obs::Gauge* admission_queued_gauge_ = nullptr;
+  obs::Histogram* admission_wait_ns_ = nullptr;
 
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<TcpConnectionPool> pool_;

@@ -23,6 +23,10 @@ void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb) {
       [need](const ValueList&) -> ValueList {
         return {Value(need()->requests_served())};
       })));
+  t->set(Value("overload"), Value(NativeFunction::make("orb.overload",
+      [need](const ValueList&) -> ValueList {
+        return {overload_to_value(need()->overload())};
+      })));
   t->set(Value("endpoint"), Value(NativeFunction::make("orb.endpoint",
       [need](const ValueList&) -> ValueList {
         return {Value(need()->endpoint())};
@@ -39,6 +43,7 @@ void install_orb_bindings(script::ScriptEngine& engine, const OrbPtr& orb) {
 void declare_orb_signatures(script::analysis::NativeRegistry& reg) {
   reg.declare("orb.stats", 0, 0);
   reg.declare("orb.stats_reset", 0, 0);
+  reg.declare("orb.overload", 0, 0);
   reg.declare("orb.requests_served", 0, 0);
   reg.declare("orb.endpoint", 0, 0);
   reg.declare("orb.name", 0, 0);

@@ -5,10 +5,11 @@ namespace adapt::orb {
 namespace {
 
 constexpr const char* kFieldNames[] = {
-    "requests",          "replies",       "retries",
-    "redials",           "timeouts",      "transport_errors",
-    "bytes_sent",        "bytes_received", "connections_opened",
-    "connections_reused", "requests_served",
+    "requests",          "replies",        "retries",
+    "redials",           "timeouts",       "overloads",
+    "transport_errors",  "bytes_sent",     "bytes_received",
+    "connections_opened", "connections_reused", "requests_served",
+    "requests_shed",     "requests_expired",
 };
 
 }  // namespace
@@ -43,12 +44,15 @@ OrbStats OrbStatsCounters::snapshot() const {
   s.retries = get(kRetries);
   s.redials = get(kRedials);
   s.timeouts = get(kTimeouts);
+  s.overloads = get(kOverloads);
   s.transport_errors = get(kTransportErrors);
   s.bytes_sent = get(kBytesSent);
   s.bytes_received = get(kBytesReceived);
   s.connections_opened = get(kConnectionsOpened);
   s.connections_reused = get(kConnectionsReused);
   s.requests_served = get(kRequestsServed);
+  s.requests_shed = get(kRequestsShed);
+  s.requests_expired = get(kRequestsExpired);
   s.invoke_ns = invoke_ns_->snapshot();
   s.dispatch_ns = dispatch_ns_->snapshot();
   return s;
@@ -77,12 +81,15 @@ Value stats_to_value(const OrbStats& stats) {
   t->set(Value("retries"), Value(stats.retries));
   t->set(Value("redials"), Value(stats.redials));
   t->set(Value("timeouts"), Value(stats.timeouts));
+  t->set(Value("overloads"), Value(stats.overloads));
   t->set(Value("transport_errors"), Value(stats.transport_errors));
   t->set(Value("bytes_sent"), Value(stats.bytes_sent));
   t->set(Value("bytes_received"), Value(stats.bytes_received));
   t->set(Value("connections_opened"), Value(stats.connections_opened));
   t->set(Value("connections_reused"), Value(stats.connections_reused));
   t->set(Value("requests_served"), Value(stats.requests_served));
+  t->set(Value("requests_shed"), Value(stats.requests_shed));
+  t->set(Value("requests_expired"), Value(stats.requests_expired));
   t->set(Value("invoke_ns"), histogram_to_value(stats.invoke_ns));
   t->set(Value("dispatch_ns"), histogram_to_value(stats.dispatch_ns));
   return Value(std::move(t));

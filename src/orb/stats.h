@@ -36,13 +36,19 @@ struct OrbStats {
   uint64_t replies = 0;           ///< replies successfully received
   uint64_t retries = 0;           ///< RetryPolicy re-attempts after a failure
   uint64_t redials = 0;           ///< stale pooled connections discarded & replaced
-  uint64_t timeouts = 0;          ///< calls that exhausted their deadline
+  uint64_t timeouts = 0;          ///< calls that exhausted their *own* deadline
+  uint64_t overloads = 0;         ///< calls the *server* rejected pre-dispatch
+                                  ///< (Overloaded/DeadlineExceeded replies) —
+                                  ///< overload, not slowness
   uint64_t transport_errors = 0;  ///< connect/read/write failures (incl. timeouts)
   uint64_t bytes_sent = 0;        ///< TCP frame bytes written (client side)
   uint64_t bytes_received = 0;    ///< TCP frame bytes read (client side)
   uint64_t connections_opened = 0;  ///< fresh dials
   uint64_t connections_reused = 0;  ///< pool hits
   uint64_t requests_served = 0;     ///< server side: dispatched requests
+  uint64_t requests_shed = 0;       ///< server side: shed by admission control
+  uint64_t requests_expired = 0;    ///< server side: rejected with an already-
+                                    ///< expired propagated deadline
   /// Client-side invoke latency (since construction; not reset-windowed).
   obs::Histogram::Snapshot invoke_ns;
   /// Server-side dispatch latency (since construction; not reset-windowed).
@@ -67,12 +73,15 @@ class OrbStatsCounters {
   void add_retry() { add(kRetries); }
   void add_redial() { add(kRedials); }
   void add_timeout() { add(kTimeouts); }
+  void add_overload() { add(kOverloads); }
   void add_transport_error() { add(kTransportErrors); }
   void add_bytes_sent(uint64_t n) { add(kBytesSent, n); }
   void add_bytes_received(uint64_t n) { add(kBytesReceived, n); }
   void add_connection_opened() { add(kConnectionsOpened); }
   void add_connection_reused() { add(kConnectionsReused); }
   void add_request_served() { add(kRequestsServed); }
+  void add_request_shed() { add(kRequestsShed); }
+  void add_request_expired() { add(kRequestsExpired); }
 
   void record_invoke_ns(uint64_t ns) { invoke_ns_->record(ns); }
   void record_dispatch_ns(uint64_t ns) { dispatch_ns_->record(ns); }
@@ -94,12 +103,15 @@ class OrbStatsCounters {
     kRetries,
     kRedials,
     kTimeouts,
+    kOverloads,
     kTransportErrors,
     kBytesSent,
     kBytesReceived,
     kConnectionsOpened,
     kConnectionsReused,
     kRequestsServed,
+    kRequestsShed,
+    kRequestsExpired,
     kFieldCount,
   };
 

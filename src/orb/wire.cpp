@@ -1,5 +1,8 @@
 #include "orb/wire.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "orb/errors.h"
 
 namespace adapt::orb {
@@ -99,6 +102,32 @@ void encode_value(ByteWriter& w, const Value& v) { encode_value_rec(w, v, 0); }
 
 Value decode_value(ByteReader& r) { return decode_value_rec(r, 0); }
 
+void RequestMessage::set_context(std::string_view key, std::string value) {
+  if (key == kTraceparentKey) {
+    traceparent = std::move(value);
+  } else if (key == kDeadlineKey) {
+    char* end = nullptr;
+    const double secs = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() && secs > 0.0 && secs < 1e12) deadline = secs;
+  } else if (key == kCriticalKey) {
+    critical = value == "1" || value == "true";
+  } else {
+    context.emplace_back(std::string(key), std::move(value));
+  }
+}
+
+namespace {
+
+/// Shortest round-trippable decimal for the deadline entry. %.9g keeps ~1ns
+/// resolution at second scale, plenty for a queueing budget.
+std::string format_deadline(double secs) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", secs);
+  return buf;
+}
+
+}  // namespace
+
 Bytes encode_request(const RequestMessage& req) {
   ByteWriter w;
   w.u8(static_cast<uint8_t>(MsgType::Request));
@@ -111,11 +140,22 @@ Bytes encode_request(const RequestMessage& req) {
   if (req.has_context()) {
     // v2 optional tail (see RequestMessage::context). Omitted when empty so
     // context-free requests stay bit-identical to the v1 encoding.
-    const uint32_t extra = static_cast<uint32_t>(req.context.size());
-    w.u32(extra + (req.traceparent.empty() ? 0 : 1));
+    uint32_t entries = static_cast<uint32_t>(req.context.size());
+    if (!req.traceparent.empty()) ++entries;
+    if (req.deadline > 0.0) ++entries;
+    if (req.critical) ++entries;
+    w.u32(entries);
     if (!req.traceparent.empty()) {
       w.str(RequestMessage::kTraceparentKey);
       w.str(req.traceparent);
+    }
+    if (req.deadline > 0.0) {
+      w.str(RequestMessage::kDeadlineKey);
+      w.str(format_deadline(req.deadline));
+    }
+    if (req.critical) {
+      w.str(RequestMessage::kCriticalKey);
+      w.str("1");
     }
     for (const auto& [key, value] : req.context) {
       w.str(key);

@@ -52,14 +52,25 @@ struct RequestMessage {
   /// carries ("traceparent") has a dedicated field so the per-invocation hot
   /// path never allocates the vector.
   std::string traceparent;
-  /// Context entries other than "traceparent" (rare; reserved for future
-  /// keys). Same wire representation as traceparent, just generic.
+  /// Caller's remaining deadline budget in seconds at send time (gRPC
+  /// grpc-timeout analog). 0 means "no deadline propagated". Carried on the
+  /// wire as the context entry "deadline" (decimal seconds) so pre-deadline
+  /// v2 peers simply keep it in the generic list and v1 peers reject the
+  /// whole tail exactly as they do for traceparent.
+  double deadline = 0.0;
+  /// Criticality bit: control-plane traffic (heartbeats, breaker probes,
+  /// trader lookups) that admission control must never shed. Wire context
+  /// entry "critical" with value "1"; absent when false.
+  bool critical = false;
+  /// Context entries other than the dedicated fields above (rare; reserved
+  /// for future keys). Same wire representation, just generic.
   std::vector<std::pair<std::string, std::string>> context;
 
   [[nodiscard]] bool has_context() const {
-    return !traceparent.empty() || !context.empty();
+    return !traceparent.empty() || deadline > 0.0 || critical || !context.empty();
   }
-  /// Context value stored under `key`, or nullptr.
+  /// Context value stored under `key`, or nullptr. Only string-valued keys
+  /// are reachable here; "deadline"/"critical" have typed fields instead.
   [[nodiscard]] const std::string* find_context(std::string_view key) const {
     if (key == kTraceparentKey) return traceparent.empty() ? nullptr : &traceparent;
     for (const auto& [k, v] : context) {
@@ -67,17 +78,18 @@ struct RequestMessage {
     }
     return nullptr;
   }
-  /// Stores `value` under `key`, routing "traceparent" to its field.
-  void set_context(std::string_view key, std::string value) {
-    if (key == kTraceparentKey) {
-      traceparent = std::move(value);
-    } else {
-      context.emplace_back(std::string(key), std::move(value));
-    }
-  }
+  /// Stores `value` under `key`, routing the dedicated keys ("traceparent",
+  /// "deadline", "critical") to their typed fields. A malformed deadline
+  /// from a peer is ignored (treated as "no deadline") rather than rejected:
+  /// the tail is advisory metadata, not part of the call's correctness.
+  void set_context(std::string_view key, std::string value);
 
   /// The distributed-tracing context key (W3C traceparent analog).
   static constexpr std::string_view kTraceparentKey = "traceparent";
+  /// Remaining-budget context key (seconds, decimal string).
+  static constexpr std::string_view kDeadlineKey = "deadline";
+  /// Criticality context key (value "1" when set).
+  static constexpr std::string_view kCriticalKey = "critical";
 };
 
 struct ReplyMessage {

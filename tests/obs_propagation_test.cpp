@@ -330,6 +330,94 @@ TEST(WireCompat, TcpContextEmissionIsOptIn) {
   EXPECT_EQ(payload, make_v1_frame(seen.request_id, "obj", "echo", {Value(1.0)}));
 }
 
+TEST(WireCompat, DeadlineAndCriticalTailRoundTrips) {
+  orb::RequestMessage req;
+  req.request_id = 11;
+  req.object_id = "obj-4";
+  req.operation = "work";
+  req.deadline = 1.5;
+  req.critical = true;
+  EXPECT_TRUE(req.has_context());
+
+  const orb::RequestMessage out = orb::decode_request(orb::encode_request(req));
+  EXPECT_DOUBLE_EQ(out.deadline, 1.5);
+  EXPECT_TRUE(out.critical);
+  EXPECT_TRUE(out.context.empty()) << "dedicated keys must not leak into the "
+                                      "generic context list";
+  // The dedicated entries coexist with traceparent and generic keys.
+  req.set_context(orb::RequestMessage::kTraceparentKey,
+                  "0123456789abcdeffedcba9876543210-deadbeefcafef00d");
+  req.set_context("tenant", "green");
+  const orb::RequestMessage full = orb::decode_request(orb::encode_request(req));
+  EXPECT_DOUBLE_EQ(full.deadline, 1.5);
+  EXPECT_TRUE(full.critical);
+  EXPECT_EQ(full.traceparent, "0123456789abcdeffedcba9876543210-deadbeefcafef00d");
+  const std::string* tenant = full.find_context("tenant");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(*tenant, "green");
+}
+
+TEST(WireCompat, MalformedDeadlineEntryIsIgnored) {
+  // The tail is advisory metadata from a peer; a bad value must not kill
+  // the request, just decode as "no deadline".
+  orb::RequestMessage req;
+  req.set_context(orb::RequestMessage::kDeadlineKey, "not-a-number");
+  EXPECT_EQ(req.deadline, 0.0);
+  req.set_context(orb::RequestMessage::kDeadlineKey, "-4");
+  EXPECT_EQ(req.deadline, 0.0);
+  req.set_context(orb::RequestMessage::kCriticalKey, "0");
+  EXPECT_FALSE(req.critical);
+  req.set_context(orb::RequestMessage::kCriticalKey, "1");
+  EXPECT_TRUE(req.critical);
+}
+
+TEST(WireCompat, DeadlineOptionsKeepDefaultTcpFramesV1Identical) {
+  // A per-call deadline must not leak onto the wire unless the ORB opted
+  // into context emission: a pre-deadline (v1) peer rejects any tail.
+  CapturingListener sink;
+  orb::OrbConfig cfg;
+  cfg.name = "wire-deadline-default-client";
+  auto client = orb::Orb::create(cfg);
+  ObjectRef ref;
+  ref.endpoint = sink.listener.endpoint();
+  ref.object_id = "obj";
+  orb::InvokeOptions options;
+  options.deadline = 2.0;
+  options.critical = true;
+  client->invoke(ref, "echo", {Value(1.0)}, options);
+
+  const Bytes payload = sink.last_payload();
+  ASSERT_FALSE(payload.empty());
+  const orb::RequestMessage seen = orb::decode_request(payload);
+  EXPECT_FALSE(seen.has_context());
+  EXPECT_EQ(seen.deadline, 0.0);
+  EXPECT_FALSE(seen.critical);
+  EXPECT_EQ(payload, make_v1_frame(seen.request_id, "obj", "echo", {Value(1.0)}));
+}
+
+TEST(WireCompat, TcpFrameCarriesShrunkenDeadlineWhenOptedIn) {
+  CapturingListener sink;
+  orb::OrbConfig cfg;
+  cfg.name = "wire-deadline-enabled-client";
+  cfg.propagate_wire_context = true;
+  auto client = orb::Orb::create(cfg);
+  ObjectRef ref;
+  ref.endpoint = sink.listener.endpoint();
+  ref.object_id = "obj";
+  orb::InvokeOptions options;
+  options.deadline = 2.0;
+  options.critical = true;
+  client->invoke(ref, "echo", {Value(1.0)}, options);
+
+  const orb::RequestMessage seen = orb::decode_request(sink.last_payload());
+  ASSERT_TRUE(seen.has_context());
+  // The wire carries the *remaining* budget at send time: positive, and
+  // never more than what the caller started with.
+  EXPECT_GT(seen.deadline, 0.0);
+  EXPECT_LE(seen.deadline, 2.0);
+  EXPECT_TRUE(seen.critical);
+}
+
 TEST(WireCompat, TcpContextEmissionWhenOptedIn) {
   auto tracer = std::make_shared<obs::Tracer>(64);
   CapturingListener sink;

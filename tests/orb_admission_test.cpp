@@ -1,0 +1,282 @@
+// Unit tests for the overload-control building blocks: the CoDel-style
+// control law (driven with a fake clock), the AdmissionController gate
+// (limits, queueing, shedding, criticality bypass, close), the RetryBudget
+// token bucket, and the thread-local dispatch-deadline scope.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "orb/admission.h"
+
+using namespace adapt::orb;
+using Decision = AdmissionController::Decision;
+
+namespace {
+
+// ---- CodelLaw (pure control law, fake clock) -------------------------------
+
+TEST(CodelLaw, NoSheddingBelowTarget) {
+  CodelLaw law(/*target=*/0.005, /*interval=*/0.1);
+  double now = 100.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(law.should_shed(now, 0.004));
+    now += 0.01;
+  }
+  EXPECT_FALSE(law.dropping());
+}
+
+TEST(CodelLaw, StandingDelayAboveTargetStartsShedding) {
+  CodelLaw law(0.005, 0.1);
+  double now = 100.0;
+  // Sojourn above target, but the interval has not elapsed yet: no shed.
+  EXPECT_FALSE(law.should_shed(now, 0.02));
+  EXPECT_FALSE(law.should_shed(now + 0.05, 0.02));
+  // A full interval above target: drop state begins, first shed immediate.
+  EXPECT_TRUE(law.should_shed(now + 0.11, 0.02));
+  EXPECT_TRUE(law.dropping());
+}
+
+TEST(CodelLaw, ShedSpacingTightensUnderSustainedOverload) {
+  CodelLaw law(0.005, 0.1);
+  double now = 100.0;
+  law.should_shed(now, 0.02);           // arms first_above
+  ASSERT_TRUE(law.should_shed(now + 0.11, 0.02));  // enters drop state
+  // Count sheds over a fixed horizon of sustained overload: the
+  // interval/sqrt(count) law must shed more than one per interval.
+  int sheds = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 0.01;
+    if (law.should_shed(now, 0.02)) ++sheds;
+  }
+  EXPECT_GE(sheds, 5) << "sustained standing delay must tighten shed spacing";
+}
+
+TEST(CodelLaw, RecoveryBelowTargetStopsShedding) {
+  CodelLaw law(0.005, 0.1);
+  double now = 100.0;
+  law.should_shed(now, 0.02);
+  ASSERT_TRUE(law.should_shed(now + 0.11, 0.02));
+  EXPECT_FALSE(law.should_shed(now + 0.12, 0.001));  // queue drained
+  EXPECT_FALSE(law.dropping());
+  // And the next overload episode needs a full interval again.
+  EXPECT_FALSE(law.should_shed(now + 0.13, 0.02));
+}
+
+// ---- AdmissionController ---------------------------------------------------
+
+AdmissionConfig small_config() {
+  AdmissionConfig cfg;
+  cfg.max_in_flight = 2;
+  cfg.max_queue = 2;
+  cfg.codel_target = 0.005;
+  cfg.codel_interval = 0.05;
+  cfg.max_queue_wait = 0.5;
+  return cfg;
+}
+
+TEST(AdmissionController, DisabledAdmitsEverything) {
+  AdmissionConfig cfg;  // max_in_flight = 0
+  AdmissionController ctl(cfg);
+  EXPECT_FALSE(ctl.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  }
+  EXPECT_EQ(ctl.in_flight(), 10u);
+  for (int i = 0; i < 10; ++i) ctl.release();
+  EXPECT_EQ(ctl.in_flight(), 0u);
+}
+
+TEST(AdmissionController, AdmitsUpToLimitThenQueues) {
+  AdmissionController ctl(small_config());
+  EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  EXPECT_EQ(ctl.in_flight(), 2u);
+
+  // Third acquire queues; freeing a slot admits it.
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    if (ctl.acquire(false, 0.0) == Decision::Admitted) {
+      admitted = true;
+      ctl.release();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(ctl.queued(), 1u);
+  ctl.release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  ctl.release();
+  EXPECT_EQ(ctl.in_flight(), 0u);
+}
+
+TEST(AdmissionController, QueueOverflowShedsImmediately) {
+  AdmissionController ctl(small_config());  // 2 slots + 2 queue
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&] { ctl.acquire(false, 0.0); });
+  }
+  while (ctl.queued() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Queue full: the next arrival is shed on the spot, without blocking.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Shed);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.1);
+  EXPECT_GE(ctl.shed(), 1u);
+  ctl.close();  // sheds the two queued waiters
+  for (auto& t : waiters) t.join();
+  EXPECT_GE(ctl.shed(), 3u);
+}
+
+TEST(AdmissionController, CriticalBypassesLimitAndQueue) {
+  AdmissionController ctl(small_config());
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  // Both slots busy — a critical request is still admitted immediately.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ctl.acquire(true, 0.0), Decision::Admitted);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.1);
+  EXPECT_EQ(ctl.in_flight(), 3u) << "critical admission may exceed the limit";
+  ctl.release();
+  ctl.release();
+  ctl.release();
+}
+
+TEST(AdmissionController, QueuedRequestExpiresOnItsDeadline) {
+  AdmissionController ctl(small_config());
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ctl.acquire(false, /*deadline_remaining=*/0.08), Decision::Expired);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(waited, 0.07);
+  EXPECT_LT(waited, 0.4) << "expiry must fire near the deadline, not at max_queue_wait";
+  EXPECT_EQ(ctl.expired(), 1u);
+  ctl.release();
+  ctl.release();
+}
+
+TEST(AdmissionController, MaxQueueWaitBoundsOccupancy) {
+  auto cfg = small_config();
+  cfg.max_queue_wait = 0.1;
+  AdmissionController ctl(cfg);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Shed);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GE(waited, 0.09);
+  EXPECT_LT(waited, 0.5);
+  ctl.release();
+  ctl.release();
+}
+
+TEST(AdmissionController, CloseShedsWaitersAndSubsequentAcquires) {
+  AdmissionController ctl(small_config());
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  ASSERT_EQ(ctl.acquire(false, 0.0), Decision::Admitted);
+  std::atomic<int> sheds{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&] {
+      if (ctl.acquire(false, 0.0) == Decision::Shed) ++sheds;
+    });
+  }
+  while (ctl.queued() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ctl.close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(sheds.load(), 2);
+  EXPECT_EQ(ctl.acquire(false, 0.0), Decision::Shed);
+  EXPECT_EQ(ctl.acquire(true, 0.0), Decision::Shed) << "closed sheds critical too";
+}
+
+// ---- RetryBudget -----------------------------------------------------------
+
+TEST(RetryBudget, StartsFullAndDrains) {
+  RetryBudget budget(RetryBudget::Config{0.1, 3.0});
+  // Bucket starts at cap: three retries pass, the fourth is suppressed.
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_FALSE(budget.try_spend("ep"));
+}
+
+TEST(RetryBudget, AttemptsEarnTokensBack) {
+  RetryBudget budget(RetryBudget::Config{0.1, 3.0});
+  while (budget.try_spend("ep")) {
+  }
+  // 10 first attempts at ratio 0.1 earn exactly one retry back.
+  for (int i = 0; i < 10; ++i) budget.on_attempt("ep");
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_FALSE(budget.try_spend("ep"));
+}
+
+TEST(RetryBudget, CapBoundsEarning) {
+  RetryBudget budget(RetryBudget::Config{0.5, 2.0});
+  for (int i = 0; i < 100; ++i) budget.on_attempt("ep");
+  EXPECT_DOUBLE_EQ(budget.tokens("ep"), 2.0);
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_TRUE(budget.try_spend("ep"));
+  EXPECT_FALSE(budget.try_spend("ep"));
+}
+
+TEST(RetryBudget, EndpointsAreIndependent) {
+  RetryBudget budget(RetryBudget::Config{0.1, 1.0});
+  EXPECT_TRUE(budget.try_spend("a"));
+  EXPECT_FALSE(budget.try_spend("a"));
+  EXPECT_TRUE(budget.try_spend("b")) << "draining endpoint a must not affect b";
+}
+
+// ---- DispatchDeadlineScope -------------------------------------------------
+
+TEST(DispatchDeadlineScope, AbsentByDefault) {
+  EXPECT_FALSE(current_dispatch_remaining().has_value());
+}
+
+TEST(DispatchDeadlineScope, InstallsAndRestores) {
+  {
+    DispatchDeadlineScope outer(1.0);
+    const auto r = current_dispatch_remaining();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GT(*r, 0.9);
+    EXPECT_LE(*r, 1.0);
+    {
+      // Nesting shrinks; leaving restores the outer budget.
+      DispatchDeadlineScope inner(0.2);
+      const auto ri = current_dispatch_remaining();
+      ASSERT_TRUE(ri.has_value());
+      EXPECT_LE(*ri, 0.2);
+    }
+    const auto r2 = current_dispatch_remaining();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_GT(*r2, 0.5);
+  }
+  EXPECT_FALSE(current_dispatch_remaining().has_value());
+}
+
+TEST(DispatchDeadlineScope, NonPositiveInstallsNone) {
+  DispatchDeadlineScope outer(1.0);
+  {
+    // A deadline-free request dispatched while an outer scope exists owes
+    // the outer caller nothing — it shadows with "no deadline".
+    DispatchDeadlineScope inner(0.0);
+    EXPECT_FALSE(current_dispatch_remaining().has_value());
+  }
+  EXPECT_TRUE(current_dispatch_remaining().has_value());
+}
+
+TEST(DispatchDeadlineScope, IsThreadLocal) {
+  DispatchDeadlineScope scope(5.0);
+  std::thread other([] { EXPECT_FALSE(current_dispatch_remaining().has_value()); });
+  other.join();
+}
+
+}  // namespace
